@@ -1,0 +1,102 @@
+// E4 — Pufferscale rebalancing quality and cost. Reproduces the paper's
+// description of [24]: the planner optimizes "load balance ..., data
+// balance ..., rebalancing time, or a compromise between these three
+// objectives". Tables: scale-up/scale-down balance quality; the Pareto
+// tradeoff as the migration-time weight sweeps; planning scalability.
+#include "pufferscale/rebalancer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+using namespace mochi;
+using namespace mochi::pufferscale;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::vector<Resource> make_resources(int count, int nodes, unsigned seed) {
+    std::mt19937 rng{seed};
+    std::lognormal_distribution<double> load_dist{2.0, 1.0};
+    std::lognormal_distribution<double> size_dist{5.0, 1.5};
+    std::vector<Resource> out;
+    for (int i = 0; i < count; ++i)
+        out.push_back(Resource{"r" + std::to_string(i), "n" + std::to_string(i % nodes),
+                               load_dist(rng), size_dist(rng)});
+    return out;
+}
+
+std::vector<std::string> node_names(int n) {
+    std::vector<std::string> out;
+    for (int i = 0; i < n; ++i) out.push_back("n" + std::to_string(i));
+    return out;
+}
+
+void report(const char* label, const Plan& plan) {
+    std::printf("%-24s %7zu %12.0f | %9.3f -> %6.3f | %9.3f -> %6.3f\n", label,
+                plan.moves.size(), plan.after.bytes_moved, plan.before.load_imbalance,
+                plan.after.load_imbalance, plan.before.data_imbalance,
+                plan.after.data_imbalance);
+}
+
+} // namespace
+
+int main() {
+    std::printf("# E4a: rescaling quality (64 lognormal resources)\n");
+    std::printf("%-24s %7s %12s | %20s | %20s\n", "scenario", "moves", "bytes_moved",
+                "load imb before->after", "data imb before->after");
+    {
+        auto rs = make_resources(64, 8, 1);
+        report("scale-up 8 -> 12", *plan_rescale(rs, node_names(12), {}));
+        report("scale-up 8 -> 16", *plan_rescale(rs, node_names(16), {}));
+        report("scale-down 8 -> 6", *plan_rescale(rs, node_names(6), {}));
+        report("scale-down 8 -> 4", *plan_rescale(rs, node_names(4), {}));
+        report("rebalance in place", *plan_rescale(rs, node_names(8), {}));
+    }
+
+    std::printf("\n# E4b: objective-weight sweep (the load/data/time compromise)\n");
+    std::printf("%12s %7s %14s %12s %12s\n", "w_time", "moves", "bytes_moved", "load_imb",
+                "data_imb");
+    {
+        auto rs = make_resources(64, 4, 2);
+        for (double w_time : {0.0, 0.1, 0.5, 2.0, 10.0}) {
+            Objectives obj;
+            obj.w_time = w_time;
+            auto plan = plan_rescale(rs, node_names(8), obj);
+            std::printf("%12.1f %7zu %14.0f %12.3f %12.3f\n", w_time, plan->moves.size(),
+                        plan->after.bytes_moved, plan->after.load_imbalance,
+                        plan->after.data_imbalance);
+        }
+        std::printf("# expected shape: higher w_time -> fewer bytes moved, worse balance "
+                    "(Pareto front)\n");
+    }
+
+    std::printf("\n# E4c: load-only vs data-only objectives\n");
+    std::printf("%-16s %12s %12s\n", "objective", "load_imb", "data_imb");
+    {
+        auto rs = make_resources(64, 4, 3);
+        Objectives load_only;
+        load_only.w_data = 0;
+        load_only.w_time = 0;
+        Objectives data_only;
+        data_only.w_load = 0;
+        data_only.w_time = 0;
+        auto pl = plan_rescale(rs, node_names(8), load_only);
+        auto pd = plan_rescale(rs, node_names(8), data_only);
+        std::printf("%-16s %12.3f %12.3f\n", "load only", pl->after.load_imbalance,
+                    pl->after.data_imbalance);
+        std::printf("%-16s %12.3f %12.3f\n", "data only", pd->after.load_imbalance,
+                    pd->after.data_imbalance);
+    }
+
+    std::printf("\n# E4d: planning time vs problem size\n");
+    std::printf("%12s %8s %12s %10s\n", "resources", "nodes", "plan_ms", "moves");
+    for (int count : {64, 256, 1024}) {
+        auto rs = make_resources(count, 8, 4);
+        auto t0 = Clock::now();
+        auto plan = plan_rescale(rs, node_names(12), {});
+        double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+        std::printf("%12d %8d %12.2f %10zu\n", count, 12, ms, plan->moves.size());
+    }
+    return 0;
+}

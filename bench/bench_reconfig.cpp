@@ -1,0 +1,155 @@
+// E2 — §5's claim: online reconfiguration "without taking the service
+// offline". Two parts:
+//   1. latency of each reconfiguration primitive (local and remote);
+//   2. a serving-while-reconfiguring timeline: client throughput in 50 ms
+//      buckets while pools/xstreams/providers are added and removed
+//      mid-run. The shape to reproduce: no zero-throughput bucket.
+#include "bedrock/client.hpp"
+#include "bedrock/process.hpp"
+#include "remi/provider.hpp"
+#include "yokan/provider.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+using namespace mochi;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double time_us(const std::function<Status()>& fn, const char* what) {
+    auto t0 = Clock::now();
+    auto st = fn();
+    double us = std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    if (!st.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", what, st.error().message.c_str());
+        return -1;
+    }
+    return us;
+}
+
+} // namespace
+
+int main() {
+    yokan::register_module();
+    remi::register_module();
+    auto fabric = mercury::Fabric::create();
+    auto config = json::Value::parse(R"({
+      "libraries": {"yokan": "libyokan.so", "remi": "libremi.so"},
+      "providers": [
+        {"name": "remi", "type": "remi", "provider_id": 1},
+        {"name": "kv", "type": "yokan", "provider_id": 42,
+         "config": {"name": "db"}, "dependencies": {"remi": "remi"}}
+      ]
+    })").value();
+    auto server = bedrock::Process::spawn(fabric, "sim://server", config).value();
+    auto client = margo::Instance::create(fabric, "sim://client").value();
+    bedrock::Client bc{client};
+    auto handle = bc.makeServiceHandle("sim://server");
+
+    std::printf("# E2a: reconfiguration primitive latency (microseconds)\n");
+    std::printf("%-28s %12s %12s\n", "operation", "local_us", "remote_us");
+    struct Op {
+        const char* name;
+        std::function<Status()> local;
+        std::function<Status()> remote;
+    };
+    auto pool_cfg = json::Value::parse(R"({"name": "dyn_pool", "type": "fifo_wait"})").value();
+    auto pool_cfg2 = json::Value::parse(R"({"name": "dyn_pool2", "type": "fifo_wait"})").value();
+    auto es_cfg =
+        json::Value::parse(R"({"name": "dyn_es", "scheduler": {"pools": ["dyn_pool"]}})").value();
+    auto es_cfg2 =
+        json::Value::parse(R"({"name": "dyn_es2", "scheduler": {"pools": ["dyn_pool2"]}})")
+            .value();
+    auto prov = json::Value::parse(
+                    R"({"name": "dyn_kv", "type": "yokan", "provider_id": 77,
+                         "config": {"name": "dyn_db"}})")
+                    .value();
+    auto prov2 = prov;
+    prov2["name"] = "dyn_kv2";
+    prov2["provider_id"] = 78;
+
+    std::vector<Op> ops = {
+        {"add_pool",
+         [&] {
+             auto r = server->add_pool(pool_cfg);
+             return r ? Status{} : Status{r.error()};
+         },
+         [&] { return handle.addPool(pool_cfg2); }},
+        {"add_xstream", [&] { return server->add_xstream(es_cfg); },
+         [&] { return handle.addXstream(es_cfg2); }},
+        {"start_provider", [&] { return server->start_provider(prov); },
+         [&] { return handle.startProvider(prov2); }},
+        {"stop_provider", [&] { return server->stop_provider("dyn_kv"); },
+         [&] { return handle.stopProvider("dyn_kv2"); }},
+        {"remove_xstream", [&] { return server->remove_xstream("dyn_es"); },
+         [&] { return handle.removeXstream("dyn_es2"); }},
+        {"remove_pool", [&] { return server->remove_pool("dyn_pool"); },
+         [&] { return handle.removePool("dyn_pool2"); }},
+    };
+    for (auto& op : ops) {
+        double local = time_us(op.local, op.name);
+        double remote = time_us(op.remote, op.name);
+        std::printf("%-28s %12.1f %12.1f\n", op.name, local, remote);
+    }
+
+    // -- E2b: serving while reconfiguring --------------------------------------
+    std::printf("\n# E2b: client throughput while reconfiguring (50 ms buckets)\n");
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ops_done{0};
+    auto rt = client->runtime();
+    std::vector<abt::ThreadHandle> workers;
+    for (int u = 0; u < 4; ++u) {
+        workers.push_back(rt->post_thread(rt->primary_pool(), [&] {
+            yokan::Database db{client, "sim://server", 42};
+            int i = 0;
+            while (!stop.load()) {
+                if (db.put("k" + std::to_string(i++ % 512), "v").ok()) ++ops_done;
+            }
+        }));
+    }
+    constexpr int k_buckets = 30;
+    std::vector<std::uint64_t> buckets(k_buckets);
+    std::vector<std::string> events(k_buckets);
+    std::uint64_t prev = 0;
+    for (int b = 0; b < k_buckets; ++b) {
+        // Reconfigure mid-run at fixed buckets.
+        if (b == 8) {
+            (void)server->add_pool(pool_cfg);
+            (void)server->add_xstream(es_cfg);
+            events[b] = "<- add pool+ES";
+        }
+        if (b == 15) {
+            (void)handle.startProvider(prov);
+            events[b] = "<- start provider";
+        }
+        if (b == 22) {
+            (void)handle.stopProvider("dyn_kv");
+            (void)server->remove_xstream("dyn_es");
+            (void)server->remove_pool("dyn_pool");
+            events[b] = "<- stop provider, remove ES+pool";
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        std::uint64_t now = ops_done.load();
+        buckets[b] = now - prev;
+        prev = now;
+    }
+    stop.store(true);
+    for (auto& w : workers) w.join();
+    std::printf("%-8s %12s %s\n", "bucket", "ops/50ms", "event");
+    std::uint64_t min_bucket = buckets[2];
+    for (int b = 0; b < k_buckets; ++b) {
+        std::printf("%-8d %12llu %s\n", b, static_cast<unsigned long long>(buckets[b]),
+                    events[b].c_str());
+        if (b >= 2) min_bucket = std::min(min_bucket, buckets[b]); // skip warmup
+    }
+    double total = static_cast<double>(std::accumulate(buckets.begin() + 2, buckets.end(),
+                                                       std::uint64_t{0}));
+    std::printf("summary: min bucket %llu ops, mean %.0f ops -> service %s\n",
+                static_cast<unsigned long long>(min_bucket), total / (k_buckets - 2),
+                min_bucket > 0 ? "NEVER interrupted" : "INTERRUPTED");
+
+    client->shutdown();
+    server->shutdown();
+    return min_bucket > 0 ? 0 : 1;
+}

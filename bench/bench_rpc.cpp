@@ -1,0 +1,115 @@
+// F2/E1 substrate benchmark: RPC round-trip latency and throughput of the
+// Margo runtime over the simulated fabric, vs. payload size, handler-pool
+// concurrency, and bulk (RDMA) transfer size. Establishes the baseline the
+// other experiments build on.
+#include "margo/instance.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace mochi;
+
+namespace {
+
+struct RpcWorld {
+    std::shared_ptr<mercury::Fabric> fabric;
+    margo::InstancePtr server;
+    margo::InstancePtr client;
+
+    explicit RpcWorld(int server_es = 1) {
+        fabric = mercury::Fabric::create();
+        auto cfg = json::Value::object();
+        auto& abt = cfg["argobots"];
+        auto pool = json::Value::object();
+        pool["name"] = "p";
+        pool["type"] = "fifo_wait";
+        abt["pools"].push_back(pool);
+        for (int i = 0; i < server_es; ++i) {
+            auto es = json::Value::object();
+            es["name"] = "x" + std::to_string(i);
+            es["scheduler"]["pools"].push_back("p");
+            abt["xstreams"].push_back(es);
+        }
+        server = margo::Instance::create(fabric, "sim://server", cfg).value();
+        client = margo::Instance::create(fabric, "sim://client").value();
+        (void)server->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) {
+                                       req.respond(req.payload());
+                                   });
+    }
+    ~RpcWorld() {
+        client->shutdown();
+        server->shutdown();
+    }
+};
+
+void BM_EchoRoundTrip(benchmark::State& state) {
+    RpcWorld world;
+    std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+    for (auto _ : state) {
+        auto r = world.client->forward("sim://server", "echo", payload);
+        if (!r) state.SkipWithError("forward failed");
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EchoRoundTrip)->Arg(8)->Arg(256)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_EchoConcurrent(benchmark::State& state) {
+    // Throughput with N concurrent client ULTs; server handler ES count is
+    // the ablation knob (DESIGN.md decision 2: ULT-aware blocking keeps a
+    // single ES usable under concurrency).
+    int server_es = static_cast<int>(state.range(0));
+    int concurrency = static_cast<int>(state.range(1));
+    RpcWorld world{server_es};
+    std::string payload(64, 'x');
+    for (auto _ : state) {
+        auto rt = world.client->runtime();
+        std::vector<abt::ThreadHandle> handles;
+        constexpr int k_ops_per_ult = 50;
+        for (int u = 0; u < concurrency; ++u) {
+            handles.push_back(rt->post_thread(rt->primary_pool(), [&] {
+                for (int i = 0; i < k_ops_per_ult; ++i)
+                    (void)world.client->forward("sim://server", "echo", payload);
+            }));
+        }
+        for (auto& h : handles) h.join();
+        state.SetIterationTime(0); // default timing
+    }
+    state.counters["rpcs_per_iter"] = static_cast<double>(concurrency) * 50;
+}
+BENCHMARK(BM_EchoConcurrent)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({1, 32})
+    ->Args({2, 32});
+
+void BM_BulkPull(benchmark::State& state) {
+    RpcWorld world;
+    std::size_t size = static_cast<std::size_t>(state.range(0));
+    std::vector<char> remote(size, 'R');
+    auto handle = world.server->expose(remote.data(), remote.size(), false);
+    std::vector<char> local(size);
+    for (auto _ : state) {
+        auto st = world.client->bulk_pull(handle, 0, local.data(), size);
+        if (!st.ok()) state.SkipWithError("bulk failed");
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_BulkPull)->Arg(4096)->Arg(65536)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_RegisteredRpcLookup(benchmark::State& state) {
+    // Registration-table scaling: dispatch cost with many registered RPCs.
+    RpcWorld world;
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+        (void)world.server->register_rpc("filler/" + std::to_string(i), 7,
+                                         [](const margo::Request& req) { req.respond(""); });
+    std::string payload(8, 'x');
+    for (auto _ : state)
+        (void)world.client->forward("sim://server", "echo", payload);
+}
+BENCHMARK(BM_RegisteredRpcLookup)->Arg(1)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// HEPnOS-style dynamic workflow (the paper's §1 motivation): the NOvA
+// workflow "presents steps with vastly different I/O patterns", and "the
+// best configuration of the service for one step of the workflow is not
+// necessarily the best for other steps". Instead of a static compromise,
+// this example reconfigures the running service between steps — no restart,
+// no downtime — using Bedrock's online reconfiguration (§5).
+//
+// Step 1 (ingestion): many concurrent bulk writers -> give the Yokan
+//   provider several execution streams.
+// Step 2 (analysis): latency-sensitive small reads -> shrink back to one ES
+//   so the node's cores can go to the analysis itself, and keep serving.
+//
+//   $ ./examples/hepnos_workflow
+#include "bedrock/client.hpp"
+#include "bedrock/process.hpp"
+#include "remi/provider.hpp"
+#include "yokan/provider.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace mochi;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double run_step(const margo::InstancePtr& client, const char* step, bool writes,
+                int n_ults, int ops_per_ult) {
+    auto rt = client->runtime();
+    std::atomic<std::uint64_t> completed{0};
+    auto t0 = Clock::now();
+    std::vector<abt::ThreadHandle> handles;
+    for (int u = 0; u < n_ults; ++u) {
+        handles.push_back(rt->post_thread(rt->primary_pool(), [&, u] {
+            yokan::Database db{client, "sim://hepnos", 42};
+            for (int i = 0; i < ops_per_ult; ++i) {
+                std::string key = "event/" + std::to_string(u) + "/" + std::to_string(i);
+                if (writes) {
+                    if (db.put(key, std::string(256, 'e')).ok()) ++completed;
+                } else {
+                    if (db.get(key).has_value()) ++completed;
+                }
+            }
+        }));
+    }
+    for (auto& h : handles) h.join();
+    double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    double rate = static_cast<double>(completed.load()) / secs;
+    std::printf("  %-28s %8llu ops in %6.3f s -> %9.0f ops/s\n", step,
+                static_cast<unsigned long long>(completed.load()), secs, rate);
+    return rate;
+}
+
+} // namespace
+
+int main() {
+    yokan::register_module();
+    remi::register_module();
+    auto fabric = mercury::Fabric::create();
+
+    // Initial (ingestion-oriented) configuration: a dedicated pool for the
+    // HEPnOS database, served by one ES to start with.
+    auto config = json::Value::parse(R"({
+      "margo": {
+        "argobots": {
+          "pools": [{"name": "__primary__", "type": "fifo_wait"},
+                     {"name": "db_pool", "type": "fifo_wait"}],
+          "xstreams": [{"name": "__primary__", "scheduler": {"pools": ["__primary__"]}},
+                        {"name": "db_es0", "scheduler": {"pools": ["db_pool"]}}]
+        }
+      },
+      "libraries": {"yokan": "libyokan.so", "remi": "libremi.so"},
+      "providers": [
+        {"name": "remi", "type": "remi", "provider_id": 1},
+        {"name": "hepnos_db", "type": "yokan", "provider_id": 42,
+         "pool": "db_pool", "config": {"name": "events", "backend": "map"},
+         "dependencies": {"remi": "remi"}}
+      ]
+    })").value();
+    auto server = bedrock::Process::spawn(fabric, "sim://hepnos", config).value();
+
+    auto client_cfg = json::Value::parse(R"({
+      "argobots": {"pools": [{"name": "p", "type": "fifo_wait"}],
+                    "xstreams": [{"name": "x0", "scheduler": {"pools": ["p"]}},
+                                  {"name": "x1", "scheduler": {"pools": ["p"]}}]}
+    })").value();
+    auto client = margo::Instance::create(fabric, "sim://workflow", client_cfg).value();
+    bedrock::Client bc{client};
+    auto handle = bc.makeServiceHandle("sim://hepnos");
+
+    std::printf("== step 1: ingestion with the baseline configuration (1 ES)\n");
+    run_step(client, "write (1 ES)", /*writes=*/true, 8, 200);
+
+    std::printf("== online reconfiguration: add 3 execution streams to db_pool (§5)\n");
+    auto t0 = Clock::now();
+    for (int i = 1; i <= 3; ++i) {
+        auto es = json::Value::object();
+        es["name"] = "db_es" + std::to_string(i);
+        es["scheduler"]["pools"].push_back("db_pool");
+        auto st = handle.addXstream(es);
+        if (!st.ok()) {
+            std::fprintf(stderr, "addXstream failed: %s\n", st.error().message.c_str());
+            return 1;
+        }
+    }
+    std::printf("   reconfigured in %.1f us, service never stopped\n",
+                std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+
+    std::printf("== step 1 (rerun): ingestion with 4 ES\n");
+    run_step(client, "write (4 ES)", /*writes=*/true, 8, 200);
+
+    std::printf("== step 2: analysis phase wants the cores back; shrink to 1 ES\n");
+    t0 = Clock::now();
+    for (int i = 1; i <= 3; ++i)
+        (void)handle.removeXstream("db_es" + std::to_string(i));
+    std::printf("   reconfigured in %.1f us\n",
+                std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+    run_step(client, "read (1 ES)", /*writes=*/false, 4, 200);
+
+    // The monitoring data that would drive these decisions automatically
+    // (§4): per-RPC ULT durations and queue delays, per provider.
+    auto stats = server->margo_instance()->monitoring_json();
+    std::uint64_t put_id = margo::rpc_name_to_id("yokan/put");
+    std::string key = "65535:65535:" + std::to_string(put_id) + ":42";
+    if (stats["rpcs"].contains(key)) {
+        const auto& ult = stats["rpcs"][key]["target"]["received from sim://workflow"]["ult"];
+        std::printf("== monitoring: yokan/put handled %lld times, avg queue delay %.1f us, "
+                    "avg handler %.1f us\n",
+                    static_cast<long long>(ult["queue_delay"]["num"].as_integer()),
+                    ult["queue_delay"]["avg"].as_real(), ult["duration"]["avg"].as_real());
+    }
+
+    client->shutdown();
+    server->shutdown();
+    std::printf("== done\n");
+    return 0;
+}

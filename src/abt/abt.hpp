@@ -1,0 +1,9 @@
+// Umbrella header for the mochi::abt user-level threading runtime — the
+// Argobots substitute described in DESIGN.md §4 (substitutions table).
+#pragma once
+
+#include "abt/pool.hpp"
+#include "abt/runtime.hpp"
+#include "abt/sync.hpp"
+#include "abt/timer.hpp"
+#include "abt/ult.hpp"

@@ -1,0 +1,73 @@
+// Work pools: thread-safe queues of ready ULTs. Execution streams subscribe
+// to pools and are notified on push. Corresponds to Argobots pools as used
+// by Margo (Figure 2 of the paper; "fifo_wait" / "prio_wait" kinds of
+// Listing 2).
+#pragma once
+
+#include "abt/ult.hpp"
+#include "common/expected.hpp"
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mochi::abt {
+
+class Xstream;
+
+enum class PoolKind { Fifo, FifoWait, Prio };
+enum class PoolAccess { Mpmc, Mpsc, Spmc, Spsc };
+
+[[nodiscard]] Expected<PoolKind> pool_kind_from_string(std::string_view s);
+[[nodiscard]] const char* to_string(PoolKind k) noexcept;
+[[nodiscard]] Expected<PoolAccess> pool_access_from_string(std::string_view s);
+[[nodiscard]] const char* to_string(PoolAccess a) noexcept;
+
+/// A queue of runnable ULTs. All kinds are internally MPMC-safe; the access
+/// mode is retained for configuration fidelity (Listing 2) and validation.
+class Pool {
+  public:
+    Pool(std::string name, PoolKind kind, PoolAccess access);
+
+    [[nodiscard]] const std::string& name() const noexcept { return m_name; }
+    [[nodiscard]] PoolKind kind() const noexcept { return m_kind; }
+    [[nodiscard]] PoolAccess access() const noexcept { return m_access; }
+
+    /// Enqueue a ready ULT and wake one subscribed execution stream.
+    void push(UltPtr ult, int priority = 0);
+
+    /// Dequeue the next runnable ULT, or nullptr if empty.
+    [[nodiscard]] UltPtr pop();
+
+    /// Number of queued ULTs (the metric Margo's monitoring samples, §4).
+    [[nodiscard]] std::size_t size() const;
+
+    /// Total ULTs ever pushed (monotonic counter for monitoring).
+    [[nodiscard]] std::uint64_t total_pushed() const;
+
+    // Execution-stream subscription (managed by Xstream attach/detach).
+    void subscribe(Xstream* es);
+    void unsubscribe(Xstream* es);
+    [[nodiscard]] std::size_t subscriber_count() const;
+
+  private:
+    struct Item {
+        UltPtr ult;
+        int priority;
+        std::uint64_t seq;
+    };
+
+    std::string m_name;
+    PoolKind m_kind;
+    PoolAccess m_access;
+
+    mutable std::mutex m_mutex;
+    std::deque<Item> m_queue;     // FIFO kinds
+    std::vector<Item> m_heap;     // Prio kind (max-heap by priority, FIFO ties)
+    std::uint64_t m_seq = 0;
+    std::uint64_t m_total_pushed = 0;
+    std::vector<Xstream*> m_subscribers;
+};
+
+} // namespace mochi::abt

@@ -1,0 +1,520 @@
+#include "abt/runtime.hpp"
+#include "abt/sync.hpp"
+#include "common/logging.hpp"
+
+#include <cassert>
+
+namespace mochi::abt {
+
+// ---------------------------------------------------------------------------
+// ULT machinery: the fiber context switch and the suspend/resume protocol.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local Ult* tl_current_ult = nullptr;
+thread_local ucontext_t* tl_sched_ctx = nullptr;
+
+// Trampoline entered on a fresh fiber stack. Reads the ULT via the
+// thread-local, which the scheduler sets immediately before swapping in.
+void ult_trampoline() {
+    Ult* self = tl_current_ult;
+    self->fn();
+    self->fn = nullptr; // destroy captured state while the fiber is alive
+    self->state.store(UltState::Terminated);
+    swapcontext(&self->ctx, tl_sched_ctx);
+    // unreachable
+}
+
+} // namespace
+
+Ult* current_ult() noexcept { return tl_current_ult; }
+
+void yield() {
+    Ult* self = tl_current_ult;
+    if (self == nullptr) {
+        std::this_thread::yield();
+        return;
+    }
+    self->state.store(UltState::Yielding);
+    swapcontext(&self->ctx, tl_sched_ctx);
+}
+
+void suspend_current() {
+    Ult* self = tl_current_ult;
+    assert(self != nullptr && "suspend_current outside ULT context");
+    UltState expected = UltState::Running;
+    if (!self->state.compare_exchange_strong(expected, UltState::Blocking)) {
+        // resume() raced us and already arrived: consume it without switching.
+        assert(expected == UltState::ResumeRequested);
+        self->state.store(UltState::Running);
+        return;
+    }
+    swapcontext(&self->ctx, tl_sched_ctx);
+}
+
+void resume(Ult* ult) {
+    for (;;) {
+        UltState s = ult->state.load();
+        switch (s) {
+        case UltState::Blocked: {
+            UltState expected = UltState::Blocked;
+            if (ult->state.compare_exchange_strong(expected, UltState::Ready)) {
+                // The scheduler parked a self-reference before publishing
+                // the Blocked state; hand it back to the pool.
+                UltPtr keepalive = std::move(ult->self_keepalive);
+                assert(keepalive != nullptr);
+                Pool* pool = ult->home_pool;
+                pool->push(std::move(keepalive));
+                return;
+            }
+            break; // state changed under us; retry
+        }
+        case UltState::Running:
+        case UltState::Blocking: {
+            UltState expected = s;
+            if (ult->state.compare_exchange_strong(expected, UltState::ResumeRequested))
+                return; // suspend path / scheduler will requeue
+            break;
+        }
+        case UltState::ResumeRequested:
+            return; // already requested
+        default:
+            assert(false && "resume() on a ULT that is not suspending");
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Xstream: scheduler thread
+// ---------------------------------------------------------------------------
+
+Xstream::Xstream(std::string name, std::string sched_type,
+                 std::vector<std::shared_ptr<Pool>> pools, Runtime* rt)
+: m_name(std::move(name)), m_sched_type(std::move(sched_type)),
+  m_runtime(rt), m_pools(std::move(pools)) {
+    for (auto& p : m_pools) p->subscribe(this);
+    m_thread = std::thread([this] { scheduler_loop(); });
+}
+
+Xstream::~Xstream() { stop_and_join(); }
+
+std::vector<std::string> Xstream::pool_names() const {
+    std::lock_guard lk{m_pools_mutex};
+    std::vector<std::string> names;
+    names.reserve(m_pools.size());
+    for (const auto& p : m_pools) names.push_back(p->name());
+    return names;
+}
+
+bool Xstream::uses_pool(const Pool* pool) const {
+    std::lock_guard lk{m_pools_mutex};
+    for (const auto& p : m_pools)
+        if (p.get() == pool) return true;
+    return false;
+}
+
+void Xstream::notify() {
+    {
+        std::lock_guard lk{m_cv_mutex};
+        m_wake_pending = true;
+    }
+    m_cv.notify_one();
+}
+
+void Xstream::stop_and_join() {
+    m_stop.store(true);
+    notify();
+    if (m_thread.joinable()) {
+        assert(std::this_thread::get_id() != m_thread.get_id() &&
+               "an execution stream cannot join itself");
+        m_thread.join();
+    }
+    std::lock_guard lk{m_pools_mutex};
+    for (auto& p : m_pools) p->unsubscribe(this);
+    m_pools.clear();
+}
+
+void Xstream::scheduler_loop() {
+    using namespace std::chrono_literals;
+    while (!m_stop.load()) {
+        UltPtr ult;
+        {
+            std::lock_guard lk{m_pools_mutex};
+            for (auto& p : m_pools) {
+                ult = p->pop();
+                if (ult) break;
+            }
+        }
+        if (ult) {
+            run_one(ult);
+            m_executed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        std::unique_lock lk{m_cv_mutex};
+        // Timed wait bounds the latency of observing a stop request or a
+        // pool attached after the emptiness check above.
+        m_cv.wait_for(lk, 500us, [&] { return m_wake_pending || m_stop.load(); });
+        m_wake_pending = false;
+    }
+}
+
+void Xstream::run_one(const UltPtr& ult) {
+    Ult* u = ult.get();
+    if (u->stack == nullptr) {
+        u->stack_size = Runtime::k_default_stack_size;
+        u->stack = m_runtime->acquire_stack(u->stack_size);
+        getcontext(&u->ctx);
+        u->ctx.uc_stack.ss_sp = u->stack;
+        u->ctx.uc_stack.ss_size = u->stack_size;
+        u->ctx.uc_link = nullptr;
+        makecontext(&u->ctx, ult_trampoline, 0);
+    }
+    ucontext_t sched_ctx;
+    tl_sched_ctx = &sched_ctx;
+    tl_current_ult = u;
+    u->state.store(UltState::Running);
+    swapcontext(&sched_ctx, &u->ctx);
+    tl_current_ult = nullptr;
+
+    switch (u->state.load()) {
+    case UltState::Terminated: {
+        m_runtime->release_stack(u->stack, u->stack_size);
+        u->stack = nullptr;
+        u->done.store(true);
+        if (u->on_terminate) {
+            auto fn = std::move(u->on_terminate);
+            u->on_terminate = nullptr;
+            fn();
+        }
+        break;
+    }
+    case UltState::Yielding:
+        u->state.store(UltState::Ready);
+        u->home_pool->push(ult);
+        break;
+    case UltState::Blocking: {
+        // Park a self-reference so the ULT survives while blocked, then
+        // publish the Blocked state. If resume() raced us, requeue.
+        u->self_keepalive = ult;
+        UltState expected = UltState::Blocking;
+        if (!u->state.compare_exchange_strong(expected, UltState::Blocked)) {
+            assert(expected == UltState::ResumeRequested);
+            u->self_keepalive.reset();
+            u->state.store(UltState::Ready);
+            u->home_pool->push(ult);
+        }
+        break;
+    }
+    case UltState::ResumeRequested:
+        // resume() arrived between the ULT's state store and our inspection;
+        // treat as a completed suspend/resume pair and requeue.
+        u->self_keepalive.reset();
+        u->state.store(UltState::Ready);
+        u->home_pool->push(ult);
+        break;
+    default:
+        assert(false && "unexpected ULT state after context switch");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadHandle
+// ---------------------------------------------------------------------------
+
+void ThreadHandle::join() {
+    if (!m_ult) return;
+    if (m_event) m_event->wait();
+    m_ult.reset();
+    m_event.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Expected<std::shared_ptr<Runtime>> Runtime::create(const json::Value& config) {
+    auto rt = std::shared_ptr<Runtime>(new Runtime());
+    rt->m_timer = std::make_unique<Timer>();
+    if (auto st = rt->apply_config(config); !st.ok()) {
+        rt->finalize();
+        return st.error();
+    }
+    return rt;
+}
+
+std::shared_ptr<Runtime> Runtime::create_default() {
+    auto result = create(json::Value{});
+    assert(result.has_value());
+    return std::move(result).value();
+}
+
+Runtime::~Runtime() { finalize(); }
+
+Status Runtime::apply_config(const json::Value& config) {
+    json::Value cfg = config;
+    if (cfg.is_null()) cfg = json::Value::object();
+    if (!cfg.is_object())
+        return Error{Error::Code::InvalidArgument, "argobots config must be an object"};
+    if (!cfg.contains("pools")) {
+        auto pool = json::Value::object();
+        pool["name"] = "__primary__";
+        pool["type"] = "fifo_wait";
+        pool["access"] = "mpmc";
+        cfg["pools"].push_back(pool);
+    }
+    if (!cfg.contains("xstreams")) {
+        auto es = json::Value::object();
+        es["name"] = "__primary__";
+        es["scheduler"]["type"] = "basic_wait";
+        es["scheduler"]["pools"].push_back(cfg["pools"][std::size_t{0}].get_string("name"));
+        cfg["xstreams"].push_back(es);
+    }
+    std::lock_guard lk{m_mutex};
+    for (const auto& p : cfg["pools"].as_array()) {
+        if (auto r = add_pool_locked(p); !r) return r.error();
+    }
+    for (const auto& x : cfg["xstreams"].as_array()) {
+        if (auto st = add_xstream_locked(x); !st.ok()) return st;
+    }
+    if (m_xstreams.empty())
+        return Error{Error::Code::InvalidArgument, "configuration has no execution stream"};
+    return {};
+}
+
+Expected<std::shared_ptr<Pool>> Runtime::find_pool(std::string_view name) const {
+    std::lock_guard lk{m_mutex};
+    for (const auto& p : m_pools)
+        if (p->name() == name) return p;
+    return Error{Error::Code::NotFound, "no pool named '" + std::string(name) + "'"};
+}
+
+std::vector<std::string> Runtime::pool_names() const {
+    std::lock_guard lk{m_mutex};
+    std::vector<std::string> names;
+    names.reserve(m_pools.size());
+    for (const auto& p : m_pools) names.push_back(p->name());
+    return names;
+}
+
+std::vector<std::string> Runtime::xstream_names() const {
+    std::lock_guard lk{m_mutex};
+    std::vector<std::string> names;
+    names.reserve(m_xstreams.size());
+    for (const auto& x : m_xstreams) names.push_back(x->name());
+    return names;
+}
+
+std::size_t Runtime::num_pools() const {
+    std::lock_guard lk{m_mutex};
+    return m_pools.size();
+}
+
+std::size_t Runtime::num_xstreams() const {
+    std::lock_guard lk{m_mutex};
+    return m_xstreams.size();
+}
+
+json::Value Runtime::config() const {
+    std::lock_guard lk{m_mutex};
+    auto cfg = json::Value::object();
+    cfg["pools"] = json::Value::array();
+    for (const auto& p : m_pools) {
+        auto pj = json::Value::object();
+        pj["name"] = p->name();
+        pj["type"] = to_string(p->kind());
+        pj["access"] = to_string(p->access());
+        cfg["pools"].push_back(std::move(pj));
+    }
+    cfg["xstreams"] = json::Value::array();
+    for (const auto& x : m_xstreams) {
+        auto xj = json::Value::object();
+        xj["name"] = x->name();
+        xj["scheduler"]["type"] = x->scheduler_type();
+        auto pools = json::Value::array();
+        for (const auto& pn : x->pool_names()) pools.push_back(pn);
+        xj["scheduler"]["pools"] = std::move(pools);
+        cfg["xstreams"].push_back(std::move(xj));
+    }
+    return cfg;
+}
+
+Expected<std::shared_ptr<Pool>> Runtime::add_pool_locked(const json::Value& pool_config) {
+    if (!pool_config.is_object())
+        return Error{Error::Code::InvalidArgument, "pool config must be an object"};
+    std::string name = pool_config.get_string("name");
+    if (name.empty())
+        return Error{Error::Code::InvalidArgument, "pool config requires a name"};
+    for (const auto& p : m_pools)
+        if (p->name() == name)
+            return Error{Error::Code::AlreadyExists, "a pool named '" + name + "' already exists"};
+    std::string kind_str = pool_config.get_string("type", pool_config.get_string("kind", "fifo_wait"));
+    auto kind = pool_kind_from_string(kind_str);
+    if (!kind) return kind.error();
+    auto access = pool_access_from_string(pool_config.get_string("access", "mpmc"));
+    if (!access) return access.error();
+    auto pool = std::make_shared<Pool>(name, *kind, *access);
+    m_pools.push_back(pool);
+    return pool;
+}
+
+Expected<std::shared_ptr<Pool>> Runtime::add_pool(const json::Value& pool_config) {
+    std::lock_guard lk{m_mutex};
+    return add_pool_locked(pool_config);
+}
+
+Status Runtime::remove_pool(std::string_view name) {
+    std::lock_guard lk{m_mutex};
+    auto it = std::find_if(m_pools.begin(), m_pools.end(),
+                           [&](const auto& p) { return p->name() == name; });
+    if (it == m_pools.end())
+        return Error{Error::Code::NotFound, "no pool named '" + std::string(name) + "'"};
+    for (const auto& x : m_xstreams) {
+        if (x->uses_pool(it->get()))
+            return Error{Error::Code::InvalidState,
+                         "pool '" + std::string(name) + "' is in use by xstream '" + x->name() + "'"};
+    }
+    if ((*it)->size() != 0)
+        return Error{Error::Code::InvalidState,
+                     "pool '" + std::string(name) + "' still has queued work"};
+    m_pools.erase(it);
+    return {};
+}
+
+Status Runtime::add_xstream_locked(const json::Value& xstream_config) {
+    if (!xstream_config.is_object())
+        return Error{Error::Code::InvalidArgument, "xstream config must be an object"};
+    std::string name = xstream_config.get_string("name");
+    if (name.empty())
+        return Error{Error::Code::InvalidArgument, "xstream config requires a name"};
+    for (const auto& x : m_xstreams)
+        if (x->name() == name)
+            return Error{Error::Code::AlreadyExists,
+                         "an xstream named '" + name + "' already exists"};
+    const json::Value& sched = xstream_config["scheduler"];
+    std::string sched_type = sched.get_string("type", "basic_wait");
+    if (sched_type != "basic" && sched_type != "basic_wait")
+        return Error{Error::Code::InvalidArgument, "unknown scheduler type: " + sched_type};
+    std::vector<std::shared_ptr<Pool>> pools;
+    if (!sched["pools"].is_array() || sched["pools"].size() == 0)
+        return Error{Error::Code::InvalidArgument,
+                     "xstream '" + name + "' needs at least one pool"};
+    for (const auto& pn : sched["pools"].as_array()) {
+        if (!pn.is_string())
+            return Error{Error::Code::InvalidArgument, "scheduler pools must be names"};
+        auto found = std::find_if(m_pools.begin(), m_pools.end(),
+                                  [&](const auto& p) { return p->name() == pn.as_string(); });
+        if (found == m_pools.end())
+            return Error{Error::Code::NotFound,
+                         "xstream '" + name + "' references unknown pool '" + pn.as_string() + "'"};
+        pools.push_back(*found);
+    }
+    m_xstreams.push_back(std::make_unique<Xstream>(name, sched_type, std::move(pools), this));
+    return {};
+}
+
+Status Runtime::add_xstream(const json::Value& xstream_config) {
+    std::lock_guard lk{m_mutex};
+    return add_xstream_locked(xstream_config);
+}
+
+Status Runtime::remove_xstream(std::string_view name) {
+    std::unique_ptr<Xstream> victim;
+    {
+        std::lock_guard lk{m_mutex};
+        auto it = std::find_if(m_xstreams.begin(), m_xstreams.end(),
+                               [&](const auto& x) { return x->name() == name; });
+        if (it == m_xstreams.end())
+            return Error{Error::Code::NotFound, "no xstream named '" + std::string(name) + "'"};
+        // Note: removing an xstream may leave pools without a consumer; their
+        // queued ULTs simply wait until another xstream is attached (tested
+        // in AbtRuntime.OrphanedPoolResumesWhenXstreamAdded). The validity
+        // rule the paper states (§5) is on the pool side: a pool *in use by
+        // an ES* cannot be removed, which remove_pool enforces.
+        victim = std::move(*it);
+        m_xstreams.erase(it);
+    }
+    victim->stop_and_join(); // outside the lock: running ULTs may call into us
+    return {};
+}
+
+void Runtime::post(const std::shared_ptr<Pool>& pool, std::function<void()> fn) {
+    auto ult = std::make_shared<Ult>();
+    ult->fn = std::move(fn);
+    ult->home_pool = pool.get();
+    ult->runtime = this;
+    ult->state.store(UltState::Ready);
+    pool->push(std::move(ult));
+}
+
+ThreadHandle Runtime::post_thread(const std::shared_ptr<Pool>& pool, std::function<void()> fn) {
+    auto ult = std::make_shared<Ult>();
+    auto event = std::make_shared<Eventual<void>>();
+    ult->fn = std::move(fn);
+    ult->home_pool = pool.get();
+    ult->runtime = this;
+    ult->on_terminate = [event] { event->set(); };
+    ult->state.store(UltState::Ready);
+    ThreadHandle handle{ult, event};
+    pool->push(std::move(ult));
+    return handle;
+}
+
+std::shared_ptr<Pool> Runtime::primary_pool() const {
+    std::lock_guard lk{m_mutex};
+    assert(!m_pools.empty());
+    return m_pools.front();
+}
+
+void Runtime::sleep_for(std::chrono::microseconds d) {
+    if (!in_ult()) {
+        std::this_thread::sleep_for(d);
+        return;
+    }
+    Eventual<void> ev;
+    m_timer->schedule(d, [&ev] { ev.set(); });
+    ev.wait();
+}
+
+void Runtime::finalize() {
+    std::vector<std::unique_ptr<Xstream>> xstreams;
+    {
+        std::lock_guard lk{m_mutex};
+        if (m_finalized) return;
+        m_finalized = true;
+        xstreams = std::move(m_xstreams);
+        m_xstreams.clear();
+    }
+    for (auto& x : xstreams) x->stop_and_join();
+    if (m_timer) m_timer->stop();
+    std::lock_guard slk{m_stack_mutex};
+    for (char* s : m_free_stacks) delete[] s;
+    m_free_stacks.clear();
+}
+
+char* Runtime::acquire_stack(std::size_t size) {
+    if (size == k_default_stack_size) {
+        std::lock_guard lk{m_stack_mutex};
+        if (!m_free_stacks.empty()) {
+            char* s = m_free_stacks.back();
+            m_free_stacks.pop_back();
+            return s;
+        }
+    }
+    return new char[size];
+}
+
+void Runtime::release_stack(char* stack, std::size_t size) {
+    constexpr std::size_t k_max_cached = 64;
+    if (size == k_default_stack_size) {
+        std::lock_guard lk{m_stack_mutex};
+        if (m_free_stacks.size() < k_max_cached) {
+            m_free_stacks.push_back(stack);
+            return;
+        }
+    }
+    delete[] stack;
+}
+
+} // namespace mochi::abt

@@ -1,0 +1,163 @@
+// The ULT runtime: pools + execution streams + timer, dynamically
+// reconfigurable at run time (the "more dynamic run time" of §5 of the
+// paper). Margo builds directly on this; each simulated service process owns
+// one Runtime.
+#pragma once
+
+#include "abt/pool.hpp"
+#include "abt/timer.hpp"
+#include "abt/ult.hpp"
+#include "common/expected.hpp"
+#include "common/json.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mochi::abt {
+
+class Runtime;
+template <typename T> class Eventual;
+
+/// An execution stream: an OS thread running a scheduler that pulls ULTs
+/// from an ordered list of pools (Argobots "xstream", Figure 2).
+class Xstream {
+  public:
+    Xstream(std::string name, std::string sched_type,
+            std::vector<std::shared_ptr<Pool>> pools, Runtime* rt);
+    ~Xstream();
+
+    Xstream(const Xstream&) = delete;
+    Xstream& operator=(const Xstream&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return m_name; }
+    [[nodiscard]] const std::string& scheduler_type() const noexcept { return m_sched_type; }
+    [[nodiscard]] std::vector<std::string> pool_names() const;
+    [[nodiscard]] bool uses_pool(const Pool* p) const;
+
+    /// Wake the scheduler (called by pools on push).
+    void notify();
+
+    /// Ask the scheduler to exit after the current ULT and join the thread.
+    void stop_and_join();
+
+    /// ULTs executed by this stream so far.
+    [[nodiscard]] std::uint64_t ults_executed() const noexcept { return m_executed.load(); }
+
+  private:
+    void scheduler_loop();
+    void run_one(const UltPtr& ult);
+
+    std::string m_name;
+    std::string m_sched_type;
+    Runtime* m_runtime;
+
+    mutable std::mutex m_pools_mutex;
+    std::vector<std::shared_ptr<Pool>> m_pools;
+
+    std::mutex m_cv_mutex;
+    std::condition_variable m_cv;
+    bool m_wake_pending = false;
+    std::atomic<bool> m_stop{false};
+    std::atomic<std::uint64_t> m_executed{0};
+    std::thread m_thread;
+};
+
+/// Handle to a posted ULT; join() blocks (ULT-aware) until it terminates.
+class ThreadHandle {
+  public:
+    ThreadHandle() = default;
+    ThreadHandle(UltPtr ult, std::shared_ptr<Eventual<void>> event)
+    : m_ult(std::move(ult)), m_event(std::move(event)) {}
+
+    [[nodiscard]] bool valid() const noexcept { return m_ult != nullptr; }
+    void join();
+
+  private:
+    UltPtr m_ult;
+    std::shared_ptr<Eventual<void>> m_event;
+};
+
+/// Owns the pools, execution streams, stack pool and timer of one process.
+///
+/// Created from a JSON configuration matching the paper's Listing 2:
+///   { "pools": [ {"name": "...", "kind": "fifo_wait", "access": "mpmc"} ],
+///     "xstreams": [ {"name": "...", "scheduler":
+///                     {"type": "basic", "pools": ["..."]}} ] }
+/// and reconfigurable afterwards with add/remove operations whose validity
+/// is always checked (§5 Observation 2).
+class Runtime : public std::enable_shared_from_this<Runtime> {
+  public:
+    static Expected<std::shared_ptr<Runtime>> create(const json::Value& config);
+    static std::shared_ptr<Runtime> create_default();
+
+    ~Runtime();
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    // -- introspection -------------------------------------------------------
+
+    [[nodiscard]] Expected<std::shared_ptr<Pool>> find_pool(std::string_view name) const;
+    [[nodiscard]] std::vector<std::string> pool_names() const;
+    [[nodiscard]] std::vector<std::string> xstream_names() const;
+    [[nodiscard]] std::size_t num_pools() const;
+    [[nodiscard]] std::size_t num_xstreams() const;
+
+    /// Current configuration as JSON (round-trips through create()).
+    [[nodiscard]] json::Value config() const;
+
+    // -- online reconfiguration (§5) -----------------------------------------
+
+    Expected<std::shared_ptr<Pool>> add_pool(const json::Value& pool_config);
+    Status remove_pool(std::string_view name);
+    Status add_xstream(const json::Value& xstream_config);
+    Status remove_xstream(std::string_view name);
+
+    // -- work submission -----------------------------------------------------
+
+    /// Post a ULT to a pool; fire-and-forget.
+    void post(const std::shared_ptr<Pool>& pool, std::function<void()> fn);
+
+    /// Post a ULT and get a joinable handle.
+    ThreadHandle post_thread(const std::shared_ptr<Pool>& pool, std::function<void()> fn);
+
+    /// The default pool (first pool of the configuration).
+    [[nodiscard]] std::shared_ptr<Pool> primary_pool() const;
+
+    Timer& timer() noexcept { return *m_timer; }
+
+    /// Sleep the calling ULT (or OS thread) for `d`.
+    void sleep_for(std::chrono::microseconds d);
+
+    /// Stop all execution streams and the timer. Posted-but-unscheduled ULTs
+    /// are dropped. Idempotent.
+    void finalize();
+
+    // Internal: stack recycling for ULT fibers.
+    char* acquire_stack(std::size_t size);
+    void release_stack(char* stack, std::size_t size);
+
+    static constexpr std::size_t k_default_stack_size = 128 * 1024;
+
+  private:
+    Runtime() = default;
+    Status apply_config(const json::Value& config);
+    Status add_xstream_locked(const json::Value& xstream_config);
+    Expected<std::shared_ptr<Pool>> add_pool_locked(const json::Value& pool_config);
+
+    mutable std::mutex m_mutex;
+    // Ordered by insertion so config() round-trips deterministically.
+    std::vector<std::shared_ptr<Pool>> m_pools;
+    std::vector<std::unique_ptr<Xstream>> m_xstreams;
+    std::unique_ptr<Timer> m_timer;
+    bool m_finalized = false;
+
+    std::mutex m_stack_mutex;
+    std::vector<char*> m_free_stacks; // all of k_default_stack_size
+};
+
+} // namespace mochi::abt

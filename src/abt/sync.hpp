@@ -1,0 +1,248 @@
+// ULT-aware synchronization primitives. Every primitive supports *mixed*
+// waiters: a ULT blocks by suspending its fiber (freeing the execution
+// stream to run other work — the property that makes Margo handlers cheap),
+// while a plain OS thread blocks on a condition variable. This mirrors
+// Argobots/Margo semantics where e.g. margo_wait() may be called both from
+// handler ULTs and from the application's main thread.
+#pragma once
+
+#include "abt/runtime.hpp"
+#include "abt/timer.hpp"
+#include "abt/ult.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace mochi::abt {
+
+namespace detail {
+
+/// One parked waiter. Lives on the waiter's stack; the contract is that a
+/// node is only touched (a) under the owning primitive's lock while it is
+/// still linked, or (b) by the waiter itself after being woken.
+struct WaitNode {
+    Ult* ult = nullptr;               ///< nullptr => external-thread waiter
+    std::atomic<bool> signaled{false};
+    bool timed_out = false;
+};
+
+/// Wake a single node: marks it signaled, then resumes the fiber or pokes
+/// the external-thread condvar. Call *without* holding the primitive lock.
+inline void wake_node(WaitNode* node, std::condition_variable& cv) {
+    Ult* u = node->ult;
+    node->signaled.store(true, std::memory_order_release);
+    if (u != nullptr) {
+        resume(u);
+    } else {
+        cv.notify_all();
+    }
+}
+
+} // namespace detail
+
+/// Eventual<T>: a one-shot value future (Argobots "eventual"). set_value()
+/// may be called from any thread; wait() from ULTs or external threads.
+template <typename T>
+class Eventual {
+  public:
+    void set_value(T value) {
+        std::unique_lock lk{m_mutex};
+        if (m_ready) return; // one-shot; extra sets ignored
+        m_value.emplace(std::move(value));
+        complete(std::move(lk));
+    }
+
+    [[nodiscard]] bool test() const {
+        std::lock_guard lk{m_mutex};
+        return m_ready;
+    }
+
+    /// Block until set; returns a reference to the stored value.
+    const T& wait() {
+        wait_impl();
+        return *m_value;
+    }
+
+    /// Block up to `timeout`; returns the value if set in time.
+    std::optional<T> wait_for(std::chrono::microseconds timeout) {
+        if (!wait_for_impl(timeout)) return std::nullopt;
+        std::lock_guard lk{m_mutex};
+        return m_value;
+    }
+
+  private:
+    void complete(std::unique_lock<std::mutex> lk) {
+        m_ready = true;
+        auto waiters = std::move(m_waiters);
+        m_waiters.clear();
+        lk.unlock();
+        // External-thread wait_for() blocks on m_cv with an m_ready predicate
+        // without enqueuing a node, so always notify.
+        m_cv.notify_all();
+        for (auto* node : waiters) detail::wake_node(node, m_cv);
+    }
+
+    void wait_impl() {
+        std::unique_lock lk{m_mutex};
+        if (m_ready) return;
+        detail::WaitNode node;
+        node.ult = current_ult();
+        if (node.ult == nullptr) {
+            m_waiters.push_back(&node);
+            m_cv.wait(lk, [&] { return node.signaled.load(std::memory_order_acquire); });
+            return;
+        }
+        m_waiters.push_back(&node);
+        lk.unlock();
+        suspend_current();
+    }
+
+    bool wait_for_impl(std::chrono::microseconds timeout) {
+        std::unique_lock lk{m_mutex};
+        if (m_ready) return true;
+        detail::WaitNode node;
+        node.ult = current_ult();
+        if (node.ult == nullptr) {
+            return m_cv.wait_for(lk, timeout, [&] { return m_ready; });
+        }
+        m_waiters.push_back(&node);
+        Timer& timer = node.ult->runtime->timer();
+        auto tid = timer.schedule(timeout, [this, &node] {
+            std::unique_lock lk2{m_mutex};
+            auto it = std::find(m_waiters.begin(), m_waiters.end(), &node);
+            if (it == m_waiters.end()) return; // already woken by set_value
+            m_waiters.erase(it);
+            node.timed_out = true;
+            Ult* u = node.ult;
+            lk2.unlock();
+            resume(u);
+        });
+        lk.unlock();
+        suspend_current();
+        timer.cancel(tid); // blocks if the callback is mid-flight
+        return !node.timed_out;
+    }
+
+    mutable std::mutex m_mutex;
+    std::condition_variable m_cv;
+    bool m_ready = false;
+    std::optional<T> m_value;
+    std::deque<detail::WaitNode*> m_waiters;
+};
+
+/// Eventual<void>: a one-shot event.
+template <>
+class Eventual<void> {
+  public:
+    void set() {
+        std::unique_lock lk{m_mutex};
+        if (m_ready) return;
+        m_ready = true;
+        auto waiters = std::move(m_waiters);
+        m_waiters.clear();
+        lk.unlock();
+        m_cv.notify_all(); // see Eventual<T>::complete
+        for (auto* node : waiters) detail::wake_node(node, m_cv);
+    }
+
+    [[nodiscard]] bool test() const {
+        std::lock_guard lk{m_mutex};
+        return m_ready;
+    }
+
+    void wait() {
+        std::unique_lock lk{m_mutex};
+        if (m_ready) return;
+        detail::WaitNode node;
+        node.ult = current_ult();
+        if (node.ult == nullptr) {
+            m_waiters.push_back(&node);
+            m_cv.wait(lk, [&] { return node.signaled.load(std::memory_order_acquire); });
+            return;
+        }
+        m_waiters.push_back(&node);
+        lk.unlock();
+        suspend_current();
+    }
+
+    bool wait_for(std::chrono::microseconds timeout) {
+        std::unique_lock lk{m_mutex};
+        if (m_ready) return true;
+        detail::WaitNode node;
+        node.ult = current_ult();
+        if (node.ult == nullptr) {
+            return m_cv.wait_for(lk, timeout, [&] { return m_ready; });
+        }
+        m_waiters.push_back(&node);
+        Timer& timer = node.ult->runtime->timer();
+        auto tid = timer.schedule(timeout, [this, &node] {
+            std::unique_lock lk2{m_mutex};
+            auto it = std::find(m_waiters.begin(), m_waiters.end(), &node);
+            if (it == m_waiters.end()) return;
+            m_waiters.erase(it);
+            node.timed_out = true;
+            Ult* u = node.ult;
+            lk2.unlock();
+            resume(u);
+        });
+        lk.unlock();
+        suspend_current();
+        timer.cancel(tid);
+        return !node.timed_out;
+    }
+
+  private:
+    mutable std::mutex m_mutex;
+    std::condition_variable m_cv;
+    bool m_ready = false;
+    std::deque<detail::WaitNode*> m_waiters;
+};
+
+/// ULT-aware mutex with FIFO handoff (no barging, so ULT waiters cannot be
+/// starved by external threads). Satisfies Lockable.
+class Mutex {
+  public:
+    void lock();
+    bool try_lock();
+    void unlock();
+
+  private:
+    std::mutex m_mutex;
+    std::condition_variable m_cv;
+    bool m_locked = false;
+    std::deque<detail::WaitNode*> m_waiters;
+};
+
+/// ULT-aware condition variable paired with abt::Mutex.
+class CondVar {
+  public:
+    void wait(Mutex& mtx);
+    /// Returns false on timeout. Only callable from ULT or external thread.
+    bool wait_for(Mutex& mtx, std::chrono::microseconds timeout);
+    void signal_one();
+    void signal_all();
+
+  private:
+    std::mutex m_mutex;
+    std::condition_variable m_cv;
+    std::deque<detail::WaitNode*> m_waiters;
+};
+
+/// Cyclic barrier for a fixed number of participants.
+class Barrier {
+  public:
+    explicit Barrier(std::size_t count) : m_expected(count) {}
+    void wait();
+
+  private:
+    Mutex m_mutex;
+    CondVar m_cv;
+    std::size_t m_expected;
+    std::size_t m_arrived = 0;
+    std::uint64_t m_generation = 0;
+};
+
+} // namespace mochi::abt

@@ -1,0 +1,66 @@
+#include "abt/timer.hpp"
+
+namespace mochi::abt {
+
+Timer::Timer() : m_thread([this] { loop(); }) {}
+
+Timer::~Timer() { stop(); }
+
+Timer::TimerId Timer::schedule(std::chrono::microseconds delay, std::function<void()> fn) {
+    std::lock_guard lk{m_mutex};
+    TimerId id = m_next_id++;
+    m_entries.emplace(Clock::now() + delay, std::make_pair(id, std::move(fn)));
+    m_cv.notify_one();
+    return id;
+}
+
+bool Timer::cancel(TimerId id) {
+    std::unique_lock lk{m_mutex};
+    for (auto it = m_entries.begin(); it != m_entries.end(); ++it) {
+        if (it->second.first == id) {
+            m_entries.erase(it);
+            return true;
+        }
+    }
+    // Not pending: either already done, or running right now. Wait out a
+    // running callback so the caller may free state the callback captures.
+    m_cv.wait(lk, [&] { return m_running_id != id; });
+    return false;
+}
+
+void Timer::stop() {
+    {
+        std::lock_guard lk{m_mutex};
+        if (m_stop) return;
+        m_stop = true;
+        m_entries.clear();
+        m_cv.notify_all();
+    }
+    if (m_thread.joinable()) m_thread.join();
+}
+
+void Timer::loop() {
+    std::unique_lock lk{m_mutex};
+    while (!m_stop) {
+        if (m_entries.empty()) {
+            m_cv.wait(lk, [&] { return m_stop || !m_entries.empty(); });
+            continue;
+        }
+        auto it = m_entries.begin();
+        auto now = Clock::now();
+        if (it->first > now) {
+            m_cv.wait_until(lk, it->first);
+            continue; // re-evaluate: earlier entries / stop may have arrived
+        }
+        auto [id, fn] = std::move(it->second);
+        m_entries.erase(it);
+        m_running_id = id;
+        lk.unlock();
+        fn();
+        lk.lock();
+        m_running_id = 0;
+        m_cv.notify_all(); // unblock cancel() waiting on this callback
+    }
+}
+
+} // namespace mochi::abt

@@ -1,0 +1,50 @@
+// A shared timer thread: schedules callbacks at deadlines. Used for ULT
+// sleeps, Eventual timeouts, Margo's periodic monitoring sampler (§4), SWIM
+// protocol periods (§7) and RAFT election timeouts.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace mochi::abt {
+
+class Timer {
+  public:
+    using Clock = std::chrono::steady_clock;
+    using TimerId = std::uint64_t;
+
+    Timer();
+    ~Timer();
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+    /// Run `fn` once after `delay`. The callback executes on the timer
+    /// thread and must be short and non-blocking (typically: resume a ULT).
+    TimerId schedule(std::chrono::microseconds delay, std::function<void()> fn);
+
+    /// Cancel a pending timer. Returns true if the callback was prevented
+    /// from running. If the callback is currently executing, blocks until it
+    /// finishes so that captured state can be destroyed safely afterwards.
+    bool cancel(TimerId id);
+
+    /// Stop the timer thread; pending callbacks are dropped.
+    void stop();
+
+  private:
+    void loop();
+
+    std::mutex m_mutex;
+    std::condition_variable m_cv;
+    std::multimap<Clock::time_point, std::pair<TimerId, std::function<void()>>> m_entries;
+    TimerId m_next_id = 1;
+    TimerId m_running_id = 0; ///< id of the callback currently executing
+    bool m_stop = false;
+    std::thread m_thread;
+};
+
+} // namespace mochi::abt

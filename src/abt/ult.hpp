@@ -1,0 +1,82 @@
+// Internal user-level-thread (ULT) descriptor and the low-level
+// suspend/resume protocol shared by the scheduler and the synchronization
+// primitives. Mirrors Argobots' execution model: ULTs are cooperatively
+// scheduled fibers pulled from pools by execution streams (OS threads).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+namespace mochi::abt {
+
+class Pool;
+class Runtime;
+
+/// ULT lifecycle states. Transitions:
+///   Created -> Running (first schedule)
+///   Running -> Yielding -> Ready (cooperative yield)
+///   Running -> Blocking -> Blocked -> Ready (suspend + resume)
+///   Running -> Blocking -> ResumeRequested -> Ready (resume raced suspend)
+///   Running -> Terminated
+enum class UltState : int {
+    Created,
+    Ready,
+    Running,
+    Yielding,
+    Blocking,
+    Blocked,
+    ResumeRequested,
+    Terminated,
+};
+
+struct Ult {
+    std::function<void()> fn;
+    std::atomic<UltState> state{UltState::Created};
+    ucontext_t ctx{};
+    char* stack = nullptr;
+    std::size_t stack_size = 0;
+    Pool* home_pool = nullptr;   ///< pool the ULT returns to when runnable
+    Runtime* runtime = nullptr;
+    // Join support: filled by the scheduler on termination.
+    std::atomic<bool> done{false};
+    std::function<void()> on_terminate; ///< runs on the scheduler, after exit
+    /// Self-reference parked by the scheduler while the ULT is Blocked so it
+    /// stays alive until resume() pushes it back to a pool.
+    std::shared_ptr<Ult> self_keepalive;
+    /// Opaque per-ULT slot for upper layers. Margo stores the current RPC
+    /// context here so nested forwards carry parent RPC/provider ids
+    /// (Listing 1's fine-grain analysis) even when the ULT migrates between
+    /// execution streams (a thread_local would break then).
+    void* user_context = nullptr;
+
+    Ult() = default;
+    Ult(const Ult&) = delete;
+    Ult& operator=(const Ult&) = delete;
+};
+
+using UltPtr = std::shared_ptr<Ult>;
+
+/// The ULT currently executing on this OS thread (nullptr outside any ULT).
+Ult* current_ult() noexcept;
+
+/// True when called from ULT context.
+inline bool in_ult() noexcept { return current_ult() != nullptr; }
+
+/// Cooperatively yield the current ULT back to its pool. No-op outside ULTs.
+void yield();
+
+/// Suspend the current ULT until some other party calls resume() on it.
+/// The caller must have published the Ult* to a waker *before* calling this;
+/// the state machine tolerates resume() arriving before the context switch
+/// completes. Must be called from ULT context.
+void suspend_current();
+
+/// Make a suspended (or about-to-suspend) ULT runnable again by pushing it
+/// back to its home pool. Callable from any thread, ULT or not. Each
+/// suspend_current() must be paired with exactly one resume().
+void resume(Ult* ult);
+
+} // namespace mochi::abt

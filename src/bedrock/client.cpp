@@ -1,0 +1,141 @@
+#include "bedrock/client.hpp"
+
+#include <atomic>
+
+namespace mochi::bedrock {
+
+ServiceHandle Client::makeServiceHandle(std::string address) const {
+    return ServiceHandle{m_instance, std::move(address)};
+}
+
+Status Client::execute_transaction(
+    const std::vector<std::pair<std::string, json::Value>>& ops) const {
+    // Group ops per process, preserving order.
+    std::vector<std::pair<std::string, json::Value>> groups;
+    for (const auto& [addr, op] : ops) {
+        auto it = std::find_if(groups.begin(), groups.end(),
+                               [&](const auto& g) { return g.first == addr; });
+        if (it == groups.end()) {
+            groups.emplace_back(addr, json::Value::array());
+            it = groups.end() - 1;
+        }
+        it->second.push_back(op);
+    }
+    static std::atomic<std::uint64_t> txn_counter{1};
+    std::string txn =
+        m_instance->address() + "#" + std::to_string(txn_counter.fetch_add(1));
+
+    // Phase 1: prepare everywhere.
+    std::size_t prepared = 0;
+    Status failure;
+    for (const auto& [addr, group] : groups) {
+        auto r = m_instance->call<bool>(addr, "bedrock/prepare", {}, txn, group.dump());
+        if (!r) {
+            failure = std::move(r).error();
+            break;
+        }
+        ++prepared;
+    }
+    if (prepared != groups.size()) {
+        // Roll back the prepared subset.
+        for (std::size_t i = 0; i < prepared; ++i)
+            (void)m_instance->call<bool>(groups[i].first, "bedrock/abort", {}, txn);
+        return failure;
+    }
+    // Phase 2: commit everywhere.
+    Status result;
+    for (const auto& [addr, group] : groups) {
+        auto r = m_instance->call<bool>(addr, "bedrock/commit", {}, txn);
+        if (!r && result.ok()) result = std::move(r).error();
+    }
+    return result;
+}
+
+Status ServiceHandle::status_call(std::string_view rpc, std::string payload) const {
+    auto r = m_instance->forward(m_address, rpc, std::move(payload));
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<json::Value> ServiceHandle::getConfig() const {
+    auto r = m_instance->call<std::string>(m_address, "bedrock/get_config", {});
+    if (!r) return std::move(r).error();
+    return json::Value::parse(std::get<0>(*r));
+}
+
+Expected<json::Value> ServiceHandle::queryConfig(std::string_view jx9_script) const {
+    auto r = m_instance->call<std::string>(m_address, "bedrock/query", {},
+                                           std::string(jx9_script));
+    if (!r) return std::move(r).error();
+    return json::Value::parse(std::get<0>(*r));
+}
+
+Status ServiceHandle::addPool(const json::Value& pool_config) const {
+    return status_call("bedrock/add_pool", mercury::pack(pool_config.dump()));
+}
+
+Status ServiceHandle::removePool(const std::string& name) const {
+    return status_call("bedrock/remove_pool", mercury::pack(name));
+}
+
+Status ServiceHandle::addXstream(const json::Value& xstream_config) const {
+    return status_call("bedrock/add_xstream", mercury::pack(xstream_config.dump()));
+}
+
+Status ServiceHandle::removeXstream(const std::string& name) const {
+    return status_call("bedrock/remove_xstream", mercury::pack(name));
+}
+
+Status ServiceHandle::loadModule(const std::string& type, const std::string& library) const {
+    return status_call("bedrock/load_module", mercury::pack(type, library));
+}
+
+Status ServiceHandle::startProvider(const json::Value& descriptor) const {
+    return status_call("bedrock/start_provider", mercury::pack(descriptor.dump()));
+}
+
+Status ServiceHandle::startProvider(const std::string& name, const std::string& type,
+                                    std::uint16_t provider_id, const json::Value& config,
+                                    const json::Value& dependencies,
+                                    const std::string& pool) const {
+    auto desc = json::Value::object();
+    desc["name"] = name;
+    desc["type"] = type;
+    desc["provider_id"] = static_cast<std::int64_t>(provider_id);
+    if (!config.is_null()) desc["config"] = config;
+    if (!dependencies.is_null()) desc["dependencies"] = dependencies;
+    if (!pool.empty()) desc["pool"] = pool;
+    return startProvider(desc);
+}
+
+Status ServiceHandle::stopProvider(const std::string& name) const {
+    return status_call("bedrock/stop_provider", mercury::pack(name));
+}
+
+Expected<bool> ServiceHandle::hasProvider(const std::string& name) const {
+    auto r = m_instance->call<bool>(m_address, "bedrock/has_provider", {}, name);
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Status ServiceHandle::migrateProvider(const std::string& name, const std::string& dest_address,
+                                      const json::Value& options) const {
+    json::Value opts = options.is_null() ? json::Value::object() : options;
+    return status_call("bedrock/migrate_provider",
+                       mercury::pack(name, dest_address, opts.dump()));
+}
+
+Status ServiceHandle::checkpointProvider(const std::string& name,
+                                         const std::string& path) const {
+    return status_call("bedrock/checkpoint_provider", mercury::pack(name, path));
+}
+
+Status ServiceHandle::restoreProvider(const std::string& name, const std::string& path) const {
+    return status_call("bedrock/restore_provider", mercury::pack(name, path));
+}
+
+Status ServiceHandle::shutdownProcess() const {
+    return status_call("bedrock/shutdown", "");
+}
+
+} // namespace mochi::bedrock

@@ -1,0 +1,84 @@
+// Bedrock's client library (Listing 5):
+//
+//   bedrock::Client client{...};
+//   bedrock::ServiceHandle p = client.makeServiceHandle(address);
+//   p.addPool(jsonPoolConfig);
+//   p.removePool("MyPoolX");
+//   p.loadModule("B", "libcomponent_b.so");
+//   p.startProvider("myProviderB", "B", ...);
+//
+// plus Jx9 configuration queries (Listing 4) and the transactional
+// cross-process reconfiguration of §5 (Client::execute_transaction).
+#pragma once
+
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "margo/instance.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mochi::bedrock {
+
+class ServiceHandle;
+
+class Client {
+  public:
+    explicit Client(margo::InstancePtr instance) : m_instance(std::move(instance)) {}
+
+    [[nodiscard]] ServiceHandle makeServiceHandle(std::string address) const;
+
+    /// Atomically apply reconfiguration ops across several processes using
+    /// two-phase commit: either every process applies its ops, or none does
+    /// (§5's consistency example). Each element is {address, op-object}.
+    Status execute_transaction(
+        const std::vector<std::pair<std::string, json::Value>>& ops) const;
+
+    [[nodiscard]] const margo::InstancePtr& instance() const noexcept { return m_instance; }
+
+  private:
+    margo::InstancePtr m_instance;
+};
+
+/// Remote control surface of one Bedrock-managed process.
+class ServiceHandle {
+  public:
+    ServiceHandle(margo::InstancePtr instance, std::string address)
+    : m_instance(std::move(instance)), m_address(std::move(address)) {}
+
+    [[nodiscard]] const std::string& address() const noexcept { return m_address; }
+
+    Expected<json::Value> getConfig() const;
+    Expected<json::Value> queryConfig(std::string_view jx9_script) const;
+
+    Status addPool(const json::Value& pool_config) const;
+    Status removePool(const std::string& name) const;
+    Status addXstream(const json::Value& xstream_config) const;
+    Status removeXstream(const std::string& name) const;
+
+    Status loadModule(const std::string& type, const std::string& library) const;
+    Status startProvider(const json::Value& descriptor) const;
+    /// Convenience matching Listing 5's signature.
+    Status startProvider(const std::string& name, const std::string& type,
+                         std::uint16_t provider_id, const json::Value& config = {},
+                         const json::Value& dependencies = {},
+                         const std::string& pool = "") const;
+    Status stopProvider(const std::string& name) const;
+    Expected<bool> hasProvider(const std::string& name) const;
+
+    Status migrateProvider(const std::string& name, const std::string& dest_address,
+                           const json::Value& options = {}) const;
+    Status checkpointProvider(const std::string& name, const std::string& path) const;
+    Status restoreProvider(const std::string& name, const std::string& path) const;
+
+    Status shutdownProcess() const;
+
+  private:
+    friend class Client;
+    Status status_call(std::string_view rpc, std::string payload) const;
+
+    margo::InstancePtr m_instance;
+    std::string m_address;
+};
+
+} // namespace mochi::bedrock

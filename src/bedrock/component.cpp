@@ -1,0 +1,65 @@
+#include "bedrock/component.hpp"
+
+#include <charconv>
+#include <mutex>
+
+namespace mochi::bedrock {
+
+std::mutex& ModuleRegistry::mutex() {
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, ModuleDefinition>& ModuleRegistry::libraries() {
+    static std::map<std::string, ModuleDefinition> libs;
+    return libs;
+}
+
+void ModuleRegistry::provide(const std::string& library, ModuleDefinition module) {
+    std::lock_guard lk{mutex()};
+    libraries()[library] = std::move(module);
+}
+
+bool ModuleRegistry::has_library(const std::string& library) {
+    std::lock_guard lk{mutex()};
+    return libraries().count(library) > 0;
+}
+
+Expected<ModuleDefinition> ModuleRegistry::lookup(const std::string& library) {
+    std::lock_guard lk{mutex()};
+    auto it = libraries().find(library);
+    if (it == libraries().end())
+        return Error{Error::Code::NotFound, "library not found: " + library};
+    return it->second;
+}
+
+Expected<ResolvedDependency> parse_dependency(const std::string& spec) {
+    ResolvedDependency dep;
+    dep.spec = spec;
+    if (spec.empty())
+        return Error{Error::Code::InvalidArgument, "empty dependency specification"};
+    auto at = spec.find('@');
+    if (at == std::string::npos) {
+        // Local provider by name.
+        dep.local_name = spec;
+        return dep;
+    }
+    // "type:id@address"
+    dep.address = spec.substr(at + 1);
+    std::string head = spec.substr(0, at);
+    auto colon = head.find(':');
+    if (colon == std::string::npos || dep.address.empty())
+        return Error{Error::Code::InvalidArgument,
+                     "invalid dependency '" + spec + "' (expected type:id@address)"};
+    dep.type = head.substr(0, colon);
+    std::string id_str = head.substr(colon + 1);
+    std::uint32_t id = 0;
+    auto [p, ec] = std::from_chars(id_str.data(), id_str.data() + id_str.size(), id);
+    if (ec != std::errc{} || p != id_str.data() + id_str.size() || id > 0xFFFF)
+        return Error{Error::Code::InvalidArgument,
+                     "invalid provider id in dependency '" + spec + "'"};
+    dep.provider_id = static_cast<std::uint16_t>(id);
+    return dep;
+}
+
+} // namespace mochi::bedrock

@@ -1,0 +1,119 @@
+// The Bedrock module contract (§5, Listing 3).
+//
+// In real Mochi, Bedrock dlopen()s "libcomponent_a.so" and finds a structure
+// of function pointers used to instantiate providers/clients and to obtain
+// their configuration; dynamic components additionally expose migrate /
+// checkpoint / restore entry points (§6 Obs. 5, §7 Obs. 9). Here the same
+// contract is a ModuleDefinition registered in a global ModuleRegistry under
+// the library's name (see DESIGN.md substitutions: static registry instead
+// of dlopen).
+#pragma once
+
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "margo/instance.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mochi::bedrock {
+
+/// A dependency as written in a provider's configuration:
+///   "name"                 -> provider `name` in the same process
+///   "type:id@address"      -> provider with that type and id at `address`
+struct ResolvedDependency {
+    std::string spec;       ///< the original string
+    std::string type;
+    std::string address;    ///< empty for local dependencies
+    std::uint16_t provider_id = margo::k_default_provider_id;
+    std::string local_name; ///< set for local dependencies
+
+    [[nodiscard]] bool is_local() const noexcept { return address.empty(); }
+};
+
+/// What a module requires to be injected at provider-creation time.
+struct DependencySpec {
+    std::string name;     ///< key in the "dependencies" object of the config
+    std::string type;     ///< required component type
+    bool required = true;
+    bool is_array = false; ///< accepts a list of dependencies
+};
+
+/// Everything a component factory receives (mirrors the arguments Bedrock
+/// passes through its function-pointer table).
+struct ComponentArgs {
+    margo::InstancePtr instance;
+    std::string name;
+    std::uint16_t provider_id = 0;
+    std::shared_ptr<abt::Pool> pool;
+    json::Value config;
+    std::map<std::string, std::vector<ResolvedDependency>> dependencies;
+};
+
+/// A provider instantiated and owned by Bedrock. Components implement the
+/// dynamic-service hooks they support; defaults report "unsupported" so
+/// static components compose unchanged (§2.3: enable dynamic properties
+/// incrementally).
+class ComponentInstance {
+  public:
+    virtual ~ComponentInstance() = default;
+
+    /// Current JSON configuration of the provider (for $__config__).
+    [[nodiscard]] virtual json::Value get_config() const { return json::Value::object(); }
+
+    /// Migrate this provider's resource (its files/state) to the provider
+    /// designated by `dest_address`/`dest_provider_id` (§6). Called by
+    /// Bedrock as part of a managed provider migration.
+    virtual Status migrate(const std::string& dest_address, std::uint16_t dest_provider_id,
+                           const json::Value& options) {
+        (void)dest_address;
+        (void)dest_provider_id;
+        (void)options;
+        return Error{Error::Code::InvalidState, "component does not support migration"};
+    }
+
+    /// Persist the provider's state under `path` in the (simulated) parallel
+    /// file system (§7 Obs. 9).
+    virtual Status checkpoint(const std::string& path) {
+        (void)path;
+        return Error{Error::Code::InvalidState, "component does not support checkpointing"};
+    }
+
+    /// Restore state previously saved by checkpoint().
+    virtual Status restore(const std::string& path) {
+        (void)path;
+        return Error{Error::Code::InvalidState, "component does not support restore"};
+    }
+};
+
+/// The per-component function-pointer table (Listing 3's loaded library).
+struct ModuleDefinition {
+    std::string type; ///< e.g. "yokan"
+    std::vector<DependencySpec> dependency_specs;
+    std::function<Expected<std::unique_ptr<ComponentInstance>>(const ComponentArgs&)> factory;
+};
+
+/// Global registry of "shared libraries". Components register their module
+/// under a library name ("libyokan.so"); Bedrock processes then load them by
+/// that name (Listing 3's "libraries" section).
+class ModuleRegistry {
+  public:
+    /// Register `module` under `library`. Re-registering the same library
+    /// replaces it (useful for test fakes).
+    static void provide(const std::string& library, ModuleDefinition module);
+
+    [[nodiscard]] static bool has_library(const std::string& library);
+    [[nodiscard]] static Expected<ModuleDefinition> lookup(const std::string& library);
+
+  private:
+    static std::mutex& mutex();
+    static std::map<std::string, ModuleDefinition>& libraries();
+};
+
+/// Parse a dependency specification string (see ResolvedDependency).
+[[nodiscard]] Expected<ResolvedDependency> parse_dependency(const std::string& spec);
+
+} // namespace mochi::bedrock

@@ -1,0 +1,1013 @@
+#include "bedrock/jx9.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace mochi::bedrock::jx9 {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+    End, Ident, Variable, Number, String,
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semicolon, Dot, Arrow, // Arrow = "=>"
+    Assign, Eq, Ne, Lt, Le, Gt, Ge,
+    Plus, Minus, Star, Slash, Percent,
+    AndAnd, OrOr, Not,
+    KwIf, KwElse, KwForeach, KwAs, KwWhile, KwReturn, KwBreak, KwContinue,
+    KwTrue, KwFalse, KwNull,
+};
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;
+    double number = 0;
+    bool is_integer = false;
+    std::size_t offset = 0;
+};
+
+class Lexer {
+  public:
+    explicit Lexer(std::string_view src) : m_src(src) {}
+
+    Expected<std::vector<Token>> run() {
+        std::vector<Token> out;
+        for (;;) {
+            skip_ws_and_comments();
+            if (m_pos >= m_src.size()) {
+                out.push_back({Tok::End, "", 0, false, m_pos});
+                return out;
+            }
+            auto tok = next();
+            if (!tok) return tok.error();
+            out.push_back(std::move(*tok));
+        }
+    }
+
+  private:
+    std::string_view m_src;
+    std::size_t m_pos = 0;
+
+    Error fail(const std::string& what) const {
+        return Error{Error::Code::InvalidArgument,
+                     "jx9: lex error at offset " + std::to_string(m_pos) + ": " + what};
+    }
+
+    void skip_ws_and_comments() {
+        while (m_pos < m_src.size()) {
+            char c = m_src[m_pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                ++m_pos;
+            } else if (c == '/' && m_pos + 1 < m_src.size() && m_src[m_pos + 1] == '/') {
+                while (m_pos < m_src.size() && m_src[m_pos] != '\n') ++m_pos;
+            } else if (c == '/' && m_pos + 1 < m_src.size() && m_src[m_pos + 1] == '*') {
+                m_pos += 2;
+                while (m_pos + 1 < m_src.size() &&
+                       !(m_src[m_pos] == '*' && m_src[m_pos + 1] == '/'))
+                    ++m_pos;
+                m_pos = std::min(m_pos + 2, m_src.size());
+            } else {
+                break;
+            }
+        }
+    }
+
+    static bool ident_start(char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    }
+    static bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+    Expected<Token> next() {
+        std::size_t start = m_pos;
+        char c = m_src[m_pos];
+        auto simple = [&](Tok t, std::size_t len = 1) {
+            m_pos += len;
+            return Token{t, std::string(m_src.substr(start, len)), 0, false, start};
+        };
+        switch (c) {
+        case '(': return simple(Tok::LParen);
+        case ')': return simple(Tok::RParen);
+        case '{': return simple(Tok::LBrace);
+        case '}': return simple(Tok::RBrace);
+        case '[': return simple(Tok::LBracket);
+        case ']': return simple(Tok::RBracket);
+        case ',': return simple(Tok::Comma);
+        case ';': return simple(Tok::Semicolon);
+        case '.': return simple(Tok::Dot);
+        case '+': return simple(Tok::Plus);
+        case '-': return simple(Tok::Minus);
+        case '*': return simple(Tok::Star);
+        case '/': return simple(Tok::Slash);
+        case '%': return simple(Tok::Percent);
+        case '=':
+            if (m_src.substr(m_pos, 2) == "==") return simple(Tok::Eq, 2);
+            if (m_src.substr(m_pos, 2) == "=>") return simple(Tok::Arrow, 2);
+            return simple(Tok::Assign);
+        case '!':
+            if (m_src.substr(m_pos, 2) == "!=") return simple(Tok::Ne, 2);
+            return simple(Tok::Not);
+        case '<':
+            if (m_src.substr(m_pos, 2) == "<=") return simple(Tok::Le, 2);
+            return simple(Tok::Lt);
+        case '>':
+            if (m_src.substr(m_pos, 2) == ">=") return simple(Tok::Ge, 2);
+            return simple(Tok::Gt);
+        case '&':
+            if (m_src.substr(m_pos, 2) == "&&") return simple(Tok::AndAnd, 2);
+            return fail("expected '&&'");
+        case '|':
+            if (m_src.substr(m_pos, 2) == "||") return simple(Tok::OrOr, 2);
+            return fail("expected '||'");
+        case '$': {
+            ++m_pos;
+            std::size_t s = m_pos;
+            while (m_pos < m_src.size() && ident_char(m_src[m_pos])) ++m_pos;
+            if (m_pos == s) return fail("expected variable name after '$'");
+            return Token{Tok::Variable, std::string(m_src.substr(s, m_pos - s)), 0, false, start};
+        }
+        case '"': case '\'': {
+            char quote = c;
+            ++m_pos;
+            std::string text;
+            while (m_pos < m_src.size() && m_src[m_pos] != quote) {
+                char ch = m_src[m_pos];
+                if (ch == '\\' && m_pos + 1 < m_src.size()) {
+                    ++m_pos;
+                    char esc = m_src[m_pos];
+                    switch (esc) {
+                    case 'n': text += '\n'; break;
+                    case 't': text += '\t'; break;
+                    case '\\': text += '\\'; break;
+                    case '"': text += '"'; break;
+                    case '\'': text += '\''; break;
+                    default: text += esc;
+                    }
+                } else {
+                    text += ch;
+                }
+                ++m_pos;
+            }
+            if (m_pos >= m_src.size()) return fail("unterminated string");
+            ++m_pos;
+            return Token{Tok::String, std::move(text), 0, false, start};
+        }
+        default:
+            if (c >= '0' && c <= '9') {
+                std::size_t s = m_pos;
+                bool is_int = true;
+                while (m_pos < m_src.size() &&
+                       ((m_src[m_pos] >= '0' && m_src[m_pos] <= '9') || m_src[m_pos] == '.' ||
+                        m_src[m_pos] == 'e' || m_src[m_pos] == 'E')) {
+                    if (m_src[m_pos] == '.' || m_src[m_pos] == 'e' || m_src[m_pos] == 'E')
+                        is_int = false;
+                    ++m_pos;
+                }
+                double value = 0;
+                auto sv = m_src.substr(s, m_pos - s);
+                auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), value);
+                if (ec != std::errc{} || p != sv.data() + sv.size())
+                    return fail("invalid number");
+                Token t{Tok::Number, std::string(sv), value, is_int, start};
+                return t;
+            }
+            if (ident_start(c)) {
+                std::size_t s = m_pos;
+                while (m_pos < m_src.size() && ident_char(m_src[m_pos])) ++m_pos;
+                std::string id(m_src.substr(s, m_pos - s));
+                static const std::map<std::string, Tok> keywords = {
+                    {"if", Tok::KwIf},         {"else", Tok::KwElse},
+                    {"foreach", Tok::KwForeach}, {"as", Tok::KwAs},
+                    {"while", Tok::KwWhile},   {"return", Tok::KwReturn},
+                    {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+                    {"true", Tok::KwTrue},     {"false", Tok::KwFalse},
+                    {"null", Tok::KwNull},
+                };
+                auto it = keywords.find(id);
+                if (it != keywords.end()) return Token{it->second, id, 0, false, s};
+                return Token{Tok::Ident, std::move(id), 0, false, s};
+            }
+            return fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    enum class Kind {
+        Literal, Variable, Array, Object, Field, Index, Unary, Binary, Call,
+    };
+    Kind kind;
+    json::Value literal;                     // Literal
+    std::string name;                        // Variable, Field (field name), Call (fn)
+    std::vector<ExprPtr> children;           // operands / args / elements
+    std::vector<std::string> object_keys;    // Object literal keys
+    Tok op = Tok::End;                       // Unary/Binary operator
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+    enum class Kind { Expr, Assign, If, Foreach, While, Return, Break, Continue, Block };
+    Kind kind;
+    ExprPtr expr;              // Expr / Return value / If-While condition / Foreach iterable
+    ExprPtr target;            // Assign lvalue
+    std::string var_key, var_value; // Foreach loop variables
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> else_body;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+  public:
+    explicit Parser(std::vector<Token> tokens) : m_tokens(std::move(tokens)) {}
+
+    Expected<std::vector<StmtPtr>> run() {
+        std::vector<StmtPtr> stmts;
+        while (peek().kind != Tok::End) {
+            auto s = statement();
+            if (!s) return s.error();
+            stmts.push_back(std::move(*s));
+        }
+        return stmts;
+    }
+
+  private:
+    std::vector<Token> m_tokens;
+    std::size_t m_pos = 0;
+
+    const Token& peek(std::size_t ahead = 0) const {
+        std::size_t i = std::min(m_pos + ahead, m_tokens.size() - 1);
+        return m_tokens[i];
+    }
+    Token advance() { return m_tokens[std::min(m_pos++, m_tokens.size() - 1)]; }
+    bool match(Tok t) {
+        if (peek().kind != t) return false;
+        ++m_pos;
+        return true;
+    }
+    Error fail(const std::string& what) const {
+        return Error{Error::Code::InvalidArgument,
+                     "jx9: parse error at offset " + std::to_string(peek().offset) + ": " + what};
+    }
+    Status expect(Tok t, const char* what) {
+        if (!match(t)) return fail(std::string("expected ") + what);
+        return {};
+    }
+
+    Expected<std::vector<StmtPtr>> block_or_single() {
+        std::vector<StmtPtr> body;
+        if (match(Tok::LBrace)) {
+            while (peek().kind != Tok::RBrace && peek().kind != Tok::End) {
+                auto s = statement();
+                if (!s) return s.error();
+                body.push_back(std::move(*s));
+            }
+            if (auto st = expect(Tok::RBrace, "'}'"); !st.ok()) return st.error();
+        } else {
+            auto s = statement();
+            if (!s) return s.error();
+            body.push_back(std::move(*s));
+        }
+        return body;
+    }
+
+    Expected<StmtPtr> statement() {
+        if (match(Tok::KwReturn)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Return;
+            if (peek().kind != Tok::Semicolon) {
+                auto e = expression();
+                if (!e) return e.error();
+                s->expr = std::move(*e);
+            }
+            if (auto st = expect(Tok::Semicolon, "';'"); !st.ok()) return st.error();
+            return s;
+        }
+        if (match(Tok::KwBreak)) {
+            if (auto st = expect(Tok::Semicolon, "';'"); !st.ok()) return st.error();
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Break;
+            return s;
+        }
+        if (match(Tok::KwContinue)) {
+            if (auto st = expect(Tok::Semicolon, "';'"); !st.ok()) return st.error();
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Continue;
+            return s;
+        }
+        if (match(Tok::KwIf)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::If;
+            if (auto st = expect(Tok::LParen, "'('"); !st.ok()) return st.error();
+            auto cond = expression();
+            if (!cond) return cond.error();
+            s->expr = std::move(*cond);
+            if (auto st = expect(Tok::RParen, "')'"); !st.ok()) return st.error();
+            auto body = block_or_single();
+            if (!body) return body.error();
+            s->body = std::move(*body);
+            if (match(Tok::KwElse)) {
+                auto eb = block_or_single();
+                if (!eb) return eb.error();
+                s->else_body = std::move(*eb);
+            }
+            return s;
+        }
+        if (match(Tok::KwWhile)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::While;
+            if (auto st = expect(Tok::LParen, "'('"); !st.ok()) return st.error();
+            auto cond = expression();
+            if (!cond) return cond.error();
+            s->expr = std::move(*cond);
+            if (auto st = expect(Tok::RParen, "')'"); !st.ok()) return st.error();
+            auto body = block_or_single();
+            if (!body) return body.error();
+            s->body = std::move(*body);
+            return s;
+        }
+        if (match(Tok::KwForeach)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Foreach;
+            if (auto st = expect(Tok::LParen, "'('"); !st.ok()) return st.error();
+            auto iter = expression();
+            if (!iter) return iter.error();
+            s->expr = std::move(*iter);
+            if (auto st = expect(Tok::KwAs, "'as'"); !st.ok()) return st.error();
+            if (peek().kind != Tok::Variable) return fail("expected loop variable");
+            std::string first = advance().text;
+            if (match(Tok::Arrow)) {
+                if (peek().kind != Tok::Variable) return fail("expected value variable");
+                s->var_key = first;
+                s->var_value = advance().text;
+            } else {
+                s->var_value = first;
+            }
+            if (auto st = expect(Tok::RParen, "')'"); !st.ok()) return st.error();
+            auto body = block_or_single();
+            if (!body) return body.error();
+            s->body = std::move(*body);
+            return s;
+        }
+        if (match(Tok::LBrace)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Block;
+            while (peek().kind != Tok::RBrace && peek().kind != Tok::End) {
+                auto inner = statement();
+                if (!inner) return inner.error();
+                s->body.push_back(std::move(*inner));
+            }
+            if (auto st = expect(Tok::RBrace, "'}'"); !st.ok()) return st.error();
+            return s;
+        }
+        // Expression or assignment.
+        auto e = expression();
+        if (!e) return e.error();
+        auto s = std::make_unique<Stmt>();
+        if (match(Tok::Assign)) {
+            auto rhs = expression();
+            if (!rhs) return rhs.error();
+            s->kind = Stmt::Kind::Assign;
+            s->target = std::move(*e);
+            s->expr = std::move(*rhs);
+        } else {
+            s->kind = Stmt::Kind::Expr;
+            s->expr = std::move(*e);
+        }
+        if (auto st = expect(Tok::Semicolon, "';'"); !st.ok()) return st.error();
+        return s;
+    }
+
+    // Precedence climbing: || < && < comparison < additive < multiplicative
+    // < unary < postfix < primary.
+    Expected<ExprPtr> expression() { return parse_or(); }
+
+    Expected<ExprPtr> binary_chain(Expected<ExprPtr> (Parser::*next)(),
+                                   std::initializer_list<Tok> ops) {
+        auto lhs = (this->*next)();
+        if (!lhs) return lhs;
+        for (;;) {
+            Tok op = peek().kind;
+            bool found = false;
+            for (Tok t : ops)
+                if (t == op) found = true;
+            if (!found) return lhs;
+            advance();
+            auto rhs = (this->*next)();
+            if (!rhs) return rhs;
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->op = op;
+            e->children.push_back(std::move(*lhs));
+            e->children.push_back(std::move(*rhs));
+            lhs = std::move(e);
+        }
+    }
+
+    Expected<ExprPtr> parse_or() { return binary_chain(&Parser::parse_and, {Tok::OrOr}); }
+    Expected<ExprPtr> parse_and() { return binary_chain(&Parser::parse_cmp, {Tok::AndAnd}); }
+    Expected<ExprPtr> parse_cmp() {
+        return binary_chain(&Parser::parse_add,
+                            {Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge});
+    }
+    Expected<ExprPtr> parse_add() {
+        return binary_chain(&Parser::parse_mul, {Tok::Plus, Tok::Minus});
+    }
+    Expected<ExprPtr> parse_mul() {
+        return binary_chain(&Parser::parse_unary, {Tok::Star, Tok::Slash, Tok::Percent});
+    }
+
+    Expected<ExprPtr> parse_unary() {
+        if (peek().kind == Tok::Not || peek().kind == Tok::Minus) {
+            Tok op = advance().kind;
+            auto operand = parse_unary();
+            if (!operand) return operand;
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Unary;
+            e->op = op;
+            e->children.push_back(std::move(*operand));
+            return e;
+        }
+        return parse_postfix();
+    }
+
+    Expected<ExprPtr> parse_postfix() {
+        auto base = parse_primary();
+        if (!base) return base;
+        for (;;) {
+            if (match(Tok::Dot)) {
+                if (peek().kind != Tok::Ident) return fail("expected field name after '.'");
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Field;
+                e->name = advance().text;
+                e->children.push_back(std::move(*base));
+                base = std::move(e);
+            } else if (match(Tok::LBracket)) {
+                auto idx = expression();
+                if (!idx) return idx;
+                if (auto st = expect(Tok::RBracket, "']'"); !st.ok()) return st.error();
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Index;
+                e->children.push_back(std::move(*base));
+                e->children.push_back(std::move(*idx));
+                base = std::move(e);
+            } else {
+                return base;
+            }
+        }
+    }
+
+    Expected<ExprPtr> parse_primary() {
+        const Token& t = peek();
+        switch (t.kind) {
+        case Tok::Number: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Literal;
+            if (t.is_integer)
+                e->literal = json::Value{static_cast<std::int64_t>(t.number)};
+            else
+                e->literal = json::Value{t.number};
+            return e;
+        }
+        case Tok::String: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Literal;
+            e->literal = json::Value{t.text};
+            return e;
+        }
+        case Tok::KwTrue:
+        case Tok::KwFalse: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Literal;
+            e->literal = json::Value{t.kind == Tok::KwTrue};
+            return e;
+        }
+        case Tok::KwNull: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Literal;
+            return e;
+        }
+        case Tok::Variable: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Variable;
+            e->name = t.text;
+            return e;
+        }
+        case Tok::Ident: {
+            // Function call.
+            std::string fn = advance().text;
+            if (auto st = expect(Tok::LParen, "'(' after function name"); !st.ok())
+                return st.error();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Call;
+            e->name = std::move(fn);
+            if (!match(Tok::RParen)) {
+                for (;;) {
+                    auto arg = expression();
+                    if (!arg) return arg;
+                    e->children.push_back(std::move(*arg));
+                    if (match(Tok::RParen)) break;
+                    if (auto st = expect(Tok::Comma, "',' or ')'"); !st.ok()) return st.error();
+                }
+            }
+            return e;
+        }
+        case Tok::LBracket: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Array;
+            if (!match(Tok::RBracket)) {
+                for (;;) {
+                    auto el = expression();
+                    if (!el) return el;
+                    e->children.push_back(std::move(*el));
+                    if (match(Tok::RBracket)) break;
+                    if (auto st = expect(Tok::Comma, "',' or ']'"); !st.ok()) return st.error();
+                }
+            }
+            return e;
+        }
+        case Tok::LBrace: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Object;
+            if (!match(Tok::RBrace)) {
+                for (;;) {
+                    if (peek().kind != Tok::String && peek().kind != Tok::Ident)
+                        return fail("expected object key");
+                    e->object_keys.push_back(advance().text);
+                    // jx9/PHP-style key: value (we accept ':' via Ident? use ':'
+                    // unsupported by lexer; use '=>' like PHP arrays)
+                    if (auto st = expect(Tok::Arrow, "'=>' after object key"); !st.ok())
+                        return st.error();
+                    auto val = expression();
+                    if (!val) return val;
+                    e->children.push_back(std::move(*val));
+                    if (match(Tok::RBrace)) break;
+                    if (auto st = expect(Tok::Comma, "',' or '}'"); !st.ok()) return st.error();
+                }
+            }
+            return e;
+        }
+        case Tok::LParen: {
+            advance();
+            auto inner = expression();
+            if (!inner) return inner;
+            if (auto st = expect(Tok::RParen, "')'"); !st.ok()) return st.error();
+            return inner;
+        }
+        default: return fail("unexpected token '" + t.text + "'");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t k_max_loop_iterations = 1'000'000;
+constexpr int k_max_depth = 64;
+
+enum class Flow { Normal, Break, Continue, Return };
+
+class Evaluator {
+  public:
+    explicit Evaluator(const std::map<std::string, json::Value>& inputs) {
+        for (const auto& [k, v] : inputs) m_vars[k] = v;
+    }
+
+    Expected<json::Value> run(const std::vector<StmtPtr>& stmts) {
+        for (const auto& s : stmts) {
+            auto flow = exec(*s, 0);
+            if (!flow) return flow.error();
+            if (*flow == Flow::Return) return m_return;
+            if (*flow != Flow::Normal)
+                return Error{Error::Code::InvalidArgument, "jx9: break/continue outside loop"};
+        }
+        return m_return; // null if no return executed
+    }
+
+    /// Final variable bindings (for persistent-environment evaluation).
+    [[nodiscard]] const std::map<std::string, json::Value>& variables() const {
+        return m_vars;
+    }
+
+  private:
+    std::map<std::string, json::Value> m_vars;
+    json::Value m_return;
+
+    static Error fail(const std::string& what) {
+        return Error{Error::Code::InvalidArgument, "jx9: " + what};
+    }
+
+    static bool truthy(const json::Value& v) {
+        switch (v.type()) {
+        case json::Type::Null: return false;
+        case json::Type::Boolean: return v.as_bool();
+        case json::Type::Integer: return v.as_integer() != 0;
+        case json::Type::Real: return v.as_real() != 0.0;
+        case json::Type::String: return !v.as_string().empty();
+        default: return v.size() > 0;
+        }
+    }
+
+    Expected<Flow> exec(const Stmt& s, int depth) {
+        if (depth > k_max_depth) return fail("recursion too deep");
+        switch (s.kind) {
+        case Stmt::Kind::Expr: {
+            auto v = eval(*s.expr, depth);
+            if (!v) return v.error();
+            return Flow::Normal;
+        }
+        case Stmt::Kind::Assign: {
+            auto v = eval(*s.expr, depth);
+            if (!v) return v.error();
+            json::Value* slot = lvalue(*s.target, depth);
+            if (slot == nullptr) return fail("invalid assignment target");
+            *slot = std::move(*v);
+            return Flow::Normal;
+        }
+        case Stmt::Kind::If: {
+            auto cond = eval(*s.expr, depth);
+            if (!cond) return cond.error();
+            const auto& body = truthy(*cond) ? s.body : s.else_body;
+            for (const auto& inner : body) {
+                auto flow = exec(*inner, depth + 1);
+                if (!flow || *flow != Flow::Normal) return flow;
+            }
+            return Flow::Normal;
+        }
+        case Stmt::Kind::Block: {
+            for (const auto& inner : s.body) {
+                auto flow = exec(*inner, depth + 1);
+                if (!flow || *flow != Flow::Normal) return flow;
+            }
+            return Flow::Normal;
+        }
+        case Stmt::Kind::While: {
+            std::size_t iters = 0;
+            for (;;) {
+                if (++iters > k_max_loop_iterations) return fail("loop iteration limit");
+                auto cond = eval(*s.expr, depth);
+                if (!cond) return cond.error();
+                if (!truthy(*cond)) break;
+                bool brk = false;
+                for (const auto& inner : s.body) {
+                    auto flow = exec(*inner, depth + 1);
+                    if (!flow) return flow;
+                    if (*flow == Flow::Return) return flow;
+                    if (*flow == Flow::Break) { brk = true; break; }
+                    if (*flow == Flow::Continue) break;
+                }
+                if (brk) break;
+            }
+            return Flow::Normal;
+        }
+        case Stmt::Kind::Foreach: {
+            auto iterable = eval(*s.expr, depth);
+            if (!iterable) return iterable.error();
+            auto iterate = [&](const json::Value& key,
+                               const json::Value& value) -> Expected<Flow> {
+                if (!s.var_key.empty()) m_vars[s.var_key] = key;
+                m_vars[s.var_value] = value;
+                for (const auto& inner : s.body) {
+                    auto flow = exec(*inner, depth + 1);
+                    if (!flow) return flow;
+                    if (*flow != Flow::Normal) return flow;
+                }
+                return Flow::Normal;
+            };
+            if (iterable->is_array()) {
+                std::int64_t i = 0;
+                for (const auto& el : iterable->as_array()) {
+                    auto flow = iterate(json::Value{i++}, el);
+                    if (!flow) return flow;
+                    if (*flow == Flow::Return) return flow;
+                    if (*flow == Flow::Break) break;
+                }
+            } else if (iterable->is_object()) {
+                for (const auto& [k, v] : iterable->as_object()) {
+                    auto flow = iterate(json::Value{k}, v);
+                    if (!flow) return flow;
+                    if (*flow == Flow::Return) return flow;
+                    if (*flow == Flow::Break) break;
+                }
+            } else if (!iterable->is_null()) {
+                return fail("foreach over non-iterable value");
+            }
+            return Flow::Normal;
+        }
+        case Stmt::Kind::Return: {
+            if (s.expr) {
+                auto v = eval(*s.expr, depth);
+                if (!v) return v.error();
+                m_return = std::move(*v);
+            }
+            return Flow::Return;
+        }
+        case Stmt::Kind::Break: return Flow::Break;
+        case Stmt::Kind::Continue: return Flow::Continue;
+        }
+        return Flow::Normal;
+    }
+
+    /// Resolve an assignable location ($x, $x.f, $x[i], nested).
+    json::Value* lvalue(const Expr& e, int depth) {
+        switch (e.kind) {
+        case Expr::Kind::Variable: return &m_vars[e.name];
+        case Expr::Kind::Field: {
+            json::Value* base = lvalue(*e.children[0], depth);
+            if (base == nullptr) return nullptr;
+            return &(*base)[e.name];
+        }
+        case Expr::Kind::Index: {
+            json::Value* base = lvalue(*e.children[0], depth);
+            if (base == nullptr) return nullptr;
+            auto idx = eval(*e.children[1], depth);
+            if (!idx) return nullptr;
+            if (idx->is_string()) return &(*base)[idx->as_string()];
+            if (idx->is_number() && base->is_array()) {
+                auto i = static_cast<std::size_t>(idx->as_integer());
+                if (i >= base->as_array().size()) return nullptr;
+                return &(*base)[i];
+            }
+            return nullptr;
+        }
+        default: return nullptr;
+        }
+    }
+
+    Expected<json::Value> eval(const Expr& e, int depth) {
+        if (depth > k_max_depth) return fail("expression too deep");
+        switch (e.kind) {
+        case Expr::Kind::Literal: return e.literal;
+        case Expr::Kind::Variable: {
+            auto it = m_vars.find(e.name);
+            if (it == m_vars.end()) return json::Value{}; // undefined -> null
+            return it->second;
+        }
+        case Expr::Kind::Array: {
+            json::Array arr;
+            for (const auto& c : e.children) {
+                auto v = eval(*c, depth + 1);
+                if (!v) return v;
+                arr.push_back(std::move(*v));
+            }
+            return json::Value{std::move(arr)};
+        }
+        case Expr::Kind::Object: {
+            json::Object obj;
+            for (std::size_t i = 0; i < e.children.size(); ++i) {
+                auto v = eval(*e.children[i], depth + 1);
+                if (!v) return v;
+                obj[e.object_keys[i]] = std::move(*v);
+            }
+            return json::Value{std::move(obj)};
+        }
+        case Expr::Kind::Field: {
+            auto base = eval(*e.children[0], depth + 1);
+            if (!base) return base;
+            return (*base)[e.name];
+        }
+        case Expr::Kind::Index: {
+            auto base = eval(*e.children[0], depth + 1);
+            if (!base) return base;
+            auto idx = eval(*e.children[1], depth + 1);
+            if (!idx) return idx;
+            if (idx->is_string()) return (*base)[idx->as_string()];
+            if (idx->is_number() && base->is_array()) {
+                auto i = static_cast<std::size_t>(idx->as_integer());
+                if (i >= base->as_array().size()) return json::Value{};
+                return (*base)[i];
+            }
+            if (idx->is_number() && base->is_string()) {
+                // String indexing yields a 1-character string (PHP-style).
+                auto i = static_cast<std::size_t>(idx->as_integer());
+                const auto& s = base->as_string();
+                if (i >= s.size()) return json::Value{};
+                return json::Value{std::string(1, s[i])};
+            }
+            return json::Value{};
+        }
+        case Expr::Kind::Unary: {
+            auto v = eval(*e.children[0], depth + 1);
+            if (!v) return v;
+            if (e.op == Tok::Not) return json::Value{!truthy(*v)};
+            if (v->is_integer()) return json::Value{-v->as_integer()};
+            if (v->is_real()) return json::Value{-v->as_real()};
+            return fail("unary '-' on non-number");
+        }
+        case Expr::Kind::Binary: return eval_binary(e, depth);
+        case Expr::Kind::Call: return eval_call(e, depth);
+        }
+        return fail("unreachable expression kind");
+    }
+
+    Expected<json::Value> eval_binary(const Expr& e, int depth) {
+        // Short-circuit logical operators.
+        if (e.op == Tok::AndAnd || e.op == Tok::OrOr) {
+            auto lhs = eval(*e.children[0], depth + 1);
+            if (!lhs) return lhs;
+            bool l = truthy(*lhs);
+            if (e.op == Tok::AndAnd && !l) return json::Value{false};
+            if (e.op == Tok::OrOr && l) return json::Value{true};
+            auto rhs = eval(*e.children[1], depth + 1);
+            if (!rhs) return rhs;
+            return json::Value{truthy(*rhs)};
+        }
+        auto lhs = eval(*e.children[0], depth + 1);
+        if (!lhs) return lhs;
+        auto rhs = eval(*e.children[1], depth + 1);
+        if (!rhs) return rhs;
+        switch (e.op) {
+        case Tok::Eq: return json::Value{*lhs == *rhs};
+        case Tok::Ne: return json::Value{*lhs != *rhs};
+        case Tok::Lt: case Tok::Le: case Tok::Gt: case Tok::Ge: {
+            if (lhs->is_string() && rhs->is_string()) {
+                int c = lhs->as_string().compare(rhs->as_string());
+                return json::Value{e.op == Tok::Lt   ? c < 0
+                                   : e.op == Tok::Le ? c <= 0
+                                   : e.op == Tok::Gt ? c > 0
+                                                     : c >= 0};
+            }
+            if (!lhs->is_number() || !rhs->is_number())
+                return fail("comparison of non-comparable values");
+            double a = lhs->as_real(), b = rhs->as_real();
+            return json::Value{e.op == Tok::Lt   ? a < b
+                               : e.op == Tok::Le ? a <= b
+                               : e.op == Tok::Gt ? a > b
+                                                 : a >= b};
+        }
+        case Tok::Plus: {
+            if (lhs->is_string() || rhs->is_string())
+                return json::Value{to_string(*lhs) + to_string(*rhs)};
+            if (lhs->is_integer() && rhs->is_integer())
+                return json::Value{lhs->as_integer() + rhs->as_integer()};
+            if (lhs->is_number() && rhs->is_number())
+                return json::Value{lhs->as_real() + rhs->as_real()};
+            return fail("'+' on incompatible types");
+        }
+        case Tok::Minus: case Tok::Star: case Tok::Slash: case Tok::Percent: {
+            if (!lhs->is_number() || !rhs->is_number())
+                return fail("arithmetic on non-numbers");
+            if (e.op == Tok::Percent) {
+                std::int64_t b = rhs->as_integer();
+                if (b == 0) return fail("modulo by zero");
+                return json::Value{lhs->as_integer() % b};
+            }
+            if (lhs->is_integer() && rhs->is_integer() && e.op != Tok::Slash) {
+                std::int64_t a = lhs->as_integer(), b = rhs->as_integer();
+                return json::Value{e.op == Tok::Minus ? a - b : a * b};
+            }
+            double a = lhs->as_real(), b = rhs->as_real();
+            if (e.op == Tok::Slash) {
+                if (b == 0) return fail("division by zero");
+                return json::Value{a / b};
+            }
+            return json::Value{e.op == Tok::Minus ? a - b : a * b};
+        }
+        default: return fail("unknown binary operator");
+        }
+    }
+
+    static std::string to_string(const json::Value& v) {
+        if (v.is_string()) return v.as_string();
+        return v.dump();
+    }
+
+    Expected<json::Value> eval_call(const Expr& e, int depth) {
+        // array_push mutates its first argument, which must be an lvalue.
+        if (e.name == "array_push") {
+            if (e.children.size() < 2) return fail("array_push needs 2+ arguments");
+            json::Value* target = lvalue(*e.children[0], depth);
+            if (target == nullptr) return fail("array_push target must be assignable");
+            if (target->is_null()) *target = json::Value::array();
+            if (!target->is_array()) return fail("array_push target is not an array");
+            for (std::size_t i = 1; i < e.children.size(); ++i) {
+                auto v = eval(*e.children[i], depth + 1);
+                if (!v) return v;
+                target->push_back(std::move(*v));
+            }
+            return json::Value{static_cast<std::int64_t>(target->size())};
+        }
+        std::vector<json::Value> args;
+        for (const auto& c : e.children) {
+            auto v = eval(*c, depth + 1);
+            if (!v) return v;
+            args.push_back(std::move(*v));
+        }
+        auto need = [&](std::size_t n) -> Status {
+            if (args.size() != n)
+                return fail(e.name + " expects " + std::to_string(n) + " argument(s)");
+            return {};
+        };
+        if (e.name == "count" || e.name == "length") {
+            if (auto st = need(1); !st.ok()) return st.error();
+            if (args[0].is_string())
+                return json::Value{static_cast<std::int64_t>(args[0].as_string().size())};
+            return json::Value{static_cast<std::int64_t>(args[0].size())};
+        }
+        if (e.name == "keys") {
+            if (auto st = need(1); !st.ok()) return st.error();
+            json::Array out;
+            if (args[0].is_object())
+                for (const auto& [k, v] : args[0].as_object()) out.push_back(json::Value{k});
+            return json::Value{std::move(out)};
+        }
+        if (e.name == "contains") {
+            if (auto st = need(2); !st.ok()) return st.error();
+            if (args[0].is_object() && args[1].is_string())
+                return json::Value{args[0].contains(args[1].as_string())};
+            if (args[0].is_array()) {
+                for (const auto& el : args[0].as_array())
+                    if (el == args[1]) return json::Value{true};
+                return json::Value{false};
+            }
+            if (args[0].is_string() && args[1].is_string())
+                return json::Value{args[0].as_string().find(args[1].as_string()) !=
+                                   std::string::npos};
+            return json::Value{false};
+        }
+        if (e.name == "str") {
+            if (auto st = need(1); !st.ok()) return st.error();
+            return json::Value{to_string(args[0])};
+        }
+        if (e.name == "int") {
+            if (auto st = need(1); !st.ok()) return st.error();
+            if (args[0].is_number()) return json::Value{args[0].as_integer()};
+            if (args[0].is_string()) {
+                std::int64_t v = 0;
+                const auto& s = args[0].as_string();
+                auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+                if (ec != std::errc{}) return fail("int() of non-numeric string");
+                return json::Value{v};
+            }
+            return fail("int() of non-convertible value");
+        }
+        if (e.name == "abs") {
+            if (auto st = need(1); !st.ok()) return st.error();
+            if (args[0].is_integer()) return json::Value{std::abs(args[0].as_integer())};
+            if (args[0].is_real()) return json::Value{std::fabs(args[0].as_real())};
+            return fail("abs() of non-number");
+        }
+        if (e.name == "min" || e.name == "max") {
+            if (args.empty()) return fail(e.name + " needs arguments");
+            json::Value best = args[0];
+            for (const auto& a : args) {
+                if (!a.is_number()) return fail(e.name + "() of non-number");
+                bool better = e.name == "min" ? a.as_real() < best.as_real()
+                                              : a.as_real() > best.as_real();
+                if (better) best = a;
+            }
+            return best;
+        }
+        return fail("unknown function '" + e.name + "'");
+    }
+};
+
+} // namespace
+
+Expected<json::Value> evaluate(std::string_view script,
+                               const std::map<std::string, json::Value>& inputs) {
+    auto tokens = Lexer{script}.run();
+    if (!tokens) return tokens.error();
+    auto stmts = Parser{std::move(*tokens)}.run();
+    if (!stmts) return stmts.error();
+    return Evaluator{inputs}.run(*stmts);
+}
+
+Expected<json::Value> evaluate_env(std::string_view script,
+                                   std::map<std::string, json::Value>& env) {
+    auto tokens = Lexer{script}.run();
+    if (!tokens) return tokens.error();
+    auto stmts = Parser{std::move(*tokens)}.run();
+    if (!stmts) return stmts.error();
+    Evaluator evaluator{env};
+    auto result = evaluator.run(*stmts);
+    if (result) env = evaluator.variables();
+    return result;
+}
+
+} // namespace mochi::bedrock::jx9

@@ -1,0 +1,43 @@
+// A Jx9-subset interpreter (§5, Listing 4). Jx9 is the lightweight
+// PHP-flavoured scripting language Bedrock embeds to query (and
+// parameterize) JSON configuration documents. This implementation covers
+// the dialect used by Bedrock queries:
+//
+//   $result = [];
+//   foreach ($__config__.providers as $p) { array_push($result, $p.name); }
+//   return $result;
+//
+// Supported:
+//   - variables ($x), assignment, compound field assignment ($x.y = ...)
+//   - literals: numbers, strings, true/false/null, [..] arrays, {..} objects
+//   - field access (a.b), indexing (a[expr])
+//   - operators: == != < <= > >= + - * / % && || ! unary-
+//   - statements: expression;  if/else  foreach ($e as $v) / ($e as $k => $v)
+//     while  return  break  continue
+//   - builtins: array_push, count/length, keys, contains, str, int, abs,
+//     min, max
+//
+// The interpreter is sandboxed: bounded loop iterations and recursion depth.
+#pragma once
+
+#include "common/expected.hpp"
+#include "common/json.hpp"
+
+#include <map>
+#include <string>
+
+namespace mochi::bedrock::jx9 {
+
+/// Evaluate `script` with the given named inputs (e.g. {"__config__": doc}).
+/// Returns the value of the `return` statement (null if none executed).
+Expected<json::Value> evaluate(std::string_view script,
+                               const std::map<std::string, json::Value>& inputs);
+
+/// Evaluate `script` against a persistent variable environment: variables
+/// are read from `env` before the run and written back after it, so
+/// successive scripts share state. Used by the Poesie interpreter component
+/// (§3.2) to run stateful remote scripting sessions.
+Expected<json::Value> evaluate_env(std::string_view script,
+                                   std::map<std::string, json::Value>& env);
+
+} // namespace mochi::bedrock::jx9

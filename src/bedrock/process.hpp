@@ -1,0 +1,144 @@
+// Bedrock: the "provider of providers" (§5). A Process manages the full
+// composition of one simulated service process: the Margo runtime
+// underneath, loaded component modules, and the providers instantiated from
+// a JSON configuration (Listing 3). It validates every change, resolves
+// dependencies within and across processes, and exposes the whole thing
+// remotely (start/stop/migrate/checkpoint providers, add/remove pools and
+// xstreams, Jx9 queries — Listings 4 and 5).
+//
+// Cross-process consistency (§5's c1/c2 example) is provided by a two-phase
+// commit over per-process configuration locks: see prepare/commit/abort and
+// Client::execute_transaction.
+#pragma once
+
+#include "bedrock/component.hpp"
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "margo/instance.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace mochi::bedrock {
+
+/// Bedrock's own RPCs are process-wide, registered under the default
+/// provider id (there is exactly one Bedrock per process).
+inline constexpr std::uint16_t k_bedrock_provider_id = margo::k_default_provider_id;
+
+class Process : public std::enable_shared_from_this<Process> {
+  public:
+    /// Bootstrap a process from a Listing-3-style configuration:
+    ///   { "margo": {...},
+    ///     "libraries": {"yokan": "libyokan.so", ...},
+    ///     "providers": [ {"name": "...", "type": "...", "provider_id": N,
+    ///                      "pool": "...", "config": {...},
+    ///                      "dependencies": {"dep": "spec" | ["spec", ...]}} ] }
+    /// Creates the Margo instance, loads modules, and starts providers in
+    /// declaration order.
+    static Expected<std::shared_ptr<Process>> spawn(std::shared_ptr<mercury::Fabric> fabric,
+                                                    std::string address,
+                                                    const json::Value& config);
+
+    /// §5: "Jx9 can also be used as input in place of JSON, allowing
+    /// parameterized configurations." The script receives `$params` (and
+    /// `$address`) and must return the configuration object spawn() expects.
+    static Expected<std::shared_ptr<Process>> spawn_jx9(
+        std::shared_ptr<mercury::Fabric> fabric, std::string address,
+        std::string_view jx9_script, const json::Value& params = {});
+
+    ~Process();
+
+    [[nodiscard]] const margo::InstancePtr& margo_instance() const noexcept { return m_margo; }
+    [[nodiscard]] const std::string& address() const noexcept { return m_margo->address(); }
+
+    // -- local API (also reachable via RPC through ServiceHandle) -------------
+
+    /// The process's full current configuration ($__config__ of Listing 4).
+    [[nodiscard]] json::Value config() const;
+
+    /// Run a Jx9 query against the live configuration (Listing 4).
+    Expected<json::Value> query(std::string_view jx9_script) const;
+
+    Status load_module(const std::string& type, const std::string& library);
+    [[nodiscard]] bool has_module(const std::string& type) const;
+
+    Status start_provider(const json::Value& descriptor);
+    Status stop_provider(const std::string& name);
+    [[nodiscard]] bool has_provider(const std::string& name) const;
+    [[nodiscard]] bool has_provider(const std::string& type, std::uint16_t provider_id) const;
+    [[nodiscard]] std::vector<std::string> provider_names() const;
+
+    /// Look up the live component instance of a provider (for composition
+    /// within a process, e.g. a service wiring its own pieces).
+    [[nodiscard]] Expected<ComponentInstance*> find_component(const std::string& name) const;
+
+    Expected<std::shared_ptr<abt::Pool>> add_pool(const json::Value& config);
+    Status remove_pool(const std::string& name);
+    Status add_xstream(const json::Value& config);
+    Status remove_xstream(const std::string& name);
+
+    /// Managed migration (§6, Obs. 5): checks dependencies, invokes the
+    /// component's migrate hook to move its data, starts a replacement
+    /// provider on the destination process via remote Bedrock, then removes
+    /// the local provider (unless options{"keep_source":true}).
+    Status migrate_provider(const std::string& name, const std::string& dest_address,
+                            const json::Value& options = {});
+
+    /// Checkpoint/restore via the component hooks (§7 Obs. 9).
+    Status checkpoint_provider(const std::string& name, const std::string& path);
+    Status restore_provider(const std::string& name, const std::string& path);
+
+    /// Record that `dependent_spec` (e.g. "p1@sim://n1") depends on local
+    /// provider `provider`; stop_provider refuses while dependents exist.
+    Status register_dependent(const std::string& provider, const std::string& dependent_spec);
+    Status unregister_dependent(const std::string& provider, const std::string& dependent_spec);
+
+    // -- two-phase commit for cross-process reconfigurations (§5) -------------
+
+    /// Validate `ops` (array of {"op": ..., args}) and lock the process
+    /// configuration under transaction `txn_id`. Fails with Conflict if
+    /// another transaction holds the lock.
+    Status prepare(const std::string& txn_id, const json::Value& ops);
+    /// Apply the prepared ops and release the lock.
+    Status commit(const std::string& txn_id);
+    /// Release the lock without applying.
+    Status abort(const std::string& txn_id);
+
+    /// Shut the whole process down (also invoked remotely).
+    void shutdown();
+
+  private:
+    Process() = default;
+    void register_rpcs();
+    Status start_provider_locked(const json::Value& descriptor);
+    Status stop_provider_locked(const std::string& name);
+    Status validate_op(const json::Value& op) const;
+    Status apply_op(const json::Value& op);
+    json::Value config_locked() const;
+
+    struct ProviderEntry {
+        json::Value descriptor;
+        std::string type;
+        std::uint16_t provider_id = 0;
+        std::unique_ptr<ComponentInstance> component;
+        std::vector<ResolvedDependency> dependencies; ///< flattened
+        std::set<std::string> dependents;             ///< specs of dependents
+    };
+
+    margo::InstancePtr m_margo;
+    std::shared_ptr<mercury::Fabric> m_fabric;
+
+    mutable std::recursive_mutex m_mutex;
+    std::map<std::string, std::string> m_libraries; ///< type -> library
+    std::map<std::string, ModuleDefinition> m_modules; ///< type -> module
+    std::map<std::string, ProviderEntry> m_providers; ///< by name
+    // Active 2PC transaction (at most one at a time per process).
+    std::string m_txn_id;
+    json::Value m_txn_ops;
+    bool m_shutdown = false;
+};
+
+} // namespace mochi::bedrock

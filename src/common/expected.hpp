@@ -1,0 +1,134 @@
+// Lightweight Expected<T> / Status error-handling vocabulary used across all
+// Mochi modules. We target C++20 (no std::expected), so this provides the
+// small subset the codebase needs: value-or-error, monadic map, and a
+// formatted-error constructor.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mochi {
+
+/// Error carried by Expected/Status. A simple message plus an optional
+/// machine-readable code so callers can branch without string matching.
+struct Error {
+    enum class Code {
+        Generic,
+        InvalidArgument,
+        NotFound,
+        AlreadyExists,
+        InvalidState,
+        Timeout,
+        Unreachable,
+        Canceled,
+        PermissionDenied,
+        Corruption,
+        NotLeader,
+        Conflict,
+    };
+
+    Code code = Code::Generic;
+    std::string message;
+
+    Error() = default;
+    explicit Error(std::string msg) : message(std::move(msg)) {}
+    Error(Code c, std::string msg) : code(c), message(std::move(msg)) {}
+
+    [[nodiscard]] const char* code_name() const noexcept {
+        switch (code) {
+        case Code::Generic: return "generic";
+        case Code::InvalidArgument: return "invalid-argument";
+        case Code::NotFound: return "not-found";
+        case Code::AlreadyExists: return "already-exists";
+        case Code::InvalidState: return "invalid-state";
+        case Code::Timeout: return "timeout";
+        case Code::Unreachable: return "unreachable";
+        case Code::Canceled: return "canceled";
+        case Code::PermissionDenied: return "permission-denied";
+        case Code::Corruption: return "corruption";
+        case Code::NotLeader: return "not-leader";
+        case Code::Conflict: return "conflict";
+        }
+        return "unknown";
+    }
+};
+
+/// Expected<T>: either a T or an Error. Deliberately minimal; throwing is
+/// reserved for programmer errors (dereferencing an error-state Expected
+/// asserts in debug builds).
+template <typename T>
+class [[nodiscard]] Expected {
+  public:
+    Expected(T value) : m_data(std::in_place_index<0>, std::move(value)) {}
+    Expected(Error err) : m_data(std::in_place_index<1>, std::move(err)) {}
+
+    [[nodiscard]] bool has_value() const noexcept { return m_data.index() == 0; }
+    explicit operator bool() const noexcept { return has_value(); }
+
+    [[nodiscard]] T& value() & {
+        assert(has_value());
+        return std::get<0>(m_data);
+    }
+    [[nodiscard]] const T& value() const& {
+        assert(has_value());
+        return std::get<0>(m_data);
+    }
+    [[nodiscard]] T&& value() && {
+        assert(has_value());
+        return std::get<0>(std::move(m_data));
+    }
+
+    [[nodiscard]] T value_or(T fallback) const& {
+        return has_value() ? std::get<0>(m_data) : std::move(fallback);
+    }
+
+    [[nodiscard]] const Error& error() const& {
+        assert(!has_value());
+        return std::get<1>(m_data);
+    }
+    [[nodiscard]] Error&& error() && {
+        assert(!has_value());
+        return std::get<1>(std::move(m_data));
+    }
+
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+    T& operator*() & { return value(); }
+    const T& operator*() const& { return value(); }
+    T&& operator*() && { return std::move(*this).value(); }
+
+    /// Apply f to the contained value, propagating errors unchanged.
+    template <typename F>
+    auto map(F&& f) && -> Expected<decltype(f(std::declval<T&&>()))> {
+        if (!has_value()) return std::move(*this).error();
+        return f(std::move(*this).value());
+    }
+
+  private:
+    std::variant<T, Error> m_data;
+};
+
+/// Status: Expected<void>. Default-constructed Status is success.
+class [[nodiscard]] Status {
+  public:
+    Status() = default;
+    Status(Error err) : m_error(std::move(err)) {}
+
+    [[nodiscard]] bool ok() const noexcept { return !m_error.has_value(); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] const Error& error() const {
+        assert(!ok());
+        return *m_error;
+    }
+
+    static Status success() { return {}; }
+
+  private:
+    std::optional<Error> m_error;
+};
+
+} // namespace mochi

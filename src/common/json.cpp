@@ -1,0 +1,423 @@
+#include "common/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mochi::json {
+
+namespace {
+
+const Value g_null_value{};
+
+// Maximum nesting accepted by the parser; protects against stack exhaustion
+// from adversarial inputs (configs are user-supplied).
+constexpr int k_max_depth = 256;
+
+} // namespace
+
+Value& Value::operator[](std::string_view key) {
+    if (m_type == Type::Null) m_type = Type::Object;
+    assert(m_type == Type::Object);
+    return m_object[std::string(key)];
+}
+
+const Value& Value::operator[](std::string_view key) const {
+    if (m_type != Type::Object) return g_null_value;
+    auto it = m_object.find(std::string(key));
+    return it == m_object.end() ? g_null_value : it->second;
+}
+
+void Value::push_back(Value v) {
+    if (m_type == Type::Null) m_type = Type::Array;
+    assert(m_type == Type::Array);
+    m_array.push_back(std::move(v));
+}
+
+bool Value::erase(std::string_view key) {
+    if (m_type != Type::Object) return false;
+    return m_object.erase(std::string(key)) > 0;
+}
+
+std::string Value::get_string(std::string_view key, std::string def) const {
+    const Value& v = (*this)[key];
+    return v.is_string() ? v.as_string() : def;
+}
+
+std::int64_t Value::get_integer(std::string_view key, std::int64_t def) const {
+    const Value& v = (*this)[key];
+    return v.is_number() ? v.as_integer() : def;
+}
+
+double Value::get_real(std::string_view key, double def) const {
+    const Value& v = (*this)[key];
+    return v.is_number() ? v.as_real() : def;
+}
+
+bool Value::get_bool(std::string_view key, bool def) const {
+    const Value& v = (*this)[key];
+    return v.is_bool() ? v.as_bool() : def;
+}
+
+bool Value::operator==(const Value& other) const {
+    if (m_type != other.m_type) {
+        // Integer 3 and real 3.0 compare equal, like most JSON libraries.
+        if (is_number() && other.is_number()) return as_real() == other.as_real();
+        return false;
+    }
+    switch (m_type) {
+    case Type::Null: return true;
+    case Type::Boolean: return m_bool == other.m_bool;
+    case Type::Integer: return m_int == other.m_int;
+    case Type::Real: return m_real == other.m_real;
+    case Type::String: return m_string == other.m_string;
+    case Type::Array: return m_array == other.m_array;
+    case Type::Object: return m_object == other.m_object;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void escape_string(const std::string& s, std::string& out) {
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void dump_impl(const Value& v, std::string& out, int indent, int level) {
+    const bool pretty = indent >= 0;
+    auto newline = [&](int lvl) {
+        if (!pretty) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(lvl), ' ');
+    };
+    switch (v.type()) {
+    case Type::Null: out += "null"; break;
+    case Type::Boolean: out += v.as_bool() ? "true" : "false"; break;
+    case Type::Integer: out += std::to_string(v.as_integer()); break;
+    case Type::Real: {
+        double d = v.as_real();
+        if (std::isfinite(d)) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", d);
+            out += buf;
+            // Keep reals round-trippable as reals.
+            if (!std::strpbrk(buf, ".eE")) out += ".0";
+        } else {
+            out += "null"; // JSON has no inf/nan
+        }
+        break;
+    }
+    case Type::String: escape_string(v.as_string(), out); break;
+    case Type::Array: {
+        const auto& arr = v.as_array();
+        if (arr.empty()) { out += "[]"; break; }
+        out += '[';
+        bool first = true;
+        for (const auto& e : arr) {
+            if (!first) out += ',';
+            first = false;
+            newline(level + 1);
+            dump_impl(e, out, indent, level + 1);
+        }
+        newline(level);
+        out += ']';
+        break;
+    }
+    case Type::Object: {
+        const auto& obj = v.as_object();
+        if (obj.empty()) { out += "{}"; break; }
+        out += '{';
+        bool first = true;
+        for (const auto& [k, e] : obj) {
+            if (!first) out += ',';
+            first = false;
+            newline(level + 1);
+            escape_string(k, out);
+            out += pretty ? ": " : ":";
+            dump_impl(e, out, indent, level + 1);
+        }
+        newline(level);
+        out += '}';
+        break;
+    }
+    }
+}
+
+} // namespace
+
+std::string Value::dump(int indent) const {
+    std::string out;
+    dump_impl(*this, out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : m_text(text) {}
+
+    Expected<Value> run() {
+        skip_ws();
+        Value v;
+        if (auto st = parse_value(v, 0); !st.ok()) return st.error();
+        skip_ws();
+        if (m_pos != m_text.size())
+            return fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    std::string_view m_text;
+    std::size_t m_pos = 0;
+
+    Error fail(const std::string& what) const {
+        return Error{Error::Code::InvalidArgument,
+                     "JSON parse error at offset " + std::to_string(m_pos) + ": " + what};
+    }
+
+    [[nodiscard]] bool eof() const { return m_pos >= m_text.size(); }
+    [[nodiscard]] char peek() const { return m_text[m_pos]; }
+    char get() { return m_text[m_pos++]; }
+
+    void skip_ws() {
+        while (!eof()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') { ++m_pos; continue; }
+            break;
+        }
+    }
+
+    bool consume(std::string_view lit) {
+        if (m_text.substr(m_pos, lit.size()) != lit) return false;
+        m_pos += lit.size();
+        return true;
+    }
+
+    Status parse_value(Value& out, int depth) {
+        if (depth > k_max_depth) return fail("nesting too deep");
+        if (eof()) return fail("unexpected end of input");
+        switch (peek()) {
+        case '{': return parse_object(out, depth);
+        case '[': return parse_array(out, depth);
+        case '"': {
+            std::string s;
+            if (auto st = parse_string(s); !st.ok()) return st;
+            out = Value{std::move(s)};
+            return {};
+        }
+        case 't':
+            if (!consume("true")) return fail("invalid literal");
+            out = Value{true};
+            return {};
+        case 'f':
+            if (!consume("false")) return fail("invalid literal");
+            out = Value{false};
+            return {};
+        case 'n':
+            if (!consume("null")) return fail("invalid literal");
+            out = Value{};
+            return {};
+        default: return parse_number(out);
+        }
+    }
+
+    Status parse_object(Value& out, int depth) {
+        get(); // '{'
+        Object obj;
+        skip_ws();
+        if (!eof() && peek() == '}') { get(); out = Value{std::move(obj)}; return {}; }
+        while (true) {
+            skip_ws();
+            if (eof() || peek() != '"') return fail("expected object key");
+            std::string key;
+            if (auto st = parse_string(key); !st.ok()) return st;
+            skip_ws();
+            if (eof() || get() != ':') return fail("expected ':' after key");
+            skip_ws();
+            Value v;
+            if (auto st = parse_value(v, depth + 1); !st.ok()) return st;
+            obj[std::move(key)] = std::move(v);
+            skip_ws();
+            if (eof()) return fail("unterminated object");
+            char c = get();
+            if (c == '}') break;
+            if (c != ',') return fail("expected ',' or '}' in object");
+        }
+        out = Value{std::move(obj)};
+        return {};
+    }
+
+    Status parse_array(Value& out, int depth) {
+        get(); // '['
+        Array arr;
+        skip_ws();
+        if (!eof() && peek() == ']') { get(); out = Value{std::move(arr)}; return {}; }
+        while (true) {
+            skip_ws();
+            Value v;
+            if (auto st = parse_value(v, depth + 1); !st.ok()) return st;
+            arr.push_back(std::move(v));
+            skip_ws();
+            if (eof()) return fail("unterminated array");
+            char c = get();
+            if (c == ']') break;
+            if (c != ',') return fail("expected ',' or ']' in array");
+        }
+        out = Value{std::move(arr)};
+        return {};
+    }
+
+    Status parse_string(std::string& out) {
+        get(); // '"'
+        out.clear();
+        while (true) {
+            if (eof()) return fail("unterminated string");
+            char c = get();
+            if (c == '"') return {};
+            if (static_cast<unsigned char>(c) < 0x20) return fail("control character in string");
+            if (c != '\\') { out += c; continue; }
+            if (eof()) return fail("unterminated escape");
+            char esc = get();
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp = 0;
+                if (auto st = parse_hex4(cp); !st.ok()) return st;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // Surrogate pair.
+                    if (!consume("\\u")) return fail("unpaired surrogate");
+                    unsigned lo = 0;
+                    if (auto st = parse_hex4(lo); !st.ok()) return st;
+                    if (lo < 0xDC00 || lo > 0xDFFF) return fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                }
+                append_utf8(cp, out);
+                break;
+            }
+            default: return fail("invalid escape character");
+            }
+        }
+    }
+
+    Status parse_hex4(unsigned& out) {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (eof()) return fail("truncated \\u escape");
+            char c = get();
+            out <<= 4;
+            if (c >= '0' && c <= '9') out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') out |= static_cast<unsigned>(c - 'A' + 10);
+            else return fail("invalid hex digit in \\u escape");
+        }
+        return {};
+    }
+
+    static void append_utf8(unsigned cp, std::string& out) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    Status parse_number(Value& out) {
+        std::size_t start = m_pos;
+        if (!eof() && peek() == '-') get();
+        bool is_real = false;
+        while (!eof()) {
+            char c = peek();
+            if (c >= '0' && c <= '9') { get(); continue; }
+            if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+                if (c == '.' || c == 'e' || c == 'E') is_real = true;
+                // '+'/'-' only valid inside exponents; from_chars validates.
+                if ((c == '+' || c == '-') && !is_real) break;
+                get();
+                continue;
+            }
+            break;
+        }
+        std::string_view tok = m_text.substr(start, m_pos - start);
+        if (tok.empty() || tok == "-") return fail("invalid number");
+        if (!is_real) {
+            std::int64_t i = 0;
+            auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+            if (ec == std::errc{} && p == tok.data() + tok.size()) {
+                out = Value{i};
+                return {};
+            }
+            // Fall through: integer overflow — represent as real.
+        }
+        double d = 0;
+        auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (ec != std::errc{} || p != tok.data() + tok.size()) return fail("invalid number");
+        out = Value{d};
+        return {};
+    }
+};
+
+} // namespace
+
+Expected<Value> Value::parse(std::string_view text) {
+    return Parser{text}.run();
+}
+
+std::uint64_t hash(const Value& v) {
+    std::string s = v.dump();
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace mochi::json

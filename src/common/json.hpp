@@ -1,0 +1,133 @@
+// Minimal but complete JSON library. JSON is Mochi's configuration substrate
+// (Margo runtime config, Bedrock service descriptions, monitoring dumps), so
+// the whole stack depends on this module. Objects keep keys sorted
+// (std::map) which makes every dump deterministic and testable.
+#pragma once
+
+#include "common/expected.hpp"
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mochi::json {
+
+class Value;
+
+using Array  = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class Type { Null, Boolean, Integer, Real, String, Array, Object };
+
+/// A JSON document node. Value semantics throughout; copies are deep.
+class Value {
+  public:
+    Value() = default;                      // null
+    Value(std::nullptr_t) {}                // null
+    Value(bool b) : m_type(Type::Boolean) { m_bool = b; }
+    Value(int i) : m_type(Type::Integer) { m_int = i; }
+    Value(unsigned i) : m_type(Type::Integer) { m_int = i; }
+    Value(std::int64_t i) : m_type(Type::Integer) { m_int = i; }
+    Value(std::uint64_t i) : m_type(Type::Integer) { m_int = static_cast<std::int64_t>(i); }
+    Value(double d) : m_type(Type::Real) { m_real = d; }
+    Value(const char* s) : m_type(Type::String), m_string(s) {}
+    Value(std::string s) : m_type(Type::String), m_string(std::move(s)) {}
+    Value(std::string_view s) : m_type(Type::String), m_string(s) {}
+    Value(Array a) : m_type(Type::Array), m_array(std::move(a)) {}
+    Value(Object o) : m_type(Type::Object), m_object(std::move(o)) {}
+
+    static Value array() { return Value{Array{}}; }
+    static Value object() { return Value{Object{}}; }
+
+    [[nodiscard]] Type type() const noexcept { return m_type; }
+    [[nodiscard]] bool is_null() const noexcept { return m_type == Type::Null; }
+    [[nodiscard]] bool is_bool() const noexcept { return m_type == Type::Boolean; }
+    [[nodiscard]] bool is_integer() const noexcept { return m_type == Type::Integer; }
+    [[nodiscard]] bool is_real() const noexcept { return m_type == Type::Real; }
+    [[nodiscard]] bool is_number() const noexcept { return is_integer() || is_real(); }
+    [[nodiscard]] bool is_string() const noexcept { return m_type == Type::String; }
+    [[nodiscard]] bool is_array() const noexcept { return m_type == Type::Array; }
+    [[nodiscard]] bool is_object() const noexcept { return m_type == Type::Object; }
+
+    [[nodiscard]] bool as_bool() const { return m_bool; }
+    [[nodiscard]] std::int64_t as_integer() const {
+        return m_type == Type::Real ? static_cast<std::int64_t>(m_real) : m_int;
+    }
+    [[nodiscard]] double as_real() const {
+        return m_type == Type::Integer ? static_cast<double>(m_int) : m_real;
+    }
+    [[nodiscard]] const std::string& as_string() const { return m_string; }
+    [[nodiscard]] const Array& as_array() const { return m_array; }
+    [[nodiscard]] Array& as_array() { return m_array; }
+    [[nodiscard]] const Object& as_object() const { return m_object; }
+    [[nodiscard]] Object& as_object() { return m_object; }
+
+    // -- object access ------------------------------------------------------
+
+    /// True if this is an object containing `key`.
+    [[nodiscard]] bool contains(std::string_view key) const {
+        return m_type == Type::Object && m_object.find(std::string(key)) != m_object.end();
+    }
+
+    /// Object access, inserting a null member if absent (converts a null
+    /// value into an object, mirroring nlohmann/jansson ergonomics).
+    Value& operator[](std::string_view key);
+
+    /// Const object access; returns a shared null sentinel when absent.
+    const Value& operator[](std::string_view key) const;
+
+    /// Array element access (no bounds extension).
+    Value& operator[](std::size_t idx) { return m_array[idx]; }
+    const Value& operator[](std::size_t idx) const { return m_array[idx]; }
+
+    /// Size of an array or object; 0 for scalars.
+    [[nodiscard]] std::size_t size() const noexcept {
+        if (m_type == Type::Array) return m_array.size();
+        if (m_type == Type::Object) return m_object.size();
+        return 0;
+    }
+
+    /// Append to an array (converts null to array first).
+    void push_back(Value v);
+
+    /// Remove an object member; returns true if it existed.
+    bool erase(std::string_view key);
+
+    /// Typed getters with defaults, the idiomatic way components read their
+    /// configuration fragments.
+    [[nodiscard]] std::string get_string(std::string_view key, std::string def = "") const;
+    [[nodiscard]] std::int64_t get_integer(std::string_view key, std::int64_t def = 0) const;
+    [[nodiscard]] double get_real(std::string_view key, double def = 0.0) const;
+    [[nodiscard]] bool get_bool(std::string_view key, bool def = false) const;
+
+    // -- comparison / io -----------------------------------------------------
+
+    bool operator==(const Value& other) const;
+    bool operator!=(const Value& other) const { return !(*this == other); }
+
+    /// Serialize. indent < 0 → compact single line; otherwise pretty-printed
+    /// with `indent` spaces per level.
+    [[nodiscard]] std::string dump(int indent = -1) const;
+
+    /// Parse a JSON document. Errors carry a byte offset and description.
+    static Expected<Value> parse(std::string_view text);
+
+  private:
+    Type m_type = Type::Null;
+    union {
+        bool m_bool;
+        std::int64_t m_int = 0;
+        double m_real;
+    };
+    std::string m_string;
+    Array m_array;
+    Object m_object;
+};
+
+/// FNV-1a hash of the compact serialization; used e.g. by SSG view hashing.
+[[nodiscard]] std::uint64_t hash(const Value& v);
+
+} // namespace mochi::json

@@ -1,0 +1,48 @@
+#include "common/logging.hpp"
+
+#include <cstdarg>
+#include <ctime>
+
+namespace mochi::log {
+
+namespace detail {
+
+Level& global_level() noexcept {
+    static Level lvl = Level::Warn;
+    return lvl;
+}
+
+std::mutex& sink_mutex() noexcept {
+    static std::mutex m;
+    return m;
+}
+
+void vlog(Level lvl, const char* component, const char* fmt, va_list args) {
+    if (lvl < global_level()) return;
+    static const char* names[] = {"TRACE", "DEBUG", "INFO ", "WARN ", "ERROR"};
+    char message[1024];
+    std::vsnprintf(message, sizeof message, fmt, args);
+    std::lock_guard lock{sink_mutex()};
+    std::fprintf(stderr, "[%s] [%s] %s\n", names[static_cast<int>(lvl)], component, message);
+}
+
+} // namespace detail
+
+#define MOCHI_LOG_IMPL(name, lvl)                                     \
+    void name(const char* component, const char* fmt, ...) {          \
+        if (Level::lvl < detail::global_level()) return;              \
+        va_list args;                                                 \
+        va_start(args, fmt);                                          \
+        detail::vlog(Level::lvl, component, fmt, args);               \
+        va_end(args);                                                 \
+    }
+
+MOCHI_LOG_IMPL(trace, Trace)
+MOCHI_LOG_IMPL(debug, Debug)
+MOCHI_LOG_IMPL(info, Info)
+MOCHI_LOG_IMPL(warn, Warn)
+MOCHI_LOG_IMPL(error, Error)
+
+#undef MOCHI_LOG_IMPL
+
+} // namespace mochi::log

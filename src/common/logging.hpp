@@ -1,0 +1,34 @@
+// Tiny leveled, thread-safe logger. Components log through this so that test
+// runs stay quiet by default (level = Warn) while examples can turn on Info
+// to narrate what the service is doing.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace mochi::log {
+
+enum class Level { Trace = 0, Debug, Info, Warn, Error, Off };
+
+namespace detail {
+Level& global_level() noexcept;
+std::mutex& sink_mutex() noexcept;
+void vlog(Level lvl, const char* component, const char* fmt, va_list args);
+} // namespace detail
+
+inline void set_level(Level lvl) noexcept { detail::global_level() = lvl; }
+inline Level level() noexcept { return detail::global_level(); }
+
+__attribute__((format(printf, 2, 3)))
+void trace(const char* component, const char* fmt, ...);
+__attribute__((format(printf, 2, 3)))
+void debug(const char* component, const char* fmt, ...);
+__attribute__((format(printf, 2, 3)))
+void info(const char* component, const char* fmt, ...);
+__attribute__((format(printf, 2, 3)))
+void warn(const char* component, const char* fmt, ...);
+__attribute__((format(printf, 2, 3)))
+void error(const char* component, const char* fmt, ...);
+
+} // namespace mochi::log

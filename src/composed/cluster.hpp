@@ -1,0 +1,80 @@
+// Cluster: the simulated elastic resource pool (DESIGN.md substitutions —
+// what Flux [6] would provide on a real system). Spawns Bedrock-managed
+// service processes ("nodes") on a shared fabric, and can crash or restart
+// them for the resilience scenarios of §7.
+#pragma once
+
+#include "bedrock/client.hpp"
+#include "bedrock/process.hpp"
+#include "remi/sim_file_store.hpp"
+
+#include <map>
+
+namespace mochi::composed {
+
+class Cluster {
+  public:
+    explicit Cluster(mercury::LinkModel link = {}, std::uint64_t seed = 1)
+    : m_fabric(mercury::Fabric::create(link, seed)) {}
+
+    ~Cluster() { shutdown(); }
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    [[nodiscard]] const std::shared_ptr<mercury::Fabric>& fabric() const noexcept {
+        return m_fabric;
+    }
+
+    /// Allocate a node and bootstrap a Bedrock process on it with `config`.
+    /// Wipes any leftover node-local storage unless `keep_storage`.
+    Expected<std::shared_ptr<bedrock::Process>> spawn_node(const std::string& address,
+                                                           const json::Value& config,
+                                                           bool keep_storage = false) {
+        if (!keep_storage) remi::SimFileStore::destroy_node(address);
+        auto proc = bedrock::Process::spawn(m_fabric, address, config);
+        if (!proc) return proc;
+        m_nodes[address] = *proc;
+        return proc;
+    }
+
+    /// Hard-crash a node: the process vanishes from the network without any
+    /// goodbye; node-local storage survives (transient failure, §2.3).
+    Status crash_node(const std::string& address) {
+        auto it = m_nodes.find(address);
+        if (it == m_nodes.end())
+            return Error{Error::Code::NotFound, "no node at " + address};
+        it->second->shutdown();
+        m_nodes.erase(it);
+        return {};
+    }
+
+    /// Crash a node *and* destroy its local storage (permanent failure).
+    Status destroy_node(const std::string& address) {
+        if (auto st = crash_node(address); !st.ok()) return st;
+        remi::SimFileStore::destroy_node(address);
+        return {};
+    }
+
+    [[nodiscard]] std::shared_ptr<bedrock::Process> node(const std::string& address) const {
+        auto it = m_nodes.find(address);
+        return it == m_nodes.end() ? nullptr : it->second;
+    }
+
+    [[nodiscard]] std::vector<std::string> node_addresses() const {
+        std::vector<std::string> out;
+        out.reserve(m_nodes.size());
+        for (const auto& [a, p] : m_nodes) out.push_back(a);
+        return out;
+    }
+
+    void shutdown() {
+        for (auto& [a, p] : m_nodes) p->shutdown();
+        m_nodes.clear();
+    }
+
+  private:
+    std::shared_ptr<mercury::Fabric> m_fabric;
+    std::map<std::string, std::shared_ptr<bedrock::Process>> m_nodes;
+};
+
+} // namespace mochi::composed

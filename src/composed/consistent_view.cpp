@@ -1,0 +1,115 @@
+#include "composed/consistent_view.hpp"
+#include "mercury/archive.hpp"
+
+namespace mochi::composed {
+
+// Commands: 'J'<member>, 'L'<member>, 'G'. Replies: packed
+// (version, members) after the command applied — so join/leave observe the
+// exact view version their change produced.
+
+std::string ViewStateMachine::encode_join(const std::string& member) { return "J" + member; }
+std::string ViewStateMachine::encode_leave(const std::string& member) { return "L" + member; }
+std::string ViewStateMachine::encode_get() { return "G"; }
+
+std::string ViewStateMachine::apply(const std::string& command) {
+    std::lock_guard lk{m_mutex};
+    if (!command.empty()) {
+        switch (command[0]) {
+        case 'J': {
+            if (m_members.insert(command.substr(1)).second) ++m_version;
+            break;
+        }
+        case 'L': {
+            if (m_members.erase(command.substr(1)) > 0) ++m_version;
+            break;
+        }
+        case 'G':
+        default: break;
+        }
+    }
+    ConsistentGroupView view;
+    view.version = m_version;
+    view.members.assign(m_members.begin(), m_members.end());
+    return mercury::pack(view);
+}
+
+std::string ViewStateMachine::snapshot() const {
+    std::lock_guard lk{m_mutex};
+    std::vector<std::string> members(m_members.begin(), m_members.end());
+    return mercury::pack(m_version, members);
+}
+
+Status ViewStateMachine::restore(const std::string& snap) {
+    std::lock_guard lk{m_mutex};
+    std::vector<std::string> members;
+    std::uint64_t version = 0;
+    if (!mercury::unpack(snap, version, members))
+        return Error{Error::Code::Corruption, "corrupt view snapshot"};
+    m_version = version;
+    m_members = std::set<std::string>(members.begin(), members.end());
+    return {};
+}
+
+ConsistentGroupView ViewStateMachine::current() const {
+    std::lock_guard lk{m_mutex};
+    ConsistentGroupView view;
+    view.version = m_version;
+    view.members.assign(m_members.begin(), m_members.end());
+    return view;
+}
+
+Expected<ViewCoordinator> ViewCoordinator::create(
+    const std::shared_ptr<mercury::Fabric>& fabric, const std::string& address,
+    const std::vector<std::string>& coordinators, std::uint16_t provider_id,
+    const raft::RaftConfig& config) {
+    auto instance = margo::Instance::create(fabric, address);
+    if (!instance) return instance.error();
+    ViewCoordinator c;
+    c.instance = std::move(instance).value();
+    c.machine = std::make_shared<ViewStateMachine>();
+    c.raft = raft::Provider::create(c.instance, provider_id, coordinators, c.machine, config);
+    return c;
+}
+
+void ViewCoordinator::shutdown() {
+    // Same ordering rule as KvReplica::shutdown: drain Margo before
+    // releasing the provider that its handler ULTs reference.
+    if (raft) raft->stop();
+    if (instance) instance->shutdown();
+    raft.reset();
+}
+
+namespace {
+
+Expected<ConsistentGroupView> decode_view(const std::string& payload) {
+    ConsistentGroupView view;
+    if (!mercury::unpack(payload, view))
+        return Error{Error::Code::Corruption, "corrupt view reply"};
+    return view;
+}
+
+} // namespace
+
+Expected<std::uint64_t> ConsistentViewClient::join(const std::string& member) {
+    auto r = m_raft.submit(ViewStateMachine::encode_join(member));
+    if (!r) return std::move(r).error();
+    auto view = decode_view(*r);
+    if (!view) return view.error();
+    return view->version;
+}
+
+Expected<std::uint64_t> ConsistentViewClient::leave(const std::string& member) {
+    auto r = m_raft.submit(ViewStateMachine::encode_leave(member));
+    if (!r) return std::move(r).error();
+    auto view = decode_view(*r);
+    if (!view) return view.error();
+    return view->version;
+}
+
+Expected<ConsistentGroupView> ConsistentViewClient::view() {
+    auto r = m_raft.submit(ViewStateMachine::encode_get());
+    if (!r) return std::move(r).error();
+    return decode_view(*r);
+}
+
+} // namespace mochi::composed

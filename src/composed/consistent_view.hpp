@@ -1,0 +1,81 @@
+// ConsistentView: the paper's stated future work, implemented (§6: "In the
+// future, however, we plan to build a consistent view by using the RAFT
+// protocol [20] to coordinate configuration changes across a set of
+// Bedrock-managed processes."). Where SSG gives *eventually* consistent
+// membership, this service runs every view change (join/leave/metadata
+// update) through a Mochi-RAFT log replicated on a small set of coordinator
+// processes: every observer that asks for version v sees exactly the same
+// member list, and concurrent changes serialize into one linear history.
+#pragma once
+
+#include "raft/raft.hpp"
+
+#include <set>
+
+namespace mochi::composed {
+
+/// A linearizable group view.
+struct ConsistentGroupView {
+    std::uint64_t version = 0;
+    std::vector<std::string> members; ///< sorted
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& version& members;
+    }
+};
+
+/// State machine replicated on the coordinators: applies join/leave commands
+/// and answers reads through the log (linearizable reads).
+class ViewStateMachine : public raft::StateMachine {
+  public:
+    static std::string encode_join(const std::string& member);
+    static std::string encode_leave(const std::string& member);
+    static std::string encode_get();
+
+    std::string apply(const std::string& command) override;
+    [[nodiscard]] std::string snapshot() const override;
+    Status restore(const std::string& snap) override;
+
+    [[nodiscard]] ConsistentGroupView current() const;
+
+  private:
+    mutable std::mutex m_mutex;
+    std::set<std::string> m_members;
+    std::uint64_t m_version = 0;
+};
+
+/// One coordinator process: a margo instance hosting the RAFT provider over
+/// a ViewStateMachine.
+struct ViewCoordinator {
+    margo::InstancePtr instance;
+    std::shared_ptr<ViewStateMachine> machine;
+    std::shared_ptr<raft::Provider> raft;
+
+    static Expected<ViewCoordinator> create(const std::shared_ptr<mercury::Fabric>& fabric,
+                                            const std::string& address,
+                                            const std::vector<std::string>& coordinators,
+                                            std::uint16_t provider_id,
+                                            const raft::RaftConfig& config = {});
+    void shutdown();
+};
+
+/// Client used by service processes and applications alike: joins/leaves go
+/// through consensus; view() is linearizable (served through the log).
+class ConsistentViewClient {
+  public:
+    ConsistentViewClient(margo::InstancePtr instance, std::vector<std::string> coordinators,
+                         std::uint16_t provider_id)
+    : m_raft(std::move(instance), std::move(coordinators), provider_id) {}
+
+    /// Returns the view version at which the join took effect.
+    Expected<std::uint64_t> join(const std::string& member);
+    Expected<std::uint64_t> leave(const std::string& member);
+    /// Linearizable read of the current view.
+    Expected<ConsistentGroupView> view();
+
+  private:
+    raft::Client m_raft;
+};
+
+} // namespace mochi::composed

@@ -1,0 +1,66 @@
+// The dataset component "M" of §3.2: "a Mochi component M managing
+// 'datasets' by storing their metadata in a key-value store (managed by the
+// Yokan component) and their data in a blob storage target (managed by the
+// Warabi component). This component M could be further composed with
+// Mochi's embedded language interpreter component (Poesie), to execute
+// scripts on datasets".
+//
+// M demonstrates the composition mechanics end-to-end: its provider
+// declares Bedrock dependencies on a Yokan provider, a Warabi provider, and
+// (optionally) a Poesie provider — all resolved by Bedrock via resource
+// handles, which may point anywhere in the service (§3.2: "composition in
+// Mochi is achieved by having providers depend on resource handles pointing
+// to other providers").
+#pragma once
+
+#include "margo/provider.hpp"
+#include "poesie/provider.hpp"
+#include "warabi/provider.hpp"
+#include "yokan/provider.hpp"
+
+namespace mochi::composed {
+
+/// Client-side handle to a dataset provider.
+class DatasetHandle : public margo::ResourceHandle {
+  public:
+    DatasetHandle(margo::InstancePtr instance, std::string address,
+                  std::uint16_t provider_id)
+    : ResourceHandle(std::move(instance), std::move(address), provider_id, "dataset") {}
+
+    Status create(const std::string& name, const std::string& content) const;
+    [[nodiscard]] Expected<std::string> read(const std::string& name) const;
+    [[nodiscard]] Expected<std::vector<std::string>> list(const std::string& prefix = "") const;
+    Status destroy(const std::string& name) const;
+    /// Execute a Jx9 script against the dataset via the provider's Poesie
+    /// dependency; the script sees `$dataset` (content) and `$name`.
+    [[nodiscard]] Expected<json::Value> run_script(const std::string& name,
+                                                   const std::string& code) const;
+};
+
+class DatasetProvider : public margo::Provider {
+  public:
+    /// `meta`/`data` point to the Yokan/Warabi providers backing this
+    /// component; `script` optionally points to a Poesie provider.
+    DatasetProvider(margo::InstancePtr instance, std::uint16_t provider_id,
+                    yokan::Database meta, warabi::TargetHandle data,
+                    std::optional<poesie::InterpreterHandle> script = std::nullopt,
+                    std::shared_ptr<abt::Pool> pool = nullptr);
+
+    [[nodiscard]] json::Value get_config() const override;
+
+  private:
+    [[nodiscard]] std::string meta_key(const std::string& name) const {
+        return "dataset/" + name;
+    }
+
+    yokan::Database m_meta;
+    warabi::TargetHandle m_data;
+    std::optional<poesie::InterpreterHandle> m_script;
+};
+
+/// Register the dataset Bedrock module under "libdataset.so" (idempotent).
+/// Dependencies: "meta" (yokan, required), "data" (warabi, required),
+/// "script" (poesie, optional).
+void register_dataset_module();
+
+} // namespace mochi::composed

@@ -1,0 +1,443 @@
+#include "composed/elastic_kv.hpp"
+#include "common/logging.hpp"
+
+namespace mochi::composed {
+
+// ---------------------------------------------------------------------------
+// Deployment
+// ---------------------------------------------------------------------------
+
+json::Value ElasticKvService::node_bootstrap_config() {
+    // Listing-3-style bootstrap: every node gets the component libraries and
+    // a REMI provider; shard providers are started dynamically.
+    auto cfg = json::Value::object();
+    cfg["libraries"]["yokan"] = "libyokan.so";
+    cfg["libraries"]["remi"] = "libremi.so";
+    auto remi_desc = json::Value::object();
+    remi_desc["name"] = "remi";
+    remi_desc["type"] = "remi";
+    remi_desc["provider_id"] = static_cast<std::int64_t>(k_remi_provider_id);
+    cfg["providers"].push_back(std::move(remi_desc));
+    return cfg;
+}
+
+json::Value ElasticKvService::shard_descriptor(std::size_t shard) const {
+    auto desc = json::Value::object();
+    desc["name"] = shard_name(shard);
+    desc["type"] = "yokan";
+    desc["provider_id"] = static_cast<std::int64_t>(k_first_shard_provider_id + shard);
+    desc["config"]["name"] = shard_name(shard);
+    desc["config"]["backend"] = m_config.backend;
+    desc["dependencies"]["remi"] = "remi";
+    return desc;
+}
+
+Expected<std::unique_ptr<ElasticKvService>>
+ElasticKvService::create(Cluster& cluster, std::vector<std::string> addresses,
+                         ElasticKvConfig config) {
+    if (addresses.empty())
+        return Error{Error::Code::InvalidArgument, "service needs at least one node"};
+    yokan::register_module();
+    remi::register_module();
+    auto service =
+        std::unique_ptr<ElasticKvService>(new ElasticKvService(cluster, std::move(config)));
+    auto client = margo::Instance::create(
+        cluster.fabric(), "sim://" + service->m_config.group_name + "-controller");
+    if (!client) return client.error();
+    service->m_client = std::move(client).value();
+
+    for (const auto& addr : addresses) {
+        if (auto st = service->spawn_service_node(addr); !st.ok()) return st.error();
+    }
+    // Initial round-robin shard placement.
+    {
+        std::lock_guard lk{service->m_mutex};
+        service->m_shard_to_node.resize(service->m_config.num_shards);
+        for (std::size_t s = 0; s < service->m_config.num_shards; ++s)
+            service->m_shard_to_node[s] = addresses[s % addresses.size()];
+    }
+    for (std::size_t s = 0; s < service->m_config.num_shards; ++s) {
+        auto node = cluster.node(addresses[s % addresses.size()]);
+        if (auto st = node->start_provider(service->shard_descriptor(s)); !st.ok())
+            return st.error();
+    }
+    // Serve the directory to detached clients (the explicit query function
+    // of §6's first client strategy).
+    ElasticKvService* raw = service.get();
+    (void)service->m_client->register_rpc(
+        "elastic_kv/directory", margo::k_default_provider_id,
+        [raw](const margo::Request& req) {
+            auto dir = raw->directory();
+            req.respond_values(dir.version, dir.shard_to_node);
+        });
+    return service;
+}
+
+Status ElasticKvService::spawn_service_node(const std::string& address) {
+    auto proc = m_cluster.spawn_node(address, node_bootstrap_config());
+    if (!proc) return proc.error();
+    {
+        std::lock_guard lk{m_mutex};
+        m_nodes.insert(address);
+    }
+    // Membership: bootstrap or join the SSG group on the node's runtime.
+    ssg::GroupConfig gcfg;
+    gcfg.enable_swim = m_config.enable_swim;
+    gcfg.swim_period = m_config.swim_period;
+    std::shared_ptr<ssg::Group> group;
+    std::string seed;
+    {
+        std::lock_guard lk{m_mutex};
+        for (const auto& [a, g] : m_groups) {
+            seed = a;
+            break;
+        }
+    }
+    auto instance = (*proc)->margo_instance();
+    if (seed.empty()) {
+        auto g = ssg::Group::create(instance, m_config.group_name, {address}, gcfg);
+        if (!g) return g.error();
+        group = std::move(g).value();
+    } else {
+        auto g = ssg::Group::join(instance, m_config.group_name, seed, gcfg);
+        if (!g) return g.error();
+        group = std::move(g).value();
+    }
+    if (m_config.enable_resilience) {
+        group->on_membership_change([this](const std::string& addr,
+                                           ssg::MembershipEvent ev) {
+            if (ev == ssg::MembershipEvent::Died && !m_stopping.load()) on_member_died(addr);
+        });
+    }
+    std::lock_guard lk{m_mutex};
+    m_groups[address] = std::move(group);
+    return {};
+}
+
+ElasticKvService::~ElasticKvService() {
+    m_stopping.store(true);
+    (void)m_client->deregister_rpc("elastic_kv/directory", margo::k_default_provider_id);
+    {
+        std::lock_guard lk{m_mutex};
+        for (auto& [a, g] : m_groups) g->leave();
+        m_groups.clear();
+    }
+    if (m_client) m_client->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Client operations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t shard_hash(const std::string& key, std::size_t num_shards) {
+    std::uint32_t h = 2166136261u;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 16777619u;
+    }
+    return h % static_cast<std::uint32_t>(num_shards);
+}
+
+} // namespace
+
+std::uint32_t ElasticKvService::shard_of(const std::string& key) const {
+    return shard_hash(key, m_config.num_shards);
+}
+
+Directory ElasticKvService::directory() const {
+    std::lock_guard lk{m_mutex};
+    return Directory{m_directory_version, m_shard_to_node};
+}
+
+std::vector<std::string> ElasticKvService::nodes() const {
+    std::lock_guard lk{m_mutex};
+    return {m_nodes.begin(), m_nodes.end()};
+}
+
+std::uint64_t ElasticKvService::group_digest() const {
+    std::lock_guard lk{m_mutex};
+    if (m_groups.empty()) return 0;
+    return m_groups.begin()->second->view_digest();
+}
+
+Status ElasticKvService::put(const std::string& key, const std::string& value) {
+    std::size_t shard = shard_of(key);
+    std::string node;
+    {
+        std::lock_guard lk{m_mutex};
+        node = m_shard_to_node[shard];
+    }
+    yokan::Database db{m_client, node,
+                       static_cast<std::uint16_t>(k_first_shard_provider_id + shard)};
+    return db.put(key, value);
+}
+
+Expected<std::string> ElasticKvService::get(const std::string& key) {
+    std::size_t shard = shard_of(key);
+    std::string node;
+    {
+        std::lock_guard lk{m_mutex};
+        node = m_shard_to_node[shard];
+    }
+    yokan::Database db{m_client, node,
+                       static_cast<std::uint16_t>(k_first_shard_provider_id + shard)};
+    return db.get(key);
+}
+
+Status ElasticKvService::erase(const std::string& key) {
+    std::size_t shard = shard_of(key);
+    std::string node;
+    {
+        std::lock_guard lk{m_mutex};
+        node = m_shard_to_node[shard];
+    }
+    yokan::Database db{m_client, node,
+                       static_cast<std::uint16_t>(k_first_shard_provider_id + shard)};
+    return db.erase(key);
+}
+
+// ---------------------------------------------------------------------------
+// Elasticity
+// ---------------------------------------------------------------------------
+
+std::vector<pufferscale::Resource> ElasticKvService::shard_resources() const {
+    // Load signal: per-provider handler activity from each node's Margo
+    // monitoring (§4 — "using the performance introspection tools presented
+    // in Section 4 to guide load rebalancing"); size from the provider's
+    // own config (key count via yokan config is not exposed, so we use the
+    // monitoring request sizes as a proxy plus the DB's store footprint).
+    std::vector<pufferscale::Resource> resources;
+    Directory dir = directory();
+    for (std::size_t s = 0; s < dir.shard_to_node.size(); ++s) {
+        pufferscale::Resource r;
+        r.id = shard_name(s);
+        r.node = dir.shard_to_node[s];
+        auto proc = m_cluster.node(r.node);
+        if (!proc) continue;
+        auto stats = proc->margo_instance()->monitoring_json();
+        double load = 0;
+        std::uint16_t pid = static_cast<std::uint16_t>(k_first_shard_provider_id + s);
+        for (const auto& [key, rpc] : stats["rpcs"].as_object()) {
+            if (rpc["provider_id"].as_integer() != pid) continue;
+            for (const auto& [peer, t] : rpc["target"].as_object())
+                load += static_cast<double>(t["ult"]["duration"]["num"].as_integer());
+        }
+        r.load = load;
+        // Size: count keys through a live query.
+        yokan::Database db{m_client, r.node, pid};
+        if (auto c = db.count()) r.size = static_cast<double>(*c);
+        resources.push_back(std::move(r));
+    }
+    return resources;
+}
+
+Status ElasticKvService::migrate_shard(std::size_t shard, const std::string& dest) {
+    std::string source;
+    {
+        std::lock_guard lk{m_mutex};
+        source = m_shard_to_node[shard];
+    }
+    if (source == dest) return {};
+    bedrock::Client bc{m_client};
+    auto handle = bc.makeServiceHandle(source);
+    auto options = json::Value::object();
+    options["method"] = m_config.migration_method == remi::Method::Rdma ? "rdma" : "chunks";
+    if (auto st = handle.migrateProvider(shard_name(shard), dest, options); !st.ok())
+        return st;
+    std::lock_guard lk{m_mutex};
+    m_shard_to_node[shard] = dest;
+    ++m_directory_version;
+    return {};
+}
+
+Status ElasticKvService::rebalance() {
+    auto resources = shard_resources();
+    auto plan = pufferscale::plan_rescale(resources, nodes(), m_config.objectives);
+    if (!plan) return plan.error();
+    // Pufferscale executes through dependency injection: the injected
+    // function is Bedrock's managed provider migration.
+    return pufferscale::execute(*plan, [this](const pufferscale::Move& move) -> Status {
+        std::size_t shard = std::stoul(move.resource.substr(5));
+        return migrate_shard(shard, move.to);
+    });
+}
+
+Status ElasticKvService::scale_up(const std::string& address) {
+    if (auto st = spawn_service_node(address); !st.ok()) return st;
+    return rebalance();
+}
+
+Status ElasticKvService::scale_down(const std::string& address) {
+    {
+        std::lock_guard lk{m_mutex};
+        if (!m_nodes.count(address))
+            return Error{Error::Code::NotFound, "no service node at " + address};
+        if (m_nodes.size() == 1)
+            return Error{Error::Code::InvalidState, "cannot remove the last node"};
+        m_nodes.erase(address);
+    }
+    // §6 Obs. 4: "removing nodes first requires their data to be sent to
+    // remaining nodes" — plan a rescale excluding the leaving node.
+    auto resources = shard_resources();
+    auto plan = pufferscale::plan_rescale(resources, nodes(), m_config.objectives);
+    if (!plan) return plan.error();
+    if (auto st = pufferscale::execute(*plan, [this](const pufferscale::Move& move) {
+            std::size_t shard = std::stoul(move.resource.substr(5));
+            return migrate_shard(shard, move.to);
+        });
+        !st.ok())
+        return st;
+    // Leave the group gracefully and release the node.
+    std::shared_ptr<ssg::Group> group;
+    {
+        std::lock_guard lk{m_mutex};
+        auto it = m_groups.find(address);
+        if (it != m_groups.end()) {
+            group = it->second;
+            m_groups.erase(it);
+        }
+    }
+    if (group) group->leave();
+    return m_cluster.crash_node(address);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience (§7)
+// ---------------------------------------------------------------------------
+
+Status ElasticKvService::checkpoint_all() {
+    Directory dir = directory();
+    bedrock::Client bc{m_client};
+    for (std::size_t s = 0; s < dir.shard_to_node.size(); ++s) {
+        auto handle = bc.makeServiceHandle(dir.shard_to_node[s]);
+        if (auto st = handle.checkpointProvider(shard_name(s), checkpoint_path(s)); !st.ok())
+            return st;
+    }
+    return {};
+}
+
+void ElasticKvService::on_member_died(const std::string& address) {
+    log::info("elastic_kv", "controller: node %s died, re-provisioning its shards",
+              address.c_str());
+    (void)recover_shards_of(address);
+}
+
+Status ElasticKvService::recover_shards_of(const std::string& address) {
+    // Top-down recovery (§7): the controller has the global view; it
+    // restarts every shard the dead node hosted on surviving nodes, restored
+    // from the latest PFS checkpoint.
+    std::vector<std::size_t> lost;
+    std::vector<std::string> survivors;
+    {
+        std::lock_guard lk{m_mutex};
+        if (!m_nodes.erase(address)) return {}; // already handled
+        m_groups.erase(address);
+        for (std::size_t s = 0; s < m_shard_to_node.size(); ++s)
+            if (m_shard_to_node[s] == address) lost.push_back(s);
+        survivors.assign(m_nodes.begin(), m_nodes.end());
+    }
+    if (survivors.empty())
+        return Error{Error::Code::InvalidState, "no surviving node to recover onto"};
+    bedrock::Client bc{m_client};
+    std::size_t next = 0;
+    for (std::size_t s : lost) {
+        const std::string& target = survivors[next++ % survivors.size()];
+        auto handle = bc.makeServiceHandle(target);
+        if (auto st = handle.startProvider(shard_descriptor(s)); !st.ok()) return st;
+        // Restore from the checkpoint if one exists (otherwise the shard
+        // restarts empty — data since the last checkpoint is lost, which §7
+        // Obs. 9 deems acceptable for this failure model).
+        if (remi::SimFileStore::pfs()->exists(checkpoint_path(s)))
+            (void)handle.restoreProvider(shard_name(s), checkpoint_path(s));
+        {
+            std::lock_guard lk{m_mutex};
+            m_shard_to_node[s] = target;
+            ++m_directory_version;
+        }
+        m_recoveries.fetch_add(1);
+    }
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// ElasticKvClient (Colza-style stale-view protocol)
+// ---------------------------------------------------------------------------
+
+ElasticKvClient::ElasticKvClient(margo::InstancePtr instance, std::string controller)
+: m_instance(std::move(instance)), m_controller(std::move(controller)) {}
+
+Status ElasticKvClient::refresh() {
+    auto r = m_instance->call<std::uint64_t, std::vector<std::string>>(
+        m_controller, "elastic_kv/directory", {});
+    if (!r) return r.error();
+    m_directory.version = std::get<0>(*r);
+    m_directory.shard_to_node = std::move(std::get<1>(*r));
+    ++m_refreshes;
+    return {};
+}
+
+namespace {
+
+/// True when an error indicates the client routed to the wrong node: the
+/// node is gone, or it no longer hosts the shard's provider (the dispatch
+/// layer answers "no such RPC").
+bool indicates_stale_directory(const Error& err) {
+    if (err.code == Error::Code::Unreachable || err.code == Error::Code::Timeout)
+        return true;
+    return err.code == Error::Code::NotFound &&
+           err.message.find("no such RPC") != std::string::npos;
+}
+
+} // namespace
+
+template <typename Op>
+auto ElasticKvClient::with_routing(const std::string& key, Op op)
+    -> decltype(op(std::declval<yokan::Database&>())) {
+    if (m_directory.shard_to_node.empty()) {
+        if (auto st = refresh(); !st.ok()) return st.error();
+    }
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        std::uint32_t shard = shard_hash(key, m_directory.shard_to_node.size());
+        yokan::Database db{
+            m_instance, m_directory.shard_to_node[shard],
+            static_cast<std::uint16_t>(ElasticKvService::k_first_shard_provider_id + shard)};
+        auto result = op(db);
+        if (result) return result;
+        // Stale view? Refresh and retry once (the Colza mismatch protocol).
+        if (attempt == 0 && indicates_stale_directory(result.error())) {
+            if (auto st = refresh(); !st.ok()) return st.error();
+            continue;
+        }
+        return result;
+    }
+    return Error{Error::Code::Unreachable, "routing failed"};
+}
+
+Status ElasticKvClient::put(const std::string& key, const std::string& value) {
+    auto r = with_routing(key, [&](yokan::Database& db) -> Expected<bool> {
+        auto st = db.put(key, value);
+        if (!st.ok()) return st.error();
+        return true;
+    });
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::string> ElasticKvClient::get(const std::string& key) {
+    return with_routing(key,
+                        [&](yokan::Database& db) -> Expected<std::string> { return db.get(key); });
+}
+
+Status ElasticKvClient::erase(const std::string& key) {
+    auto r = with_routing(key, [&](yokan::Database& db) -> Expected<bool> {
+        auto st = db.erase(key);
+        if (!st.ok()) return st.error();
+        return true;
+    });
+    if (!r) return r.error();
+    return {};
+}
+
+} // namespace mochi::composed

@@ -1,0 +1,160 @@
+// The elastic (and optionally resilient) sharded key-value service — the
+// paper's capstone composition. It assembles:
+//   - Yokan shard providers managed by Bedrock on every node (Listing 3),
+//   - REMI for shard migration (§6 Obs. 4-5, through Bedrock's managed
+//     migrate_provider),
+//   - Pufferscale for rebalancing decisions (§6 Obs. 6, executed through
+//     dependency injection),
+//   - Margo monitoring as the load signal driving those decisions (§4),
+//   - SSG for dynamic membership and SWIM fault detection (§6 Obs. 7,
+//     §7 Obs. 12),
+//   - periodic checkpoints to the simulated PFS plus a top-down controller
+//     that re-provisions shards of dead nodes (§7 Obs. 9 + "top-down"
+//     design).
+//
+// The service object acts as the controller, the role Colza gives to the
+// application (§6). Clients route by shard hash using a versioned directory
+// (the Colza-style "view digest" protocol: a stale client notices its
+// directory version no longer matches and refreshes).
+#pragma once
+
+#include "composed/cluster.hpp"
+#include "pufferscale/rebalancer.hpp"
+#include "ssg/group.hpp"
+#include "yokan/provider.hpp"
+
+#include <set>
+
+namespace mochi::composed {
+
+struct ElasticKvConfig {
+    std::size_t num_shards = 16;
+    std::string backend = "map";
+    remi::Method migration_method = remi::Method::Chunks;
+    pufferscale::Objectives objectives;
+    bool enable_resilience = false; ///< SWIM detection + shard re-provisioning
+    bool enable_swim = true;
+    std::chrono::milliseconds swim_period{100};
+    std::string group_name = "elastic_kv";
+};
+
+/// Versioned shard directory handed to clients.
+struct Directory {
+    std::uint64_t version = 0;
+    std::vector<std::string> shard_to_node; ///< indexed by shard id
+};
+
+class ElasticKvService {
+  public:
+    /// Deploy the service over `addresses` (nodes are spawned in `cluster`).
+    static Expected<std::unique_ptr<ElasticKvService>>
+    create(Cluster& cluster, std::vector<std::string> addresses, ElasticKvConfig config = {});
+
+    ~ElasticKvService();
+
+    // -- client operations (routed by shard hash) ------------------------------
+
+    Status put(const std::string& key, const std::string& value);
+    Expected<std::string> get(const std::string& key);
+    Status erase(const std::string& key);
+
+    [[nodiscard]] Directory directory() const;
+    [[nodiscard]] std::size_t num_shards() const noexcept { return m_config.num_shards; }
+    [[nodiscard]] std::vector<std::string> nodes() const;
+    [[nodiscard]] std::uint64_t group_digest() const;
+
+    /// Shard id a key routes to.
+    [[nodiscard]] std::uint32_t shard_of(const std::string& key) const;
+
+    // -- elasticity (§6) --------------------------------------------------------
+
+    /// Add a node and rebalance shards onto it.
+    Status scale_up(const std::string& address);
+    /// Drain a node's shards to the others, then release it.
+    Status scale_down(const std::string& address);
+    /// Rebalance with Pufferscale using live monitoring-derived load.
+    Status rebalance();
+    /// Shard load/size snapshot (the Pufferscale input), derived from each
+    /// node's Margo monitoring statistics (§4) and Yokan sizes.
+    [[nodiscard]] std::vector<pufferscale::Resource> shard_resources() const;
+
+    // -- resilience (§7) ---------------------------------------------------------
+
+    /// Checkpoint every shard to the PFS (also runs before risky steps).
+    Status checkpoint_all();
+    /// Number of shard re-provisionings performed by the controller.
+    [[nodiscard]] std::size_t recoveries() const noexcept { return m_recoveries.load(); }
+
+    static constexpr std::uint16_t k_remi_provider_id = 1;
+    static constexpr std::uint16_t k_first_shard_provider_id = 100;
+
+    /// Address of the controller process (serves the directory RPC).
+    [[nodiscard]] const std::string& controller_address() const {
+        return m_client->address();
+    }
+
+  private:
+    ElasticKvService(Cluster& cluster, ElasticKvConfig config)
+    : m_cluster(cluster), m_config(std::move(config)) {}
+
+    Status spawn_service_node(const std::string& address);
+    [[nodiscard]] static json::Value node_bootstrap_config();
+    [[nodiscard]] json::Value shard_descriptor(std::size_t shard) const;
+    Status migrate_shard(std::size_t shard, const std::string& dest);
+    void on_member_died(const std::string& address);
+    Status recover_shards_of(const std::string& address);
+    [[nodiscard]] std::string shard_name(std::size_t shard) const {
+        return "shard" + std::to_string(shard);
+    }
+    [[nodiscard]] std::string checkpoint_path(std::size_t shard) const {
+        return "/ckpt/" + m_config.group_name + "/" + shard_name(shard);
+    }
+
+    Cluster& m_cluster;
+    ElasticKvConfig m_config;
+    margo::InstancePtr m_client; ///< the controller/client margo instance
+
+    mutable std::mutex m_mutex;
+    std::vector<std::string> m_shard_to_node;
+    std::uint64_t m_directory_version = 1;
+    std::set<std::string> m_nodes;
+    std::map<std::string, std::shared_ptr<ssg::Group>> m_groups; ///< per node
+    std::atomic<std::size_t> m_recoveries{0};
+    std::atomic<bool> m_stopping{false};
+};
+
+/// A detached application client implementing the Colza-style protocol of
+/// §6: it routes with a *cached* directory and only refreshes it from the
+/// controller when an operation lands on a node that no longer (or does not
+/// yet) host the shard — the "mismatch ... informs the [client] that [its]
+/// view of the group is outdated" pattern, with the explicit query function
+/// as the refresh mechanism.
+class ElasticKvClient {
+  public:
+    /// `instance` is the application's own margo runtime; `controller` the
+    /// address returned by ElasticKvService::controller_address().
+    ElasticKvClient(margo::InstancePtr instance, std::string controller);
+
+    Status put(const std::string& key, const std::string& value);
+    Expected<std::string> get(const std::string& key);
+    Status erase(const std::string& key);
+
+    /// Explicitly refresh the cached directory from the controller.
+    Status refresh();
+    [[nodiscard]] std::uint64_t cached_version() const noexcept {
+        return m_directory.version;
+    }
+    [[nodiscard]] std::size_t refreshes() const noexcept { return m_refreshes; }
+
+  private:
+    template <typename Op>
+    auto with_routing(const std::string& key, Op op)
+        -> decltype(op(std::declval<yokan::Database&>()));
+
+    margo::InstancePtr m_instance;
+    std::string m_controller;
+    Directory m_directory;
+    std::size_t m_refreshes = 0;
+};
+
+} // namespace mochi::composed

@@ -1,0 +1,105 @@
+#include "composed/replicated_kv.hpp"
+#include "mercury/archive.hpp"
+
+namespace mochi::composed {
+
+namespace {
+constexpr char k_found = 'F';
+constexpr char k_missing = 'M';
+} // namespace
+
+std::string YokanStateMachine::encode_put(const std::string& key, const std::string& value) {
+    return "P" + mercury::pack(key, value);
+}
+
+std::string YokanStateMachine::encode_erase(const std::string& key) { return "E" + key; }
+
+std::string YokanStateMachine::encode_get(const std::string& key) { return "G" + key; }
+
+std::string YokanStateMachine::apply(const std::string& command) {
+    if (command.empty()) return "";
+    switch (command[0]) {
+    case 'P': {
+        std::string key, value;
+        if (!mercury::unpack(std::string_view(command).substr(1), key, value)) return "";
+        (void)m_backend->put(key, std::move(value));
+        return std::string(1, k_found);
+    }
+    case 'E': {
+        auto st = m_backend->erase(command.substr(1));
+        return std::string(1, st.ok() ? k_found : k_missing);
+    }
+    case 'G': {
+        auto v = m_backend->get(command.substr(1));
+        if (!v) return std::string(1, k_missing);
+        return std::string(1, k_found) + *v;
+    }
+    default: return "";
+    }
+}
+
+std::string YokanStateMachine::snapshot() const {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    m_backend->for_each(
+        [&](const std::string& k, const std::string& v) { pairs.emplace_back(k, v); });
+    return mercury::pack(pairs);
+}
+
+Status YokanStateMachine::restore(const std::string& snap) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    if (!mercury::unpack(snap, pairs))
+        return Error{Error::Code::Corruption, "corrupt replicated-kv snapshot"};
+    m_backend->clear();
+    for (auto& [k, v] : pairs) (void)m_backend->put(k, std::move(v));
+    return {};
+}
+
+Expected<KvReplica> KvReplica::create(const std::shared_ptr<mercury::Fabric>& fabric,
+                                      const std::string& address,
+                                      const std::vector<std::string>& peers,
+                                      std::uint16_t provider_id,
+                                      const raft::RaftConfig& config,
+                                      const std::string& backend_type) {
+    auto instance = margo::Instance::create(fabric, address);
+    if (!instance) return instance.error();
+    auto backend = yokan::Backend::create(backend_type);
+    if (!backend) return backend.error();
+    KvReplica r;
+    r.instance = std::move(instance).value();
+    r.machine = std::make_shared<YokanStateMachine>(std::move(*backend));
+    r.raft = raft::Provider::create(r.instance, provider_id, peers, r.machine, config);
+    return r;
+}
+
+void KvReplica::shutdown() {
+    // Order matters: stop RAFT timers, then drain the Margo runtime (which
+    // runs handler ULTs that capture the provider), and only then release
+    // the provider. Destroying it while handlers run is a use-after-free.
+    if (raft) raft->stop();
+    if (instance) instance->shutdown();
+    raft.reset();
+}
+
+Status ReplicatedKvClient::put(const std::string& key, const std::string& value) {
+    auto r = m_raft.submit(YokanStateMachine::encode_put(key, value));
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::string> ReplicatedKvClient::get(const std::string& key) {
+    auto r = m_raft.submit(YokanStateMachine::encode_get(key));
+    if (!r) return std::move(r).error();
+    if (r->empty() || (*r)[0] == k_missing)
+        return Error{Error::Code::NotFound, "no such key: " + key};
+    return r->substr(1);
+}
+
+Status ReplicatedKvClient::erase(const std::string& key) {
+    auto r = m_raft.submit(YokanStateMachine::encode_erase(key));
+    if (!r) return r.error();
+    if (r->empty() || (*r)[0] == k_missing)
+        return Error{Error::Code::NotFound, "no such key: " + key};
+    return {};
+}
+
+} // namespace mochi::composed

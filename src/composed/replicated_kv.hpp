@@ -1,0 +1,74 @@
+// The resilient replicated key-value store of §2.3's design example:
+// "multiple instances of Yokan ... a consensus algorithm such as RAFT is
+// needed to provide data consistency for key-value pairs replicated across
+// the nodes running Yokan. ... individual Yokan instances are unaware of
+// their database being RAFT-replicated across nodes, while Mochi-RAFT
+// itself does not need to know that the commands it logs represent Yokan
+// key-value pairs."
+//
+// YokanStateMachine adapts a plain yokan::Backend to raft::StateMachine by
+// encoding put/erase commands; KvReplica wires one node's pieces together;
+// ReplicatedKvClient gives applications a Database-like API that is
+// linearizable and survives leader failures.
+#pragma once
+
+#include "raft/raft.hpp"
+#include "yokan/backend.hpp"
+
+namespace mochi::composed {
+
+/// Adapts a Yokan backend to RAFT's state machine interface. Commands:
+///   "P<klen:8><key><value>"  put
+///   "E<key>"                  erase
+///   "G<key>"                  get (read-through-log for linearizable reads)
+class YokanStateMachine : public raft::StateMachine {
+  public:
+    explicit YokanStateMachine(std::unique_ptr<yokan::Backend> backend)
+    : m_backend(std::move(backend)) {}
+
+    static std::string encode_put(const std::string& key, const std::string& value);
+    static std::string encode_erase(const std::string& key);
+    static std::string encode_get(const std::string& key);
+
+    std::string apply(const std::string& command) override;
+    [[nodiscard]] std::string snapshot() const override;
+    Status restore(const std::string& snap) override;
+
+    [[nodiscard]] yokan::Backend& backend() noexcept { return *m_backend; }
+
+  private:
+    std::unique_ptr<yokan::Backend> m_backend;
+};
+
+/// One replica: a margo instance + RAFT provider over a Yokan backend.
+struct KvReplica {
+    margo::InstancePtr instance;
+    std::shared_ptr<YokanStateMachine> machine;
+    std::shared_ptr<raft::Provider> raft;
+
+    static Expected<KvReplica> create(const std::shared_ptr<mercury::Fabric>& fabric,
+                                      const std::string& address,
+                                      const std::vector<std::string>& peers,
+                                      std::uint16_t provider_id,
+                                      const raft::RaftConfig& config = {},
+                                      const std::string& backend_type = "map");
+    void shutdown();
+};
+
+/// Client API over the replicated store. All operations are linearizable
+/// (they go through the RAFT log, including reads).
+class ReplicatedKvClient {
+  public:
+    ReplicatedKvClient(margo::InstancePtr instance, std::vector<std::string> peers,
+                       std::uint16_t provider_id)
+    : m_raft(std::move(instance), std::move(peers), provider_id) {}
+
+    Status put(const std::string& key, const std::string& value);
+    Expected<std::string> get(const std::string& key);
+    Status erase(const std::string& key);
+
+  private:
+    raft::Client m_raft;
+};
+
+} // namespace mochi::composed

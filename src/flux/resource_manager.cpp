@@ -1,0 +1,165 @@
+#include "flux/resource_manager.hpp"
+
+#include <algorithm>
+
+namespace mochi::flux {
+
+ResourceManager::ResourceManager(std::vector<std::string> inventory) {
+    for (auto& n : inventory) m_free.insert(std::move(n));
+}
+
+std::size_t ResourceManager::total_nodes() const {
+    std::lock_guard lk{m_mutex};
+    std::size_t used = 0;
+    for (const auto& [id, j] : m_jobs) used += j.nodes.size();
+    return m_free.size() + used;
+}
+
+std::size_t ResourceManager::free_nodes() const {
+    std::lock_guard lk{m_mutex};
+    return m_free.size();
+}
+
+std::size_t ResourceManager::running_jobs() const {
+    std::lock_guard lk{m_mutex};
+    return m_jobs.size();
+}
+
+void ResourceManager::drain_queue_locked(std::vector<std::shared_ptr<Waiter>>& to_wake) {
+    // Strict FIFO: the head waiter blocks later (possibly smaller) requests,
+    // preventing starvation of large allocations.
+    while (!m_queue.empty() && m_free.size() >= m_queue.front()->wanted) {
+        auto waiter = m_queue.front();
+        m_queue.pop_front();
+        for (std::size_t i = 0; i < waiter->wanted; ++i) {
+            waiter->granted.push_back(*m_free.begin());
+            m_free.erase(m_free.begin());
+        }
+        to_wake.push_back(std::move(waiter));
+    }
+}
+
+Expected<std::vector<std::string>> ResourceManager::acquire(
+    std::size_t n, std::chrono::milliseconds timeout) {
+    if (n == 0) return std::vector<std::string>{};
+    std::shared_ptr<Waiter> waiter;
+    {
+        std::lock_guard lk{m_mutex};
+        if (m_queue.empty() && m_free.size() >= n) {
+            std::vector<std::string> granted;
+            for (std::size_t i = 0; i < n; ++i) {
+                granted.push_back(*m_free.begin());
+                m_free.erase(m_free.begin());
+            }
+            return granted;
+        }
+        if (n > total_nodes_locked())
+            return Error{Error::Code::InvalidArgument,
+                         "allocation exceeds the cluster inventory"};
+        if (timeout.count() == 0)
+            return Error{Error::Code::InvalidState, "not enough free nodes"};
+        waiter = std::make_shared<Waiter>();
+        waiter->wanted = n;
+        m_queue.push_back(waiter);
+    }
+    bool granted = waiter->ready
+                       .wait_for(std::chrono::duration_cast<std::chrono::microseconds>(timeout))
+                       .has_value();
+    std::lock_guard lk{m_mutex};
+    if (!granted && waiter->granted.empty()) {
+        // Timed out while still queued: withdraw the request.
+        std::erase(m_queue, waiter);
+        return Error{Error::Code::Timeout, "allocation not satisfied in time"};
+    }
+    return std::move(waiter->granted);
+}
+
+// The header declares no total_nodes_locked; keep it file-local via a
+// member-like helper.
+std::size_t ResourceManager::total_nodes_locked() const {
+    std::size_t used = 0;
+    for (const auto& [id, j] : m_jobs) used += j.nodes.size();
+    return m_free.size() + used;
+}
+
+Expected<JobInfo> ResourceManager::submit(std::size_t n, std::chrono::milliseconds timeout) {
+    if (n == 0) return Error{Error::Code::InvalidArgument, "a job needs at least one node"};
+    auto nodes = acquire(n, timeout);
+    if (!nodes) return nodes.error();
+    std::lock_guard lk{m_mutex};
+    JobInfo job;
+    job.id = m_next_job++;
+    job.nodes = std::move(*nodes);
+    m_jobs[job.id] = job;
+    return job;
+}
+
+Expected<std::vector<std::string>> ResourceManager::grow(JobId job, std::size_t n,
+                                                         std::chrono::milliseconds timeout) {
+    {
+        std::lock_guard lk{m_mutex};
+        if (!m_jobs.count(job)) return Error{Error::Code::NotFound, "no such job"};
+    }
+    auto nodes = acquire(n, timeout);
+    if (!nodes) return nodes.error();
+    std::lock_guard lk{m_mutex};
+    auto it = m_jobs.find(job);
+    if (it == m_jobs.end()) {
+        // Job released while we waited: return the grant to the pool.
+        std::vector<std::shared_ptr<Waiter>> to_wake;
+        for (auto& node : *nodes) m_free.insert(node);
+        drain_queue_locked(to_wake);
+        for (auto& w : to_wake) w->ready.set_value(true);
+        return Error{Error::Code::NotFound, "job released during grow"};
+    }
+    for (const auto& node : *nodes) it->second.nodes.push_back(node);
+    return nodes;
+}
+
+Status ResourceManager::shrink(JobId job, const std::vector<std::string>& nodes) {
+    std::vector<std::shared_ptr<Waiter>> to_wake;
+    {
+        std::lock_guard lk{m_mutex};
+        auto it = m_jobs.find(job);
+        if (it == m_jobs.end()) return Error{Error::Code::NotFound, "no such job"};
+        for (const auto& node : nodes) {
+            auto pos = std::find(it->second.nodes.begin(), it->second.nodes.end(), node);
+            if (pos == it->second.nodes.end())
+                return Error{Error::Code::InvalidArgument,
+                             "node " + node + " is not allocated to this job"};
+        }
+        if (nodes.size() >= it->second.nodes.size())
+            return Error{Error::Code::InvalidArgument,
+                         "shrink would leave the job without nodes; use release()"};
+        for (const auto& node : nodes) {
+            std::erase(it->second.nodes, node);
+            m_free.insert(node);
+        }
+        drain_queue_locked(to_wake);
+    }
+    for (auto& w : to_wake) w->ready.set_value(true);
+    return {};
+}
+
+Status ResourceManager::release(JobId job) {
+    std::vector<std::shared_ptr<Waiter>> to_wake;
+    {
+        std::lock_guard lk{m_mutex};
+        auto it = m_jobs.find(job);
+        if (it == m_jobs.end()) return Error{Error::Code::NotFound, "no such job"};
+        for (const auto& node : it->second.nodes) m_free.insert(node);
+        m_jobs.erase(it);
+        drain_queue_locked(to_wake);
+    }
+    for (auto& w : to_wake) w->ready.set_value(true);
+    return {};
+}
+
+Expected<JobInfo> ResourceManager::info(JobId job) const {
+    std::lock_guard lk{m_mutex};
+    auto it = m_jobs.find(job);
+    if (it == m_jobs.end()) return Error{Error::Code::NotFound, "no such job"};
+    return it->second;
+}
+
+} // namespace mochi::flux

@@ -1,0 +1,79 @@
+// A Flux-like resource manager (§2.3: "we expect elastic data services to
+// pair well with high-level HPC resource managers such as Flux [6] that
+// support the elastic allocation of cluster resources"; §8.1 discusses the
+// same role for cloud/workflow schedulers).
+//
+// This is the allocation side of the simulation: a fixed node inventory,
+// jobs that hold allocations, FIFO-queued grant requests that block until
+// nodes free up, and *elastic grow/shrink* of a running job's allocation —
+// the capability an elastic Mochi service consumes when it scales.
+#pragma once
+
+#include "abt/sync.hpp"
+#include "common/expected.hpp"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mochi::flux {
+
+using JobId = std::uint64_t;
+
+struct JobInfo {
+    JobId id = 0;
+    std::vector<std::string> nodes;
+};
+
+class ResourceManager {
+  public:
+    explicit ResourceManager(std::vector<std::string> inventory);
+
+    [[nodiscard]] std::size_t total_nodes() const;
+    [[nodiscard]] std::size_t free_nodes() const;
+    [[nodiscard]] std::size_t running_jobs() const;
+
+    /// Allocate `n` nodes for a new job. If fewer than `n` are free the call
+    /// blocks (ULT-aware) until the allocation can be satisfied, up to
+    /// `timeout` (0 = fail immediately when not satisfiable).
+    Expected<JobInfo> submit(std::size_t n,
+                             std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
+
+    /// Elastic grow: add `n` nodes to a running job (same blocking rules).
+    Expected<std::vector<std::string>> grow(JobId job, std::size_t n,
+                                            std::chrono::milliseconds timeout =
+                                                std::chrono::milliseconds(0));
+
+    /// Elastic shrink: return specific nodes of a job to the free pool.
+    Status shrink(JobId job, const std::vector<std::string>& nodes);
+
+    /// Terminate a job, releasing all of its nodes.
+    Status release(JobId job);
+
+    [[nodiscard]] Expected<JobInfo> info(JobId job) const;
+
+  private:
+    struct Waiter {
+        std::size_t wanted = 0;
+        std::vector<std::string> granted;
+        abt::Eventual<bool> ready;
+    };
+
+    /// Grant free nodes to the longest-waiting requests (FIFO). Call with
+    /// the lock held; wakes satisfied waiters after releasing it.
+    void drain_queue_locked(std::vector<std::shared_ptr<Waiter>>& to_wake);
+    Expected<std::vector<std::string>> acquire(std::size_t n,
+                                               std::chrono::milliseconds timeout);
+    [[nodiscard]] std::size_t total_nodes_locked() const;
+
+    mutable std::mutex m_mutex;
+    std::set<std::string> m_free;
+    std::map<JobId, JobInfo> m_jobs;
+    std::deque<std::shared_ptr<Waiter>> m_queue;
+    JobId m_next_job = 1;
+};
+
+} // namespace mochi::flux

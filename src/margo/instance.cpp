@@ -1,0 +1,483 @@
+#include "margo/instance.hpp"
+#include "common/logging.hpp"
+
+namespace mochi::margo {
+
+namespace {
+constexpr std::uint64_t k_no_parent = k_default_provider_id; // 65535 sentinel
+} // namespace
+
+std::uint64_t rpc_name_to_id(std::string_view name) noexcept {
+    // 32-bit FNV-1a, like Mercury's hashing of RPC names.
+    std::uint32_t h = 2166136261u;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 16777619u;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+void Request::respond(std::string payload) const {
+    mercury::Message resp;
+    resp.kind = mercury::Message::Kind::Response;
+    resp.rpc_id = m_msg.rpc_id;
+    resp.provider_id = m_msg.provider_id;
+    resp.seq = m_msg.seq;
+    resp.payload = std::move(payload);
+    resp.status = 0;
+    (void)m_instance->m_endpoint->send(m_msg.source, std::move(resp));
+}
+
+void Request::respond_error(const Error& err) const {
+    mercury::Message resp;
+    resp.kind = mercury::Message::Kind::Response;
+    resp.rpc_id = m_msg.rpc_id;
+    resp.provider_id = m_msg.provider_id;
+    resp.seq = m_msg.seq;
+    resp.payload = err.message;
+    resp.status = static_cast<std::int32_t>(err.code) + 1; // 0 reserved for ok
+    (void)m_instance->m_endpoint->send(m_msg.source, std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Instance lifecycle
+// ---------------------------------------------------------------------------
+
+Expected<InstancePtr> Instance::create(std::shared_ptr<mercury::Fabric> fabric,
+                                       std::string address, const json::Value& config) {
+    auto inst = InstancePtr(new Instance());
+    inst->m_fabric = std::move(fabric);
+    inst->m_address = std::move(address);
+    inst->m_epoch = std::chrono::steady_clock::now();
+
+    auto rt = abt::Runtime::create(config["argobots"]);
+    if (!rt) return rt.error();
+    inst->m_runtime = std::move(rt).value();
+
+    // Resolve progress/handler pools (default: first pool).
+    auto resolve = [&](const char* key) -> Expected<std::shared_ptr<abt::Pool>> {
+        std::string name = config.get_string(key);
+        if (name.empty()) return inst->m_runtime->primary_pool();
+        return inst->m_runtime->find_pool(name);
+    };
+    auto progress = resolve("progress_pool");
+    if (!progress) return progress.error();
+    inst->m_progress_pool = std::move(progress).value();
+    auto handler = resolve("handler_pool");
+    if (!handler) return handler.error();
+    inst->m_handler_pool = std::move(handler).value();
+
+    if (auto t = config.get_integer("rpc_timeout_ms", 0); t > 0)
+        inst->m_default_timeout = std::chrono::milliseconds(t);
+
+    inst->m_stats = std::make_shared<StatisticsMonitor>();
+    inst->m_monitors.push_back(inst->m_stats);
+    const auto& mon = config["monitoring"];
+    inst->m_monitoring_enabled = mon.get_bool("enable", true);
+    if (auto p = mon.get_integer("sampling_period_ms", 0); p > 0)
+        inst->m_sampling_period = std::chrono::milliseconds(p);
+
+    auto ep = inst->m_fabric->attach(inst->m_address, [w = std::weak_ptr<Instance>(inst)](
+                                                          mercury::Message msg) {
+        if (auto self = w.lock()) self->on_network_message(std::move(msg));
+    });
+    if (!ep) return ep.error();
+    inst->m_endpoint = std::move(ep).value();
+
+    // Start the network progress loop on its pool (Figure 2).
+    inst->m_runtime->post(inst->m_progress_pool,
+                          [w = std::weak_ptr<Instance>(inst)] {
+                              if (auto self = w.lock()) self->progress_loop();
+                          });
+    inst->start_sampler();
+    return inst;
+}
+
+Instance::~Instance() { shutdown(); }
+
+void Instance::shutdown() {
+    bool was = m_stopping.exchange(true);
+    if (was) return;
+    // Stop the periodic sampler by marking inactive (timer self-reschedules).
+    m_sampler_active.store(false);
+    // Wake the progress loop and wait for it to drain.
+    m_queue_cv.signal_all();
+    m_progress_done.wait();
+    // Fail all pending calls.
+    std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending;
+    {
+        std::lock_guard lk{m_pending_mutex};
+        pending = std::move(m_pending);
+        m_pending.clear();
+    }
+    for (auto& [seq, call] : pending) {
+        mercury::Message m;
+        m.status = static_cast<std::int32_t>(Error::Code::Canceled) + 1;
+        m.payload = "instance shut down";
+        call->response.set_value(std::move(m));
+    }
+    // Let canceled forwards observe their failure before the execution
+    // streams are stopped (bounded wait; leaked forwards would otherwise
+    // never resume once finalize() drops their ULTs). Re-sweep the pending
+    // map each iteration: a forward racing shutdown may register after the
+    // first sweep.
+    for (int i = 0; i < 2000 && m_active_forwards.load() > 0; ++i) {
+        {
+            std::lock_guard lk{m_pending_mutex};
+            for (auto& [seq, call] : m_pending) {
+                mercury::Message m;
+                m.status = static_cast<std::int32_t>(Error::Code::Canceled) + 1;
+                m.payload = "instance shut down";
+                call->response.set_value(std::move(m));
+            }
+            m_pending.clear();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    m_endpoint->detach();
+    m_runtime->finalize();
+    // "The default implementation of this monitoring system captures
+    // statistics and outputs them as JSON when shutting down the service."
+    if (m_monitoring_dump_sink) m_monitoring_dump_sink(m_stats->to_json());
+    m_stopped.store(true);
+}
+
+double Instance::now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - m_epoch)
+        .count();
+}
+
+// ---------------------------------------------------------------------------
+// RPC registration
+// ---------------------------------------------------------------------------
+
+Expected<std::uint64_t> Instance::register_rpc(std::string name, std::uint16_t provider_id,
+                                               Handler handler,
+                                               std::shared_ptr<abt::Pool> pool) {
+    std::uint64_t id = rpc_name_to_id(name);
+    std::lock_guard lk{m_rpc_mutex};
+    auto key = std::make_pair(id, provider_id);
+    if (m_rpcs.count(key))
+        return Error{Error::Code::AlreadyExists,
+                     "RPC '" + name + "' already registered for provider " +
+                         std::to_string(provider_id)};
+    m_rpcs[key] = RpcEntry{std::move(name), std::move(handler),
+                           pool ? std::move(pool) : m_handler_pool};
+    return id;
+}
+
+Status Instance::deregister_rpc(std::string_view name, std::uint16_t provider_id) {
+    std::lock_guard lk{m_rpc_mutex};
+    auto key = std::make_pair(rpc_name_to_id(name), provider_id);
+    if (m_rpcs.erase(key) == 0)
+        return Error{Error::Code::NotFound,
+                     "RPC '" + std::string(name) + "' not registered for provider " +
+                         std::to_string(provider_id)};
+    return {};
+}
+
+void Instance::deregister_provider(std::uint16_t provider_id) {
+    std::lock_guard lk{m_rpc_mutex};
+    for (auto it = m_rpcs.begin(); it != m_rpcs.end();) {
+        if (it->first.second == provider_id)
+            it = m_rpcs.erase(it);
+        else
+            ++it;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forward / dispatch
+// ---------------------------------------------------------------------------
+
+Expected<std::string> Instance::forward(const std::string& address, std::string_view rpc_name,
+                                        std::string payload, ForwardOptions options) {
+    if (m_stopping.load())
+        return Error{Error::Code::InvalidState, "instance is shutting down"};
+    // Track in-progress forwards so shutdown() can drain them after failing
+    // their pending calls (their ULTs must run to completion before the
+    // execution streams are stopped).
+    struct ForwardGuard {
+        std::atomic<std::size_t>& counter;
+        ~ForwardGuard() { counter.fetch_sub(1); }
+    };
+    m_active_forwards.fetch_add(1);
+    ForwardGuard guard{m_active_forwards};
+    mercury::Message msg;
+    msg.kind = mercury::Message::Kind::Request;
+    msg.rpc_id = rpc_name_to_id(rpc_name);
+    msg.provider_id = options.provider_id;
+    msg.seq = m_next_seq.fetch_add(1);
+    msg.payload = std::move(payload);
+    // Parent RPC context (Listing 1): inherited from the handler ULT if the
+    // caller is itself serving an RPC.
+    msg.parent_rpc_id = k_no_parent;
+    msg.parent_provider_id = k_default_provider_id;
+    if (abt::Ult* self = abt::current_ult(); self && self->user_context) {
+        auto* ctx = static_cast<UltRpcContext*>(self->user_context);
+        msg.parent_rpc_id = ctx->rpc_id;
+        msg.parent_provider_id = ctx->provider_id;
+    }
+
+    CallContext mctx;
+    mctx.rpc_id = msg.rpc_id;
+    mctx.provider_id = msg.provider_id;
+    mctx.parent_rpc_id = msg.parent_rpc_id;
+    mctx.parent_provider_id = msg.parent_provider_id;
+    mctx.name = std::string(rpc_name);
+    mctx.peer = address;
+    mctx.payload_size = msg.payload.size();
+
+    auto call = std::make_shared<PendingCall>();
+    {
+        std::lock_guard lk{m_pending_mutex};
+        m_pending[msg.seq] = call;
+    }
+    std::uint64_t seq = msg.seq;
+    double t0 = now_us();
+    emit([&](Monitor& m) { m.on_forward_start(mctx); });
+
+    auto cleanup = [&] {
+        std::lock_guard lk{m_pending_mutex};
+        m_pending.erase(seq);
+    };
+
+    if (auto st = m_endpoint->send(address, std::move(msg)); !st.ok()) {
+        cleanup();
+        emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
+        return st.error();
+    }
+
+    auto timeout = options.timeout.count() > 0 ? options.timeout : m_default_timeout;
+    auto response = call->response.wait_for(
+        std::chrono::duration_cast<std::chrono::microseconds>(timeout));
+    cleanup();
+    mctx.duration_us = now_us() - t0;
+    if (!response) {
+        emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
+        return Error{Error::Code::Timeout,
+                     "RPC '" + std::string(rpc_name) + "' to " + address + " timed out"};
+    }
+    if (response->status != 0) {
+        emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
+        auto code = static_cast<Error::Code>(response->status - 1);
+        return Error{code, response->payload.empty() ? "remote error" : response->payload};
+    }
+    emit([&](Monitor& m) { m.on_forward_complete(mctx, true); });
+    return std::move(response->payload);
+}
+
+void Instance::on_network_message(mercury::Message msg) {
+    // Called from arbitrary threads (fabric). Enqueue for the progress ULT.
+    m_queue_mutex.lock();
+    m_queue.push_back(std::move(msg));
+    m_queue_mutex.unlock();
+    m_queue_cv.signal_one();
+}
+
+void Instance::progress_loop() {
+    using namespace std::chrono_literals;
+    for (;;) {
+        m_queue_mutex.lock();
+        while (m_queue.empty() && !m_stopping.load()) m_queue_cv.wait_for(m_queue_mutex, 50ms);
+        if (m_queue.empty() && m_stopping.load()) {
+            m_queue_mutex.unlock();
+            break;
+        }
+        mercury::Message msg = std::move(m_queue.front());
+        m_queue.pop_front();
+        m_queue_mutex.unlock();
+        if (msg.kind == mercury::Message::Kind::Request)
+            dispatch_request(std::move(msg));
+        else
+            dispatch_response(std::move(msg));
+    }
+    m_progress_done.set();
+}
+
+void Instance::dispatch_request(mercury::Message msg) {
+    RpcEntry entry;
+    {
+        std::lock_guard lk{m_rpc_mutex};
+        auto it = m_rpcs.find({msg.rpc_id, msg.provider_id});
+        if (it == m_rpcs.end()) {
+            Request req{this, std::move(msg)};
+            req.respond_error(Error{Error::Code::NotFound,
+                                    "no such RPC (id " + std::to_string(req.rpc_id()) +
+                                        ", provider " + std::to_string(req.provider_id()) + ")"});
+            return;
+        }
+        entry = it->second; // copy: registration may change concurrently
+    }
+
+    CallContext mctx;
+    mctx.rpc_id = msg.rpc_id;
+    mctx.provider_id = msg.provider_id;
+    mctx.parent_rpc_id = msg.parent_rpc_id;
+    mctx.parent_provider_id = msg.parent_provider_id;
+    mctx.name = entry.name;
+    mctx.peer = msg.source;
+    mctx.payload_size = msg.payload.size();
+    double t_received = now_us();
+    emit([&](Monitor& m) { m.on_request_received(mctx); });
+    m_in_flight.fetch_add(1);
+
+    auto self = shared_from_this();
+    auto pool = entry.pool; // keep alive: `entry` is moved into the lambda
+    m_runtime->post(pool, [self, entry = std::move(entry), msg = std::move(msg), mctx,
+                           t_received]() mutable {
+        double t_start = self->now_us();
+        mctx.queue_delay_us = t_start - t_received;
+        self->emit([&](Monitor& m) { m.on_handler_start(mctx); });
+        UltRpcContext ult_ctx{msg.rpc_id, msg.provider_id};
+        abt::Ult* ult = abt::current_ult();
+        void* saved = ult->user_context;
+        ult->user_context = &ult_ctx;
+        Request req{self.get(), std::move(msg)};
+        entry.handler(req);
+        ult->user_context = saved;
+        mctx.duration_us = self->now_us() - t_start;
+        self->emit([&](Monitor& m) { m.on_handler_complete(mctx); });
+        self->m_in_flight.fetch_sub(1);
+    });
+}
+
+void Instance::dispatch_response(mercury::Message msg) {
+    std::shared_ptr<PendingCall> call;
+    {
+        std::lock_guard lk{m_pending_mutex};
+        auto it = m_pending.find(msg.seq);
+        if (it == m_pending.end()) return; // caller timed out; drop
+        call = it->second;
+        m_pending.erase(it);
+    }
+    call->response.set_value(std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Bulk
+// ---------------------------------------------------------------------------
+
+mercury::BulkHandle Instance::expose(char* data, std::size_t size, bool writable) {
+    return m_endpoint->expose(data, size, writable);
+}
+
+void Instance::unexpose(std::uint64_t id) { m_endpoint->unexpose(id); }
+
+Status Instance::bulk_pull(const mercury::BulkHandle& remote, std::size_t remote_offset,
+                           char* local, std::size_t size) {
+    double t0 = now_us();
+    auto delay = m_endpoint->bulk_pull(remote, remote_offset, local, size);
+    if (!delay) return delay.error();
+    if (*delay >= 1.0)
+        m_runtime->sleep_for(std::chrono::microseconds(static_cast<std::int64_t>(*delay)));
+    CallContext mctx;
+    mctx.name = "__bulk__";
+    mctx.peer = remote.address;
+    emit([&](Monitor& m) { m.on_bulk_complete(mctx, size, now_us() - t0); });
+    return {};
+}
+
+Status Instance::bulk_push(const mercury::BulkHandle& remote, std::size_t remote_offset,
+                           const char* local, std::size_t size) {
+    double t0 = now_us();
+    auto delay = m_endpoint->bulk_push(remote, remote_offset, local, size);
+    if (!delay) return delay.error();
+    if (*delay >= 1.0)
+        m_runtime->sleep_for(std::chrono::microseconds(static_cast<std::int64_t>(*delay)));
+    CallContext mctx;
+    mctx.name = "__bulk__";
+    mctx.peer = remote.address;
+    emit([&](Monitor& m) { m.on_bulk_complete(mctx, size, now_us() - t0); });
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring plumbing
+// ---------------------------------------------------------------------------
+
+void Instance::add_monitor(std::shared_ptr<Monitor> monitor) {
+    std::lock_guard lk{m_monitors_mutex};
+    m_monitors.push_back(std::move(monitor));
+}
+
+void Instance::start_sampler() {
+    m_sampler_active.store(true);
+    auto w = std::weak_ptr<Instance>(shared_from_this());
+    m_runtime->timer().schedule(
+        std::chrono::duration_cast<std::chrono::microseconds>(m_sampling_period), [w] {
+            if (auto self = w.lock()) self->sampler_tick();
+        });
+}
+
+void Instance::sampler_tick() {
+    if (!m_sampler_active.load() || m_stopping.load()) return;
+    std::map<std::string, std::size_t> pool_sizes;
+    for (const auto& name : m_runtime->pool_names()) {
+        if (auto p = m_runtime->find_pool(name)) pool_sizes[name] = (*p)->size();
+    }
+    emit([&](Monitor& m) { m.on_progress_sample(m_in_flight.load(), pool_sizes); });
+    auto w = std::weak_ptr<Instance>(shared_from_this());
+    m_runtime->timer().schedule(
+        std::chrono::duration_cast<std::chrono::microseconds>(m_sampling_period), [w] {
+            if (auto self = w.lock()) self->sampler_tick();
+        });
+}
+
+// ---------------------------------------------------------------------------
+// Configuration & reconfiguration
+// ---------------------------------------------------------------------------
+
+json::Value Instance::config() const {
+    auto cfg = json::Value::object();
+    cfg["address"] = m_address;
+    cfg["argobots"] = m_runtime->config();
+    cfg["progress_pool"] = m_progress_pool->name();
+    cfg["handler_pool"] = m_handler_pool->name();
+    cfg["rpc_timeout_ms"] = static_cast<std::int64_t>(m_default_timeout.count());
+    cfg["monitoring"]["enable"] = m_monitoring_enabled.load();
+    cfg["monitoring"]["sampling_period_ms"] =
+        static_cast<std::int64_t>(m_sampling_period.count());
+    return cfg;
+}
+
+Expected<std::shared_ptr<abt::Pool>> Instance::find_pool_by_name(std::string_view name) const {
+    return m_runtime->find_pool(name);
+}
+
+Expected<std::shared_ptr<abt::Pool>> Instance::add_pool_from_json(const json::Value& pool_config) {
+    return m_runtime->add_pool(pool_config);
+}
+
+Status Instance::remove_pool(std::string_view name) {
+    // Margo-level checks first (§5: "Margo ensures that the changes are
+    // always valid").
+    if (m_progress_pool->name() == name)
+        return Error{Error::Code::InvalidState, "cannot remove the progress pool"};
+    if (m_handler_pool->name() == name)
+        return Error{Error::Code::InvalidState, "cannot remove the default handler pool"};
+    {
+        std::lock_guard lk{m_rpc_mutex};
+        for (const auto& [key, entry] : m_rpcs) {
+            if (entry.pool->name() == name)
+                return Error{Error::Code::InvalidState,
+                             "pool '" + std::string(name) + "' is in use by RPC '" + entry.name +
+                                 "'"};
+        }
+    }
+    return m_runtime->remove_pool(name);
+}
+
+Status Instance::add_xstream_from_json(const json::Value& xstream_config) {
+    return m_runtime->add_xstream(xstream_config);
+}
+
+Status Instance::remove_xstream(std::string_view name) {
+    return m_runtime->remove_xstream(name);
+}
+
+} // namespace mochi::margo

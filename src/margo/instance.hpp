@@ -1,0 +1,245 @@
+// The Margo runtime: binds the ULT runtime (abt) and the RPC fabric
+// (mercury) into the shared per-process runtime all Mochi components use
+// (Figure 2). One Instance == one simulated service process.
+//
+// Features reproduced from the paper:
+//  - JSON-configured pools/execution streams (Listing 2) with runtime
+//    query (find_pool_by_name) and modification (add_pool_from_json, ...),
+//    with validity checks (§5, Observation 2).
+//  - A network progress loop running on a configurable pool, dispatching
+//    incoming RPCs to per-provider handler pools (Figure 2).
+//  - The monitoring infrastructure of §4, reporting Listing 1 statistics.
+#pragma once
+
+#include "abt/abt.hpp"
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "margo/monitoring.hpp"
+#include "mercury/archive.hpp"
+#include "mercury/fabric.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace mochi::margo {
+
+class Instance;
+using InstancePtr = std::shared_ptr<Instance>;
+
+/// Compute the stable 32-bit id of an RPC name (Mercury hashes RPC names
+/// the same way; Listing 1's rpc_id 2924675071 is such a hash).
+[[nodiscard]] std::uint64_t rpc_name_to_id(std::string_view name) noexcept;
+
+/// An incoming RPC being handled. Handlers receive a const reference and
+/// must call respond()/respond_error() exactly once (unless the RPC was
+/// forwarded fire-and-forget).
+class Request {
+  public:
+    [[nodiscard]] const std::string& source() const noexcept { return m_msg.source; }
+    [[nodiscard]] const std::string& payload() const noexcept { return m_msg.payload; }
+    [[nodiscard]] std::uint64_t rpc_id() const noexcept { return m_msg.rpc_id; }
+    [[nodiscard]] std::uint16_t provider_id() const noexcept { return m_msg.provider_id; }
+
+    /// Deserialize the request payload into `values`.
+    template <typename... Ts>
+    [[nodiscard]] bool unpack(Ts&... values) const {
+        return mercury::unpack(m_msg.payload, values...);
+    }
+
+    void respond(std::string payload) const;
+    template <typename... Ts>
+    void respond_values(const Ts&... values) const {
+        respond(mercury::pack(values...));
+    }
+    void respond_error(const Error& err) const;
+
+  private:
+    friend class Instance;
+    Request(Instance* inst, mercury::Message msg) : m_instance(inst), m_msg(std::move(msg)) {}
+    Instance* m_instance;
+    mercury::Message m_msg;
+};
+
+using Handler = std::function<void(const Request&)>;
+
+struct ForwardOptions {
+    std::chrono::milliseconds timeout{2000};
+    std::uint16_t provider_id = k_default_provider_id;
+};
+
+class Instance : public std::enable_shared_from_this<Instance> {
+  public:
+    /// Create a Margo instance attached to `fabric` under `address`.
+    /// `config` (optional) carries {"argobots": {...}, "progress_pool": "...",
+    /// "handler_pool": "...", "rpc_timeout_ms": N,
+    /// "monitoring": {"enable": bool, "sampling_period_ms": N}}.
+    static Expected<InstancePtr> create(std::shared_ptr<mercury::Fabric> fabric,
+                                        std::string address,
+                                        const json::Value& config = {});
+
+    ~Instance();
+    Instance(const Instance&) = delete;
+    Instance& operator=(const Instance&) = delete;
+
+    [[nodiscard]] const std::string& address() const noexcept { return m_address; }
+    [[nodiscard]] const std::shared_ptr<abt::Runtime>& runtime() const noexcept {
+        return m_runtime;
+    }
+    [[nodiscard]] const std::shared_ptr<mercury::Fabric>& fabric() const noexcept {
+        return m_fabric;
+    }
+
+    // -- RPC registration ----------------------------------------------------
+
+    /// Register `handler` for (name, provider_id); its ULTs run in `pool`
+    /// (default: the handler pool). Fails on duplicates.
+    Expected<std::uint64_t> register_rpc(std::string name, std::uint16_t provider_id,
+                                         Handler handler,
+                                         std::shared_ptr<abt::Pool> pool = nullptr);
+    Status deregister_rpc(std::string_view name, std::uint16_t provider_id);
+    /// Remove every RPC of a provider (used when a provider shuts down).
+    void deregister_provider(std::uint16_t provider_id);
+
+    // -- RPC invocation ------------------------------------------------------
+
+    /// Send a request and block (ULT-aware) for the response payload.
+    Expected<std::string> forward(const std::string& address, std::string_view rpc_name,
+                                  std::string payload, ForwardOptions options = {});
+
+    /// Typed convenience: pack arguments, forward, unpack the result tuple.
+    template <typename... Outs, typename... Ins>
+    Expected<std::tuple<Outs...>> call(const std::string& address, std::string_view rpc_name,
+                                       ForwardOptions options, const Ins&... ins) {
+        auto resp = forward(address, rpc_name, mercury::pack(ins...), options);
+        if (!resp) return std::move(resp).error();
+        std::tuple<Outs...> out;
+        bool ok = std::apply([&](auto&... o) { return mercury::unpack(*resp, o...); }, out);
+        if (!ok)
+            return Error{Error::Code::Corruption, "malformed response payload for " +
+                                                      std::string(rpc_name)};
+        return out;
+    }
+
+    // -- bulk (RDMA) ---------------------------------------------------------
+
+    mercury::BulkHandle expose(char* data, std::size_t size, bool writable);
+    void unexpose(std::uint64_t id);
+    /// ULT-aware bulk transfers; the modeled network time is slept on the
+    /// calling ULT so the execution stream stays available.
+    Status bulk_pull(const mercury::BulkHandle& remote, std::size_t remote_offset, char* local,
+                     std::size_t size);
+    Status bulk_push(const mercury::BulkHandle& remote, std::size_t remote_offset,
+                     const char* local, std::size_t size);
+
+    // -- monitoring (§4) -----------------------------------------------------
+
+    /// Install an additional monitor (the "inject callbacks" API).
+    void add_monitor(std::shared_ptr<Monitor> monitor);
+    /// The always-installed statistics monitor.
+    [[nodiscard]] const std::shared_ptr<StatisticsMonitor>& statistics() const noexcept {
+        return m_stats;
+    }
+    /// Listing-1-shaped JSON document, available at run time.
+    [[nodiscard]] json::Value monitoring_json() const { return m_stats->to_json(); }
+    /// §4: "outputs them as JSON when shutting down the service" — if set,
+    /// shutdown() hands the final statistics document to this sink (e.g. a
+    /// writer into the node's store; margo itself stays storage-agnostic).
+    void set_monitoring_dump_sink(std::function<void(const json::Value&)> sink) {
+        m_monitoring_dump_sink = std::move(sink);
+    }
+    /// Enable/disable monitoring callbacks (for overhead ablation, E1).
+    void set_monitoring_enabled(bool enabled) noexcept { m_monitoring_enabled = enabled; }
+    [[nodiscard]] std::size_t in_flight_rpcs() const noexcept { return m_in_flight.load(); }
+
+    // -- configuration & online reconfiguration (§5) --------------------------
+
+    [[nodiscard]] json::Value config() const;
+    [[nodiscard]] Expected<std::shared_ptr<abt::Pool>> find_pool_by_name(std::string_view name) const;
+    Expected<std::shared_ptr<abt::Pool>> add_pool_from_json(const json::Value& pool_config);
+    /// Margo-level validity checks on top of abt's: the progress/handler
+    /// pools and pools bound to registered RPCs cannot be removed.
+    Status remove_pool(std::string_view name);
+    Status add_xstream_from_json(const json::Value& xstream_config);
+    Status remove_xstream(std::string_view name);
+
+    /// Stop the progress loop, detach from the network, finalize the ULT
+    /// runtime. Idempotent; also called by the destructor.
+    void shutdown();
+
+    [[nodiscard]] bool is_shutdown() const noexcept { return m_stopped.load(); }
+
+  private:
+    friend class Request;
+    Instance() = default;
+
+    struct RpcEntry {
+        std::string name;
+        Handler handler;
+        std::shared_ptr<abt::Pool> pool;
+    };
+    struct PendingCall {
+        abt::Eventual<mercury::Message> response;
+    };
+    /// Per-handler-ULT context so nested forwards inherit parent ids.
+    struct UltRpcContext {
+        std::uint64_t rpc_id;
+        std::uint16_t provider_id;
+    };
+
+    void on_network_message(mercury::Message msg);
+    void progress_loop();
+    void dispatch_request(mercury::Message msg);
+    void dispatch_response(mercury::Message msg);
+    void start_sampler();
+    void sampler_tick();
+    double now_us() const;
+
+    std::shared_ptr<mercury::Fabric> m_fabric;
+    std::shared_ptr<mercury::Endpoint> m_endpoint;
+    std::shared_ptr<abt::Runtime> m_runtime;
+    std::string m_address;
+    std::chrono::steady_clock::time_point m_epoch;
+
+    std::shared_ptr<abt::Pool> m_progress_pool;
+    std::shared_ptr<abt::Pool> m_handler_pool;
+    std::chrono::milliseconds m_default_timeout{2000};
+
+    // incoming message queue consumed by the progress ULT
+    abt::Mutex m_queue_mutex;
+    abt::CondVar m_queue_cv;
+    std::deque<mercury::Message> m_queue;
+    std::atomic<bool> m_stopping{false};
+    std::atomic<bool> m_stopped{false};
+    abt::Eventual<void> m_progress_done;
+
+    mutable std::mutex m_rpc_mutex;
+    std::map<std::pair<std::uint64_t, std::uint16_t>, RpcEntry> m_rpcs;
+
+    std::mutex m_pending_mutex;
+    std::map<std::uint64_t, std::shared_ptr<PendingCall>> m_pending;
+    std::atomic<std::uint64_t> m_next_seq{1};
+    std::atomic<std::size_t> m_active_forwards{0};
+
+    std::atomic<std::size_t> m_in_flight{0};
+    std::atomic<bool> m_monitoring_enabled{true};
+    std::shared_ptr<StatisticsMonitor> m_stats;
+    mutable std::mutex m_monitors_mutex;
+    std::vector<std::shared_ptr<Monitor>> m_monitors;
+    std::chrono::milliseconds m_sampling_period{100};
+    std::atomic<bool> m_sampler_active{false};
+    std::function<void(const json::Value&)> m_monitoring_dump_sink;
+
+    template <typename F>
+    void emit(F&& f) {
+        if (!m_monitoring_enabled.load(std::memory_order_relaxed)) return;
+        std::lock_guard lk{m_monitors_mutex};
+        for (auto& m : m_monitors) f(*m);
+    }
+};
+
+} // namespace mochi::margo

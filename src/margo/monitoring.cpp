@@ -1,0 +1,132 @@
+#include "margo/monitoring.hpp"
+
+namespace mochi::margo {
+
+json::Value Statistics::to_json() const {
+    auto v = json::Value::object();
+    v["num"] = num;
+    v["avg"] = avg();
+    v["min"] = num ? min : 0.0;
+    v["max"] = num ? max : 0.0;
+    v["sum"] = sum;
+    v["var"] = variance();
+    return v;
+}
+
+std::string StatisticsMonitor::key_of(const CallContext& ctx) {
+    // Same shape as Listing 1: "parent_rpc:parent_provider:rpc:provider".
+    return std::to_string(ctx.parent_rpc_id) + ":" + std::to_string(ctx.parent_provider_id) +
+           ":" + std::to_string(ctx.rpc_id) + ":" + std::to_string(ctx.provider_id);
+}
+
+StatisticsMonitor::RpcStats& StatisticsMonitor::stats_for(const CallContext& ctx) {
+    auto& s = m_rpcs[key_of(ctx)];
+    if (s.name.empty()) {
+        s.rpc_id = ctx.rpc_id;
+        s.provider_id = ctx.provider_id;
+        s.parent_rpc_id = ctx.parent_rpc_id;
+        s.parent_provider_id = ctx.parent_provider_id;
+        s.name = ctx.name;
+    }
+    return s;
+}
+
+void StatisticsMonitor::on_forward_start(const CallContext& ctx) {
+    std::lock_guard lk{m_mutex};
+    auto& s = stats_for(ctx);
+    s.origin["sent to " + ctx.peer].request_size.add(static_cast<double>(ctx.payload_size));
+}
+
+void StatisticsMonitor::on_forward_complete(const CallContext& ctx, bool ok) {
+    std::lock_guard lk{m_mutex};
+    auto& peer = stats_for(ctx).origin["sent to " + ctx.peer];
+    if (ok)
+        peer.forward_duration.add(ctx.duration_us);
+    else
+        ++peer.failures;
+}
+
+void StatisticsMonitor::on_request_received(const CallContext& ctx) {
+    std::lock_guard lk{m_mutex};
+    auto& s = stats_for(ctx);
+    s.target["received from " + ctx.peer].request_size.add(
+        static_cast<double>(ctx.payload_size));
+}
+
+void StatisticsMonitor::on_handler_start(const CallContext& ctx) {
+    std::lock_guard lk{m_mutex};
+    auto& s = stats_for(ctx);
+    s.target["received from " + ctx.peer].ult_queue_delay.add(ctx.queue_delay_us);
+}
+
+void StatisticsMonitor::on_handler_complete(const CallContext& ctx) {
+    std::lock_guard lk{m_mutex};
+    auto& s = stats_for(ctx);
+    s.target["received from " + ctx.peer].handler_duration.add(ctx.duration_us);
+}
+
+void StatisticsMonitor::on_bulk_complete(const CallContext& ctx, std::size_t bytes,
+                                         double duration_us) {
+    std::lock_guard lk{m_mutex};
+    auto& s = stats_for(ctx);
+    s.bulk_size.add(static_cast<double>(bytes));
+    s.bulk_duration.add(duration_us);
+}
+
+void StatisticsMonitor::on_progress_sample(std::size_t in_flight_rpcs,
+                                           const std::map<std::string, std::size_t>& pool_sizes) {
+    std::lock_guard lk{m_mutex};
+    ++m_samples;
+    m_in_flight.add(static_cast<double>(in_flight_rpcs));
+    for (const auto& [name, size] : pool_sizes)
+        m_pool_sizes[name].add(static_cast<double>(size));
+}
+
+json::Value StatisticsMonitor::to_json() const {
+    std::lock_guard lk{m_mutex};
+    auto doc = json::Value::object();
+    auto& rpcs = doc["rpcs"];
+    rpcs = json::Value::object();
+    for (const auto& [key, s] : m_rpcs) {
+        auto& r = rpcs[key];
+        r["rpc_id"] = s.rpc_id;
+        r["provider_id"] = s.provider_id;
+        r["parent_rpc_id"] = s.parent_rpc_id;
+        r["parent_provider_id"] = s.parent_provider_id;
+        r["name"] = s.name;
+        r["origin"] = json::Value::object();
+        for (const auto& [peer, ps] : s.origin) {
+            auto& p = r["origin"][peer];
+            p["forward"]["duration"] = ps.forward_duration.to_json();
+            p["request_size"] = ps.request_size.to_json();
+            p["failures"] = ps.failures;
+        }
+        r["target"] = json::Value::object();
+        for (const auto& [peer, ps] : s.target) {
+            auto& p = r["target"][peer];
+            p["ult"]["queue_delay"] = ps.ult_queue_delay.to_json();
+            p["ult"]["duration"] = ps.handler_duration.to_json();
+            p["request_size"] = ps.request_size.to_json();
+        }
+        if (s.bulk_size.num > 0) {
+            r["bulk"]["size"] = s.bulk_size.to_json();
+            r["bulk"]["duration"] = s.bulk_duration.to_json();
+        }
+    }
+    auto& progress = doc["progress"];
+    progress["samples"] = m_samples;
+    progress["in_flight_rpcs"] = m_in_flight.to_json();
+    progress["pools"] = json::Value::object();
+    for (const auto& [name, st] : m_pool_sizes) progress["pools"][name]["size"] = st.to_json();
+    return doc;
+}
+
+void StatisticsMonitor::reset() {
+    std::lock_guard lk{m_mutex};
+    m_rpcs.clear();
+    m_in_flight = {};
+    m_pool_sizes.clear();
+    m_samples = 0;
+}
+
+} // namespace mochi::margo

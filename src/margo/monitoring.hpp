@@ -1,0 +1,150 @@
+// Margo's customizable monitoring infrastructure (§4 of the paper).
+//
+// The runtime invokes Monitor callbacks at every step of an RPC's lifetime
+// (forward start/completion at the origin; reception, ULT scheduling,
+// handler execution at the target; bulk transfers) and periodically samples
+// runtime-wide gauges (in-flight RPCs, pool depths). Any component built on
+// Margo gets this "at no engineering cost".
+//
+// StatisticsMonitor is the default implementation: it aggregates statistics
+// keyed by (parent_rpc_id:parent_provider_id:rpc_id:provider_id) and peer
+// address, and dumps them as JSON in the shape of the paper's Listing 1.
+#pragma once
+
+#include "common/json.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mochi::margo {
+
+/// Provider id used for RPCs not addressed to a specific provider; matches
+/// Margo's MARGO_DEFAULT_PROVIDER_ID shown as 65535 in Listing 1.
+inline constexpr std::uint16_t k_default_provider_id = 65535;
+
+/// Identity and timing context of one RPC operation, passed to callbacks.
+struct CallContext {
+    std::uint64_t rpc_id = 0;
+    std::uint16_t provider_id = k_default_provider_id;
+    std::uint64_t parent_rpc_id = k_default_provider_id; // 65535 = "no parent"
+    std::uint16_t parent_provider_id = k_default_provider_id;
+    std::string name;        ///< RPC name, e.g. "echo"
+    std::string peer;        ///< target address (origin side) / source (target side)
+    std::size_t payload_size = 0;
+    // Durations in microseconds, filled per callback (see each callback doc).
+    double duration_us = 0;
+    double queue_delay_us = 0; ///< reception -> handler ULT start
+};
+
+/// Callback interface. All methods have empty defaults so custom monitors
+/// override only what they need ("lets users inject callbacks ... at various
+/// points in the lifetime of an RPC").
+class Monitor {
+  public:
+    virtual ~Monitor() = default;
+
+    /// Origin: forward() is about to send the request.
+    virtual void on_forward_start(const CallContext&) {}
+    /// Origin: response received (duration_us = full round trip) or failed.
+    virtual void on_forward_complete(const CallContext&, bool ok) { (void)ok; }
+    /// Target: request arrived at the progress loop.
+    virtual void on_request_received(const CallContext&) {}
+    /// Target: handler ULT started (queue_delay_us set).
+    virtual void on_handler_start(const CallContext&) {}
+    /// Target: handler ULT finished (duration_us = execution time).
+    virtual void on_handler_complete(const CallContext&) {}
+    /// Either side: bulk (RDMA) transfer completed.
+    virtual void on_bulk_complete(const CallContext&, std::size_t bytes, double duration_us) {
+        (void)bytes;
+        (void)duration_us;
+    }
+    /// Periodic runtime sample: in-flight RPC count and pool depths (§4:
+    /// "periodically tracks the number of in-flight RPCs and the sizes of
+    /// user-level thread pools").
+    virtual void on_progress_sample(std::size_t in_flight_rpcs,
+                                    const std::map<std::string, std::size_t>& pool_sizes) {
+        (void)in_flight_rpcs;
+        (void)pool_sizes;
+    }
+};
+
+/// Simple streaming statistics accumulator (num/avg/min/max/sum/var).
+struct Statistics {
+    std::uint64_t num = 0;
+    double sum = 0, sum_sq = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    void add(double x) noexcept {
+        ++num;
+        sum += x;
+        sum_sq += x * x;
+        if (x < min) min = x;
+        if (x > max) max = x;
+    }
+    [[nodiscard]] double avg() const noexcept { return num ? sum / static_cast<double>(num) : 0; }
+    [[nodiscard]] double variance() const noexcept {
+        if (num < 2) return 0;
+        double a = avg();
+        return sum_sq / static_cast<double>(num) - a * a;
+    }
+    [[nodiscard]] json::Value to_json() const;
+};
+
+/// Default monitor: aggregates per-RPC statistics and runtime gauges, and
+/// renders them in the Listing 1 JSON schema.
+class StatisticsMonitor : public Monitor {
+  public:
+    void on_forward_start(const CallContext& ctx) override;
+    void on_forward_complete(const CallContext& ctx, bool ok) override;
+    void on_request_received(const CallContext& ctx) override;
+    void on_handler_start(const CallContext& ctx) override;
+    void on_handler_complete(const CallContext& ctx) override;
+    void on_bulk_complete(const CallContext& ctx, std::size_t bytes, double duration_us) override;
+    void on_progress_sample(std::size_t in_flight_rpcs,
+                            const std::map<std::string, std::size_t>& pool_sizes) override;
+
+    /// Render all statistics as JSON (the runtime API of §4; the same
+    /// document Margo would write out at shutdown).
+    [[nodiscard]] json::Value to_json() const;
+
+    void reset();
+
+  private:
+    struct PeerOriginStats {
+        Statistics forward_duration;
+        Statistics request_size;
+        std::uint64_t failures = 0;
+    };
+    struct PeerTargetStats {
+        Statistics ult_queue_delay;
+        Statistics handler_duration;
+        Statistics request_size;
+    };
+    struct RpcStats {
+        std::uint64_t rpc_id = 0;
+        std::uint16_t provider_id = 0;
+        std::uint64_t parent_rpc_id = 0;
+        std::uint16_t parent_provider_id = 0;
+        std::string name;
+        std::map<std::string, PeerOriginStats> origin; ///< by target address
+        std::map<std::string, PeerTargetStats> target; ///< by source address
+        Statistics bulk_size;
+        Statistics bulk_duration;
+    };
+
+    RpcStats& stats_for(const CallContext& ctx);
+    static std::string key_of(const CallContext& ctx);
+
+    mutable std::mutex m_mutex;
+    std::map<std::string, RpcStats> m_rpcs;
+    Statistics m_in_flight;
+    std::map<std::string, Statistics> m_pool_sizes;
+    std::uint64_t m_samples = 0;
+};
+
+} // namespace mochi::margo

@@ -1,0 +1,104 @@
+// Figure 1 anatomy helpers: the server-library Provider base (registers RPC
+// callbacks, forwards them to a Resource, configured from JSON) and the
+// client-library ResourceHandle base (maps to a remote resource by
+// encapsulating address + provider id).
+//
+// Concrete Mochi components (Yokan, Warabi, REMI, ...) derive from these.
+#pragma once
+
+#include "margo/instance.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mochi::margo {
+
+/// Base class for component providers. RPC names are namespaced by the
+/// component type ("yokan/put"), and each registration is bound to this
+/// provider's id so multiple providers of the same type coexist in one
+/// process (Figure 1: "uniquely identified by a provider ID").
+class Provider {
+  public:
+    virtual ~Provider() {
+        for (const auto& name : m_rpc_names) m_instance->deregister_rpc(name, m_provider_id);
+    }
+    Provider(const Provider&) = delete;
+    Provider& operator=(const Provider&) = delete;
+
+    [[nodiscard]] std::uint16_t provider_id() const noexcept { return m_provider_id; }
+    [[nodiscard]] const std::string& type() const noexcept { return m_type; }
+    [[nodiscard]] const InstancePtr& instance() const noexcept { return m_instance; }
+
+    /// Current JSON configuration of the provider and its resource.
+    [[nodiscard]] virtual json::Value get_config() const { return json::Value::object(); }
+
+  protected:
+    Provider(InstancePtr instance, std::uint16_t provider_id, std::string type,
+             std::shared_ptr<abt::Pool> pool = nullptr)
+    : m_instance(std::move(instance)), m_provider_id(provider_id), m_type(std::move(type)),
+      m_pool(std::move(pool)) {}
+
+    /// Register an RPC "<type>/<op>" handled by `handler` on this
+    /// provider's pool.
+    void define(const std::string& op, Handler handler) {
+        std::string rpc = m_type + "/" + op;
+        auto r = m_instance->register_rpc(rpc, m_provider_id, std::move(handler), m_pool);
+        assert(r.has_value());
+        (void)r;
+        m_rpc_names.push_back(std::move(rpc));
+    }
+
+    [[nodiscard]] const std::shared_ptr<abt::Pool>& pool() const noexcept { return m_pool; }
+
+  private:
+    InstancePtr m_instance;
+    std::uint16_t m_provider_id;
+    std::string m_type;
+    std::shared_ptr<abt::Pool> m_pool;
+    std::vector<std::string> m_rpc_names;
+};
+
+/// Base class for client-side handles: "maps to a remote resource by
+/// encapsulating the address and provider ID of the provider holding that
+/// resource" (Figure 1).
+class ResourceHandle {
+  public:
+    ResourceHandle(InstancePtr instance, std::string address, std::uint16_t provider_id,
+                   std::string type)
+    : m_instance(std::move(instance)), m_address(std::move(address)),
+      m_provider_id(provider_id), m_type(std::move(type)) {}
+
+    [[nodiscard]] const std::string& address() const noexcept { return m_address; }
+    [[nodiscard]] std::uint16_t provider_id() const noexcept { return m_provider_id; }
+    [[nodiscard]] const InstancePtr& instance() const noexcept { return m_instance; }
+
+  protected:
+    /// Typed RPC to the remote provider: packs inputs, unpacks outputs.
+    template <typename... Outs, typename... Ins>
+    Expected<std::tuple<Outs...>> call(std::string_view op, const Ins&... ins) const {
+        ForwardOptions opts;
+        opts.provider_id = m_provider_id;
+        return m_instance->call<Outs...>(m_address, m_type + "/" + std::string(op), opts,
+                                         ins...);
+    }
+
+    /// As `call`, but with an explicit timeout.
+    template <typename... Outs, typename... Ins>
+    Expected<std::tuple<Outs...>> call_with_timeout(std::string_view op,
+                                                    std::chrono::milliseconds timeout,
+                                                    const Ins&... ins) const {
+        ForwardOptions opts;
+        opts.provider_id = m_provider_id;
+        opts.timeout = timeout;
+        return m_instance->call<Outs...>(m_address, m_type + "/" + std::string(op), opts,
+                                         ins...);
+    }
+
+  private:
+    InstancePtr m_instance;
+    std::string m_address;
+    std::uint16_t m_provider_id;
+    std::string m_type;
+};
+
+} // namespace mochi::margo

@@ -1,0 +1,207 @@
+// Serialization archives for RPC argument/response payloads, in the spirit
+// of Mercury's proc functions (and the Boost/cereal operator& convention:
+// one `serialize` function describes both directions).
+//
+// Wire format: little-endian fixed-width primitives, length-prefixed strings
+// and containers. No versioning — both sides are always the same build, as
+// in a Mochi service deployment.
+#pragma once
+
+#include "common/expected.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mochi::mercury {
+
+class OutputArchive {
+  public:
+    static constexpr bool is_saving = true;
+
+    [[nodiscard]] std::string& buffer() noexcept { return m_buffer; }
+    [[nodiscard]] std::string take() { return std::move(m_buffer); }
+
+    template <typename T>
+    OutputArchive& operator&(const T& v) {
+        save(v);
+        return *this;
+    }
+
+  private:
+    template <typename T>
+    void save(const T& v) {
+        if constexpr (std::is_enum_v<T>) {
+            save(static_cast<std::underlying_type_t<T>>(v));
+        } else if constexpr (std::is_arithmetic_v<T>) {
+            const char* p = reinterpret_cast<const char*>(&v);
+            m_buffer.append(p, sizeof v);
+        } else {
+            // User type: member serialize(Archive&). const_cast is safe: the
+            // saving path only reads.
+            const_cast<T&>(v).serialize(*this);
+        }
+    }
+    void save(const std::string& s) {
+        save(static_cast<std::uint64_t>(s.size()));
+        m_buffer.append(s);
+    }
+    void save(std::string_view s) {
+        save(static_cast<std::uint64_t>(s.size()));
+        m_buffer.append(s);
+    }
+    void save(const char* s) { save(std::string_view{s}); }
+    template <typename T>
+    void save(const std::vector<T>& v) {
+        save(static_cast<std::uint64_t>(v.size()));
+        for (const auto& e : v) save(e);
+    }
+    template <typename K, typename V>
+    void save(const std::map<K, V>& m) {
+        save(static_cast<std::uint64_t>(m.size()));
+        for (const auto& [k, v] : m) {
+            save(k);
+            save(v);
+        }
+    }
+    template <typename A, typename B>
+    void save(const std::pair<A, B>& p) {
+        save(p.first);
+        save(p.second);
+    }
+    template <typename T>
+    void save(const std::optional<T>& o) {
+        save(static_cast<std::uint8_t>(o.has_value() ? 1 : 0));
+        if (o) save(*o);
+    }
+
+    std::string m_buffer;
+};
+
+class InputArchive {
+  public:
+    static constexpr bool is_saving = false;
+
+    explicit InputArchive(std::string_view data) : m_data(data) {}
+
+    [[nodiscard]] bool failed() const noexcept { return m_failed; }
+    [[nodiscard]] std::size_t remaining() const noexcept { return m_data.size() - m_pos; }
+
+    template <typename T>
+    InputArchive& operator&(T& v) {
+        load(v);
+        return *this;
+    }
+
+  private:
+    bool take(void* dst, std::size_t n) {
+        if (m_failed || m_data.size() - m_pos < n) {
+            m_failed = true;
+            return false;
+        }
+        std::memcpy(dst, m_data.data() + m_pos, n);
+        m_pos += n;
+        return true;
+    }
+
+    template <typename T>
+    void load(T& v) {
+        if constexpr (std::is_enum_v<T>) {
+            std::underlying_type_t<T> u{};
+            load(u);
+            v = static_cast<T>(u);
+        } else if constexpr (std::is_arithmetic_v<T>) {
+            take(&v, sizeof v);
+        } else {
+            v.serialize(*this);
+        }
+    }
+    void load(std::string& s) {
+        std::uint64_t n = 0;
+        if (!take(&n, sizeof n)) return;
+        if (m_data.size() - m_pos < n) {
+            m_failed = true;
+            return;
+        }
+        s.assign(m_data.data() + m_pos, n);
+        m_pos += n;
+    }
+    template <typename T>
+    void load(std::vector<T>& v) {
+        std::uint64_t n = 0;
+        if (!take(&n, sizeof n)) return;
+        // Guard against corrupt lengths: each element needs at least one
+        // byte, so n can never exceed the remaining payload. This also caps
+        // the reserve below so a corrupt header cannot trigger a huge
+        // allocation.
+        if (n > m_data.size() - m_pos) {
+            m_failed = true;
+            return;
+        }
+        v.clear();
+        v.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n && !m_failed; ++i) {
+            v.emplace_back();
+            load(v.back());
+        }
+    }
+    template <typename K, typename V>
+    void load(std::map<K, V>& m) {
+        std::uint64_t n = 0;
+        if (!take(&n, sizeof n)) return;
+        m.clear();
+        for (std::uint64_t i = 0; i < n && !m_failed; ++i) {
+            K k{};
+            V v{};
+            load(k);
+            load(v);
+            m.emplace(std::move(k), std::move(v));
+        }
+    }
+    template <typename A, typename B>
+    void load(std::pair<A, B>& p) {
+        load(p.first);
+        load(p.second);
+    }
+    template <typename T>
+    void load(std::optional<T>& o) {
+        std::uint8_t has = 0;
+        load(has);
+        if (m_failed) return;
+        if (has) {
+            o.emplace();
+            load(*o);
+        } else {
+            o.reset();
+        }
+    }
+
+    std::string_view m_data;
+    std::size_t m_pos = 0;
+    bool m_failed = false;
+};
+
+/// Serialize a value pack into a payload string.
+template <typename... Ts>
+[[nodiscard]] std::string pack(const Ts&... values) {
+    OutputArchive ar;
+    (ar & ... & values);
+    return ar.take();
+}
+
+/// Deserialize a payload string into a value pack. Returns false on
+/// malformed/truncated input.
+template <typename... Ts>
+[[nodiscard]] bool unpack(std::string_view payload, Ts&... values) {
+    InputArchive ar{payload};
+    (ar & ... & values);
+    return !ar.failed();
+}
+
+} // namespace mochi::mercury

@@ -1,0 +1,222 @@
+#include "mercury/fabric.hpp"
+#include "common/logging.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace mochi::mercury {
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+Endpoint::Endpoint(std::shared_ptr<Fabric> fabric, std::string address, MessageHandler handler)
+: m_fabric(std::move(fabric)), m_address(std::move(address)), m_handler(std::move(handler)) {
+    m_attached.store(true);
+}
+
+Endpoint::~Endpoint() { detach(); }
+
+void Endpoint::detach() {
+    bool was = m_attached.exchange(false);
+    if (was) m_fabric->do_detach(m_address);
+}
+
+Status Endpoint::send(const std::string& dst, Message msg) {
+    if (!m_attached.load())
+        return Error{Error::Code::InvalidState, "endpoint is detached"};
+    msg.source = m_address;
+    return m_fabric->send_from(m_address, dst, std::move(msg));
+}
+
+BulkHandle Endpoint::expose(char* data, std::size_t size, bool writable) {
+    std::uint64_t id = m_next_region_id.fetch_add(1);
+    {
+        std::lock_guard lk{m_regions_mutex};
+        m_regions[id] = BulkRegion{data, size, writable};
+    }
+    return BulkHandle{m_address, id, size};
+}
+
+void Endpoint::unexpose(std::uint64_t id) {
+    std::lock_guard lk{m_regions_mutex};
+    m_regions.erase(id);
+}
+
+Expected<double> Endpoint::bulk_pull(const BulkHandle& remote, std::size_t remote_offset,
+                                     char* local, std::size_t size) {
+    return m_fabric->bulk_op(m_address, remote, remote_offset, local, size, /*pull=*/true);
+}
+
+Expected<double> Endpoint::bulk_push(const BulkHandle& remote, std::size_t remote_offset,
+                                     const char* local, std::size_t size) {
+    return m_fabric->bulk_op(m_address, remote, remote_offset, const_cast<char*>(local), size,
+                             /*pull=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(LinkModel default_link, std::uint64_t seed)
+: m_default_link(default_link), m_rng(seed), m_epoch(std::chrono::steady_clock::now()) {}
+
+std::shared_ptr<Fabric> Fabric::create(LinkModel default_link, std::uint64_t seed) {
+    return std::shared_ptr<Fabric>(new Fabric(default_link, seed));
+}
+
+Fabric::~Fabric() { m_timer.stop(); }
+
+double Fabric::now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - m_epoch)
+        .count();
+}
+
+Expected<std::shared_ptr<Endpoint>> Fabric::attach(std::string address,
+                                                   Endpoint::MessageHandler handler) {
+    std::lock_guard lk{m_mutex};
+    auto it = m_endpoints.find(address);
+    if (it != m_endpoints.end() && !it->second.expired())
+        return Error{Error::Code::AlreadyExists, "address already attached: " + address};
+    auto ep = std::shared_ptr<Endpoint>(
+        new Endpoint(shared_from_this(), address, std::move(handler)));
+    m_endpoints[ep->address()] = ep;
+    return ep;
+}
+
+void Fabric::do_detach(const std::string& addr) {
+    std::lock_guard lk{m_mutex};
+    m_endpoints.erase(addr);
+}
+
+void Fabric::cut(const std::string& a, const std::string& b) {
+    std::lock_guard lk{m_mutex};
+    m_cuts.insert({a, b});
+    m_cuts.insert({b, a});
+}
+
+void Fabric::heal(const std::string& a, const std::string& b) {
+    std::lock_guard lk{m_mutex};
+    m_cuts.erase({a, b});
+    m_cuts.erase({b, a});
+}
+
+void Fabric::heal_all() {
+    std::lock_guard lk{m_mutex};
+    m_cuts.clear();
+}
+
+void Fabric::set_link(const std::string& src, const std::string& dst, LinkModel model) {
+    std::lock_guard lk{m_mutex};
+    m_links[{src, dst}] = model;
+}
+
+void Fabric::set_default_link(LinkModel model) {
+    std::lock_guard lk{m_mutex};
+    m_default_link = model;
+}
+
+std::vector<std::string> Fabric::attached() const {
+    std::lock_guard lk{m_mutex};
+    std::vector<std::string> out;
+    for (const auto& [addr, wp] : m_endpoints)
+        if (!wp.expired()) out.push_back(addr);
+    return out;
+}
+
+bool Fabric::is_attached(const std::string& addr) const {
+    std::lock_guard lk{m_mutex};
+    auto it = m_endpoints.find(addr);
+    return it != m_endpoints.end() && !it->second.expired();
+}
+
+bool Fabric::link_blocked(const std::string& src, const std::string& dst) const {
+    return m_cuts.count({src, dst}) > 0;
+}
+
+LinkModel Fabric::link_model(const std::string& src, const std::string& dst) const {
+    auto it = m_links.find({src, dst});
+    return it == m_links.end() ? m_default_link : it->second;
+}
+
+double Fabric::reserve_link_us(const std::string& src, const std::string& dst,
+                               std::size_t bytes) {
+    // Serialize transfers sharing a directional link: a transfer starts when
+    // the link frees up and occupies it for size/bandwidth.
+    LinkModel model = link_model(src, dst);
+    double now = now_us();
+    double transfer = model.transfer_us(bytes);
+    double& busy_until = m_link_busy_until_us[{src, dst}];
+    double start = std::max(now, busy_until);
+    busy_until = start + transfer;
+    double completion = start + transfer + model.latency_us;
+    return completion - now;
+}
+
+Status Fabric::send_from(const std::string& src, const std::string& dst, Message msg) {
+    std::shared_ptr<Endpoint> target;
+    double delay_us = 0;
+    {
+        std::lock_guard lk{m_mutex};
+        auto it = m_endpoints.find(dst);
+        if (it == m_endpoints.end() || !(target = it->second.lock()))
+            return Error{Error::Code::Unreachable, "no endpoint at address " + dst};
+        if (link_blocked(src, dst))
+            return {}; // partition: silent drop (sender sees a timeout)
+        LinkModel model = link_model(src, dst);
+        if (model.loss_probability > 0.0) {
+            std::uniform_real_distribution<double> dist{0.0, 1.0};
+            if (dist(m_rng) < model.loss_probability) return {};
+        }
+        delay_us = reserve_link_us(src, dst, msg.payload.size());
+    }
+    auto deliver = [this, target = std::move(target), msg = std::move(msg)]() mutable {
+        if (!target->m_attached.load()) return; // crashed meanwhile
+        m_delivered.fetch_add(1, std::memory_order_relaxed);
+        target->m_handler(std::move(msg));
+    };
+    if (delay_us < 1.0) {
+        deliver();
+    } else {
+        m_timer.schedule(std::chrono::microseconds(static_cast<std::int64_t>(delay_us)),
+                         std::move(deliver));
+    }
+    return {};
+}
+
+Expected<double> Fabric::bulk_op(const std::string& src, const BulkHandle& remote,
+                                 std::size_t remote_offset, char* local, std::size_t size,
+                                 bool pull) {
+    std::shared_ptr<Endpoint> target;
+    double delay_us = 0;
+    {
+        std::lock_guard lk{m_mutex};
+        auto it = m_endpoints.find(remote.address);
+        if (it == m_endpoints.end() || !(target = it->second.lock()))
+            return Error{Error::Code::Unreachable, "no endpoint at address " + remote.address};
+        if (link_blocked(src, remote.address))
+            return Error{Error::Code::Timeout, "bulk transfer timed out (link cut)"};
+        // RDMA flows data over the link in the data direction.
+        delay_us = pull ? reserve_link_us(remote.address, src, size)
+                        : reserve_link_us(src, remote.address, size);
+    }
+    {
+        std::lock_guard rlk{target->m_regions_mutex};
+        auto rit = target->m_regions.find(remote.id);
+        if (rit == target->m_regions.end())
+            return Error{Error::Code::NotFound, "bulk region not exposed"};
+        const BulkRegion& region = rit->second;
+        if (remote_offset + size > region.size)
+            return Error{Error::Code::InvalidArgument, "bulk transfer out of bounds"};
+        if (!pull && !region.writable)
+            return Error{Error::Code::PermissionDenied, "bulk region is read-only"};
+        if (pull)
+            std::memcpy(local, region.data + remote_offset, size);
+        else
+            std::memcpy(region.data + remote_offset, local, size);
+    }
+    return delay_us;
+}
+
+} // namespace mochi::mercury

@@ -1,0 +1,184 @@
+// The simulated network fabric: the stand-in for Mercury's NA transport
+// layer (DESIGN.md §4, substitutions). Endpoints attach under a string
+// address; messages are delivered to the target's callback after a delay
+// computed from a per-link cost model (latency + size/bandwidth with link
+// serialization). Fault injection supports the paper's resilience scenarios:
+// crashed endpoints (§7), network partitions and silent message loss (SWIM,
+// RAFT elections).
+#pragma once
+
+#include "abt/timer.hpp"
+#include "common/expected.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mochi::mercury {
+
+/// One network message. `kind` disambiguates the RPC protocol implemented by
+/// Margo on top of this layer.
+struct Message {
+    enum class Kind : std::uint8_t { Request, Response };
+
+    Kind kind = Kind::Request;
+    std::uint64_t rpc_id = 0;
+    std::uint16_t provider_id = 0;
+    std::uint64_t seq = 0;            ///< correlation id (request <-> response)
+    std::string source;               ///< sender address
+    std::string payload;
+    // Monitoring context propagated with the call (§4, Listing 1).
+    std::uint64_t parent_rpc_id = 0;
+    std::uint16_t parent_provider_id = 0;
+    /// Response status: 0 = ok; otherwise an Error::Code cast to int.
+    std::int32_t status = 0;
+};
+
+/// Cost model of one directional link.
+struct LinkModel {
+    double latency_us = 0.0;            ///< propagation + per-message overhead
+    double bandwidth_bytes_per_us = 0.0; ///< 0 => infinite
+    double loss_probability = 0.0;       ///< silent drops
+
+    [[nodiscard]] double transfer_us(std::size_t bytes) const noexcept {
+        if (bandwidth_bytes_per_us <= 0.0) return 0.0;
+        return static_cast<double>(bytes) / bandwidth_bytes_per_us;
+    }
+};
+
+/// Registered RDMA-exposed memory region (Mercury bulk handle).
+struct BulkRegion {
+    char* data = nullptr;
+    std::size_t size = 0;
+    bool writable = false;
+};
+
+/// A remotely usable bulk handle descriptor (what gets sent inside RPC
+/// arguments, as in REMI's migration protocol).
+struct BulkHandle {
+    std::string address;   ///< owner endpoint
+    std::uint64_t id = 0;  ///< region id at the owner
+    std::uint64_t size = 0;
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& address& id& size;
+    }
+};
+
+class Fabric;
+
+/// An attached communication endpoint: one per simulated service process.
+class Endpoint {
+  public:
+    using MessageHandler = std::function<void(Message)>;
+
+    ~Endpoint();
+    Endpoint(const Endpoint&) = delete;
+    Endpoint& operator=(const Endpoint&) = delete;
+
+    [[nodiscard]] const std::string& address() const noexcept { return m_address; }
+
+    /// Send a message; returns Unreachable if the target is not attached
+    /// (crashed/never existed). Partitioned or lossy links drop silently.
+    Status send(const std::string& dst, Message msg);
+
+    /// Expose a memory region for remote bulk access; returns its handle.
+    BulkHandle expose(char* data, std::size_t size, bool writable);
+    void unexpose(std::uint64_t id);
+
+    /// RDMA-like transfer between a local buffer and a remote exposed
+    /// region. `pull` copies remote->local; otherwise local->remote (the
+    /// remote region must be writable). Returns the modeled transfer
+    /// duration in microseconds; the caller is responsible for realizing it
+    /// (Margo sleeps ULT-aware so the execution stream stays usable).
+    Expected<double> bulk_pull(const BulkHandle& remote, std::size_t remote_offset, char* local,
+                               std::size_t size);
+    Expected<double> bulk_push(const BulkHandle& remote, std::size_t remote_offset,
+                               const char* local, std::size_t size);
+
+    void detach();
+
+  private:
+    friend class Fabric;
+    Endpoint(std::shared_ptr<Fabric> fabric, std::string address, MessageHandler handler);
+
+    std::shared_ptr<Fabric> m_fabric;
+    std::string m_address;
+    MessageHandler m_handler;
+    std::mutex m_regions_mutex;
+    std::map<std::uint64_t, BulkRegion> m_regions;
+    std::atomic<std::uint64_t> m_next_region_id{1};
+    std::atomic<bool> m_attached{false};
+};
+
+/// The fabric shared by all simulated processes of one test/benchmark.
+class Fabric : public std::enable_shared_from_this<Fabric> {
+  public:
+    static std::shared_ptr<Fabric> create(LinkModel default_link = {}, std::uint64_t seed = 1);
+    ~Fabric();
+
+    /// Attach an endpoint. Fails if the address is taken.
+    Expected<std::shared_ptr<Endpoint>> attach(std::string address,
+                                               Endpoint::MessageHandler handler);
+
+    // -- fault injection -----------------------------------------------------
+
+    /// Partition: cut both directions between a and b. Idempotent.
+    void cut(const std::string& a, const std::string& b);
+    /// Heal a previously cut pair.
+    void heal(const std::string& a, const std::string& b);
+    /// Heal everything.
+    void heal_all();
+    /// Override the model for one directional link.
+    void set_link(const std::string& src, const std::string& dst, LinkModel model);
+    /// Change the default model for links without an override.
+    void set_default_link(LinkModel model);
+
+    /// Addresses currently attached.
+    [[nodiscard]] std::vector<std::string> attached() const;
+    [[nodiscard]] bool is_attached(const std::string& addr) const;
+
+    /// Total messages delivered (for tests and monitoring cross-checks).
+    [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+        return m_delivered.load();
+    }
+
+  private:
+    friend class Endpoint;
+    explicit Fabric(LinkModel default_link, std::uint64_t seed);
+
+    Status send_from(const std::string& src, const std::string& dst, Message msg);
+    Expected<double> bulk_op(const std::string& src, const BulkHandle& remote,
+                             std::size_t remote_offset, char* local, std::size_t size, bool pull);
+    void do_detach(const std::string& addr);
+
+    /// Compute the modeled completion delay for `bytes` on link src->dst and
+    /// advance the link's busy horizon (serializes transfers per link).
+    [[nodiscard]] double reserve_link_us(const std::string& src, const std::string& dst,
+                                         std::size_t bytes);
+    [[nodiscard]] bool link_blocked(const std::string& src, const std::string& dst) const;
+    [[nodiscard]] LinkModel link_model(const std::string& src, const std::string& dst) const;
+
+    mutable std::mutex m_mutex;
+    LinkModel m_default_link;
+    std::map<std::string, std::weak_ptr<Endpoint>> m_endpoints;
+    std::set<std::pair<std::string, std::string>> m_cuts; ///< directional
+    std::map<std::pair<std::string, std::string>, LinkModel> m_links;
+    std::map<std::pair<std::string, std::string>, double> m_link_busy_until_us;
+    std::mt19937_64 m_rng;
+    std::atomic<std::uint64_t> m_delivered{0};
+    abt::Timer m_timer; ///< delayed message delivery
+    std::chrono::steady_clock::time_point m_epoch;
+
+    [[nodiscard]] double now_us() const;
+};
+
+} // namespace mochi::mercury

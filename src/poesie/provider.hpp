@@ -1,0 +1,61 @@
+// Poesie: Mochi's embedded language interpreter component (§3.2 names it as
+// a composition partner: component M "could be further composed with
+// Mochi's embedded language interpreter component (Poesie), to execute
+// scripts on datasets"). A provider manages named interpreter VMs, each
+// holding a persistent variable environment; clients submit Jx9 scripts for
+// remote execution.
+#pragma once
+
+#include "bedrock/jx9.hpp"
+#include "margo/provider.hpp"
+
+#include <map>
+
+namespace mochi::poesie {
+
+/// Client-side handle to a remote interpreter provider.
+class InterpreterHandle : public margo::ResourceHandle {
+  public:
+    InterpreterHandle(margo::InstancePtr instance, std::string address,
+                      std::uint16_t provider_id)
+    : ResourceHandle(std::move(instance), std::move(address), provider_id, "poesie") {}
+
+    /// Create a named VM (fails if it exists).
+    Status create_vm(const std::string& name) const;
+    Status destroy_vm(const std::string& name) const;
+    [[nodiscard]] Expected<std::vector<std::string>> list_vms() const;
+
+    /// Execute a Jx9 script in `vm`; variables persist between calls.
+    /// Returns the script's `return` value as JSON.
+    [[nodiscard]] Expected<json::Value> execute(const std::string& vm,
+                                                const std::string& code) const;
+
+    /// Read one variable from a VM's environment.
+    [[nodiscard]] Expected<json::Value> get_variable(const std::string& vm,
+                                                     const std::string& name) const;
+    /// Set one variable in a VM's environment.
+    Status set_variable(const std::string& vm, const std::string& name,
+                        const json::Value& value) const;
+};
+
+class Provider : public margo::Provider {
+  public:
+    Provider(margo::InstancePtr instance, std::uint16_t provider_id,
+             std::shared_ptr<abt::Pool> pool = nullptr);
+
+    [[nodiscard]] json::Value get_config() const override;
+
+  private:
+    struct Vm {
+        std::map<std::string, json::Value> env;
+        std::uint64_t executions = 0;
+    };
+
+    mutable std::mutex m_mutex;
+    std::map<std::string, Vm> m_vms;
+};
+
+/// Register Poesie's Bedrock module under "libpoesie.so" (idempotent).
+void register_module();
+
+} // namespace mochi::poesie

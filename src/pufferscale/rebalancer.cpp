@@ -1,0 +1,266 @@
+#include "pufferscale/rebalancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mochi::pufferscale {
+
+namespace {
+
+struct NodeStats {
+    double load = 0;
+    double size = 0;
+};
+
+std::map<std::string, NodeStats> tally(const std::vector<Resource>& resources,
+                                       const std::vector<std::string>& nodes) {
+    std::map<std::string, NodeStats> stats;
+    for (const auto& n : nodes) stats[n]; // ensure empty nodes count
+    for (const auto& r : resources) {
+        stats[r.node].load += r.load;
+        stats[r.node].size += r.size;
+    }
+    return stats;
+}
+
+double imbalance(const std::map<std::string, NodeStats>& stats,
+                 double NodeStats::*field) {
+    if (stats.empty()) return 0;
+    double total = 0, max = 0;
+    for (const auto& [n, s] : stats) {
+        total += s.*field;
+        max = std::max(max, s.*field);
+    }
+    if (total <= 0) return 0;
+    double mean = total / static_cast<double>(stats.size());
+    return mean > 0 ? max / mean - 1.0 : 0;
+}
+
+/// Smooth balance measure used for optimization: coefficient of variation
+/// (stddev/mean). Unlike max/mean-1 it credits every move toward balance,
+/// so greedy descent does not stall on plateaus where only the max node
+/// "counts".
+double variation(const std::map<std::string, NodeStats>& stats, double NodeStats::*field) {
+    if (stats.empty()) return 0;
+    double total = 0;
+    for (const auto& [n, s] : stats) total += s.*field;
+    if (total <= 0) return 0;
+    double mean = total / static_cast<double>(stats.size());
+    double ss = 0;
+    for (const auto& [n, s] : stats) {
+        double d = s.*field - mean;
+        ss += d * d;
+    }
+    return std::sqrt(ss / static_cast<double>(stats.size())) / mean;
+}
+
+double objective_of(const std::map<std::string, NodeStats>& stats,
+                    const Objectives& obj, double bytes_moved, double total_bytes) {
+    double norm_moved = total_bytes > 0 ? bytes_moved / total_bytes : 0;
+    return obj.w_load * variation(stats, &NodeStats::load) +
+           obj.w_data * variation(stats, &NodeStats::size) + obj.w_time * norm_moved;
+}
+
+} // namespace
+
+Metrics evaluate(const std::vector<Resource>& resources,
+                 const std::vector<std::string>& nodes, const Objectives& objectives,
+                 double bytes_moved) {
+    auto stats = tally(resources, nodes);
+    double total_bytes = 0;
+    for (const auto& r : resources) total_bytes += r.size;
+    Metrics m;
+    m.load_imbalance = imbalance(stats, &NodeStats::load);
+    m.data_imbalance = imbalance(stats, &NodeStats::size);
+    m.bytes_moved = bytes_moved;
+    m.objective = objective_of(stats, objectives, bytes_moved, total_bytes);
+    return m;
+}
+
+Expected<Plan> plan_rescale(const std::vector<Resource>& resources,
+                            const std::vector<std::string>& target_nodes,
+                            const Objectives& objectives) {
+    if (target_nodes.empty())
+        return Error{Error::Code::InvalidArgument, "rescale needs at least one target node"};
+    std::set<std::string> targets(target_nodes.begin(), target_nodes.end());
+    std::set<std::string> ids;
+    for (const auto& r : resources) {
+        if (!ids.insert(r.id).second)
+            return Error{Error::Code::InvalidArgument, "duplicate resource id: " + r.id};
+        if (r.load < 0 || r.size < 0)
+            return Error{Error::Code::InvalidArgument,
+                         "resource " + r.id + " has negative load or size"};
+    }
+
+    Plan plan;
+    // Metrics "before" are computed over the union of old and new nodes so
+    // scale-up imbalance (new nodes empty) is visible.
+    std::vector<std::string> union_nodes(target_nodes);
+    for (const auto& r : resources)
+        if (!targets.count(r.node)) union_nodes.push_back(r.node);
+    plan.before = evaluate(resources, union_nodes, objectives);
+
+    // Working placement.
+    std::vector<Resource> placed = resources;
+    auto stats = tally(placed, target_nodes);
+    // Drop nodes that are being removed from the stats map view (they were
+    // added by tally only if some resource still sits there).
+    double total_bytes = 0;
+    for (const auto& r : placed) total_bytes += r.size;
+    double bytes_moved = 0;
+
+    auto least_loaded = [&](double extra_load, double extra_size) {
+        // Pick the target node minimizing post-placement (load, size) pressure.
+        std::string best;
+        double best_score = 0;
+        for (const auto& n : target_nodes) {
+            const auto& s = stats[n];
+            double score = objectives.w_load * (s.load + extra_load) +
+                           objectives.w_data * (s.size + extra_size);
+            if (best.empty() || score < best_score) {
+                best = n;
+                best_score = score;
+            }
+        }
+        return best;
+    };
+    auto apply_move = [&](Resource& r, const std::string& to) {
+        stats[r.node].load -= r.load;
+        stats[r.node].size -= r.size;
+        stats[to].load += r.load;
+        stats[to].size += r.size;
+        plan.moves.push_back(Move{r.id, r.node, to, r.size, r.load});
+        bytes_moved += r.size;
+        r.node = to;
+    };
+
+    // Phase 1 (feasibility): evacuate removed nodes. Largest resources
+    // first so the greedy fill packs better.
+    std::vector<Resource*> evacuees;
+    for (auto& r : placed)
+        if (!targets.count(r.node)) evacuees.push_back(&r);
+    std::sort(evacuees.begin(), evacuees.end(), [](const Resource* a, const Resource* b) {
+        return a->size + a->load > b->size + b->load;
+    });
+    for (Resource* r : evacuees) apply_move(*r, least_loaded(r->load, r->size));
+
+    // Phase 2 (balance): repeatedly move a resource from the highest-
+    // pressure node to the lowest-pressure one (pressure = the weighted
+    // load/size combination), picking the resource whose pressure is
+    // closest to half the gap — the classic equalization heuristic. A
+    // single-move-objective greedy would stall on plateaus (e.g. 2 -> 4
+    // nodes, where the global max only drops after several moves).
+    auto pressure = [&](const NodeStats& s) {
+        return objectives.w_load * s.load + objectives.w_data * s.size;
+    };
+    struct Step {
+        Resource* resource;
+        std::string from, to;
+        double objective_after;
+    };
+    std::vector<Step> steps;
+    double best_objective = objective_of(stats, objectives, bytes_moved, total_bytes);
+    std::size_t best_prefix = 0;
+    constexpr int k_max_steps = 10'000;
+    double phase2_bytes = bytes_moved;
+    for (int iter = 0; iter < k_max_steps; ++iter) {
+        std::string donor, receiver;
+        double donor_p = -1, receiver_p = 0;
+        for (const auto& n : target_nodes) {
+            double p = pressure(stats[n]);
+            if (p > donor_p) {
+                donor_p = p;
+                donor = n;
+            }
+            if (receiver.empty() || p < receiver_p) {
+                receiver_p = p;
+                receiver = n;
+            }
+        }
+        double gap = donor_p - receiver_p;
+        if (gap <= 1e-12 || donor == receiver) break;
+        // Resource on the donor whose pressure is closest to gap/2 without
+        // inverting the imbalance.
+        Resource* best_res = nullptr;
+        double best_fit = 0;
+        for (auto& r : placed) {
+            if (r.node != donor) continue;
+            double rp = objectives.w_load * r.load + objectives.w_data * r.size;
+            if (rp <= 0 || rp >= gap) continue; // move would not help
+            double fit = std::fabs(rp - gap / 2);
+            if (best_res == nullptr || fit < best_fit) {
+                best_res = &r;
+                best_fit = fit;
+            }
+        }
+        if (best_res == nullptr) break;
+        apply_move(*best_res, receiver);
+        phase2_bytes = bytes_moved;
+        double obj = objective_of(stats, objectives, phase2_bytes, total_bytes);
+        steps.push_back(Step{best_res, donor, receiver, obj});
+        if (obj < best_objective - 1e-12) {
+            best_objective = obj;
+            best_prefix = steps.size();
+        }
+    }
+    // The time objective may make the tail of the equalization not worth its
+    // migration cost: keep only the best prefix, rolling the rest back.
+    for (std::size_t i = steps.size(); i > best_prefix; --i) {
+        const Step& s = steps[i - 1];
+        stats[s.to].load -= s.resource->load;
+        stats[s.to].size -= s.resource->size;
+        stats[s.from].load += s.resource->load;
+        stats[s.from].size += s.resource->size;
+        bytes_moved -= s.resource->size;
+        s.resource->node = s.from;
+        plan.moves.pop_back();
+    }
+
+    // Phase 3 (polish): pressure equalization balances the *combined*
+    // weighted pressure; with uncorrelated load/size distributions one
+    // dimension can remain skewed. Greedy single moves on the true global
+    // objective fix the residue (no plateau risk once roughly equalized).
+    double current = objective_of(stats, objectives, bytes_moved, total_bytes);
+    for (int iter = 0; iter < k_max_steps; ++iter) {
+        double best_delta = -1e-12;
+        Resource* best_res = nullptr;
+        std::string best_to;
+        for (auto& r : placed) {
+            for (const auto& n : target_nodes) {
+                if (n == r.node) continue;
+                stats[r.node].load -= r.load;
+                stats[r.node].size -= r.size;
+                stats[n].load += r.load;
+                stats[n].size += r.size;
+                double candidate =
+                    objective_of(stats, objectives, bytes_moved + r.size, total_bytes);
+                stats[n].load -= r.load;
+                stats[n].size -= r.size;
+                stats[r.node].load += r.load;
+                stats[r.node].size += r.size;
+                double delta = candidate - current;
+                if (delta < best_delta) {
+                    best_delta = delta;
+                    best_res = &r;
+                    best_to = n;
+                }
+            }
+        }
+        if (best_res == nullptr) break;
+        apply_move(*best_res, best_to);
+        current = objective_of(stats, objectives, bytes_moved, total_bytes);
+    }
+
+    plan.after = evaluate(placed, target_nodes, objectives, bytes_moved);
+    return plan;
+}
+
+Status execute(const Plan& plan, const MigrateFn& migrate) {
+    for (const auto& move : plan.moves) {
+        if (auto st = migrate(move); !st.ok()) return st;
+    }
+    return {};
+}
+
+} // namespace mochi::pufferscale

@@ -1,0 +1,79 @@
+// Pufferscale (§6, Observation 6 / [Cheriere et al. 2020]): heuristics that
+// decide which resources to migrate and where, optimizing a weighted
+// combination of load balance (balance of accesses), data balance (balance
+// of stored volume) and rebalancing time (bytes moved). Fully composable:
+// the planner knows nothing about the nature of the resources; the executor
+// carries a plan out through a dependency-injected migrate function.
+#pragma once
+
+#include "common/expected.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mochi::pufferscale {
+
+/// One migratable resource (e.g. a Yokan database, a Warabi target).
+struct Resource {
+    std::string id;
+    std::string node;  ///< current host node
+    double load = 0;   ///< access rate (e.g. RPCs/s from Margo monitoring, §4)
+    double size = 0;   ///< data volume in bytes
+};
+
+/// Objective weights. The paper describes optimizing "load balance, data
+/// balance, rebalancing time, or a compromise between these three".
+struct Objectives {
+    double w_load = 1.0;
+    double w_data = 1.0;
+    double w_time = 0.1; ///< cost per normalized byte moved
+};
+
+struct Move {
+    std::string resource;
+    std::string from;
+    std::string to;
+    double size = 0;
+    double load = 0;
+};
+
+/// Balance metrics of a placement: imbalance is the max/mean ratio minus 1
+/// (0 = perfectly balanced).
+struct Metrics {
+    double load_imbalance = 0;
+    double data_imbalance = 0;
+    double bytes_moved = 0;
+    double objective = 0;
+};
+
+struct Plan {
+    std::vector<Move> moves;
+    Metrics before;
+    Metrics after;
+};
+
+/// Compute balance metrics of `resources` over `nodes` (nodes may be empty
+/// of resources; they still count toward the balance denominator).
+[[nodiscard]] Metrics evaluate(const std::vector<Resource>& resources,
+                               const std::vector<std::string>& nodes,
+                               const Objectives& objectives, double bytes_moved = 0);
+
+/// Plan a rescale: place `resources` onto `target_nodes` (which may add
+/// nodes — scale-up — or omit current ones — scale-down), minimizing the
+/// weighted objective with a greedy heuristic:
+///   1. every resource on a removed node must move (feasibility);
+///   2. then iteratively move the best (objective-reducing) resource from
+///      the most loaded node to the least loaded one until no move helps.
+[[nodiscard]] Expected<Plan> plan_rescale(const std::vector<Resource>& resources,
+                                          const std::vector<std::string>& target_nodes,
+                                          const Objectives& objectives = {});
+
+/// Execute a plan through the injected migration function ("it simply works
+/// out a rebalancing plan and carries it out by calling functions provided
+/// via dependency injection"). Stops at the first failure.
+using MigrateFn = std::function<Status(const Move&)>;
+Status execute(const Plan& plan, const MigrateFn& migrate);
+
+} // namespace mochi::pufferscale

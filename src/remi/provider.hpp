@@ -1,0 +1,70 @@
+// REMI: Mochi's REsource MIgration component (§6, Observation 4).
+//
+// Migrates filesets between node-local stores using one of two methods:
+//  - Rdma: per file, memory-map (here: load) the file and let the
+//    destination pull it with one RDMA bulk transfer. Efficient for large
+//    files (per-file overhead amortized by bandwidth).
+//  - Chunks: pack many (small) files into fixed-size chunks and ship the
+//    chunks as pipelined RPCs. Efficient for many small files (per-message
+//    overhead amortized across files, transfers overlap).
+// bench/bench_migration locates the crossover between the two (E3).
+#pragma once
+
+#include "margo/provider.hpp"
+#include "remi/sim_file_store.hpp"
+
+#include <chrono>
+
+namespace mochi::remi {
+
+/// A set of files under a common root in one node's store.
+struct Fileset {
+    std::string root;               ///< e.g. "/yokan/db1/"
+    std::vector<std::string> files; ///< absolute paths (root-prefixed)
+
+    /// Enumerate a store's files under `root`.
+    static Fileset scan(const SimFileStore& store, std::string root);
+};
+
+enum class Method { Rdma, Chunks };
+
+struct MigrationOptions {
+    Method method = Method::Rdma;
+    std::size_t chunk_size = 1 << 20; ///< chunk payload bytes (Chunks method)
+    int pipeline_width = 4;           ///< concurrent in-flight chunks
+    bool remove_source = true;        ///< delete source files on success
+    std::chrono::milliseconds rpc_timeout{30000};
+};
+
+struct MigrationStats {
+    std::size_t files = 0;
+    std::size_t bytes = 0;
+    std::size_t messages = 0; ///< RPCs (chunks) or bulk ops (rdma)
+    double duration_us = 0;
+};
+
+/// Server side: receives migrated files into this node's store.
+class Provider : public margo::Provider {
+  public:
+    Provider(margo::InstancePtr instance, std::uint16_t provider_id,
+             std::shared_ptr<abt::Pool> pool = nullptr);
+
+    [[nodiscard]] json::Value get_config() const override;
+
+  private:
+    std::shared_ptr<SimFileStore> m_store;
+};
+
+/// Client side: push `fileset` from `store` to the REMI provider at
+/// (dest_address, dest_provider_id). Blocking, ULT-aware.
+Expected<MigrationStats> migrate(const margo::InstancePtr& instance,
+                                 const std::shared_ptr<SimFileStore>& store,
+                                 const Fileset& fileset, const std::string& dest_address,
+                                 std::uint16_t dest_provider_id,
+                                 const MigrationOptions& options = {});
+
+/// Register REMI's Bedrock module under library name "libremi.so"
+/// (idempotent).
+void register_module();
+
+} // namespace mochi::remi

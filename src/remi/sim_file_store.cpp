@@ -1,0 +1,99 @@
+#include "remi/sim_file_store.hpp"
+
+namespace mochi::remi {
+
+namespace {
+std::mutex g_registry_mutex;
+std::map<std::string, std::shared_ptr<SimFileStore>>& registry() {
+    static std::map<std::string, std::shared_ptr<SimFileStore>> r;
+    return r;
+}
+} // namespace
+
+std::shared_ptr<SimFileStore> SimFileStore::for_node(const std::string& address) {
+    std::lock_guard lk{g_registry_mutex};
+    auto& slot = registry()[address];
+    if (!slot) slot = std::shared_ptr<SimFileStore>(new SimFileStore());
+    return slot;
+}
+
+std::shared_ptr<SimFileStore> SimFileStore::pfs() { return for_node("__pfs__"); }
+
+void SimFileStore::destroy_node(const std::string& address) {
+    std::lock_guard lk{g_registry_mutex};
+    registry().erase(address);
+}
+
+Status SimFileStore::write(const std::string& path, std::string data) {
+    if (path.empty()) return Error{Error::Code::InvalidArgument, "empty path"};
+    std::lock_guard lk{m_mutex};
+    m_files[path] = std::move(data);
+    return {};
+}
+
+Status SimFileStore::append(const std::string& path, std::string_view data) {
+    if (path.empty()) return Error{Error::Code::InvalidArgument, "empty path"};
+    std::lock_guard lk{m_mutex};
+    m_files[path].append(data);
+    return {};
+}
+
+Expected<std::string> SimFileStore::read(const std::string& path) const {
+    std::lock_guard lk{m_mutex};
+    auto it = m_files.find(path);
+    if (it == m_files.end()) return Error{Error::Code::NotFound, "no file at " + path};
+    return it->second;
+}
+
+bool SimFileStore::exists(const std::string& path) const {
+    std::lock_guard lk{m_mutex};
+    return m_files.count(path) > 0;
+}
+
+Status SimFileStore::remove(const std::string& path) {
+    std::lock_guard lk{m_mutex};
+    if (m_files.erase(path) == 0)
+        return Error{Error::Code::NotFound, "no file at " + path};
+    return {};
+}
+
+std::size_t SimFileStore::remove_prefix(const std::string& prefix) {
+    std::lock_guard lk{m_mutex};
+    std::size_t removed = 0;
+    for (auto it = m_files.lower_bound(prefix);
+         it != m_files.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+        it = m_files.erase(it);
+        ++removed;
+    }
+    return removed;
+}
+
+std::vector<std::string> SimFileStore::list(const std::string& prefix) const {
+    std::lock_guard lk{m_mutex};
+    std::vector<std::string> out;
+    for (auto it = m_files.lower_bound(prefix);
+         it != m_files.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it)
+        out.push_back(it->first);
+    return out;
+}
+
+Expected<std::size_t> SimFileStore::file_size(const std::string& path) const {
+    std::lock_guard lk{m_mutex};
+    auto it = m_files.find(path);
+    if (it == m_files.end()) return Error{Error::Code::NotFound, "no file at " + path};
+    return it->second.size();
+}
+
+std::size_t SimFileStore::total_bytes() const {
+    std::lock_guard lk{m_mutex};
+    std::size_t total = 0;
+    for (const auto& [p, d] : m_files) total += d.size();
+    return total;
+}
+
+std::size_t SimFileStore::file_count() const {
+    std::lock_guard lk{m_mutex};
+    return m_files.size();
+}
+
+} // namespace mochi::remi

@@ -1,0 +1,52 @@
+// Simulated node-local storage (DESIGN.md substitutions). Each simulated
+// process/node owns a namespace of byte files; REMI migrates filesets
+// between stores, Yokan/Warabi persist their resources into them, and a
+// shared "parallel file system" store backs §7's checkpoint/restore
+// (accessible from any node).
+#pragma once
+
+#include "common/expected.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mochi::remi {
+
+class SimFileStore {
+  public:
+    /// The store of a simulated node, keyed by its (margo) address. Created
+    /// on first use; survives process crash/restart (the data is "on disk").
+    static std::shared_ptr<SimFileStore> for_node(const std::string& address);
+
+    /// The shared parallel-file-system store (§7 Obs. 9: "storing
+    /// checkpoints in a way that makes them accessible from any node").
+    static std::shared_ptr<SimFileStore> pfs();
+
+    /// Drop a node's store (simulates permanent storage loss, §2.3).
+    static void destroy_node(const std::string& address);
+
+    Status write(const std::string& path, std::string data);
+    Status append(const std::string& path, std::string_view data);
+    [[nodiscard]] Expected<std::string> read(const std::string& path) const;
+    [[nodiscard]] bool exists(const std::string& path) const;
+    Status remove(const std::string& path);
+    /// Remove every file under `prefix`; returns the number removed.
+    std::size_t remove_prefix(const std::string& prefix);
+
+    /// Paths under `prefix`, sorted.
+    [[nodiscard]] std::vector<std::string> list(const std::string& prefix) const;
+    [[nodiscard]] Expected<std::size_t> file_size(const std::string& path) const;
+    [[nodiscard]] std::size_t total_bytes() const;
+    [[nodiscard]] std::size_t file_count() const;
+
+  private:
+    SimFileStore() = default;
+    mutable std::mutex m_mutex;
+    std::map<std::string, std::string> m_files;
+};
+
+} // namespace mochi::remi

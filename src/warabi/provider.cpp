@@ -1,0 +1,277 @@
+#include "warabi/provider.hpp"
+#include "bedrock/component.hpp"
+
+namespace mochi::warabi {
+
+// ---------------------------------------------------------------------------
+// TargetHandle
+// ---------------------------------------------------------------------------
+
+Expected<std::uint64_t> TargetHandle::create(std::uint64_t size) const {
+    auto r = call<std::uint64_t>("create", size);
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Status TargetHandle::write(std::uint64_t region, std::uint64_t offset,
+                           const std::string& data) const {
+    auto r = call<bool>("write", region, offset, data);
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::string> TargetHandle::read(std::uint64_t region, std::uint64_t offset,
+                                         std::uint64_t size) const {
+    auto r = call<std::string>("read", region, offset, size);
+    if (!r) return std::move(r).error();
+    return std::get<0>(std::move(*r));
+}
+
+Status TargetHandle::erase(std::uint64_t region) const {
+    auto r = call<bool>("erase", region);
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::uint64_t> TargetHandle::region_size(std::uint64_t region) const {
+    auto r = call<std::uint64_t>("region_size", region);
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Status TargetHandle::write_bulk(std::uint64_t region, std::uint64_t offset, const char* data,
+                                std::size_t size) const {
+    auto handle = instance()->expose(const_cast<char*>(data), size, /*writable=*/false);
+    auto r = call<bool>("write_bulk", region, offset, handle);
+    instance()->unexpose(handle.id);
+    if (!r) return r.error();
+    return {};
+}
+
+Status TargetHandle::read_bulk(std::uint64_t region, std::uint64_t offset, char* data,
+                               std::size_t size) const {
+    auto handle = instance()->expose(data, size, /*writable=*/true);
+    auto r = call<bool>("read_bulk", region, offset, handle);
+    instance()->unexpose(handle.id);
+    if (!r) return r.error();
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Provider
+// ---------------------------------------------------------------------------
+
+Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
+                   TargetConfig config, std::shared_ptr<abt::Pool> pool)
+: margo::Provider(std::move(instance), provider_id, "warabi", std::move(pool)),
+  m_config(std::move(config)) {
+    auto store = remi::SimFileStore::for_node(this->instance()->address());
+    if (!store->list(root()).empty()) (void)load_from_store(*store);
+
+    define("create", [this](const margo::Request& req) {
+        std::uint64_t size = 0;
+        if (!req.unpack(size)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::uint64_t id;
+        {
+            std::lock_guard lk{m_mutex};
+            id = m_next_region++;
+            m_regions[id] = std::string(size, '\0');
+        }
+        req.respond_values(id);
+    });
+    define("write", [this](const margo::Request& req) {
+        std::uint64_t region = 0, offset = 0;
+        std::string data;
+        if (!req.unpack(region, offset, data)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::lock_guard lk{m_mutex};
+        auto it = m_regions.find(region);
+        if (it == m_regions.end()) {
+            req.respond_error(Error{Error::Code::NotFound, "no such region"});
+            return;
+        }
+        if (offset + data.size() > it->second.size()) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "write out of bounds"});
+            return;
+        }
+        it->second.replace(offset, data.size(), data);
+        req.respond_values(true);
+    });
+    define("read", [this](const margo::Request& req) {
+        std::uint64_t region = 0, offset = 0, size = 0;
+        if (!req.unpack(region, offset, size)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::lock_guard lk{m_mutex};
+        auto it = m_regions.find(region);
+        if (it == m_regions.end()) {
+            req.respond_error(Error{Error::Code::NotFound, "no such region"});
+            return;
+        }
+        if (offset + size > it->second.size()) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "read out of bounds"});
+            return;
+        }
+        req.respond_values(it->second.substr(offset, size));
+    });
+    define("erase", [this](const margo::Request& req) {
+        std::uint64_t region = 0;
+        if (!req.unpack(region)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::lock_guard lk{m_mutex};
+        if (m_regions.erase(region) == 0) {
+            req.respond_error(Error{Error::Code::NotFound, "no such region"});
+            return;
+        }
+        req.respond_values(true);
+    });
+    define("region_size", [this](const margo::Request& req) {
+        std::uint64_t region = 0;
+        if (!req.unpack(region)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::lock_guard lk{m_mutex};
+        auto it = m_regions.find(region);
+        if (it == m_regions.end()) {
+            req.respond_error(Error{Error::Code::NotFound, "no such region"});
+            return;
+        }
+        req.respond_values(static_cast<std::uint64_t>(it->second.size()));
+    });
+    define("write_bulk", [this](const margo::Request& req) {
+        std::uint64_t region = 0, offset = 0;
+        mercury::BulkHandle handle;
+        if (!req.unpack(region, offset, handle)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::string buffer(handle.size, '\0');
+        if (auto st = this->instance()->bulk_pull(handle, 0, buffer.data(), buffer.size());
+            !st.ok()) {
+            req.respond_error(st.error());
+            return;
+        }
+        std::lock_guard lk{m_mutex};
+        auto it = m_regions.find(region);
+        if (it == m_regions.end()) {
+            req.respond_error(Error{Error::Code::NotFound, "no such region"});
+            return;
+        }
+        if (offset + buffer.size() > it->second.size()) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "write out of bounds"});
+            return;
+        }
+        it->second.replace(offset, buffer.size(), buffer);
+        req.respond_values(true);
+    });
+    define("read_bulk", [this](const margo::Request& req) {
+        std::uint64_t region = 0, offset = 0;
+        mercury::BulkHandle handle;
+        if (!req.unpack(region, offset, handle)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::string data;
+        {
+            std::lock_guard lk{m_mutex};
+            auto it = m_regions.find(region);
+            if (it == m_regions.end()) {
+                req.respond_error(Error{Error::Code::NotFound, "no such region"});
+                return;
+            }
+            if (offset + handle.size > it->second.size()) {
+                req.respond_error(Error{Error::Code::InvalidArgument, "read out of bounds"});
+                return;
+            }
+            data = it->second.substr(offset, handle.size);
+        }
+        if (auto st = this->instance()->bulk_push(handle, 0, data.data(), data.size());
+            !st.ok()) {
+            req.respond_error(st.error());
+            return;
+        }
+        req.respond_values(true);
+    });
+}
+
+json::Value Provider::get_config() const {
+    std::lock_guard lk{m_mutex};
+    auto c = json::Value::object();
+    c["name"] = m_config.target_name;
+    c["inline_threshold"] = m_config.inline_threshold;
+    c["regions"] = m_regions.size();
+    return c;
+}
+
+Status Provider::dump_to_store(remi::SimFileStore& store) const {
+    std::lock_guard lk{m_mutex};
+    store.remove_prefix(root());
+    for (const auto& [id, data] : m_regions) {
+        char name[32];
+        std::snprintf(name, sizeof name, "region-%016llx",
+                      static_cast<unsigned long long>(id));
+        if (auto st = store.write(root() + name, data); !st.ok()) return st;
+    }
+    return {};
+}
+
+Status Provider::load_from_store(remi::SimFileStore& store) {
+    std::lock_guard lk{m_mutex};
+    m_regions.clear();
+    for (const auto& path : store.list(root())) {
+        auto data = store.read(path);
+        if (!data) return data.error();
+        auto name = path.substr(root().size());
+        if (name.rfind("region-", 0) != 0)
+            return Error{Error::Code::Corruption, "unexpected file " + path};
+        std::uint64_t id = std::stoull(name.substr(7), nullptr, 16);
+        m_next_region = std::max(m_next_region, id + 1);
+        m_regions[id] = std::move(*data);
+    }
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Bedrock module
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class WarabiComponent : public bedrock::ComponentInstance {
+  public:
+    explicit WarabiComponent(const bedrock::ComponentArgs& args) {
+        TargetConfig cfg;
+        cfg.target_name = args.config.get_string("name", "target");
+        if (auto t = args.config.get_integer("inline_threshold", 0); t > 0)
+            cfg.inline_threshold = static_cast<std::uint64_t>(t);
+        m_provider =
+            std::make_unique<Provider>(args.instance, args.provider_id, cfg, args.pool);
+    }
+    json::Value get_config() const override { return m_provider->get_config(); }
+
+  private:
+    std::unique_ptr<Provider> m_provider;
+};
+
+} // namespace
+
+void register_module() {
+    bedrock::ModuleDefinition module;
+    module.type = "warabi";
+    module.factory = [](const bedrock::ComponentArgs& args)
+        -> Expected<std::unique_ptr<bedrock::ComponentInstance>> {
+        return std::unique_ptr<bedrock::ComponentInstance>(new WarabiComponent(args));
+    };
+    bedrock::ModuleRegistry::provide("libwarabi.so", std::move(module));
+}
+
+} // namespace mochi::warabi

@@ -1,0 +1,262 @@
+#include "yokan/backend.hpp"
+
+#include <algorithm>
+
+namespace mochi::yokan {
+
+namespace {
+
+/// Ordered std::map backend (the default; supports efficient prefix scans).
+class MapBackend final : public Backend {
+  public:
+    Status put(const std::string& key, std::string value) override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_data.find(key);
+        if (it == m_data.end()) {
+            m_bytes += key.size() + value.size();
+            m_data.emplace(key, std::move(value));
+        } else {
+            m_bytes += value.size();
+            m_bytes -= it->second.size();
+            it->second = std::move(value);
+        }
+        return {};
+    }
+    Expected<std::string> get(const std::string& key) const override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_data.find(key);
+        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        return it->second;
+    }
+    bool exists(const std::string& key) const override {
+        std::lock_guard lk{m_mutex};
+        return m_data.count(key) > 0;
+    }
+    Status erase(const std::string& key) override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_data.find(key);
+        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        m_bytes -= it->first.size() + it->second.size();
+        m_data.erase(it);
+        return {};
+    }
+    std::size_t count() const override {
+        std::lock_guard lk{m_mutex};
+        return m_data.size();
+    }
+    std::size_t size_bytes() const override {
+        std::lock_guard lk{m_mutex};
+        return m_bytes;
+    }
+    std::vector<std::string> list_keys(const std::string& from, const std::string& prefix,
+                                       std::size_t max) const override {
+        std::lock_guard lk{m_mutex};
+        std::vector<std::string> out;
+        const std::string& start = from > prefix ? from : prefix;
+        for (auto it = m_data.lower_bound(start); it != m_data.end(); ++it) {
+            // Ordered scan: once a key stops matching the prefix, none after
+            // it can match.
+            if (!prefix.empty() && it->first.compare(0, prefix.size(), prefix) != 0) break;
+            out.push_back(it->first);
+            if (max != 0 && out.size() >= max) break;
+        }
+        return out;
+    }
+    void for_each(const std::function<void(const std::string&, const std::string&)>& fn)
+        const override {
+        std::lock_guard lk{m_mutex};
+        for (const auto& [k, v] : m_data) fn(k, v);
+    }
+    void clear() override {
+        std::lock_guard lk{m_mutex};
+        m_data.clear();
+        m_bytes = 0;
+    }
+    const char* type() const noexcept override { return "map"; }
+
+  private:
+    mutable std::mutex m_mutex;
+    std::map<std::string, std::string> m_data;
+    std::size_t m_bytes = 0;
+};
+
+/// Hash-map backend (no ordered scans; list_keys sorts on demand).
+class UnorderedMapBackend final : public Backend {
+  public:
+    Status put(const std::string& key, std::string value) override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_data.find(key);
+        if (it == m_data.end()) {
+            m_bytes += key.size() + value.size();
+            m_data.emplace(key, std::move(value));
+        } else {
+            m_bytes += value.size();
+            m_bytes -= it->second.size();
+            it->second = std::move(value);
+        }
+        return {};
+    }
+    Expected<std::string> get(const std::string& key) const override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_data.find(key);
+        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        return it->second;
+    }
+    bool exists(const std::string& key) const override {
+        std::lock_guard lk{m_mutex};
+        return m_data.count(key) > 0;
+    }
+    Status erase(const std::string& key) override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_data.find(key);
+        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        m_bytes -= it->first.size() + it->second.size();
+        m_data.erase(it);
+        return {};
+    }
+    std::size_t count() const override {
+        std::lock_guard lk{m_mutex};
+        return m_data.size();
+    }
+    std::size_t size_bytes() const override {
+        std::lock_guard lk{m_mutex};
+        return m_bytes;
+    }
+    std::vector<std::string> list_keys(const std::string& from, const std::string& prefix,
+                                       std::size_t max) const override {
+        std::lock_guard lk{m_mutex};
+        std::vector<std::string> out;
+        for (const auto& [k, v] : m_data) {
+            if (k < from) continue;
+            if (!prefix.empty() && k.compare(0, prefix.size(), prefix) != 0) continue;
+            out.push_back(k);
+        }
+        std::sort(out.begin(), out.end());
+        if (max != 0 && out.size() > max) out.resize(max);
+        return out;
+    }
+    void for_each(const std::function<void(const std::string&, const std::string&)>& fn)
+        const override {
+        std::lock_guard lk{m_mutex};
+        for (const auto& [k, v] : m_data) fn(k, v);
+    }
+    void clear() override {
+        std::lock_guard lk{m_mutex};
+        m_data.clear();
+        m_bytes = 0;
+    }
+    const char* type() const noexcept override { return "unordered_map"; }
+
+  private:
+    mutable std::mutex m_mutex;
+    std::unordered_map<std::string, std::string> m_data;
+    std::size_t m_bytes = 0;
+};
+
+/// Append-only log with an in-memory index and tombstones; models an
+/// LSM/log-structured store. Reads go through the index; compaction
+/// rewrites the log when garbage exceeds half of it.
+class LogBackend final : public Backend {
+  public:
+    Status put(const std::string& key, std::string value) override {
+        std::lock_guard lk{m_mutex};
+        m_log.emplace_back(key, value, /*tombstone=*/false);
+        auto it = m_index.find(key);
+        if (it != m_index.end()) m_garbage += 1;
+        m_index[key] = m_log.size() - 1;
+        maybe_compact();
+        return {};
+    }
+    Expected<std::string> get(const std::string& key) const override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_index.find(key);
+        if (it == m_index.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        return std::get<1>(m_log[it->second]);
+    }
+    bool exists(const std::string& key) const override {
+        std::lock_guard lk{m_mutex};
+        return m_index.count(key) > 0;
+    }
+    Status erase(const std::string& key) override {
+        std::lock_guard lk{m_mutex};
+        auto it = m_index.find(key);
+        if (it == m_index.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        m_log.emplace_back(key, "", /*tombstone=*/true);
+        m_index.erase(it);
+        m_garbage += 2;
+        maybe_compact();
+        return {};
+    }
+    std::size_t count() const override {
+        std::lock_guard lk{m_mutex};
+        return m_index.size();
+    }
+    std::size_t size_bytes() const override {
+        std::lock_guard lk{m_mutex};
+        std::size_t b = 0;
+        for (const auto& [k, idx] : m_index)
+            b += k.size() + std::get<1>(m_log[idx]).size();
+        return b;
+    }
+    std::vector<std::string> list_keys(const std::string& from, const std::string& prefix,
+                                       std::size_t max) const override {
+        std::lock_guard lk{m_mutex};
+        std::vector<std::string> out;
+        for (auto it = m_index.lower_bound(from); it != m_index.end(); ++it) {
+            if (!prefix.empty() && it->first.compare(0, prefix.size(), prefix) != 0) continue;
+            out.push_back(it->first);
+            if (max != 0 && out.size() >= max) break;
+        }
+        return out;
+    }
+    void for_each(const std::function<void(const std::string&, const std::string&)>& fn)
+        const override {
+        std::lock_guard lk{m_mutex};
+        for (const auto& [k, idx] : m_index) fn(k, std::get<1>(m_log[idx]));
+    }
+    void clear() override {
+        std::lock_guard lk{m_mutex};
+        m_log.clear();
+        m_index.clear();
+        m_garbage = 0;
+    }
+    const char* type() const noexcept override { return "log"; }
+
+    /// Live log entries (exposed for compaction tests via size heuristics).
+    std::size_t log_entries() const {
+        std::lock_guard lk{m_mutex};
+        return m_log.size();
+    }
+
+  private:
+    void maybe_compact() {
+        if (m_garbage * 2 < m_log.size() || m_log.size() < 64) return;
+        std::vector<std::tuple<std::string, std::string, bool>> compacted;
+        std::map<std::string, std::size_t> new_index;
+        compacted.reserve(m_index.size());
+        for (const auto& [k, idx] : m_index) {
+            compacted.emplace_back(k, std::get<1>(m_log[idx]), false);
+            new_index[k] = compacted.size() - 1;
+        }
+        m_log = std::move(compacted);
+        m_index = std::move(new_index);
+        m_garbage = 0;
+    }
+
+    mutable std::mutex m_mutex;
+    std::vector<std::tuple<std::string, std::string, bool>> m_log;
+    std::map<std::string, std::size_t> m_index;
+    std::size_t m_garbage = 0;
+};
+
+} // namespace
+
+Expected<std::unique_ptr<Backend>> Backend::create(const std::string& type) {
+    if (type.empty() || type == "map") return std::unique_ptr<Backend>(new MapBackend());
+    if (type == "unordered_map")
+        return std::unique_ptr<Backend>(new UnorderedMapBackend());
+    if (type == "log") return std::unique_ptr<Backend>(new LogBackend());
+    return Error{Error::Code::InvalidArgument, "unknown yokan backend: " + type};
+}
+
+} // namespace mochi::yokan

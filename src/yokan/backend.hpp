@@ -1,0 +1,49 @@
+// Yokan backend abstraction (Figure 1: "a resource will generally follow an
+// abstract interface so that the functionality provided by the component can
+// be implemented in various ways" — the paper names RocksDB/LevelDB/BDB; we
+// provide an ordered map, a hash map, and an append-log backend).
+#pragma once
+
+#include "common/expected.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mochi::yokan {
+
+class Backend {
+  public:
+    virtual ~Backend() = default;
+
+    virtual Status put(const std::string& key, std::string value) = 0;
+    [[nodiscard]] virtual Expected<std::string> get(const std::string& key) const = 0;
+    [[nodiscard]] virtual bool exists(const std::string& key) const = 0;
+    virtual Status erase(const std::string& key) = 0;
+    [[nodiscard]] virtual std::size_t count() const = 0;
+    [[nodiscard]] virtual std::size_t size_bytes() const = 0;
+
+    /// Keys >= `from`, filtered by `prefix`, up to `max` (0 = unlimited).
+    [[nodiscard]] virtual std::vector<std::string> list_keys(const std::string& from,
+                                                             const std::string& prefix,
+                                                             std::size_t max) const = 0;
+
+    /// Visit every pair (for dump/migration/checkpoint). Stable snapshot not
+    /// required; callers quiesce writes first.
+    virtual void for_each(
+        const std::function<void(const std::string&, const std::string&)>& fn) const = 0;
+
+    virtual void clear() = 0;
+
+    [[nodiscard]] virtual const char* type() const noexcept = 0;
+
+    /// Factory: "map" (ordered), "unordered_map" (hash), "log" (append-only
+    /// with tombstones, ordered reads through an index).
+    static Expected<std::unique_ptr<Backend>> create(const std::string& type);
+};
+
+} // namespace mochi::yokan

@@ -1,0 +1,503 @@
+#include "yokan/provider.hpp"
+#include "bedrock/component.hpp"
+#include "common/logging.hpp"
+
+namespace mochi::yokan {
+
+// ---------------------------------------------------------------------------
+// Database (client handle)
+// ---------------------------------------------------------------------------
+
+Status Database::put(const std::string& key, const std::string& value) const {
+    auto r = call<bool>("put", key, value);
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::string> Database::get(const std::string& key) const {
+    auto r = call<std::string>("get", key);
+    if (!r) return std::move(r).error();
+    return std::get<0>(std::move(*r));
+}
+
+Expected<bool> Database::exists(const std::string& key) const {
+    auto r = call<bool>("exists", key);
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Status Database::erase(const std::string& key) const {
+    auto r = call<bool>("erase", key);
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::uint64_t> Database::count() const {
+    auto r = call<std::uint64_t>("count");
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Status Database::put_multi(
+    const std::vector<std::pair<std::string, std::string>>& pairs) const {
+    auto r = call<bool>("put_multi", pairs);
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::vector<std::optional<std::string>>>
+Database::get_multi(const std::vector<std::string>& keys) const {
+    auto r = call<std::vector<std::optional<std::string>>>("get_multi", keys);
+    if (!r) return std::move(r).error();
+    return std::get<0>(std::move(*r));
+}
+
+Expected<std::uint64_t> Database::erase_multi(const std::vector<std::string>& keys) const {
+    auto r = call<std::uint64_t>("erase_multi", keys);
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Expected<std::vector<std::string>> Database::list_keys(const std::string& from,
+                                                       const std::string& prefix,
+                                                       std::uint64_t max) const {
+    auto r = call<std::vector<std::string>>("list_keys", from, prefix, max);
+    if (!r) return std::move(r).error();
+    return std::get<0>(std::move(*r));
+}
+
+Expected<std::vector<std::pair<std::string, std::string>>>
+Database::list_keyvals(const std::string& from, const std::string& prefix,
+                       std::uint64_t max) const {
+    auto r = call<std::vector<std::pair<std::string, std::string>>>("list_keyvals", from,
+                                                                    prefix, max);
+    if (!r) return std::move(r).error();
+    return std::get<0>(std::move(*r));
+}
+
+Expected<std::uint64_t> Database::size_bytes() const {
+    auto r = call<std::uint64_t>("size_bytes");
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+// ---------------------------------------------------------------------------
+// ProviderConfig
+// ---------------------------------------------------------------------------
+
+Expected<ProviderConfig> ProviderConfig::from_json(const json::Value& config) {
+    ProviderConfig out;
+    if (config.is_null()) return out;
+    if (!config.is_object())
+        return Error{Error::Code::InvalidArgument, "yokan config must be an object"};
+    out.db_name = config.get_string("name", config.get_string("db_name", "db"));
+    out.backend = config.get_string("backend", "map");
+    if (config.contains("targets")) {
+        if (!config["targets"].is_array())
+            return Error{Error::Code::InvalidArgument, "yokan 'targets' must be an array"};
+        for (const auto& t : config["targets"].as_array()) {
+            if (!t.is_string())
+                return Error{Error::Code::InvalidArgument, "yokan targets must be strings"};
+            out.targets.push_back(t.as_string());
+        }
+    }
+    return out;
+}
+
+json::Value ProviderConfig::to_json() const {
+    auto c = json::Value::object();
+    c["name"] = db_name;
+    c["backend"] = backend;
+    if (!targets.empty()) {
+        c["targets"] = json::Value::array();
+        for (const auto& t : targets) c["targets"].push_back(t);
+    }
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// Provider
+// ---------------------------------------------------------------------------
+
+Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
+                   ProviderConfig config, std::shared_ptr<abt::Pool> pool)
+: margo::Provider(std::move(instance), provider_id, "yokan", std::move(pool)),
+  m_config(std::move(config)) {
+    if (m_config.targets.empty()) {
+        auto backend = Backend::create(m_config.backend);
+        assert(backend.has_value());
+        m_backend = std::move(backend).value();
+        // Re-attach to migrated/persisted data if present (the provider
+        // instantiated on a migration destination finds its files here).
+        auto store = remi::SimFileStore::for_node(this->instance()->address());
+        if (!store->list(root()).empty()) (void)load_from_store(*store);
+    } else {
+        // Virtual database (§7 Obs. 10): clients are unaware the provider
+        // holds no data; it fans out to replicas.
+        for (const auto& spec : m_config.targets) {
+            auto dep = bedrock::parse_dependency(spec);
+            assert(dep.has_value() && !dep->is_local());
+            m_replicas.emplace_back(this->instance(), dep->address, dep->provider_id);
+        }
+    }
+    define_rpcs();
+}
+
+void Provider::define_rpcs() {
+    define("put", [this](const margo::Request& req) {
+        std::string key, value;
+        if (!req.unpack(key, value)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        Status st = m_backend ? m_backend->put(key, std::move(value))
+                              : virtual_put(key, value);
+        if (!st.ok())
+            req.respond_error(st.error());
+        else
+            req.respond_values(true);
+    });
+    define("get", [this](const margo::Request& req) {
+        std::string key;
+        if (!req.unpack(key)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        auto r = m_backend ? m_backend->get(key) : virtual_get(key);
+        if (!r)
+            req.respond_error(r.error());
+        else
+            req.respond_values(*r);
+    });
+    define("exists", [this](const margo::Request& req) {
+        std::string key;
+        if (!req.unpack(key)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        if (m_backend) {
+            req.respond_values(m_backend->exists(key));
+            return;
+        }
+        auto r = virtual_get(key);
+        req.respond_values(r.has_value());
+    });
+    define("erase", [this](const margo::Request& req) {
+        std::string key;
+        if (!req.unpack(key)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        Status st;
+        if (m_backend) {
+            st = m_backend->erase(key);
+        } else {
+            for (const auto& replica : m_replicas) {
+                auto rs = replica.erase(key);
+                if (!rs.ok()) st = rs; // report last failure; best effort
+            }
+        }
+        if (!st.ok())
+            req.respond_error(st.error());
+        else
+            req.respond_values(true);
+    });
+    define("count", [this](const margo::Request& req) {
+        if (m_backend) {
+            req.respond_values(static_cast<std::uint64_t>(m_backend->count()));
+            return;
+        }
+        for (const auto& replica : m_replicas) {
+            auto r = replica.count();
+            if (r) {
+                req.respond_values(*r);
+                return;
+            }
+        }
+        req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
+    });
+    define("put_multi", [this](const margo::Request& req) {
+        std::vector<std::pair<std::string, std::string>> pairs;
+        if (!req.unpack(pairs)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        for (auto& [k, v] : pairs) {
+            Status st = m_backend ? m_backend->put(k, std::move(v)) : virtual_put(k, v);
+            if (!st.ok()) {
+                req.respond_error(st.error());
+                return;
+            }
+        }
+        req.respond_values(true);
+    });
+    define("get_multi", [this](const margo::Request& req) {
+        std::vector<std::string> keys;
+        if (!req.unpack(keys)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::vector<std::optional<std::string>> values;
+        values.reserve(keys.size());
+        for (const auto& k : keys) {
+            auto r = m_backend ? m_backend->get(k) : virtual_get(k);
+            if (r)
+                values.emplace_back(std::move(*r));
+            else
+                values.emplace_back(std::nullopt);
+        }
+        req.respond_values(values);
+    });
+    define("list_keys", [this](const margo::Request& req) {
+        std::string from, prefix;
+        std::uint64_t max = 0;
+        if (!req.unpack(from, prefix, max)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        if (m_backend) {
+            req.respond_values(m_backend->list_keys(from, prefix, max));
+            return;
+        }
+        for (const auto& replica : m_replicas) {
+            auto r = replica.list_keys(from, prefix, max);
+            if (r) {
+                req.respond_values(*r);
+                return;
+            }
+        }
+        req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
+    });
+    define("erase_multi", [this](const margo::Request& req) {
+        std::vector<std::string> keys;
+        if (!req.unpack(keys)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::uint64_t erased = 0;
+        for (const auto& k : keys) {
+            Status st;
+            if (m_backend) {
+                st = m_backend->erase(k);
+            } else {
+                for (const auto& replica : m_replicas) {
+                    auto rs = replica.erase(k);
+                    if (!rs.ok()) st = rs;
+                }
+            }
+            if (st.ok()) ++erased;
+        }
+        req.respond_values(erased);
+    });
+    define("list_keyvals", [this](const margo::Request& req) {
+        std::string from, prefix;
+        std::uint64_t max = 0;
+        if (!req.unpack(from, prefix, max)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        if (m_backend) {
+            std::vector<std::pair<std::string, std::string>> out;
+            for (auto& key : m_backend->list_keys(from, prefix, max)) {
+                auto v = m_backend->get(key);
+                if (v) out.emplace_back(std::move(key), std::move(*v));
+            }
+            req.respond_values(out);
+            return;
+        }
+        for (const auto& replica : m_replicas) {
+            auto r = replica.list_keyvals(from, prefix, max);
+            if (r) {
+                req.respond_values(*r);
+                return;
+            }
+        }
+        req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
+    });
+    define("size_bytes", [this](const margo::Request& req) {
+        if (m_backend) {
+            req.respond_values(static_cast<std::uint64_t>(m_backend->size_bytes()));
+            return;
+        }
+        for (const auto& replica : m_replicas) {
+            auto r = replica.size_bytes();
+            if (r) {
+                req.respond_values(*r);
+                return;
+            }
+        }
+        req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
+    });
+}
+
+Status Provider::virtual_put(const std::string& key, const std::string& value) {
+    // All replicas must accept the write (N-way replication).
+    for (const auto& replica : m_replicas) {
+        if (auto st = replica.put(key, value); !st.ok()) return st;
+    }
+    return {};
+}
+
+Expected<std::string> Provider::virtual_get(const std::string& key) const {
+    Error last{Error::Code::Unreachable, "no replica reachable"};
+    for (const auto& replica : m_replicas) {
+        auto r = replica.get(key);
+        if (r) return r;
+        last = r.error();
+        if (last.code == Error::Code::NotFound) return last; // authoritative
+    }
+    return last;
+}
+
+json::Value Provider::get_config() const { return m_config.to_json(); }
+
+// ---------------------------------------------------------------------------
+// Dump / load / migrate / checkpoint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string serialize_bundle(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+    return mercury::pack(pairs);
+}
+
+} // namespace
+
+Status Provider::dump_to_store(remi::SimFileStore& store) const {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases hold no data to dump"};
+    store.remove_prefix(root());
+    std::vector<std::pair<std::string, std::string>> bundle;
+    std::size_t file_index = 0;
+    Status result;
+    auto flush = [&] {
+        if (bundle.empty() || !result.ok()) return;
+        char name[32];
+        std::snprintf(name, sizeof name, "part-%06zu", file_index++);
+        result = store.write(root() + name, serialize_bundle(bundle));
+        bundle.clear();
+    };
+    m_backend->for_each([&](const std::string& k, const std::string& v) {
+        bundle.emplace_back(k, v);
+        if (bundle.size() >= k_pairs_per_file) flush();
+    });
+    flush();
+    return result;
+}
+
+Status Provider::load_from_store(remi::SimFileStore& store) {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases hold no data to load"};
+    m_backend->clear();
+    for (const auto& path : store.list(root())) {
+        auto data = store.read(path);
+        if (!data) return data.error();
+        std::vector<std::pair<std::string, std::string>> bundle;
+        if (!mercury::unpack(*data, bundle))
+            return Error{Error::Code::Corruption, "corrupt database file " + path};
+        for (auto& [k, v] : bundle) {
+            if (auto st = m_backend->put(k, std::move(v)); !st.ok()) return st;
+        }
+    }
+    return {};
+}
+
+Status Provider::migrate_data(const std::string& dest_address, const json::Value& options) {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases do not migrate"};
+    auto store = remi::SimFileStore::for_node(instance()->address());
+    if (auto st = dump_to_store(*store); !st.ok()) return st;
+    remi::MigrationOptions mopts;
+    if (options.get_string("method", "rdma") == "chunks") mopts.method = remi::Method::Chunks;
+    if (auto cs = options.get_integer("chunk_size", 0); cs > 0)
+        mopts.chunk_size = static_cast<std::size_t>(cs);
+    auto remi_id = static_cast<std::uint16_t>(
+        options.get_integer("remi_provider_id", k_default_remi_provider_id));
+    auto fileset = remi::Fileset::scan(*store, root());
+    auto stats = remi::migrate(instance(), store, fileset, dest_address, remi_id, mopts);
+    if (!stats) return stats.error();
+    log::info("yokan", "migrated db '%s' (%zu files, %zu bytes) to %s",
+              m_config.db_name.c_str(), stats->files, stats->bytes, dest_address.c_str());
+    return {};
+}
+
+Status Provider::checkpoint_data(const std::string& path) const {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases do not checkpoint"};
+    std::vector<std::pair<std::string, std::string>> pairs;
+    m_backend->for_each(
+        [&](const std::string& k, const std::string& v) { pairs.emplace_back(k, v); });
+    return remi::SimFileStore::pfs()->write(path, serialize_bundle(pairs));
+}
+
+Status Provider::restore_data(const std::string& path) {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases do not restore"};
+    auto data = remi::SimFileStore::pfs()->read(path);
+    if (!data) return data.error();
+    std::vector<std::pair<std::string, std::string>> pairs;
+    if (!mercury::unpack(*data, pairs))
+        return Error{Error::Code::Corruption, "corrupt checkpoint at " + path};
+    m_backend->clear();
+    for (auto& [k, v] : pairs) {
+        if (auto st = m_backend->put(k, std::move(v)); !st.ok()) return st;
+    }
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Bedrock module
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Adapts a Provider to Bedrock's ComponentInstance contract (the function-
+/// pointer table of Listing 3 + the migrate/checkpoint/restore hooks).
+class YokanComponent : public bedrock::ComponentInstance {
+  public:
+    explicit YokanComponent(const bedrock::ComponentArgs& args, ProviderConfig config)
+    : m_provider(args.instance, args.provider_id, std::move(config), args.pool) {
+        auto it = args.dependencies.find("remi");
+        if (it != args.dependencies.end() && !it->second.empty())
+            m_remi_provider_id = it->second.front().provider_id;
+    }
+
+    json::Value get_config() const override { return m_provider.get_config(); }
+
+    Status migrate(const std::string& dest_address, std::uint16_t,
+                   const json::Value& options) override {
+        json::Value opts = options.is_null() ? json::Value::object() : options;
+        if (m_remi_provider_id && !opts.contains("remi_provider_id"))
+            opts["remi_provider_id"] = static_cast<std::int64_t>(*m_remi_provider_id);
+        return m_provider.migrate_data(dest_address, opts);
+    }
+    Status checkpoint(const std::string& path) override {
+        return m_provider.checkpoint_data(path);
+    }
+    Status restore(const std::string& path) override { return m_provider.restore_data(path); }
+
+  private:
+    Provider m_provider;
+    std::optional<std::uint16_t> m_remi_provider_id;
+};
+
+} // namespace
+
+void register_module() {
+    bedrock::ModuleDefinition module;
+    module.type = "yokan";
+    // §6 Obs. 5: "components can declare a dependency on a REMI provider to
+    // be able to carry out such a migration".
+    module.dependency_specs.push_back({"remi", "remi", /*required=*/false, false});
+    module.factory = [](const bedrock::ComponentArgs& args)
+        -> Expected<std::unique_ptr<bedrock::ComponentInstance>> {
+        auto config = ProviderConfig::from_json(args.config);
+        if (!config) return config.error();
+        return std::unique_ptr<bedrock::ComponentInstance>(
+            new YokanComponent(args, std::move(*config)));
+    };
+    bedrock::ModuleRegistry::provide("libyokan.so", std::move(module));
+}
+
+} // namespace mochi::yokan

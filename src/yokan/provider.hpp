@@ -1,0 +1,105 @@
+// Yokan: Mochi's node-based key-value component, following Figure 1's
+// anatomy exactly: a server library (Provider + pluggable Backend resource),
+// a client library (Database resource handle), JSON configuration, and the
+// dynamic-service hooks the paper adds — REMI-based migration (§6),
+// checkpoint/restore to the parallel file system (§7 Obs. 9), and the
+// "virtual database" replication mode (§7 Obs. 10).
+#pragma once
+
+#include "margo/provider.hpp"
+#include "remi/provider.hpp"
+#include "yokan/backend.hpp"
+
+namespace mochi::yokan {
+
+/// Client-side handle to a remote (or virtual) database (Figure 1's
+/// "resource handle").
+class Database : public margo::ResourceHandle {
+  public:
+    Database(margo::InstancePtr instance, std::string address, std::uint16_t provider_id)
+    : ResourceHandle(std::move(instance), std::move(address), provider_id, "yokan") {}
+
+    Status put(const std::string& key, const std::string& value) const;
+    [[nodiscard]] Expected<std::string> get(const std::string& key) const;
+    [[nodiscard]] Expected<bool> exists(const std::string& key) const;
+    Status erase(const std::string& key) const;
+    [[nodiscard]] Expected<std::uint64_t> count() const;
+    Status put_multi(const std::vector<std::pair<std::string, std::string>>& pairs) const;
+    [[nodiscard]] Expected<std::vector<std::optional<std::string>>>
+    get_multi(const std::vector<std::string>& keys) const;
+    /// Erase several keys; returns how many existed and were removed.
+    [[nodiscard]] Expected<std::uint64_t>
+    erase_multi(const std::vector<std::string>& keys) const;
+    [[nodiscard]] Expected<std::vector<std::string>>
+    list_keys(const std::string& from = "", const std::string& prefix = "",
+              std::uint64_t max = 0) const;
+    /// Paginated key-value listing (the scan primitive of Yokan's API).
+    [[nodiscard]] Expected<std::vector<std::pair<std::string, std::string>>>
+    list_keyvals(const std::string& from = "", const std::string& prefix = "",
+                 std::uint64_t max = 0) const;
+    /// Total bytes stored in the database.
+    [[nodiscard]] Expected<std::uint64_t> size_bytes() const;
+};
+
+struct ProviderConfig {
+    std::string db_name = "db";
+    std::string backend = "map";
+    /// Non-empty => virtual database (§7 Obs. 10): every write fans out to
+    /// these replicas ("type:id@address" dependency-style specs), reads are
+    /// served by the first reachable replica. The provider holds no data.
+    std::vector<std::string> targets;
+
+    static Expected<ProviderConfig> from_json(const json::Value& config);
+    [[nodiscard]] json::Value to_json() const;
+};
+
+class Provider : public margo::Provider {
+  public:
+    Provider(margo::InstancePtr instance, std::uint16_t provider_id, ProviderConfig config,
+             std::shared_ptr<abt::Pool> pool = nullptr);
+
+    [[nodiscard]] json::Value get_config() const override;
+
+    /// Direct (in-process) access to the backend, used by service glue like
+    /// the RAFT state machine adapter.
+    [[nodiscard]] Backend* backend() noexcept { return m_backend.get(); }
+
+    // -- dynamic-service hooks -------------------------------------------------
+
+    /// Serialize the database into files under root() in `store` (one file
+    /// per bundle of pairs, so REMI has a multi-file fileset to migrate).
+    Status dump_to_store(remi::SimFileStore& store) const;
+    /// Load the database from files under root() (invoked automatically at
+    /// construction when such files exist — the post-migration re-attach).
+    Status load_from_store(remi::SimFileStore& store);
+    /// Fileset root for this database: "/yokan/<db_name>/".
+    [[nodiscard]] std::string root() const { return "/yokan/" + m_config.db_name + "/"; }
+
+    /// §6: migrate the database files to the REMI provider at the
+    /// destination. `options` accepts {"method": "rdma"|"chunks",
+    /// "chunk_size": N, "remi_provider_id": N}.
+    Status migrate_data(const std::string& dest_address, const json::Value& options);
+
+    /// §7 Obs. 9: checkpoint/restore against the shared PFS store.
+    Status checkpoint_data(const std::string& path) const;
+    Status restore_data(const std::string& path);
+
+    static constexpr std::uint16_t k_default_remi_provider_id = 1;
+    static constexpr std::size_t k_pairs_per_file = 128;
+
+  private:
+    void define_rpcs();
+    Status virtual_put(const std::string& key, const std::string& value);
+    Expected<std::string> virtual_get(const std::string& key) const;
+
+    ProviderConfig m_config;
+    std::unique_ptr<Backend> m_backend; ///< null in virtual mode
+    std::vector<Database> m_replicas;   ///< virtual mode targets
+};
+
+/// Register Yokan's Bedrock module under library name "libyokan.so"
+/// (idempotent). The module declares an optional "remi" dependency used for
+/// provider migration, mirroring §6 Observation 5.
+void register_module();
+
+} // namespace mochi::yokan

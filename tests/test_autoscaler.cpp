@@ -1,0 +1,130 @@
+// Tests for the monitoring-driven pool autoscaler: the §2.3/§4 feedback
+// loop (introspection -> decision -> online reconfiguration).
+#include "composed/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace mochi;
+using namespace mochi::composed;
+using namespace std::chrono_literals;
+
+namespace {
+
+json::Value parse(const char* text) { return *json::Value::parse(text); }
+
+template <typename F>
+bool eventually(F f, std::chrono::milliseconds limit = 8000ms) {
+    auto deadline = std::chrono::steady_clock::now() + limit;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (f()) return true;
+        std::this_thread::sleep_for(10ms);
+    }
+    return f();
+}
+
+} // namespace
+
+TEST(Autoscaler, InvalidConfigRejected) {
+    auto fabric = mercury::Fabric::create();
+    auto inst = margo::Instance::create(fabric, "sim://a").value();
+    AutoscalerConfig bad;
+    bad.pool = "__primary__";
+    bad.min_xstreams = 3;
+    bad.max_xstreams = 1;
+    EXPECT_FALSE(PoolAutoscaler::attach(inst, bad).has_value());
+    AutoscalerConfig ghost;
+    ghost.pool = "no-such-pool";
+    EXPECT_FALSE(PoolAutoscaler::attach(inst, ghost).has_value());
+    inst->shutdown();
+}
+
+TEST(Autoscaler, ScalesUpUnderQueueingAndDownWhenIdle) {
+    auto fabric = mercury::Fabric::create();
+    // A dedicated worker pool with one ES; fast sampling drives decisions.
+    auto cfg = parse(R"({
+      "argobots": {
+        "pools": [{"name": "__primary__", "type": "fifo_wait"},
+                   {"name": "work", "type": "fifo_wait"}],
+        "xstreams": [{"name": "__primary__", "scheduler": {"pools": ["__primary__"]}},
+                      {"name": "w0", "scheduler": {"pools": ["work"]}}]
+      },
+      "monitoring": {"sampling_period_ms": 5}
+    })");
+    auto inst = margo::Instance::create(fabric, "sim://busy", cfg).value();
+    AutoscalerConfig acfg;
+    acfg.pool = "work";
+    acfg.min_xstreams = 1;
+    acfg.max_xstreams = 3;
+    acfg.high_watermark = 4.0;
+    acfg.low_watermark = 0.5;
+    acfg.window = 4;
+    acfg.cooldown_samples = 4;
+    auto scaler = PoolAutoscaler::attach(inst, acfg);
+    ASSERT_TRUE(scaler.has_value());
+
+    // Flood the pool with short sleeping ULTs so the queue stays deep.
+    std::atomic<bool> flood{true};
+    auto rt = inst->runtime();
+    auto pool = inst->find_pool_by_name("work").value();
+    std::thread feeder([&] {
+        while (flood.load()) {
+            for (int i = 0; i < 32; ++i)
+                rt->post(pool, [rt] { rt->sleep_for(2ms); });
+            std::this_thread::sleep_for(2ms);
+        }
+    });
+    bool scaled_up = eventually([&] { return (*scaler)->scale_ups() > 0; });
+    EXPECT_TRUE(scaled_up);
+    EXPECT_GT(inst->runtime()->num_xstreams(), 2u); // primary + w0 + auto
+    // Stop the flood: queue drains, the autoscaler retires its ESs.
+    flood.store(false);
+    feeder.join();
+    bool scaled_down = eventually([&] { return (*scaler)->managed_xstreams() == 0; });
+    EXPECT_TRUE(scaled_down);
+    EXPECT_GT((*scaler)->scale_downs(), 0u);
+    (*scaler)->disable();
+    inst->shutdown();
+}
+
+TEST(Autoscaler, RespectsMaxBound) {
+    auto fabric = mercury::Fabric::create();
+    auto cfg = parse(R"({
+      "argobots": {
+        "pools": [{"name": "__primary__", "type": "fifo_wait"},
+                   {"name": "work", "type": "fifo_wait"}],
+        "xstreams": [{"name": "__primary__", "scheduler": {"pools": ["__primary__"]}},
+                      {"name": "w0", "scheduler": {"pools": ["work"]}}]
+      },
+      "monitoring": {"sampling_period_ms": 5}
+    })");
+    auto inst = margo::Instance::create(fabric, "sim://capped", cfg).value();
+    AutoscalerConfig acfg;
+    acfg.pool = "work";
+    acfg.max_xstreams = 2; // w0 + at most one managed ES
+    acfg.high_watermark = 2.0;
+    acfg.window = 2;
+    acfg.cooldown_samples = 2;
+    auto scaler = PoolAutoscaler::attach(inst, acfg);
+    ASSERT_TRUE(scaler.has_value());
+    std::atomic<bool> flood{true};
+    auto rt = inst->runtime();
+    auto pool = inst->find_pool_by_name("work").value();
+    std::thread feeder([&] {
+        while (flood.load()) {
+            for (int i = 0; i < 64; ++i)
+                rt->post(pool, [rt] { rt->sleep_for(2ms); });
+            std::this_thread::sleep_for(2ms);
+        }
+    });
+    eventually([&] { return (*scaler)->scale_ups() > 0; });
+    // Give it room to (incorrectly) exceed the cap, then check.
+    std::this_thread::sleep_for(300ms);
+    EXPECT_LE((*scaler)->managed_xstreams(), 1u);
+    EXPECT_LE(pool->subscriber_count(), 2u);
+    flood.store(false);
+    feeder.join();
+    (*scaler)->disable();
+    inst->shutdown();
+}

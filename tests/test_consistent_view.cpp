@@ -1,0 +1,154 @@
+// Tests for ConsistentView — the paper's §6 future work ("build a
+// consistent view by using the RAFT protocol to coordinate configuration
+// changes"): linearizable membership versus SSG's eventual consistency.
+#include "composed/consistent_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace mochi;
+using namespace mochi::composed;
+using namespace std::chrono_literals;
+
+namespace {
+
+raft::RaftConfig fast_raft() {
+    raft::RaftConfig cfg;
+    cfg.election_timeout_min = 100ms;
+    cfg.election_timeout_max = 200ms;
+    cfg.heartbeat_period = 30ms;
+    return cfg;
+}
+
+struct ViewWorld {
+    std::shared_ptr<mercury::Fabric> fabric = mercury::Fabric::create();
+    std::vector<std::string> coords = {"sim://vc0", "sim://vc1", "sim://vc2"};
+    std::vector<ViewCoordinator> coordinators;
+    margo::InstancePtr app;
+
+    ViewWorld() {
+        for (auto& a : coords) remi::SimFileStore::destroy_node(a);
+        for (auto& a : coords)
+            coordinators.push_back(
+                ViewCoordinator::create(fabric, a, coords, 6, fast_raft()).value());
+        app = margo::Instance::create(fabric, "sim://view-app").value();
+    }
+    ~ViewWorld() {
+        app->shutdown();
+        for (auto& c : coordinators) c.shutdown();
+    }
+};
+
+} // namespace
+
+TEST(ConsistentView, JoinLeaveBumpVersionsLinearly) {
+    ViewWorld w;
+    ConsistentViewClient client{w.app, w.coords, 6};
+    auto v0 = client.view();
+    ASSERT_TRUE(v0.has_value());
+    EXPECT_EQ(v0->version, 0u);
+    EXPECT_TRUE(v0->members.empty());
+    auto v1 = client.join("sim://svc-a");
+    ASSERT_TRUE(v1.has_value());
+    EXPECT_EQ(*v1, 1u);
+    auto v2 = client.join("sim://svc-b");
+    ASSERT_TRUE(v2.has_value());
+    EXPECT_EQ(*v2, 2u);
+    // Idempotent join does not bump the version.
+    auto v2b = client.join("sim://svc-a");
+    ASSERT_TRUE(v2b.has_value());
+    EXPECT_EQ(*v2b, 2u);
+    auto view = client.view();
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->members,
+              (std::vector<std::string>{"sim://svc-a", "sim://svc-b"}));
+    auto v3 = client.leave("sim://svc-a");
+    ASSERT_TRUE(v3.has_value());
+    EXPECT_EQ(*v3, 3u);
+    // Leaving a non-member changes nothing.
+    EXPECT_EQ(*client.leave("sim://ghost"), 3u);
+}
+
+TEST(ConsistentView, ConcurrentChangesSerializeIntoOneHistory) {
+    ViewWorld w;
+    constexpr int k_threads = 4, k_members_each = 5;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < k_threads; ++t) {
+        threads.emplace_back([&, t] {
+            auto inst =
+                margo::Instance::create(w.fabric, "sim://joiner" + std::to_string(t)).value();
+            ConsistentViewClient client{inst, w.coords, 6};
+            for (int i = 0; i < k_members_each; ++i) {
+                auto r = client.join("sim://m" + std::to_string(t) + "-" + std::to_string(i));
+                if (!r) ++failures;
+            }
+            inst->shutdown();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    ConsistentViewClient client{w.app, w.coords, 6};
+    auto view = client.view();
+    ASSERT_TRUE(view.has_value());
+    // Every join serialized exactly once: version == member count.
+    EXPECT_EQ(view->members.size(),
+              static_cast<std::size_t>(k_threads * k_members_each));
+    EXPECT_EQ(view->version, static_cast<std::uint64_t>(k_threads * k_members_each));
+}
+
+TEST(ConsistentView, AllCoordinatorsConverge) {
+    ViewWorld w;
+    ConsistentViewClient client{w.app, w.coords, 6};
+    ASSERT_TRUE(client.join("sim://a").has_value());
+    ASSERT_TRUE(client.join("sim://b").has_value());
+    // All coordinator replicas hold the same view (after replication).
+    auto deadline = std::chrono::steady_clock::now() + 5000ms;
+    bool converged = false;
+    while (std::chrono::steady_clock::now() < deadline && !converged) {
+        converged = true;
+        for (auto& c : w.coordinators) {
+            auto v = c.machine->current();
+            if (v.version != 2 || v.members.size() != 2) converged = false;
+        }
+        if (!converged) std::this_thread::sleep_for(20ms);
+    }
+    EXPECT_TRUE(converged);
+}
+
+TEST(ConsistentView, SurvivesCoordinatorCrash) {
+    ViewWorld w;
+    ConsistentViewClient client{w.app, w.coords, 6};
+    ASSERT_TRUE(client.join("sim://persistent").has_value());
+    // Crash the leader coordinator.
+    for (auto& c : w.coordinators) {
+        if (c.raft->role() == raft::Role::Leader) {
+            c.shutdown();
+            break;
+        }
+    }
+    // Membership changes keep working and history is intact.
+    auto v = client.join("sim://after-crash");
+    ASSERT_TRUE(v.has_value()) << "join failed after coordinator crash";
+    EXPECT_EQ(*v, 2u);
+    auto view = client.view();
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->members.size(), 2u);
+}
+
+TEST(ConsistentView, ReadsAreLinearizable) {
+    // A view() issued after a join must reflect it (reads go through the
+    // log, not a possibly-stale local copy).
+    ViewWorld w;
+    ConsistentViewClient writer{w.app, w.coords, 6};
+    auto reader_inst = margo::Instance::create(w.fabric, "sim://reader").value();
+    ConsistentViewClient reader{reader_inst, w.coords, 6};
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(writer.join("sim://gen" + std::to_string(i)).has_value());
+        auto view = reader.view();
+        ASSERT_TRUE(view.has_value());
+        EXPECT_EQ(view->members.size(), static_cast<std::size_t>(i + 1)) << i;
+    }
+    reader_inst->shutdown();
+}

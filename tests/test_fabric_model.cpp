@@ -1,0 +1,158 @@
+// Focused tests for the fabric cost model: per-link transfer serialization,
+// latency/bandwidth composition, and directionality — the properties E3's
+// migration crossover and E8's elasticity results rest on.
+#include "mercury/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace mochi;
+using namespace std::chrono_literals;
+using mercury::Message;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct TimedInbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<Clock::time_point> arrivals;
+
+    void push() {
+        { std::lock_guard lk{m}; arrivals.push_back(Clock::now()); }
+        cv.notify_all();
+    }
+    bool wait_count(std::size_t n, std::chrono::milliseconds timeout = 5000ms) {
+        std::unique_lock lk{m};
+        return cv.wait_for(lk, timeout, [&] { return arrivals.size() >= n; });
+    }
+};
+
+} // namespace
+
+TEST(FabricModel, SameLinkTransfersSerialize) {
+    // Two 10 ms transfers on the same directional link must take ~20 ms
+    // total: the second waits for the link.
+    mercury::LinkModel model;
+    model.bandwidth_bytes_per_us = 100; // 1 MB -> 10 ms
+    auto fabric = mercury::Fabric::create(model);
+    TimedInbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message) { inbox.push(); });
+    auto t0 = Clock::now();
+    Message big;
+    big.payload.assign(1'000'000, 'x');
+    ASSERT_TRUE((*a)->send("sim://b", big).ok());
+    ASSERT_TRUE((*a)->send("sim://b", big).ok());
+    ASSERT_TRUE(inbox.wait_count(2));
+    double second_ms =
+        std::chrono::duration<double, std::milli>(inbox.arrivals[1] - t0).count();
+    EXPECT_GE(second_ms, 17.0); // ~2 x 10 ms minus scheduling slack
+}
+
+TEST(FabricModel, DistinctLinksTransferInParallel) {
+    // The same two transfers on *different* links overlap: the later of the
+    // two arrivals lands well before the serialized 20 ms.
+    mercury::LinkModel model;
+    model.bandwidth_bytes_per_us = 100;
+    auto fabric = mercury::Fabric::create(model);
+    TimedInbox inbox_b, inbox_c;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message) { inbox_b.push(); });
+    auto c = fabric->attach("sim://c", [&](Message) { inbox_c.push(); });
+    auto t0 = Clock::now();
+    Message big;
+    big.payload.assign(1'000'000, 'x');
+    ASSERT_TRUE((*a)->send("sim://b", big).ok());
+    ASSERT_TRUE((*a)->send("sim://c", big).ok());
+    ASSERT_TRUE(inbox_b.wait_count(1));
+    ASSERT_TRUE(inbox_c.wait_count(1));
+    double later_ms = std::chrono::duration<double, std::milli>(
+                          std::max(inbox_b.arrivals[0], inbox_c.arrivals[0]) - t0)
+                          .count();
+    EXPECT_LT(later_ms, 18.0);
+}
+
+TEST(FabricModel, LatencyAddsToTransferTime) {
+    mercury::LinkModel model;
+    model.latency_us = 15000;            // 15 ms
+    model.bandwidth_bytes_per_us = 100;  // 1 MB -> 10 ms
+    auto fabric = mercury::Fabric::create(model);
+    TimedInbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message) { inbox.push(); });
+    auto t0 = Clock::now();
+    Message big;
+    big.payload.assign(1'000'000, 'x');
+    ASSERT_TRUE((*a)->send("sim://b", big).ok());
+    ASSERT_TRUE(inbox.wait_count(1));
+    double ms = std::chrono::duration<double, std::milli>(inbox.arrivals[0] - t0).count();
+    EXPECT_GE(ms, 22.0); // >= latency + transfer, minus timer slack
+}
+
+TEST(FabricModel, BulkDelayScalesWithSizeAndDirection) {
+    mercury::LinkModel model;
+    model.bandwidth_bytes_per_us = 1000;
+    auto fabric = mercury::Fabric::create(model);
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [](Message) {});
+    std::vector<char> remote(1 << 20, 'r');
+    auto handle = (*b)->expose(remote.data(), remote.size(), true);
+    std::vector<char> local(1 << 20);
+    // A small pull on the fresh b->a link is cheap...
+    auto small_delay = (*a)->bulk_pull(handle, 0, local.data(), 1024);
+    ASSERT_TRUE(small_delay.has_value());
+    EXPECT_LT(*small_delay, 100.0);
+    // ...a large pull costs ~ size/bw ~ 1048 us...
+    auto pull_delay = (*a)->bulk_pull(handle, 0, local.data(), local.size());
+    ASSERT_TRUE(pull_delay.has_value());
+    EXPECT_NEAR(*pull_delay, 1048.0, 300.0);
+    // ...and a small pull issued right after queues behind it on the same
+    // link (per-link serialization).
+    auto queued_delay = (*a)->bulk_pull(handle, 0, local.data(), 1024);
+    ASSERT_TRUE(queued_delay.has_value());
+    EXPECT_GT(*queued_delay, 500.0);
+    // Push uses the a->b link, whose horizon is independent of b->a: the
+    // first push is not queued behind the big pull.
+    auto push_delay = (*a)->bulk_push(handle, 0, local.data(), 1024);
+    ASSERT_TRUE(push_delay.has_value());
+    EXPECT_LT(*push_delay, 100.0);
+}
+
+TEST(FabricModel, ZeroDelayDeliversInline) {
+    // With no model, delivery happens on the sender's thread (fast path).
+    auto fabric = mercury::Fabric::create();
+    std::thread::id delivery_thread;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b",
+                            [&](Message) { delivery_thread = std::this_thread::get_id(); });
+    ASSERT_TRUE((*a)->send("sim://b", Message{}).ok());
+    EXPECT_EQ(delivery_thread, std::this_thread::get_id());
+}
+
+TEST(FabricModel, MessagesDeliveredInOrderPerLink) {
+    mercury::LinkModel model;
+    model.latency_us = 500;
+    model.bandwidth_bytes_per_us = 10000;
+    auto fabric = mercury::Fabric::create(model);
+    std::mutex m;
+    std::vector<std::uint64_t> seqs;
+    std::condition_variable cv;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message msg) {
+        { std::lock_guard lk{m}; seqs.push_back(msg.seq); }
+        cv.notify_all();
+    });
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        Message msg;
+        msg.seq = i;
+        msg.payload.assign(1000, 'x');
+        ASSERT_TRUE((*a)->send("sim://b", std::move(msg)).ok());
+    }
+    std::unique_lock lk{m};
+    ASSERT_TRUE(cv.wait_for(lk, 5000ms, [&] { return seqs.size() == 50; }));
+    for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(seqs[i], i);
+}

@@ -1,0 +1,147 @@
+// Unit tests for the JSON substrate (parser, writer, accessors, hashing).
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+using mochi::json::Value;
+using mochi::json::Type;
+
+TEST(Json, ParseScalars) {
+    EXPECT_TRUE(Value::parse("null")->is_null());
+    EXPECT_EQ(Value::parse("true")->as_bool(), true);
+    EXPECT_EQ(Value::parse("false")->as_bool(), false);
+    EXPECT_EQ(Value::parse("42")->as_integer(), 42);
+    EXPECT_EQ(Value::parse("-17")->as_integer(), -17);
+    EXPECT_DOUBLE_EQ(Value::parse("3.5")->as_real(), 3.5);
+    EXPECT_DOUBLE_EQ(Value::parse("1e3")->as_real(), 1000.0);
+    EXPECT_DOUBLE_EQ(Value::parse("-2.5e-2")->as_real(), -0.025);
+    EXPECT_EQ(Value::parse("\"hello\"")->as_string(), "hello");
+}
+
+TEST(Json, ParseStructures) {
+    auto v = Value::parse(R"({"a": [1, 2, 3], "b": {"c": "d"}, "e": null})");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->is_object());
+    EXPECT_EQ((*v)["a"].size(), 3u);
+    EXPECT_EQ((*v)["a"][1u].as_integer(), 2);
+    EXPECT_EQ((*v)["b"]["c"].as_string(), "d");
+    EXPECT_TRUE((*v)["e"].is_null());
+    EXPECT_TRUE(v->contains("e"));
+    EXPECT_FALSE(v->contains("zz"));
+}
+
+TEST(Json, ParseStringEscapes) {
+    auto v = Value::parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->as_string(), "a\"b\\c/d\b\f\n\r\t");
+    auto u = Value::parse(R"("Aé中😀")");
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(u->as_string(), "A\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseErrors) {
+    EXPECT_FALSE(Value::parse("").has_value());
+    EXPECT_FALSE(Value::parse("{").has_value());
+    EXPECT_FALSE(Value::parse("[1,").has_value());
+    EXPECT_FALSE(Value::parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(Value::parse("tru").has_value());
+    EXPECT_FALSE(Value::parse("1 2").has_value());
+    EXPECT_FALSE(Value::parse("\"unterminated").has_value());
+    EXPECT_FALSE(Value::parse("\"bad \\q escape\"").has_value());
+    EXPECT_FALSE(Value::parse("-").has_value());
+    // Parse errors carry an offset.
+    auto e = Value::parse("[1, }");
+    ASSERT_FALSE(e.has_value());
+    EXPECT_NE(e.error().message.find("offset"), std::string::npos);
+}
+
+TEST(Json, DeepNestingRejected) {
+    std::string deep(10000, '[');
+    deep += std::string(10000, ']');
+    EXPECT_FALSE(Value::parse(deep).has_value());
+}
+
+TEST(Json, RoundTrip) {
+    const char* docs[] = {
+        R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})",
+        R"([])",
+        R"({})",
+        R"([[[1]]])",
+        R"({"empty_arr":[],"empty_obj":{}})",
+    };
+    for (const char* doc : docs) {
+        auto v = Value::parse(doc);
+        ASSERT_TRUE(v.has_value()) << doc;
+        auto v2 = Value::parse(v->dump());
+        ASSERT_TRUE(v2.has_value()) << doc;
+        EXPECT_EQ(*v, *v2) << doc;
+    }
+}
+
+TEST(Json, PrettyDumpParsesBack) {
+    auto v = Value::parse(R"({"a":[1,2],"b":{"c":"d"}})");
+    auto pretty = v->dump(2);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    auto v2 = Value::parse(pretty);
+    ASSERT_TRUE(v2.has_value());
+    EXPECT_EQ(*v, *v2);
+}
+
+TEST(Json, BuildersAndMutation) {
+    Value v;
+    v["name"] = "provider_a";
+    v["pool"]["size"] = 4;
+    v["tags"].push_back("kv");
+    v["tags"].push_back("store");
+    EXPECT_EQ(v["name"].as_string(), "provider_a");
+    EXPECT_EQ(v["pool"]["size"].as_integer(), 4);
+    EXPECT_EQ(v["tags"].size(), 2u);
+    EXPECT_TRUE(v.erase("name"));
+    EXPECT_FALSE(v.erase("name"));
+    EXPECT_FALSE(v.contains("name"));
+}
+
+TEST(Json, TypedGetters) {
+    auto v = *Value::parse(R"({"s":"x","i":7,"r":2.5,"b":true})");
+    EXPECT_EQ(v.get_string("s"), "x");
+    EXPECT_EQ(v.get_string("nope", "def"), "def");
+    EXPECT_EQ(v.get_integer("i"), 7);
+    EXPECT_EQ(v.get_integer("nope", -1), -1);
+    EXPECT_DOUBLE_EQ(v.get_real("r"), 2.5);
+    EXPECT_DOUBLE_EQ(v.get_real("i"), 7.0); // numeric coercion
+    EXPECT_TRUE(v.get_bool("b"));
+    EXPECT_TRUE(v.get_bool("nope", true));
+}
+
+TEST(Json, NumericEquality) {
+    EXPECT_EQ(*Value::parse("3"), *Value::parse("3.0"));
+    EXPECT_NE(*Value::parse("3"), *Value::parse("4"));
+    EXPECT_NE(*Value::parse("3"), *Value::parse("\"3\""));
+}
+
+TEST(Json, IntegerOverflowBecomesReal) {
+    auto v = Value::parse("99999999999999999999999999");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->is_real());
+}
+
+TEST(Json, HashStableAndDiscriminating) {
+    auto a = *Value::parse(R"({"x":1,"y":[2,3]})");
+    auto b = *Value::parse(R"({"y":[2,3],"x":1})"); // same content, same sorted dump
+    auto c = *Value::parse(R"({"x":1,"y":[2,4]})");
+    EXPECT_EQ(mochi::json::hash(a), mochi::json::hash(b));
+    EXPECT_NE(mochi::json::hash(a), mochi::json::hash(c));
+}
+
+TEST(Json, ControlCharactersEscapedInDump) {
+    Value v{std::string("a\x01" "b\nc")};
+    auto s = v.dump();
+    EXPECT_EQ(s, "\"a\\u0001b\\nc\"");
+    EXPECT_EQ(Value::parse(s)->as_string(), v.as_string());
+}
+
+TEST(Json, ConstAccessMissingKeyIsNullAndDoesNotInsert) {
+    const Value v = *Value::parse(R"({"a":1})");
+    EXPECT_TRUE(v["missing"].is_null());
+    EXPECT_EQ(v.size(), 1u);
+}

@@ -1,0 +1,244 @@
+// Tests for the Jx9-subset interpreter used by Bedrock queries (Listing 4).
+#include "bedrock/jx9.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mochi;
+using bedrock::jx9::evaluate;
+
+namespace {
+
+json::Value run(const char* script,
+                std::map<std::string, json::Value> inputs = {}) {
+    auto r = evaluate(script, inputs);
+    EXPECT_TRUE(r.has_value()) << (r ? "" : r.error().message);
+    return r ? std::move(r).value() : json::Value{};
+}
+
+json::Value doc(const char* text) { return *json::Value::parse(text); }
+
+} // namespace
+
+TEST(Jx9, Listing4Verbatim) {
+    // The exact query from the paper's Listing 4.
+    auto config = doc(R"({
+      "providers": [
+        {"name": "myProviderA", "type": "A"},
+        {"name": "myProviderB", "type": "B"},
+        {"name": "myYokan", "type": "yokan"}
+      ]
+    })");
+    auto result = run(R"(
+        $result = [];
+        foreach ($__config__.providers as $p) {
+            array_push($result, $p.name); }
+        return $result;
+    )", {{"__config__", config}});
+    ASSERT_TRUE(result.is_array());
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[std::size_t{0}].as_string(), "myProviderA");
+    EXPECT_EQ(result[std::size_t{1}].as_string(), "myProviderB");
+    EXPECT_EQ(result[std::size_t{2}].as_string(), "myYokan");
+}
+
+TEST(Jx9, Arithmetic) {
+    EXPECT_EQ(run("return 1 + 2 * 3;").as_integer(), 7);
+    EXPECT_EQ(run("return (1 + 2) * 3;").as_integer(), 9);
+    EXPECT_EQ(run("return 10 % 3;").as_integer(), 1);
+    EXPECT_DOUBLE_EQ(run("return 7 / 2;").as_real(), 3.5);
+    EXPECT_EQ(run("return -4 + 1;").as_integer(), -3);
+    EXPECT_EQ(run("return 2 - 3 - 4;").as_integer(), -5); // left assoc
+}
+
+TEST(Jx9, DivisionByZeroAndBadOps) {
+    EXPECT_FALSE(evaluate("return 1 / 0;", {}).has_value());
+    EXPECT_FALSE(evaluate("return 1 % 0;", {}).has_value());
+    EXPECT_FALSE(evaluate("return [1] * 2;", {}).has_value());
+}
+
+TEST(Jx9, StringsAndConcat) {
+    EXPECT_EQ(run(R"(return "a" + "b";)").as_string(), "ab");
+    EXPECT_EQ(run(R"(return "n=" + 4;)").as_string(), "n=4");
+    EXPECT_EQ(run(R"(return count("hello");)").as_integer(), 5);
+    EXPECT_TRUE(run(R"(return "abc" < "abd";)").as_bool());
+}
+
+TEST(Jx9, ComparisonAndLogic) {
+    EXPECT_TRUE(run("return 1 == 1;").as_bool());
+    EXPECT_TRUE(run("return 1 != 2;").as_bool());
+    EXPECT_TRUE(run("return 1 <= 1 && 2 > 1;").as_bool());
+    EXPECT_TRUE(run("return false || true;").as_bool());
+    EXPECT_TRUE(run("return !false;").as_bool());
+    // Short circuit: RHS with side effect (division by zero) not evaluated.
+    EXPECT_FALSE(run("return false && (1 / 0);").as_bool());
+    EXPECT_TRUE(run("return true || (1 / 0);").as_bool());
+}
+
+TEST(Jx9, Variables) {
+    EXPECT_EQ(run("$x = 5; $y = $x + 1; return $y;").as_integer(), 6);
+    EXPECT_TRUE(run("return $undefined_var;").is_null());
+}
+
+TEST(Jx9, CompoundAssignment) {
+    auto result = run(R"(
+        $obj = {};
+        $obj.a = 1;
+        $obj.b.c = "deep";
+        $arr = [10, 20];
+        $arr[1] = 21;
+        return {"obj" => $obj, "arr" => $arr};
+    )");
+    EXPECT_EQ(result["obj"]["a"].as_integer(), 1);
+    EXPECT_EQ(result["obj"]["b"]["c"].as_string(), "deep");
+    EXPECT_EQ(result["arr"][std::size_t{1}].as_integer(), 21);
+}
+
+TEST(Jx9, IfElse) {
+    EXPECT_EQ(run("if (1 < 2) { return 10; } else { return 20; }").as_integer(), 10);
+    EXPECT_EQ(run("if (1 > 2) { return 10; } else { return 20; }").as_integer(), 20);
+    EXPECT_EQ(run("if (false) return 1; return 2;").as_integer(), 2);
+}
+
+TEST(Jx9, WhileWithBreakContinue) {
+    auto result = run(R"(
+        $sum = 0; $i = 0;
+        while (true) {
+            $i = $i + 1;
+            if ($i > 10) break;
+            if ($i % 2 == 0) continue;
+            $sum = $sum + $i;
+        }
+        return $sum;
+    )");
+    EXPECT_EQ(result.as_integer(), 25); // 1+3+5+7+9
+}
+
+TEST(Jx9, InfiniteLoopIsBounded) {
+    auto r = evaluate("while (true) { $x = 1; }", {});
+    ASSERT_FALSE(r.has_value());
+    EXPECT_NE(r.error().message.find("iteration limit"), std::string::npos);
+}
+
+TEST(Jx9, ForeachOverObjectWithKeys) {
+    auto result = run(R"(
+        $out = [];
+        foreach ({"b" => 2, "a" => 1} as $k => $v) {
+            array_push($out, $k + "=" + $v);
+        }
+        return $out;
+    )");
+    ASSERT_EQ(result.size(), 2u); // sorted object keys
+    EXPECT_EQ(result[std::size_t{0}].as_string(), "a=1");
+    EXPECT_EQ(result[std::size_t{1}].as_string(), "b=2");
+}
+
+TEST(Jx9, ForeachBreakAndIndex) {
+    auto result = run(R"(
+        $out = [];
+        foreach ([10, 20, 30, 40] as $i => $v) {
+            if ($v == 30) break;
+            array_push($out, $i);
+        }
+        return $out;
+    )");
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_EQ(result[std::size_t{1}].as_integer(), 1);
+}
+
+TEST(Jx9, Builtins) {
+    EXPECT_EQ(run("return count([1,2,3]);").as_integer(), 3);
+    EXPECT_EQ(run(R"(return keys({"x" => 1, "y" => 2});)").size(), 2u);
+    EXPECT_TRUE(run(R"(return contains({"x" => 1}, "x");)").as_bool());
+    EXPECT_TRUE(run("return contains([1,2], 2);").as_bool());
+    EXPECT_FALSE(run("return contains([1,2], 3);").as_bool());
+    EXPECT_EQ(run(R"(return int("42");)").as_integer(), 42);
+    EXPECT_EQ(run("return abs(-3);").as_integer(), 3);
+    EXPECT_EQ(run("return min(3, 1, 2);").as_integer(), 1);
+    EXPECT_EQ(run("return max(3, 1, 2);").as_integer(), 3);
+    EXPECT_EQ(run(R"(return str(12);)").as_string(), "12");
+}
+
+TEST(Jx9, IndexingWithBrackets) {
+    auto config = doc(R"({"pools": [{"name": "p0"}, {"name": "p1"}]})");
+    EXPECT_EQ(run(R"(return $cfg.pools[1].name;)", {{"cfg", config}}).as_string(), "p1");
+    EXPECT_EQ(run(R"(return $cfg["pools"][0]["name"];)", {{"cfg", config}}).as_string(), "p0");
+    EXPECT_TRUE(run(R"(return $cfg.pools[99];)", {{"cfg", config}}).is_null());
+}
+
+TEST(Jx9, Comments) {
+    EXPECT_EQ(run("// line comment\nreturn /* inline */ 5;").as_integer(), 5);
+}
+
+TEST(Jx9, ParseErrorsReported) {
+    EXPECT_FALSE(evaluate("return ;;;bogus", {}).has_value());
+    EXPECT_FALSE(evaluate("$x = ;", {}).has_value());
+    EXPECT_FALSE(evaluate("foreach (1 as) {}", {}).has_value());
+    EXPECT_FALSE(evaluate("return unknown_fn(1);", {}).has_value());
+    EXPECT_FALSE(evaluate("return \"unterminated;", {}).has_value());
+}
+
+TEST(Jx9, ReturnWithoutValueAndNoReturn) {
+    EXPECT_TRUE(run("return;").is_null());
+    EXPECT_TRUE(run("$x = 1;").is_null());
+}
+
+TEST(Jx9, RealisticConfigQuery) {
+    // A richer query: find providers of a given type and report their pools.
+    auto config = doc(R"({
+      "providers": [
+        {"name": "kv1", "type": "yokan", "pool": "fast"},
+        {"name": "blob1", "type": "warabi", "pool": "bulk"},
+        {"name": "kv2", "type": "yokan", "pool": "slow"}
+      ]
+    })");
+    auto result = run(R"(
+        $out = {};
+        foreach ($__config__.providers as $p) {
+            if ($p.type == "yokan") { $out[$p.name] = $p.pool; }
+        }
+        return $out;
+    )", {{"__config__", config}});
+    ASSERT_TRUE(result.is_object());
+    EXPECT_EQ(result.size(), 2u);
+    EXPECT_EQ(result["kv1"].as_string(), "fast");
+    EXPECT_EQ(result["kv2"].as_string(), "slow");
+}
+
+TEST(Jx9, StringIndexing) {
+    EXPECT_EQ(run(R"(return "abc"[1];)").as_string(), "b");
+    EXPECT_TRUE(run(R"(return "abc"[99];)").is_null());
+    // Character-by-character tokenization (the dataset_analysis pattern).
+    auto result = run(R"(
+        $s = "10 20 30";
+        $values = [];
+        $current = "";
+        $i = 0;
+        while ($i <= count($s)) {
+            $c = "";
+            if ($i < count($s)) { $c = $s[$i]; }
+            if ($c == " " || $i == count($s)) {
+                if ($current != "") { array_push($values, int($current)); }
+                $current = "";
+            } else { $current = $current + $c; }
+            $i = $i + 1;
+        }
+        return $values;
+    )");
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[std::size_t{2}].as_integer(), 30);
+}
+
+TEST(Jx9, PersistentEnvironment) {
+    std::map<std::string, json::Value> env;
+    ASSERT_TRUE(bedrock::jx9::evaluate_env("$x = 1;", env).has_value());
+    ASSERT_TRUE(bedrock::jx9::evaluate_env("$x = $x + 1; $y = $x * 10;", env).has_value());
+    EXPECT_EQ(env.at("x").as_integer(), 2);
+    EXPECT_EQ(env.at("y").as_integer(), 20);
+    auto r = bedrock::jx9::evaluate_env("return $y;", env);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->as_integer(), 20);
+    // A failing script leaves the environment untouched.
+    std::size_t vars_before = env.size();
+    EXPECT_FALSE(bedrock::jx9::evaluate_env("$z = 1; return 1/0;", env).has_value());
+    EXPECT_EQ(env.size(), vars_before);
+}

@@ -1,0 +1,531 @@
+// Tests for the Margo runtime: RPC round trips, provider routing (Figure 2),
+// monitoring (Listing 1), online reconfiguration (Listing 2 / §5).
+#include "margo/instance.hpp"
+#include "margo/provider.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mochi;
+using namespace std::chrono_literals;
+
+namespace {
+
+json::Value parse(const char* text) {
+    auto v = json::Value::parse(text);
+    EXPECT_TRUE(v.has_value()) << text;
+    return std::move(v).value();
+}
+
+struct TwoNodes {
+    std::shared_ptr<mercury::Fabric> fabric = mercury::Fabric::create();
+    margo::InstancePtr server;
+    margo::InstancePtr client;
+
+    TwoNodes(const json::Value& server_cfg = {}, const json::Value& client_cfg = {}) {
+        server = margo::Instance::create(fabric, "sim://server", server_cfg).value();
+        client = margo::Instance::create(fabric, "sim://client", client_cfg).value();
+    }
+    ~TwoNodes() {
+        client->shutdown();
+        server->shutdown();
+    }
+};
+
+} // namespace
+
+TEST(Margo, EchoRoundTrip) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    auto resp = nodes.client->forward("sim://server", "echo", "hello margo");
+    ASSERT_TRUE(resp.has_value()) << resp.error().message;
+    EXPECT_EQ(*resp, "hello margo");
+}
+
+TEST(Margo, TypedCall) {
+    TwoNodes nodes;
+    auto ok = nodes.server->register_rpc(
+        "math/add", margo::k_default_provider_id, [](const margo::Request& req) {
+            std::int64_t a = 0, b = 0;
+            ASSERT_TRUE(req.unpack(a, b));
+            req.respond_values(a + b);
+        });
+    ASSERT_TRUE(ok.has_value());
+    auto result = nodes.client->call<std::int64_t>("sim://server", "math/add", {},
+                                                   std::int64_t{2}, std::int64_t{40});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(std::get<0>(*result), 42);
+}
+
+TEST(Margo, UnknownRpcReturnsNotFound) {
+    TwoNodes nodes;
+    auto resp = nodes.client->forward("sim://server", "nope", "");
+    ASSERT_FALSE(resp.has_value());
+    EXPECT_EQ(resp.error().code, Error::Code::NotFound);
+}
+
+TEST(Margo, ProviderIdsRouteIndependently) {
+    TwoNodes nodes;
+    for (std::uint16_t pid : {1, 2}) {
+        ASSERT_TRUE(nodes.server
+                        ->register_rpc("which", pid,
+                                       [pid](const margo::Request& req) {
+                                           req.respond("provider " + std::to_string(pid));
+                                       })
+                        .has_value());
+    }
+    margo::ForwardOptions opts;
+    opts.provider_id = 2;
+    EXPECT_EQ(*nodes.client->forward("sim://server", "which", "", opts), "provider 2");
+    opts.provider_id = 1;
+    EXPECT_EQ(*nodes.client->forward("sim://server", "which", "", opts), "provider 1");
+    opts.provider_id = 3; // not registered
+    auto missing = nodes.client->forward("sim://server", "which", "", opts);
+    EXPECT_FALSE(missing.has_value());
+}
+
+TEST(Margo, RemoteErrorPropagates) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("fail", margo::k_default_provider_id,
+                                   [](const margo::Request& req) {
+                                       req.respond_error(
+                                           Error{Error::Code::PermissionDenied, "nope"});
+                                   })
+                    .has_value());
+    auto resp = nodes.client->forward("sim://server", "fail", "");
+    ASSERT_FALSE(resp.has_value());
+    EXPECT_EQ(resp.error().code, Error::Code::PermissionDenied);
+    EXPECT_EQ(resp.error().message, "nope");
+}
+
+TEST(Margo, ForwardToCrashedServerTimesOutOrUnreachable) {
+    auto fabric = mercury::Fabric::create();
+    auto server = margo::Instance::create(fabric, "sim://server").value();
+    auto client = margo::Instance::create(fabric, "sim://client").value();
+    server->shutdown(); // crash
+    margo::ForwardOptions opts;
+    opts.timeout = 100ms;
+    auto resp = client->forward("sim://server", "echo", "x", opts);
+    ASSERT_FALSE(resp.has_value());
+    EXPECT_EQ(resp.error().code, Error::Code::Unreachable);
+    client->shutdown();
+}
+
+TEST(Margo, PartitionCausesTimeout) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    nodes.fabric->cut("sim://client", "sim://server");
+    margo::ForwardOptions opts;
+    opts.timeout = 100ms;
+    auto resp = nodes.client->forward("sim://server", "echo", "x", opts);
+    ASSERT_FALSE(resp.has_value());
+    EXPECT_EQ(resp.error().code, Error::Code::Timeout);
+    nodes.fabric->heal_all();
+    EXPECT_TRUE(nodes.client->forward("sim://server", "echo", "x").has_value());
+}
+
+TEST(Margo, SelfForwardWorks) {
+    // A handler ULT calling an RPC on its own process must not deadlock
+    // (handler suspends; the progress loop keeps running).
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("inner", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond("inner-done"); })
+                    .has_value());
+    auto server = nodes.server;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("outer", margo::k_default_provider_id,
+                                   [server](const margo::Request& req) {
+                                       auto inner =
+                                           server->forward("sim://server", "inner", "");
+                                       req.respond(inner ? *inner : "fail");
+                                   })
+                    .has_value());
+    auto resp = nodes.client->forward("sim://server", "outer", "");
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(*resp, "inner-done");
+}
+
+TEST(Margo, NestedForwardRecordsParentContext) {
+    // Listing 1: stats of a nested RPC carry the parent RPC id.
+    TwoNodes nodes;
+    auto mid = margo::Instance::create(nodes.fabric, "sim://mid").value();
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("leaf", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond("ok"); })
+                    .has_value());
+    auto mid_copy = mid;
+    ASSERT_TRUE(mid->register_rpc("relay", margo::k_default_provider_id,
+                                  [mid_copy](const margo::Request& req) {
+                                      auto r = mid_copy->forward("sim://server", "leaf", "");
+                                      req.respond(r ? *r : "fail");
+                                  })
+                    .has_value());
+    auto resp = nodes.client->forward("sim://mid", "relay", "");
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(*resp, "ok");
+    // mid's origin-side stats for "leaf" should list "relay" as parent.
+    auto stats = mid->monitoring_json();
+    std::uint64_t relay_id = margo::rpc_name_to_id("relay");
+    std::uint64_t leaf_id = margo::rpc_name_to_id("leaf");
+    std::string key = std::to_string(relay_id) + ":65535:" + std::to_string(leaf_id) + ":65535";
+    ASSERT_TRUE(stats["rpcs"].contains(key)) << stats.dump(2);
+    EXPECT_EQ(stats["rpcs"][key]["parent_rpc_id"].as_integer(),
+              static_cast<std::int64_t>(relay_id));
+    mid->shutdown();
+}
+
+TEST(Margo, MonitoringStatisticsMatchListing1Shape) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(nodes.client->forward("sim://server", "echo", "x").has_value());
+
+    // Target-side stats on the server.
+    auto stats = nodes.server->monitoring_json();
+    std::uint64_t echo_id = margo::rpc_name_to_id("echo");
+    std::string key = "65535:65535:" + std::to_string(echo_id) + ":65535";
+    ASSERT_TRUE(stats["rpcs"].contains(key)) << stats.dump(2);
+    const auto& rpc = stats["rpcs"][key];
+    EXPECT_EQ(rpc["name"].as_string(), "echo");
+    EXPECT_EQ(rpc["rpc_id"].as_integer(), static_cast<std::int64_t>(echo_id));
+    EXPECT_EQ(rpc["provider_id"].as_integer(), 65535);
+    const auto& target = rpc["target"]["received from sim://client"];
+    EXPECT_EQ(target["ult"]["duration"]["num"].as_integer(), 3);
+    EXPECT_GE(target["ult"]["duration"]["max"].as_real(),
+              target["ult"]["duration"]["avg"].as_real());
+
+    // Origin-side stats on the client.
+    auto cstats = nodes.client->monitoring_json();
+    ASSERT_TRUE(cstats["rpcs"].contains(key)) << cstats.dump(2);
+    EXPECT_EQ(cstats["rpcs"][key]["origin"]["sent to sim://server"]["forward"]["duration"]["num"]
+                  .as_integer(),
+              3);
+}
+
+TEST(Margo, ProgressSamplerTracksPoolsAndInflight) {
+    auto cfg = parse(R"({"monitoring": {"sampling_period_ms": 10}})");
+    TwoNodes nodes{cfg, cfg};
+    std::this_thread::sleep_for(100ms);
+    auto stats = nodes.server->monitoring_json();
+    EXPECT_GE(stats["progress"]["samples"].as_integer(), 3);
+    EXPECT_TRUE(stats["progress"]["pools"].contains("__primary__")) << stats.dump(2);
+}
+
+TEST(Margo, MonitoringCanBeDisabled) {
+    TwoNodes nodes;
+    nodes.server->set_monitoring_enabled(false);
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    ASSERT_TRUE(nodes.client->forward("sim://server", "echo", "x").has_value());
+    auto stats = nodes.server->monitoring_json();
+    EXPECT_EQ(stats["rpcs"].size(), 0u) << stats.dump(2);
+}
+
+TEST(Margo, CustomMonitorCallbacksFire) {
+    struct CountingMonitor : margo::Monitor {
+        std::atomic<int> received{0}, started{0}, completed{0};
+        void on_request_received(const margo::CallContext&) override { ++received; }
+        void on_handler_start(const margo::CallContext&) override { ++started; }
+        void on_handler_complete(const margo::CallContext&) override { ++completed; }
+    };
+    TwoNodes nodes;
+    auto mon = std::make_shared<CountingMonitor>();
+    nodes.server->add_monitor(mon);
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(nodes.client->forward("sim://server", "echo", "x").has_value());
+    EXPECT_EQ(mon->received.load(), 5);
+    EXPECT_EQ(mon->started.load(), 5);
+    EXPECT_EQ(mon->completed.load(), 5);
+}
+
+TEST(Margo, RpcPoolRouting) {
+    // Figure 2: RPCs for provider A go to pool X, provider C to pool Y.
+    auto cfg = parse(R"({
+      "argobots": {
+        "pools": [{"name":"PoolX","type":"fifo_wait"},
+                   {"name":"PoolY","type":"fifo_wait"},
+                   {"name":"PoolZ","type":"fifo_wait"}],
+        "xstreams": [{"name":"ES0","scheduler":{"pools":["PoolX"]}},
+                      {"name":"ES1","scheduler":{"pools":["PoolY","PoolZ"]}}]
+      },
+      "progress_pool": "PoolZ",
+      "handler_pool": "PoolX"
+    })");
+    TwoNodes nodes{cfg};
+    auto poolx = nodes.server->find_pool_by_name("PoolX").value();
+    auto pooly = nodes.server->find_pool_by_name("PoolY").value();
+    std::atomic<std::uint64_t> hits_x{0}, hits_y{0};
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("on_x", 1,
+                                   [&](const margo::Request& req) {
+                                       ++hits_x;
+                                       req.respond("");
+                                   },
+                                   poolx)
+                    .has_value());
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("on_y", 2,
+                                   [&](const margo::Request& req) {
+                                       ++hits_y;
+                                       req.respond("");
+                                   },
+                                   pooly)
+                    .has_value());
+    margo::ForwardOptions ox;
+    ox.provider_id = 1;
+    margo::ForwardOptions oy;
+    oy.provider_id = 2;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(nodes.client->forward("sim://server", "on_x", "", ox).has_value());
+        ASSERT_TRUE(nodes.client->forward("sim://server", "on_y", "", oy).has_value());
+    }
+    EXPECT_EQ(hits_x.load(), 4u);
+    EXPECT_EQ(hits_y.load(), 4u);
+    EXPECT_GE(poolx->total_pushed(), 4u);
+    EXPECT_GE(pooly->total_pushed(), 4u);
+}
+
+TEST(Margo, OnlineReconfigurationAddRemovePoolAndXstream) {
+    TwoNodes nodes;
+    // find_pool_by_name / add_pool_from_json (§5 API).
+    EXPECT_TRUE(nodes.server->find_pool_by_name("__primary__").has_value());
+    auto added = nodes.server->add_pool_from_json(
+        parse(R"({"name":"MyPoolX","type":"fifo_wait","access":"mpmc"})"));
+    ASSERT_TRUE(added.has_value());
+    // Margo rejects duplicates.
+    EXPECT_FALSE(nodes.server->add_pool_from_json(parse(R"({"name":"MyPoolX"})")).has_value());
+    // New xstream serving the new pool; handlers can use it immediately.
+    ASSERT_TRUE(nodes.server
+                    ->add_xstream_from_json(
+                        parse(R"({"name":"MyES","scheduler":{"pools":["MyPoolX"]}})"))
+                    .ok());
+    auto pool = nodes.server->find_pool_by_name("MyPoolX").value();
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("dyn", 9,
+                                   [](const margo::Request& req) { req.respond("dyn"); }, pool)
+                    .has_value());
+    margo::ForwardOptions opts;
+    opts.provider_id = 9;
+    EXPECT_EQ(*nodes.client->forward("sim://server", "dyn", "", opts), "dyn");
+    // remove_pool refuses while an RPC uses it.
+    auto st = nodes.server->remove_pool("MyPoolX");
+    EXPECT_FALSE(st.ok());
+    // After deregistration and xstream removal it succeeds.
+    EXPECT_TRUE(nodes.server->deregister_rpc("dyn", 9).ok());
+    EXPECT_TRUE(nodes.server->remove_xstream("MyES").ok());
+    EXPECT_TRUE(nodes.server->remove_pool("MyPoolX").ok());
+    // Progress pool is protected.
+    EXPECT_FALSE(nodes.server->remove_pool("__primary__").ok());
+}
+
+TEST(Margo, ConfigRoundTripsAndContainsArgobots) {
+    TwoNodes nodes;
+    auto cfg = nodes.server->config();
+    EXPECT_EQ(cfg["address"].as_string(), "sim://server");
+    EXPECT_TRUE(cfg["argobots"]["pools"].is_array());
+    EXPECT_TRUE(cfg["argobots"]["xstreams"].is_array());
+    EXPECT_EQ(cfg["progress_pool"].as_string(), "__primary__");
+}
+
+TEST(Margo, DeregisterProviderRemovesAllItsRpcs) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server->register_rpc("a", 5, [](const margo::Request& r) { r.respond(""); })
+                    .has_value());
+    ASSERT_TRUE(nodes.server->register_rpc("b", 5, [](const margo::Request& r) { r.respond(""); })
+                    .has_value());
+    ASSERT_TRUE(nodes.server->register_rpc("a", 6, [](const margo::Request& r) { r.respond(""); })
+                    .has_value());
+    nodes.server->deregister_provider(5);
+    margo::ForwardOptions o5;
+    o5.provider_id = 5;
+    EXPECT_FALSE(nodes.client->forward("sim://server", "a", "", o5).has_value());
+    margo::ForwardOptions o6;
+    o6.provider_id = 6;
+    EXPECT_TRUE(nodes.client->forward("sim://server", "a", "", o6).has_value());
+}
+
+TEST(Margo, ConcurrentForwardsFromManyUlts) {
+    auto cfg = parse(R"({
+      "argobots": {
+        "pools": [{"name":"p","type":"fifo_wait"}],
+        "xstreams": [{"name":"x0","scheduler":{"pools":["p"]}},
+                      {"name":"x1","scheduler":{"pools":["p"]}}]
+      }
+    })");
+    TwoNodes nodes{cfg, cfg};
+    std::atomic<std::uint64_t> sum{0};
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("inc", margo::k_default_provider_id,
+                                   [](const margo::Request& req) {
+                                       std::uint64_t v = 0;
+                                       ASSERT_TRUE(req.unpack(v));
+                                       req.respond_values(v + 1);
+                                   })
+                    .has_value());
+    constexpr int k_ults = 16, k_calls = 20;
+    std::vector<abt::ThreadHandle> handles;
+    auto client = nodes.client;
+    for (int i = 0; i < k_ults; ++i) {
+        handles.push_back(client->runtime()->post_thread(client->runtime()->primary_pool(),
+                                                         [client, &sum] {
+            for (int j = 0; j < k_calls; ++j) {
+                auto r = client->call<std::uint64_t>("sim://server", "inc", {},
+                                                     std::uint64_t{j});
+                ASSERT_TRUE(r.has_value());
+                sum += std::get<0>(*r);
+            }
+        }));
+    }
+    for (auto& h : handles) h.join();
+    // sum of (j+1) for j in [0,20) per ULT
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(k_ults) * (k_calls * (k_calls + 1) / 2));
+}
+
+TEST(Margo, BulkThroughInstance) {
+    TwoNodes nodes;
+    std::vector<char> server_buf(1024, 'S');
+    auto handle = nodes.server->expose(server_buf.data(), server_buf.size(), true);
+    std::vector<char> local(1024);
+    ASSERT_TRUE(nodes.client->bulk_pull(handle, 0, local.data(), local.size()).ok());
+    EXPECT_EQ(local[0], 'S');
+    EXPECT_EQ(local[1023], 'S');
+    std::vector<char> payload(512, 'C');
+    ASSERT_TRUE(nodes.client->bulk_push(handle, 256, payload.data(), payload.size()).ok());
+    EXPECT_EQ(server_buf[256], 'C');
+    EXPECT_EQ(server_buf[255], 'S');
+    // Bulk ops show up in monitoring.
+    auto stats = nodes.client->monitoring_json();
+    bool has_bulk = false;
+    for (const auto& [k, v] : stats["rpcs"].as_object())
+        if (v.contains("bulk")) has_bulk = true;
+    EXPECT_TRUE(has_bulk);
+}
+
+TEST(Margo, ShutdownCancelsPendingCalls) {
+    TwoNodes nodes;
+    // Handler that never responds.
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+    auto client = nodes.client;
+    abt::Eventual<bool> outcome;
+    client->runtime()->post(client->runtime()->primary_pool(), [client, &outcome] {
+        margo::ForwardOptions opts;
+        opts.timeout = 10000ms;
+        auto r = client->forward("sim://server", "blackhole", "", opts);
+        outcome.set_value(r.has_value());
+    });
+    std::this_thread::sleep_for(50ms);
+    client->shutdown(); // must unblock the pending forward
+    EXPECT_FALSE(outcome.wait());
+}
+
+TEST(MargoProvider, ProviderAndHandleAnatomy) {
+    // Figure 1 end-to-end with the base classes.
+    class EchoProvider : public margo::Provider {
+      public:
+        EchoProvider(margo::InstancePtr inst, std::uint16_t pid)
+        : Provider(std::move(inst), pid, "echo_svc") {
+            define("echo", [](const margo::Request& req) {
+                std::string s;
+                ASSERT_TRUE(req.unpack(s));
+                req.respond_values(s);
+            });
+        }
+        json::Value get_config() const override {
+            auto c = json::Value::object();
+            c["kind"] = "echo";
+            return c;
+        }
+    };
+    class EchoHandle : public margo::ResourceHandle {
+      public:
+        using ResourceHandle::ResourceHandle;
+        Expected<std::string> echo(const std::string& s) {
+            auto r = call<std::string>("echo", s);
+            if (!r) return std::move(r).error();
+            return std::get<0>(*r);
+        }
+    };
+    TwoNodes nodes;
+    EchoProvider provider{nodes.server, 7};
+    EchoHandle handle{nodes.client, "sim://server", 7, "echo_svc"};
+    auto r = handle.echo("mochi");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, "mochi");
+    EXPECT_EQ(provider.get_config()["kind"].as_string(), "echo");
+}
+
+TEST(Margo, MonitoringDumpSinkFiresOnShutdown) {
+    // §4: statistics are "output as JSON when shutting down the service".
+    auto fabric = mercury::Fabric::create();
+    auto server = margo::Instance::create(fabric, "sim://dump-server").value();
+    auto client = margo::Instance::create(fabric, "sim://dump-client").value();
+    ASSERT_TRUE(server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    ASSERT_TRUE(client->forward("sim://dump-server", "echo", "x").has_value());
+    json::Value dumped;
+    server->set_monitoring_dump_sink([&](const json::Value& doc) { dumped = doc; });
+    client->shutdown();
+    server->shutdown();
+    ASSERT_TRUE(dumped.is_object());
+    EXPECT_GE(dumped["rpcs"].size(), 1u);
+}
+
+TEST(Margo, ForwardTimeoutRoughlyHonored) {
+    auto fabric = mercury::Fabric::create();
+    auto server = margo::Instance::create(fabric, "sim://to-server").value();
+    auto client = margo::Instance::create(fabric, "sim://to-client").value();
+    ASSERT_TRUE(server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+    margo::ForwardOptions opts;
+    opts.timeout = std::chrono::milliseconds(80);
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = client->forward("sim://to-server", "blackhole", "", opts);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::Timeout);
+    EXPECT_GE(ms, 70.0);
+    EXPECT_LT(ms, 500.0);
+    client->shutdown();
+    server->shutdown();
+}
+
+TEST(Margo, StatisticsAccumulatorMath) {
+    margo::Statistics s;
+    for (double x : {2.0, 4.0, 6.0}) s.add(x);
+    EXPECT_EQ(s.num, 3u);
+    EXPECT_DOUBLE_EQ(s.avg(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 6.0);
+    EXPECT_NEAR(s.variance(), 8.0 / 3.0, 1e-9);
+    auto j = s.to_json();
+    EXPECT_EQ(j["num"].as_integer(), 3);
+    EXPECT_DOUBLE_EQ(j["sum"].as_real(), 12.0);
+    margo::Statistics empty;
+    EXPECT_DOUBLE_EQ(empty.avg(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.to_json()["min"].as_real(), 0.0);
+}

@@ -1,0 +1,285 @@
+// Tests for the simulated network fabric: delivery, cost model, partitions,
+// loss, bulk transfers, crash semantics.
+#include "mercury/archive.hpp"
+#include "mercury/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace mochi;
+using namespace std::chrono_literals;
+using mercury::Message;
+
+namespace {
+
+/// Collects delivered messages with a blocking wait helper.
+struct Inbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<Message> messages;
+
+    void push(Message msg) {
+        { std::lock_guard lk{m}; messages.push_back(std::move(msg)); }
+        cv.notify_all();
+    }
+    bool wait_count(std::size_t n, std::chrono::milliseconds timeout = 2000ms) {
+        std::unique_lock lk{m};
+        return cv.wait_for(lk, timeout, [&] { return messages.size() >= n; });
+    }
+};
+
+} // namespace
+
+TEST(Archive, PrimitivesRoundTrip) {
+    int a = -5;
+    double b = 2.5;
+    std::uint64_t c = 1ull << 60;
+    bool d = true;
+    std::string payload = mercury::pack(a, b, c, d);
+    int a2;
+    double b2;
+    std::uint64_t c2;
+    bool d2;
+    ASSERT_TRUE(mercury::unpack(payload, a2, b2, c2, d2));
+    EXPECT_EQ(a, a2);
+    EXPECT_EQ(b, b2);
+    EXPECT_EQ(c, c2);
+    EXPECT_EQ(d, d2);
+}
+
+TEST(Archive, ContainersRoundTrip) {
+    std::vector<std::string> v{"a", "", "ccc"};
+    std::map<std::string, std::uint32_t> m{{"x", 1}, {"y", 2}};
+    std::pair<int, std::string> p{7, "seven"};
+    std::optional<int> some{42}, none;
+    auto payload = mercury::pack(v, m, p, some, none);
+    std::vector<std::string> v2;
+    std::map<std::string, std::uint32_t> m2;
+    std::pair<int, std::string> p2;
+    std::optional<int> some2, none2;
+    ASSERT_TRUE(mercury::unpack(payload, v2, m2, p2, some2, none2));
+    EXPECT_EQ(v, v2);
+    EXPECT_EQ(m, m2);
+    EXPECT_EQ(p, p2);
+    EXPECT_EQ(some, some2);
+    EXPECT_EQ(none, none2);
+}
+
+namespace {
+struct CustomType {
+    std::uint32_t id = 0;
+    std::string name;
+    std::vector<double> values;
+    template <typename A>
+    void serialize(A& ar) {
+        ar& id& name& values;
+    }
+    bool operator==(const CustomType&) const = default;
+};
+} // namespace
+
+TEST(Archive, CustomTypeRoundTrip) {
+    CustomType t{3, "yokan", {1.0, 2.0}};
+    CustomType t2;
+    ASSERT_TRUE(mercury::unpack(mercury::pack(t), t2));
+    EXPECT_EQ(t, t2);
+}
+
+TEST(Archive, TruncatedPayloadFailsCleanly) {
+    auto payload = mercury::pack(std::string("hello"), std::uint64_t{1});
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        std::string s2;
+        std::uint64_t u2;
+        EXPECT_FALSE(mercury::unpack(payload.substr(0, cut), s2, u2)) << cut;
+    }
+}
+
+TEST(Archive, CorruptLengthRejected) {
+    // A vector whose encoded length is absurdly larger than the buffer.
+    std::string evil = mercury::pack(std::uint64_t{1} << 60);
+    std::vector<std::uint64_t> v;
+    EXPECT_FALSE(mercury::unpack(evil, v));
+}
+
+TEST(Fabric, BasicDelivery) {
+    auto fabric = mercury::Fabric::create();
+    Inbox inbox_a, inbox_b;
+    auto a = fabric->attach("sim://a", [&](Message m) { inbox_a.push(std::move(m)); });
+    auto b = fabric->attach("sim://b", [&](Message m) { inbox_b.push(std::move(m)); });
+    ASSERT_TRUE(a && b);
+    Message msg;
+    msg.rpc_id = 99;
+    msg.payload = "hello";
+    ASSERT_TRUE((*a)->send("sim://b", msg).ok());
+    ASSERT_TRUE(inbox_b.wait_count(1));
+    EXPECT_EQ(inbox_b.messages[0].payload, "hello");
+    EXPECT_EQ(inbox_b.messages[0].source, "sim://a");
+    EXPECT_EQ(inbox_b.messages[0].rpc_id, 99u);
+    EXPECT_EQ(fabric->messages_delivered(), 1u);
+}
+
+TEST(Fabric, DuplicateAddressRejected) {
+    auto fabric = mercury::Fabric::create();
+    auto a = fabric->attach("sim://x", [](Message) {});
+    ASSERT_TRUE(a.has_value());
+    auto dup = fabric->attach("sim://x", [](Message) {});
+    EXPECT_FALSE(dup.has_value());
+    EXPECT_EQ(dup.error().code, Error::Code::AlreadyExists);
+}
+
+TEST(Fabric, UnknownTargetIsUnreachable) {
+    auto fabric = mercury::Fabric::create();
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto st = (*a)->send("sim://ghost", Message{});
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, Error::Code::Unreachable);
+}
+
+TEST(Fabric, DetachMakesUnreachable) {
+    auto fabric = mercury::Fabric::create();
+    Inbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message m) { inbox.push(std::move(m)); });
+    (*b)->detach(); // simulated crash (§7)
+    EXPECT_FALSE(fabric->is_attached("sim://b"));
+    auto st = (*a)->send("sim://b", Message{});
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, Error::Code::Unreachable);
+    // The address can be reused afterwards (node re-provisioned).
+    auto b2 = fabric->attach("sim://b", [](Message) {});
+    EXPECT_TRUE(b2.has_value());
+}
+
+TEST(Fabric, PartitionDropsSilently) {
+    auto fabric = mercury::Fabric::create();
+    Inbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message m) { inbox.push(std::move(m)); });
+    fabric->cut("sim://a", "sim://b");
+    EXPECT_TRUE((*a)->send("sim://b", Message{}).ok()); // silent drop
+    EXPECT_FALSE(inbox.wait_count(1, 50ms));
+    fabric->heal("sim://a", "sim://b");
+    EXPECT_TRUE((*a)->send("sim://b", Message{}).ok());
+    EXPECT_TRUE(inbox.wait_count(1));
+}
+
+TEST(Fabric, LatencyModelDelaysDelivery) {
+    mercury::LinkModel model;
+    model.latency_us = 20000; // 20 ms
+    auto fabric = mercury::Fabric::create(model);
+    Inbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message m) { inbox.push(std::move(m)); });
+    auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE((*a)->send("sim://b", Message{}).ok());
+    ASSERT_TRUE(inbox.wait_count(1));
+    auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 15);
+}
+
+TEST(Fabric, BandwidthModelScalesWithSize) {
+    mercury::LinkModel model;
+    model.bandwidth_bytes_per_us = 1000; // 1 GB/s
+    auto fabric = mercury::Fabric::create(model);
+    Inbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message m) { inbox.push(std::move(m)); });
+    Message big;
+    big.payload.assign(30'000'000, 'x'); // 30 MB -> 30 ms at 1 GB/s
+    auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE((*a)->send("sim://b", std::move(big)).ok());
+    ASSERT_TRUE(inbox.wait_count(1));
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EXPECT_GE(ms, 25);
+}
+
+TEST(Fabric, LossProbabilityDropsSome) {
+    mercury::LinkModel model;
+    model.loss_probability = 0.5;
+    auto fabric = mercury::Fabric::create(model, /*seed=*/7);
+    Inbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message m) { inbox.push(std::move(m)); });
+    for (int i = 0; i < 200; ++i) ASSERT_TRUE((*a)->send("sim://b", Message{}).ok());
+    std::this_thread::sleep_for(50ms);
+    std::lock_guard lk{inbox.m};
+    EXPECT_GT(inbox.messages.size(), 50u);
+    EXPECT_LT(inbox.messages.size(), 150u);
+}
+
+TEST(Fabric, BulkPullAndPush) {
+    auto fabric = mercury::Fabric::create();
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [](Message) {});
+    std::string remote_buf = "0123456789";
+    auto handle = (*b)->expose(remote_buf.data(), remote_buf.size(), /*writable=*/true);
+    EXPECT_EQ(handle.address, "sim://b");
+    EXPECT_EQ(handle.size, 10u);
+
+    char local[4] = {};
+    auto d = (*a)->bulk_pull(handle, 2, local, 4);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(std::string(local, 4), "2345");
+
+    const char* data = "AB";
+    ASSERT_TRUE((*a)->bulk_push(handle, 0, data, 2).has_value());
+    EXPECT_EQ(remote_buf.substr(0, 2), "AB");
+}
+
+TEST(Fabric, BulkBoundsAndPermissions) {
+    auto fabric = mercury::Fabric::create();
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [](Message) {});
+    std::string buf = "abcd";
+    auto ro = (*b)->expose(buf.data(), buf.size(), /*writable=*/false);
+    char tmp[8];
+    auto oob = (*a)->bulk_pull(ro, 2, tmp, 4);
+    EXPECT_FALSE(oob.has_value());
+    EXPECT_EQ(oob.error().code, Error::Code::InvalidArgument);
+    auto denied = (*a)->bulk_push(ro, 0, "zz", 2);
+    EXPECT_FALSE(denied.has_value());
+    EXPECT_EQ(denied.error().code, Error::Code::PermissionDenied);
+    (*b)->unexpose(ro.id);
+    auto gone = (*a)->bulk_pull(ro, 0, tmp, 2);
+    EXPECT_FALSE(gone.has_value());
+    EXPECT_EQ(gone.error().code, Error::Code::NotFound);
+}
+
+TEST(Fabric, BulkHandleSerializes) {
+    mercury::BulkHandle h{"sim://b", 42, 1024};
+    mercury::BulkHandle h2;
+    ASSERT_TRUE(mercury::unpack(mercury::pack(h), h2));
+    EXPECT_EQ(h2.address, "sim://b");
+    EXPECT_EQ(h2.id, 42u);
+    EXPECT_EQ(h2.size, 1024u);
+}
+
+TEST(Fabric, PerLinkModelOverride) {
+    auto fabric = mercury::Fabric::create(); // default: instant
+    mercury::LinkModel slow;
+    slow.latency_us = 30000;
+    fabric->set_link("sim://a", "sim://b", slow);
+    Inbox inbox_b, inbox_c;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message m) { inbox_b.push(std::move(m)); });
+    auto c = fabric->attach("sim://c", [&](Message m) { inbox_c.push(std::move(m)); });
+    auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE((*a)->send("sim://c", Message{}).ok()); // fast link
+    ASSERT_TRUE(inbox_c.wait_count(1));
+    auto fast_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    EXPECT_LT(fast_ms, 20);
+    ASSERT_TRUE((*a)->send("sim://b", Message{}).ok()); // slow link
+    ASSERT_TRUE(inbox_b.wait_count(1));
+    auto slow_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    EXPECT_GE(slow_ms, 25);
+}

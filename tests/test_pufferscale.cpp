@@ -1,0 +1,179 @@
+// Tests for Pufferscale (§6 Obs. 6): rescale planning, balance quality, the
+// load/data/time objective tradeoff, and dependency-injected execution.
+#include "pufferscale/rebalancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mochi;
+using namespace mochi::pufferscale;
+
+namespace {
+
+std::vector<Resource> uniform_resources(int count, int nodes, double load = 10,
+                                        double size = 100) {
+    std::vector<Resource> out;
+    for (int i = 0; i < count; ++i)
+        out.push_back(Resource{"r" + std::to_string(i), "n" + std::to_string(i % nodes),
+                               load, size});
+    return out;
+}
+
+std::vector<std::string> node_names(int n, int first = 0) {
+    std::vector<std::string> out;
+    for (int i = first; i < first + n; ++i) out.push_back("n" + std::to_string(i));
+    return out;
+}
+
+} // namespace
+
+TEST(Pufferscale, EvaluateMetrics) {
+    std::vector<Resource> rs = {
+        {"a", "n0", 10, 100}, {"b", "n0", 10, 100}, {"c", "n1", 10, 100}};
+    auto m = evaluate(rs, node_names(2), {});
+    // n0 carries 2/3 of everything, mean is 1.5 units -> max/mean - 1 = 1/3.
+    EXPECT_NEAR(m.load_imbalance, 1.0 / 3, 1e-9);
+    EXPECT_NEAR(m.data_imbalance, 1.0 / 3, 1e-9);
+    // Perfectly balanced:
+    std::vector<Resource> balanced = {{"a", "n0", 10, 100}, {"b", "n1", 10, 100}};
+    EXPECT_NEAR(evaluate(balanced, node_names(2), {}).objective, 0.0, 1e-9);
+}
+
+TEST(Pufferscale, InvalidInputsRejected) {
+    EXPECT_FALSE(plan_rescale({}, {}, {}).has_value());
+    std::vector<Resource> dup = {{"a", "n0", 1, 1}, {"a", "n1", 1, 1}};
+    EXPECT_FALSE(plan_rescale(dup, node_names(2), {}).has_value());
+    std::vector<Resource> neg = {{"a", "n0", -1, 1}};
+    EXPECT_FALSE(plan_rescale(neg, node_names(1), {}).has_value());
+}
+
+TEST(Pufferscale, ScaleUpSpreadsResources) {
+    // 12 resources on 2 nodes -> 4 nodes: expect near-perfect balance.
+    auto rs = uniform_resources(12, 2);
+    auto plan = plan_rescale(rs, node_names(4), {});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_GT(plan->moves.size(), 0u);
+    EXPECT_LT(plan->after.load_imbalance, 0.01);
+    EXPECT_LT(plan->after.data_imbalance, 0.01);
+    EXPECT_LT(plan->after.objective, plan->before.objective);
+    // Scale-up should move roughly half the resources, not more.
+    EXPECT_LE(plan->moves.size(), 6u);
+}
+
+TEST(Pufferscale, ScaleDownEvacuatesRemovedNodes) {
+    auto rs = uniform_resources(12, 4);
+    auto plan = plan_rescale(rs, node_names(2), {}); // n2, n3 removed
+    ASSERT_TRUE(plan.has_value());
+    // All resources from n2/n3 are moved onto surviving nodes.
+    for (const auto& m : plan->moves) {
+        EXPECT_TRUE(m.to == "n0" || m.to == "n1") << m.to;
+    }
+    std::size_t evacuated = 0;
+    for (const auto& m : plan->moves)
+        if (m.from == "n2" || m.from == "n3") ++evacuated;
+    EXPECT_EQ(evacuated, 6u);
+    EXPECT_LT(plan->after.load_imbalance, 0.01);
+}
+
+TEST(Pufferscale, HeterogeneousResourcesBalanceWell) {
+    std::mt19937 rng{42};
+    std::uniform_real_distribution<double> load_dist{1, 100}, size_dist{10, 1000};
+    std::vector<Resource> rs;
+    for (int i = 0; i < 64; ++i)
+        rs.push_back(Resource{"r" + std::to_string(i), "n" + std::to_string(i % 3),
+                              load_dist(rng), size_dist(rng)});
+    // With the default objectives (which charge for bytes moved), the plan
+    // is a compromise: close to balanced, not perfect.
+    auto plan = plan_rescale(rs, node_names(8), {});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_LT(plan->after.load_imbalance, 0.35);
+    EXPECT_LT(plan->after.data_imbalance, 0.35);
+    // With free migrations the greedy must balance tightly in both
+    // dimensions simultaneously.
+    Objectives free_moves;
+    free_moves.w_time = 0.0;
+    auto tight = plan_rescale(rs, node_names(8), free_moves);
+    ASSERT_TRUE(tight.has_value());
+    EXPECT_LT(tight->after.load_imbalance, 0.2);
+    EXPECT_LT(tight->after.data_imbalance, 0.2);
+    EXPECT_GE(tight->after.bytes_moved, plan->after.bytes_moved);
+}
+
+TEST(Pufferscale, TimeWeightTradesBalanceForFewerMoves) {
+    auto rs = uniform_resources(32, 2);
+    Objectives cheap_moves;
+    cheap_moves.w_time = 0.0;
+    Objectives costly_moves;
+    costly_moves.w_time = 50.0;
+    auto plan_cheap = plan_rescale(rs, node_names(4), cheap_moves);
+    auto plan_costly = plan_rescale(rs, node_names(4), costly_moves);
+    ASSERT_TRUE(plan_cheap.has_value());
+    ASSERT_TRUE(plan_costly.has_value());
+    // With expensive migration, the planner moves less data (the paper's
+    // "compromise between these three objectives").
+    EXPECT_LE(plan_costly->after.bytes_moved, plan_cheap->after.bytes_moved);
+    // And accepts worse balance in exchange.
+    EXPECT_GE(plan_costly->after.load_imbalance, plan_cheap->after.load_imbalance);
+}
+
+TEST(Pufferscale, PureLoadObjectiveIgnoresData) {
+    // Two resources: one hot & small, one cold & big, plus fillers.
+    std::vector<Resource> rs = {
+        {"hot", "n0", 100, 1}, {"cold", "n0", 1, 1000},
+        {"f1", "n1", 50, 500}, {"f2", "n1", 51, 501},
+    };
+    Objectives load_only;
+    load_only.w_load = 1.0;
+    load_only.w_data = 0.0;
+    load_only.w_time = 0.0;
+    auto plan = plan_rescale(rs, node_names(2), load_only);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_LT(plan->after.load_imbalance, 0.02);
+}
+
+TEST(Pufferscale, AlreadyBalancedPlansNoMoves) {
+    auto rs = uniform_resources(8, 4);
+    auto plan = plan_rescale(rs, node_names(4), {});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_TRUE(plan->moves.empty());
+    EXPECT_NEAR(plan->after.objective, 0.0, 1e-9);
+}
+
+TEST(Pufferscale, ExecuteCallsInjectedMigrateInPlanOrder) {
+    auto rs = uniform_resources(6, 3);
+    auto plan = plan_rescale(rs, node_names(2), {});
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_FALSE(plan->moves.empty());
+    std::vector<std::string> migrated;
+    auto st = execute(*plan, [&](const Move& m) -> Status {
+        migrated.push_back(m.resource + ":" + m.from + "->" + m.to);
+        return {};
+    });
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(migrated.size(), plan->moves.size());
+}
+
+TEST(Pufferscale, ExecuteStopsOnFirstFailure) {
+    auto rs = uniform_resources(8, 4);
+    auto plan = plan_rescale(rs, node_names(2), {});
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_GE(plan->moves.size(), 2u);
+    int calls = 0;
+    auto st = execute(*plan, [&](const Move&) -> Status {
+        if (++calls == 2) return Error{Error::Code::Unreachable, "node died"};
+        return {};
+    });
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(Pufferscale, SingleNodeTargetGathersEverything) {
+    auto rs = uniform_resources(6, 3);
+    auto plan = plan_rescale(rs, {"n0"}, {});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->moves.size(), 4u); // everything not already on n0
+    for (const auto& m : plan->moves) EXPECT_EQ(m.to, "n0");
+    // One node: imbalance is 0 by definition.
+    EXPECT_NEAR(plan->after.load_imbalance, 0.0, 1e-9);
+}

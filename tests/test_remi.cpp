@@ -1,0 +1,186 @@
+// Tests for REMI (§6): fileset migration via the RDMA path and the
+// pipelined-chunk path, source cleanup, error handling, and the SimFileStore
+// substrate itself.
+#include "remi/provider.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mochi;
+
+namespace {
+
+struct RemiPair {
+    std::shared_ptr<mercury::Fabric> fabric = mercury::Fabric::create();
+    margo::InstancePtr src;
+    margo::InstancePtr dst;
+    std::unique_ptr<remi::Provider> dst_provider;
+    std::shared_ptr<remi::SimFileStore> src_store;
+    std::shared_ptr<remi::SimFileStore> dst_store;
+
+    RemiPair() {
+        remi::SimFileStore::destroy_node("sim://src");
+        remi::SimFileStore::destroy_node("sim://dst");
+        src = margo::Instance::create(fabric, "sim://src").value();
+        dst = margo::Instance::create(fabric, "sim://dst").value();
+        dst_provider = std::make_unique<remi::Provider>(dst, 1);
+        src_store = remi::SimFileStore::for_node("sim://src");
+        dst_store = remi::SimFileStore::for_node("sim://dst");
+    }
+    ~RemiPair() {
+        dst_provider.reset();
+        src->shutdown();
+        dst->shutdown();
+    }
+
+    void make_files(const std::string& root, int count, std::size_t size) {
+        for (int i = 0; i < count; ++i) {
+            char name[32];
+            std::snprintf(name, sizeof name, "f%04d", i);
+            std::string data(size, static_cast<char>('a' + i % 26));
+            ASSERT_TRUE(src_store->write(root + name, std::move(data)).ok());
+        }
+    }
+};
+
+} // namespace
+
+TEST(SimFileStore, BasicOperations) {
+    remi::SimFileStore::destroy_node("sim://t");
+    auto store = remi::SimFileStore::for_node("sim://t");
+    EXPECT_TRUE(store->write("/a/x", "hello").ok());
+    EXPECT_TRUE(store->append("/a/x", " world").ok());
+    EXPECT_EQ(*store->read("/a/x"), "hello world");
+    EXPECT_TRUE(store->exists("/a/x"));
+    EXPECT_FALSE(store->exists("/a/y"));
+    EXPECT_FALSE(store->read("/a/y").has_value());
+    EXPECT_TRUE(store->write("/a/y", "2").ok());
+    EXPECT_TRUE(store->write("/b/z", "3").ok());
+    EXPECT_EQ(store->list("/a/").size(), 2u);
+    EXPECT_EQ(store->file_count(), 3u);
+    EXPECT_EQ(*store->file_size("/a/x"), 11u);
+    EXPECT_EQ(store->total_bytes(), 13u);
+    EXPECT_TRUE(store->remove("/a/x").ok());
+    EXPECT_FALSE(store->remove("/a/x").ok());
+    EXPECT_EQ(store->remove_prefix("/a/"), 1u);
+    EXPECT_EQ(store->file_count(), 1u);
+    EXPECT_FALSE(store->write("", "x").ok());
+    // Same node address returns the same store; the PFS is shared.
+    EXPECT_EQ(remi::SimFileStore::for_node("sim://t").get(), store.get());
+    EXPECT_EQ(remi::SimFileStore::pfs().get(), remi::SimFileStore::pfs().get());
+}
+
+TEST(Remi, RdmaMigrationMovesFiles) {
+    RemiPair pair;
+    pair.make_files("/data/", 8, 1000);
+    auto fileset = remi::Fileset::scan(*pair.src_store, "/data/");
+    EXPECT_EQ(fileset.files.size(), 8u);
+    remi::MigrationOptions opts;
+    opts.method = remi::Method::Rdma;
+    auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://dst", 1, opts);
+    ASSERT_TRUE(stats.has_value()) << stats.error().message;
+    EXPECT_EQ(stats->files, 8u);
+    EXPECT_EQ(stats->bytes, 8000u);
+    EXPECT_EQ(stats->messages, 8u); // one bulk RPC per file
+    // Content arrived intact; source cleaned up.
+    EXPECT_EQ(pair.dst_store->list("/data/").size(), 8u);
+    EXPECT_EQ(*pair.dst_store->read("/data/f0001"), std::string(1000, 'b'));
+    EXPECT_TRUE(pair.src_store->list("/data/").empty());
+}
+
+TEST(Remi, ChunkMigrationPacksSmallFiles) {
+    RemiPair pair;
+    pair.make_files("/small/", 100, 64); // 6.4 KB total
+    auto fileset = remi::Fileset::scan(*pair.src_store, "/small/");
+    remi::MigrationOptions opts;
+    opts.method = remi::Method::Chunks;
+    opts.chunk_size = 1024; // ~16 files per chunk
+    auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://dst", 1, opts);
+    ASSERT_TRUE(stats.has_value()) << stats.error().message;
+    EXPECT_EQ(stats->files, 100u);
+    // Packing: far fewer messages than files.
+    EXPECT_LT(stats->messages, 20u);
+    EXPECT_EQ(pair.dst_store->list("/small/").size(), 100u);
+    EXPECT_EQ(*pair.dst_store->read("/small/f0099"), std::string(64, 'a' + 99 % 26));
+}
+
+TEST(Remi, ChunkMigrationSplitsLargeFiles) {
+    RemiPair pair;
+    pair.make_files("/big/", 2, 100'000);
+    auto fileset = remi::Fileset::scan(*pair.src_store, "/big/");
+    remi::MigrationOptions opts;
+    opts.method = remi::Method::Chunks;
+    opts.chunk_size = 16'384;
+    auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://dst", 1, opts);
+    ASSERT_TRUE(stats.has_value()) << stats.error().message;
+    EXPECT_GT(stats->messages, 10u); // files split across chunks
+    EXPECT_EQ(pair.dst_store->list("/big/").size(), 2u);
+    EXPECT_EQ(pair.dst_store->read("/big/f0000")->size(), 100'000u);
+    EXPECT_EQ(*pair.dst_store->read("/big/f0001"), std::string(100'000, 'b'));
+}
+
+TEST(Remi, KeepSourceOption) {
+    RemiPair pair;
+    pair.make_files("/keep/", 4, 128);
+    auto fileset = remi::Fileset::scan(*pair.src_store, "/keep/");
+    remi::MigrationOptions opts;
+    opts.remove_source = false;
+    auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://dst", 1, opts);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(pair.src_store->list("/keep/").size(), 4u);
+    EXPECT_EQ(pair.dst_store->list("/keep/").size(), 4u);
+}
+
+TEST(Remi, MigrationToUnknownDestinationFails) {
+    RemiPair pair;
+    pair.make_files("/x/", 2, 32);
+    auto fileset = remi::Fileset::scan(*pair.src_store, "/x/");
+    auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://ghost", 1, {});
+    EXPECT_FALSE(stats.has_value());
+    // Source untouched on failure.
+    EXPECT_EQ(pair.src_store->list("/x/").size(), 2u);
+}
+
+TEST(Remi, MigrationToWrongProviderIdFails) {
+    RemiPair pair;
+    pair.make_files("/x/", 1, 32);
+    auto fileset = remi::Fileset::scan(*pair.src_store, "/x/");
+    auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://dst", 42, {});
+    EXPECT_FALSE(stats.has_value());
+}
+
+TEST(Remi, EmptyFilesetIsANoop) {
+    RemiPair pair;
+    auto fileset = remi::Fileset::scan(*pair.src_store, "/nothing/");
+    auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://dst", 1, {});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->files, 0u);
+    EXPECT_EQ(stats->bytes, 0u);
+}
+
+TEST(Remi, BothMethodsProduceIdenticalResults) {
+    for (auto method : {remi::Method::Rdma, remi::Method::Chunks}) {
+        RemiPair pair;
+        pair.make_files("/same/", 17, 777);
+        auto fileset = remi::Fileset::scan(*pair.src_store, "/same/");
+        remi::MigrationOptions opts;
+        opts.method = method;
+        opts.chunk_size = 2048;
+        auto stats = remi::migrate(pair.src, pair.src_store, fileset, "sim://dst", 1, opts);
+        ASSERT_TRUE(stats.has_value());
+        auto files = pair.dst_store->list("/same/");
+        ASSERT_EQ(files.size(), 17u);
+        for (int i = 0; i < 17; ++i) {
+            char name[32];
+            std::snprintf(name, sizeof name, "/same/f%04d", i);
+            EXPECT_EQ(*pair.dst_store->read(name), std::string(777, 'a' + i % 26));
+        }
+    }
+}
+
+TEST(Remi, ProviderConfigReportsStore) {
+    RemiPair pair;
+    ASSERT_TRUE(pair.dst_store->write("/w/x", "1234").ok());
+    auto cfg = pair.dst_provider->get_config();
+    EXPECT_EQ(cfg["type"].as_string(), "remi");
+    EXPECT_GE(cfg["files"].as_integer(), 1);
+}

@@ -1,0 +1,159 @@
+// Tests for Warabi (blob storage): region lifecycle, inline and bulk I/O,
+// persistence, the §3.2 composition example (datasets = Yokan metadata +
+// Warabi data), and the Bedrock module.
+#include "bedrock/process.hpp"
+#include "warabi/provider.hpp"
+#include "yokan/provider.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mochi;
+
+namespace {
+
+struct WarabiWorld {
+    std::shared_ptr<mercury::Fabric> fabric = mercury::Fabric::create();
+    margo::InstancePtr server;
+    margo::InstancePtr client;
+    std::unique_ptr<warabi::Provider> provider;
+
+    WarabiWorld() {
+        remi::SimFileStore::destroy_node("sim://server");
+        server = margo::Instance::create(fabric, "sim://server").value();
+        client = margo::Instance::create(fabric, "sim://client").value();
+        provider = std::make_unique<warabi::Provider>(server, 4);
+    }
+    ~WarabiWorld() {
+        provider.reset();
+        client->shutdown();
+        server->shutdown();
+    }
+};
+
+} // namespace
+
+TEST(Warabi, RegionLifecycle) {
+    WarabiWorld w;
+    warabi::TargetHandle target{w.client, "sim://server", 4};
+    auto region = target.create(64);
+    ASSERT_TRUE(region.has_value());
+    EXPECT_EQ(*target.region_size(*region), 64u);
+    ASSERT_TRUE(target.write(*region, 8, "hello warabi").ok());
+    EXPECT_EQ(*target.read(*region, 8, 12), "hello warabi");
+    EXPECT_EQ(*target.read(*region, 0, 1), std::string(1, '\0'));
+    ASSERT_TRUE(target.erase(*region).ok());
+    EXPECT_FALSE(target.read(*region, 0, 1).has_value());
+    EXPECT_FALSE(target.erase(*region).ok());
+}
+
+TEST(Warabi, BoundsChecked) {
+    WarabiWorld w;
+    warabi::TargetHandle target{w.client, "sim://server", 4};
+    auto region = *target.create(16);
+    EXPECT_FALSE(target.write(region, 10, "too-long-for-16").ok());
+    EXPECT_FALSE(target.read(region, 10, 10).has_value());
+    EXPECT_FALSE(target.write(999, 0, "x").ok());
+}
+
+TEST(Warabi, BulkReadWrite) {
+    WarabiWorld w;
+    warabi::TargetHandle target{w.client, "sim://server", 4};
+    auto region = *target.create(1 << 20);
+    std::string data(1 << 20, 'B');
+    data[12345] = 'x';
+    ASSERT_TRUE(target.write_bulk(region, 0, data.data(), data.size()).ok());
+    std::string back(1 << 20, '\0');
+    ASSERT_TRUE(target.read_bulk(region, 0, back.data(), back.size()).ok());
+    EXPECT_EQ(back, data);
+    // Bulk out of bounds rejected.
+    EXPECT_FALSE(target.write_bulk(region, 1, data.data(), data.size()).ok());
+}
+
+TEST(Warabi, DumpAndLoad) {
+    WarabiWorld w;
+    warabi::TargetHandle target{w.client, "sim://server", 4};
+    auto r1 = *target.create(8);
+    auto r2 = *target.create(8);
+    ASSERT_TRUE(target.write(r1, 0, "11111111").ok());
+    ASSERT_TRUE(target.write(r2, 0, "22222222").ok());
+    auto store = remi::SimFileStore::for_node("sim://server");
+    ASSERT_TRUE(w.provider->dump_to_store(*store).ok());
+    EXPECT_EQ(store->list(w.provider->root()).size(), 2u);
+    // A fresh provider in a fresh process re-attaches to the files.
+    w.provider.reset();
+    w.provider = std::make_unique<warabi::Provider>(w.server, 4);
+    EXPECT_EQ(*target.read(r1, 0, 8), "11111111");
+    EXPECT_EQ(*target.read(r2, 0, 8), "22222222");
+    // New allocations don't collide with restored region ids.
+    auto r3 = *target.create(4);
+    EXPECT_GT(r3, r2);
+}
+
+TEST(Warabi, DatasetCompositionExample) {
+    // §3.2: "a Mochi component M managing datasets by storing their metadata
+    // in a key-value store (Yokan) and their data in a blob storage target
+    // (Warabi)". Composition through resource handles.
+    WarabiWorld w;
+    yokan::Provider meta_provider{w.server, 5, {}};
+    yokan::Database metadata{w.client, "sim://server", 5};
+    warabi::TargetHandle data{w.client, "sim://server", 4};
+
+    auto put_dataset = [&](const std::string& name,
+                           const std::string& content) -> Status {
+        auto region = data.create(content.size());
+        if (!region) return region.error();
+        if (auto st = data.write(*region, 0, content); !st.ok()) return st;
+        auto meta = json::Value::object();
+        meta["region"] = *region;
+        meta["size"] = content.size();
+        return metadata.put("dataset/" + name, meta.dump());
+    };
+    auto get_dataset = [&](const std::string& name) -> Expected<std::string> {
+        auto meta_str = metadata.get("dataset/" + name);
+        if (!meta_str) return std::move(meta_str).error();
+        auto meta = json::Value::parse(*meta_str);
+        if (!meta) return meta.error();
+        return data.read(static_cast<std::uint64_t>((*meta)["region"].as_integer()), 0,
+                         static_cast<std::uint64_t>((*meta)["size"].as_integer()));
+    };
+
+    ASSERT_TRUE(put_dataset("particles", "x=1,y=2,z=3").ok());
+    ASSERT_TRUE(put_dataset("energies", "1.5 2.5 3.5").ok());
+    EXPECT_EQ(*get_dataset("particles"), "x=1,y=2,z=3");
+    EXPECT_EQ(*get_dataset("energies"), "1.5 2.5 3.5");
+    EXPECT_FALSE(get_dataset("missing").has_value());
+    auto names = metadata.list_keys("", "dataset/", 0);
+    ASSERT_TRUE(names.has_value());
+    EXPECT_EQ(names->size(), 2u);
+}
+
+TEST(Warabi, BedrockModule) {
+    warabi::register_module();
+    remi::SimFileStore::destroy_node("sim://wb1");
+    auto fabric = mercury::Fabric::create();
+    auto cfg = json::Value::parse(R"({
+      "libraries": {"warabi": "libwarabi.so"},
+      "providers": [{"name": "blobs", "type": "warabi", "provider_id": 2,
+                      "config": {"name": "t1", "inline_threshold": 8192}}]
+    })").value();
+    auto proc = bedrock::Process::spawn(fabric, "sim://wb1", cfg).value();
+    auto client = margo::Instance::create(fabric, "sim://client").value();
+    warabi::TargetHandle target{client, "sim://wb1", 2};
+    auto region = target.create(16);
+    ASSERT_TRUE(region.has_value());
+    ASSERT_TRUE(target.write(*region, 0, "bedrock-managed!").ok());
+    EXPECT_EQ(*target.read(*region, 0, 16), "bedrock-managed!");
+    // The provider's live config is reflected in the process config.
+    auto pcfg = proc->config();
+    bool found = false;
+    for (const auto& p : pcfg["providers"].as_array()) {
+        if (p["name"].as_string() == "blobs") {
+            EXPECT_EQ(p["config"]["inline_threshold"].as_integer(), 8192);
+            EXPECT_EQ(p["config"]["regions"].as_integer(), 1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    client->shutdown();
+    proc->shutdown();
+}
