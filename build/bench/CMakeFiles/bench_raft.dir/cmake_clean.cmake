@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raft.dir/bench_raft.cpp.o"
+  "CMakeFiles/bench_raft.dir/bench_raft.cpp.o.d"
+  "bench_raft"
+  "bench_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssg.dir/bench_ssg.cpp.o"
+  "CMakeFiles/bench_ssg.dir/bench_ssg.cpp.o.d"
+  "bench_ssg"
+  "bench_ssg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ult.dir/bench_ult.cpp.o"
+  "CMakeFiles/bench_ult.dir/bench_ult.cpp.o.d"
+  "bench_ult"
+  "bench_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

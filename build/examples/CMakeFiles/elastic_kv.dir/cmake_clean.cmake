@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_kv.dir/elastic_kv.cpp.o"
+  "CMakeFiles/elastic_kv.dir/elastic_kv.cpp.o.d"
+  "elastic_kv"
+  "elastic_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_workflow.dir/hepnos_workflow.cpp.o"
+  "CMakeFiles/hepnos_workflow.dir/hepnos_workflow.cpp.o.d"
+  "hepnos_workflow"
+  "hepnos_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_kv.dir/resilient_kv.cpp.o"
+  "CMakeFiles/resilient_kv.dir/resilient_kv.cpp.o.d"
+  "resilient_kv"
+  "resilient_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

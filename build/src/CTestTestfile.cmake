@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("abt")
+subdirs("mercury")
+subdirs("margo")
+subdirs("bedrock")
+subdirs("poesie")
+subdirs("yokan")
+subdirs("warabi")
+subdirs("remi")
+subdirs("ssg")
+subdirs("raft")
+subdirs("pufferscale")
+subdirs("flux")
+subdirs("composed")

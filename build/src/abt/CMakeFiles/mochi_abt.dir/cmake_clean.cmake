@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_abt.dir/pool.cpp.o"
+  "CMakeFiles/mochi_abt.dir/pool.cpp.o.d"
+  "CMakeFiles/mochi_abt.dir/runtime.cpp.o"
+  "CMakeFiles/mochi_abt.dir/runtime.cpp.o.d"
+  "CMakeFiles/mochi_abt.dir/sync.cpp.o"
+  "CMakeFiles/mochi_abt.dir/sync.cpp.o.d"
+  "CMakeFiles/mochi_abt.dir/timer.cpp.o"
+  "CMakeFiles/mochi_abt.dir/timer.cpp.o.d"
+  "libmochi_abt.a"
+  "libmochi_abt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_abt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_bedrock.dir/client.cpp.o"
+  "CMakeFiles/mochi_bedrock.dir/client.cpp.o.d"
+  "CMakeFiles/mochi_bedrock.dir/component.cpp.o"
+  "CMakeFiles/mochi_bedrock.dir/component.cpp.o.d"
+  "CMakeFiles/mochi_bedrock.dir/jx9.cpp.o"
+  "CMakeFiles/mochi_bedrock.dir/jx9.cpp.o.d"
+  "CMakeFiles/mochi_bedrock.dir/process.cpp.o"
+  "CMakeFiles/mochi_bedrock.dir/process.cpp.o.d"
+  "libmochi_bedrock.a"
+  "libmochi_bedrock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_bedrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

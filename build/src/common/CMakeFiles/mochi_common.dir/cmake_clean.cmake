@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_common.dir/json.cpp.o"
+  "CMakeFiles/mochi_common.dir/json.cpp.o.d"
+  "CMakeFiles/mochi_common.dir/logging.cpp.o"
+  "CMakeFiles/mochi_common.dir/logging.cpp.o.d"
+  "libmochi_common.a"
+  "libmochi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_composed.dir/autoscaler.cpp.o"
+  "CMakeFiles/mochi_composed.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/mochi_composed.dir/consistent_view.cpp.o"
+  "CMakeFiles/mochi_composed.dir/consistent_view.cpp.o.d"
+  "CMakeFiles/mochi_composed.dir/dataset.cpp.o"
+  "CMakeFiles/mochi_composed.dir/dataset.cpp.o.d"
+  "CMakeFiles/mochi_composed.dir/elastic_kv.cpp.o"
+  "CMakeFiles/mochi_composed.dir/elastic_kv.cpp.o.d"
+  "CMakeFiles/mochi_composed.dir/replicated_kv.cpp.o"
+  "CMakeFiles/mochi_composed.dir/replicated_kv.cpp.o.d"
+  "libmochi_composed.a"
+  "libmochi_composed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_composed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_flux.dir/resource_manager.cpp.o"
+  "CMakeFiles/mochi_flux.dir/resource_manager.cpp.o.d"
+  "libmochi_flux.a"
+  "libmochi_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

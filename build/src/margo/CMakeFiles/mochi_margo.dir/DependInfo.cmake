@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/margo/instance.cpp" "src/margo/CMakeFiles/mochi_margo.dir/instance.cpp.o" "gcc" "src/margo/CMakeFiles/mochi_margo.dir/instance.cpp.o.d"
+  "/root/repo/src/margo/monitoring.cpp" "src/margo/CMakeFiles/mochi_margo.dir/monitoring.cpp.o" "gcc" "src/margo/CMakeFiles/mochi_margo.dir/monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mochi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/abt/CMakeFiles/mochi_abt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mercury/CMakeFiles/mochi_mercury.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_margo.dir/instance.cpp.o"
+  "CMakeFiles/mochi_margo.dir/instance.cpp.o.d"
+  "CMakeFiles/mochi_margo.dir/monitoring.cpp.o"
+  "CMakeFiles/mochi_margo.dir/monitoring.cpp.o.d"
+  "libmochi_margo.a"
+  "libmochi_margo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_margo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

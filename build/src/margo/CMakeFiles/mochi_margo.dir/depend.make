@@ -1,0 +1,2 @@
+# Empty dependencies file for mochi_margo.
+# This may be replaced when dependencies are built.

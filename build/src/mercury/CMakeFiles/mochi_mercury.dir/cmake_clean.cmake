@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_mercury.dir/fabric.cpp.o"
+  "CMakeFiles/mochi_mercury.dir/fabric.cpp.o.d"
+  "libmochi_mercury.a"
+  "libmochi_mercury.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_mercury.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_poesie.dir/provider.cpp.o"
+  "CMakeFiles/mochi_poesie.dir/provider.cpp.o.d"
+  "libmochi_poesie.a"
+  "libmochi_poesie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_poesie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_pufferscale.dir/rebalancer.cpp.o"
+  "CMakeFiles/mochi_pufferscale.dir/rebalancer.cpp.o.d"
+  "libmochi_pufferscale.a"
+  "libmochi_pufferscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_pufferscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_raft.dir/raft.cpp.o"
+  "CMakeFiles/mochi_raft.dir/raft.cpp.o.d"
+  "libmochi_raft.a"
+  "libmochi_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mochi_raft.
+# This may be replaced when dependencies are built.

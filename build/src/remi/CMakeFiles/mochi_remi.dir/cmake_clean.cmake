@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_remi.dir/provider.cpp.o"
+  "CMakeFiles/mochi_remi.dir/provider.cpp.o.d"
+  "CMakeFiles/mochi_remi.dir/sim_file_store.cpp.o"
+  "CMakeFiles/mochi_remi.dir/sim_file_store.cpp.o.d"
+  "libmochi_remi.a"
+  "libmochi_remi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_remi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_ssg.dir/group.cpp.o"
+  "CMakeFiles/mochi_ssg.dir/group.cpp.o.d"
+  "libmochi_ssg.a"
+  "libmochi_ssg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_ssg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_warabi.dir/provider.cpp.o"
+  "CMakeFiles/mochi_warabi.dir/provider.cpp.o.d"
+  "libmochi_warabi.a"
+  "libmochi_warabi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_warabi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

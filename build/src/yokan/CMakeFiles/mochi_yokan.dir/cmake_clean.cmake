@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mochi_yokan.dir/backend.cpp.o"
+  "CMakeFiles/mochi_yokan.dir/backend.cpp.o.d"
+  "CMakeFiles/mochi_yokan.dir/provider.cpp.o"
+  "CMakeFiles/mochi_yokan.dir/provider.cpp.o.d"
+  "libmochi_yokan.a"
+  "libmochi_yokan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mochi_yokan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoscaler.dir/test_autoscaler.cpp.o"
+  "CMakeFiles/test_autoscaler.dir/test_autoscaler.cpp.o.d"
+  "test_autoscaler"
+  "test_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

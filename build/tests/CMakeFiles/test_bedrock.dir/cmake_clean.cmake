@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bedrock.dir/test_bedrock.cpp.o"
+  "CMakeFiles/test_bedrock.dir/test_bedrock.cpp.o.d"
+  "test_bedrock"
+  "test_bedrock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bedrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composed.dir/test_composed.cpp.o"
+  "CMakeFiles/test_composed.dir/test_composed.cpp.o.d"
+  "test_composed"
+  "test_composed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

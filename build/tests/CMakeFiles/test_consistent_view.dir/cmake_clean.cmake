@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistent_view.dir/test_consistent_view.cpp.o"
+  "CMakeFiles/test_consistent_view.dir/test_consistent_view.cpp.o.d"
+  "test_consistent_view"
+  "test_consistent_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistent_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

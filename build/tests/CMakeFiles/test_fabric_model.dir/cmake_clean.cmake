@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_model.dir/test_fabric_model.cpp.o"
+  "CMakeFiles/test_fabric_model.dir/test_fabric_model.cpp.o.d"
+  "test_fabric_model"
+  "test_fabric_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

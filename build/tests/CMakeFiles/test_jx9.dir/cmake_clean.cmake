@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jx9.dir/test_jx9.cpp.o"
+  "CMakeFiles/test_jx9.dir/test_jx9.cpp.o.d"
+  "test_jx9"
+  "test_jx9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jx9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_margo.dir/test_margo.cpp.o"
+  "CMakeFiles/test_margo.dir/test_margo.cpp.o.d"
+  "test_margo"
+  "test_margo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_margo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poesie.dir/test_poesie.cpp.o"
+  "CMakeFiles/test_poesie.dir/test_poesie.cpp.o.d"
+  "test_poesie"
+  "test_poesie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poesie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

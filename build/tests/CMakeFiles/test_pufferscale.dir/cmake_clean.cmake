@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pufferscale.dir/test_pufferscale.cpp.o"
+  "CMakeFiles/test_pufferscale.dir/test_pufferscale.cpp.o.d"
+  "test_pufferscale"
+  "test_pufferscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pufferscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raft.dir/test_raft.cpp.o"
+  "CMakeFiles/test_raft.dir/test_raft.cpp.o.d"
+  "test_raft"
+  "test_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

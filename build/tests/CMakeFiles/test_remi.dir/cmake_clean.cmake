@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remi.dir/test_remi.cpp.o"
+  "CMakeFiles/test_remi.dir/test_remi.cpp.o.d"
+  "test_remi"
+  "test_remi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

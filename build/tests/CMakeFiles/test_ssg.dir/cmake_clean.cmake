@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssg.dir/test_ssg.cpp.o"
+  "CMakeFiles/test_ssg.dir/test_ssg.cpp.o.d"
+  "test_ssg"
+  "test_ssg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warabi.dir/test_warabi.cpp.o"
+  "CMakeFiles/test_warabi.dir/test_warabi.cpp.o.d"
+  "test_warabi"
+  "test_warabi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warabi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yokan.dir/test_yokan.cpp.o"
+  "CMakeFiles/test_yokan.dir/test_yokan.cpp.o.d"
+  "test_yokan"
+  "test_yokan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yokan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
