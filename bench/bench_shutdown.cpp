@@ -1,0 +1,64 @@
+// Shutdown-drain latency: how long Instance::shutdown() takes to cancel and
+// drain N in-flight forwards. The condition-based drain signals shutdown()
+// the moment the last forward exits, so the cost should track the forwards'
+// own unwind time instead of a fixed polling cadence (the previous
+// implementation slept in 1 ms steps, flooring every shutdown at the poll
+// interval regardless of how quickly the forwards resolved).
+#include "margo/instance.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace mochi;
+using namespace std::chrono_literals;
+
+namespace {
+
+void BM_ShutdownWithInflightForwards(benchmark::State& state) {
+    const int inflight = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto fabric = mercury::Fabric::create();
+        auto server = margo::Instance::create(fabric, "sim://server").value();
+        auto client = margo::Instance::create(fabric, "sim://client").value();
+        // Handlers never respond: every forward stays pending until the
+        // shutdown sweep cancels it.
+        (void)server->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {});
+        std::atomic<int> started{0};
+        std::vector<abt::ThreadHandle> handles;
+        for (int i = 0; i < inflight; ++i) {
+            handles.push_back(client->runtime()->post_thread(
+                client->runtime()->primary_pool(), [&client, &started] {
+                    ++started;
+                    margo::ForwardOptions opts;
+                    opts.timeout = 60000ms;
+                    (void)client->forward("sim://server", "blackhole", "", opts);
+                }));
+        }
+        while (started.load() < inflight) std::this_thread::sleep_for(1ms);
+        state.ResumeTiming();
+        client->shutdown(); // cancel + drain all pending forwards
+        state.PauseTiming();
+        for (auto& h : handles) h.join();
+        server->shutdown();
+        state.ResumeTiming();
+    }
+    state.SetLabel(std::to_string(inflight) + " in-flight");
+}
+BENCHMARK(BM_ShutdownWithInflightForwards)->Arg(0)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShutdownIdle(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto fabric = mercury::Fabric::create();
+        auto inst = margo::Instance::create(fabric, "sim://solo").value();
+        state.ResumeTiming();
+        inst->shutdown();
+    }
+}
+BENCHMARK(BM_ShutdownIdle)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -271,5 +271,5 @@ bench/CMakeFiles/bench_rpc.dir/bench_rpc.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
  /usr/include/benchmark/benchmark.h /usr/include/benchmark/export.h

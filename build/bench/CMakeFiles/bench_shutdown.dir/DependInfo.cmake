@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_shutdown.cpp" "bench/CMakeFiles/bench_shutdown.dir/bench_shutdown.cpp.o" "gcc" "bench/CMakeFiles/bench_shutdown.dir/bench_shutdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/margo/CMakeFiles/mochi_margo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mercury/CMakeFiles/mochi_mercury.dir/DependInfo.cmake"
+  "/root/repo/build/src/abt/CMakeFiles/mochi_abt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mochi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -274,4 +274,4 @@ bench/CMakeFiles/bench_ssg.dir/bench_ssg.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex

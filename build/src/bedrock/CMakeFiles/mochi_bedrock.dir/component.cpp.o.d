@@ -273,4 +273,5 @@ src/bedrock/CMakeFiles/mochi_bedrock.dir/component.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/charconv
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/charconv

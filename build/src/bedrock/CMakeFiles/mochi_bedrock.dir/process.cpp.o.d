@@ -273,5 +273,5 @@ src/bedrock/CMakeFiles/mochi_bedrock.dir/process.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/bedrock/jx9.hpp \
- /root/repo/src/common/logging.hpp
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/bedrock/jx9.hpp /root/repo/src/common/logging.hpp

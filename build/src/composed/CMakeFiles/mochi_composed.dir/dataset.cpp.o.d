@@ -272,7 +272,7 @@ src/composed/CMakeFiles/mochi_composed.dir/dataset.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/poesie/provider.hpp /root/repo/src/bedrock/jx9.hpp \
  /root/repo/src/warabi/provider.hpp \
  /root/repo/src/remi/sim_file_store.hpp /root/repo/src/yokan/provider.hpp \

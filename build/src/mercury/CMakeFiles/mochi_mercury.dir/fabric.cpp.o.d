@@ -259,7 +259,7 @@ src/mercury/CMakeFiles/mochi_mercury.dir/fabric.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/common/logging.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

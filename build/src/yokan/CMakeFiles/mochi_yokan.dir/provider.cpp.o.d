@@ -272,6 +272,7 @@ src/yokan/CMakeFiles/mochi_yokan.dir/provider.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/remi/provider.hpp \
- /root/repo/src/remi/sim_file_store.hpp /root/repo/src/yokan/backend.hpp \
- /root/repo/src/bedrock/component.hpp /root/repo/src/common/logging.hpp
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/remi/provider.hpp /root/repo/src/remi/sim_file_store.hpp \
+ /root/repo/src/yokan/backend.hpp /root/repo/src/bedrock/component.hpp \
+ /root/repo/src/common/logging.hpp

@@ -259,7 +259,7 @@ tests/CMakeFiles/test_fabric_model.dir/test_fabric_model.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_lifecycle_stress.cpp" "tests/CMakeFiles/test_lifecycle_stress.dir/test_lifecycle_stress.cpp.o" "gcc" "tests/CMakeFiles/test_lifecycle_stress.dir/test_lifecycle_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/margo/CMakeFiles/mochi_margo.dir/DependInfo.cmake"
+  "/root/repo/build/src/remi/CMakeFiles/mochi_remi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssg/CMakeFiles/mochi_ssg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bedrock/CMakeFiles/mochi_bedrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/mercury/CMakeFiles/mochi_mercury.dir/DependInfo.cmake"
+  "/root/repo/build/src/abt/CMakeFiles/mochi_abt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mochi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifecycle_stress.dir/test_lifecycle_stress.cpp.o"
+  "CMakeFiles/test_lifecycle_stress.dir/test_lifecycle_stress.cpp.o.d"
+  "test_lifecycle_stress"
+  "test_lifecycle_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifecycle_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -273,7 +273,7 @@ tests/CMakeFiles/test_poesie.dir/test_poesie.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/poesie/provider.hpp /root/repo/src/bedrock/jx9.hpp \
  /root/repo/src/margo/provider.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

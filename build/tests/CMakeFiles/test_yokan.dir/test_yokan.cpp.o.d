@@ -273,7 +273,7 @@ tests/CMakeFiles/test_yokan.dir/test_yokan.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/bedrock/process.hpp /root/repo/src/bedrock/component.hpp \
  /root/repo/src/yokan/provider.hpp /root/repo/src/margo/provider.hpp \
  /root/repo/src/remi/provider.hpp /root/repo/src/remi/sim_file_store.hpp \

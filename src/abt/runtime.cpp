@@ -4,6 +4,24 @@
 
 #include <cassert>
 
+// ThreadSanitizer cannot follow raw ucontext switches: without annotations
+// its shadow-stack bookkeeping dereferences stale state after swapcontext
+// and crashes (observed as a SEGV inside libtsan on the first fiber switch).
+// The fiber API below tells TSan about every stack we switch to.
+#if defined(__SANITIZE_THREAD__)
+#define MOCHI_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MOCHI_TSAN_FIBERS 1
+#endif
+#endif
+#ifndef MOCHI_TSAN_FIBERS
+#define MOCHI_TSAN_FIBERS 0
+#endif
+#if MOCHI_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace mochi::abt {
 
 // ---------------------------------------------------------------------------
@@ -12,36 +30,71 @@ namespace mochi::abt {
 
 namespace {
 
+#if MOCHI_TSAN_FIBERS
+#define MOCHI_NO_TSAN __attribute__((no_sanitize_thread, noinline))
+#else
+#define MOCHI_NO_TSAN inline
+#endif
+
 thread_local Ult* tl_current_ult = nullptr;
 thread_local ucontext_t* tl_sched_ctx = nullptr;
+
+// The scheduling thread-locals are only ever touched by their owning OS
+// thread and by fibers currently executing on it, so they are race-free by
+// construction. They must still go through these uninstrumented accessors:
+// glibc recycles the stack+TLS block of exited threads, and TSan attributes
+// fiber-context accesses to the fiber's own history, so a recycled TLS
+// address would otherwise pair a dead fiber's access with a fresh thread's
+// write and produce false data-race reports.
+MOCHI_NO_TSAN Ult* cur_ult_get() noexcept { return tl_current_ult; }
+MOCHI_NO_TSAN void cur_ult_set(Ult* u) noexcept { tl_current_ult = u; }
+MOCHI_NO_TSAN ucontext_t* sched_ctx_get() noexcept { return tl_sched_ctx; }
+MOCHI_NO_TSAN void sched_ctx_set(ucontext_t* c) noexcept { tl_sched_ctx = c; }
+#if MOCHI_TSAN_FIBERS
+// TSan fiber handle of the context a ULT must switch back to (the scheduler
+// frame that swapped it in). Mirrors tl_sched_ctx.
+thread_local void* tl_sched_fiber = nullptr;
+MOCHI_NO_TSAN void* sched_fiber_get() noexcept { return tl_sched_fiber; }
+MOCHI_NO_TSAN void sched_fiber_set(void* f) noexcept { tl_sched_fiber = f; }
+#endif
+
+// Announce to TSan that we are about to switch to the scheduler frame. Must
+// immediately precede every ULT -> scheduler swapcontext.
+inline void tsan_switch_to_sched() {
+#if MOCHI_TSAN_FIBERS
+    __tsan_switch_to_fiber(sched_fiber_get(), 0);
+#endif
+}
 
 // Trampoline entered on a fresh fiber stack. Reads the ULT via the
 // thread-local, which the scheduler sets immediately before swapping in.
 void ult_trampoline() {
-    Ult* self = tl_current_ult;
+    Ult* self = cur_ult_get();
     self->fn();
     self->fn = nullptr; // destroy captured state while the fiber is alive
     self->state.store(UltState::Terminated);
-    swapcontext(&self->ctx, tl_sched_ctx);
+    tsan_switch_to_sched();
+    swapcontext(&self->ctx, sched_ctx_get());
     // unreachable
 }
 
 } // namespace
 
-Ult* current_ult() noexcept { return tl_current_ult; }
+Ult* current_ult() noexcept { return cur_ult_get(); }
 
 void yield() {
-    Ult* self = tl_current_ult;
+    Ult* self = cur_ult_get();
     if (self == nullptr) {
         std::this_thread::yield();
         return;
     }
     self->state.store(UltState::Yielding);
-    swapcontext(&self->ctx, tl_sched_ctx);
+    tsan_switch_to_sched();
+    swapcontext(&self->ctx, sched_ctx_get());
 }
 
 void suspend_current() {
-    Ult* self = tl_current_ult;
+    Ult* self = cur_ult_get();
     assert(self != nullptr && "suspend_current outside ULT context");
     UltState expected = UltState::Running;
     if (!self->state.compare_exchange_strong(expected, UltState::Blocking)) {
@@ -50,7 +103,8 @@ void suspend_current() {
         self->state.store(UltState::Running);
         return;
     }
-    swapcontext(&self->ctx, tl_sched_ctx);
+    tsan_switch_to_sched();
+    swapcontext(&self->ctx, sched_ctx_get());
 }
 
 void resume(Ult* ult) {
@@ -160,64 +214,7 @@ void Xstream::scheduler_loop() {
     }
 }
 
-void Xstream::run_one(const UltPtr& ult) {
-    Ult* u = ult.get();
-    if (u->stack == nullptr) {
-        u->stack_size = Runtime::k_default_stack_size;
-        u->stack = m_runtime->acquire_stack(u->stack_size);
-        getcontext(&u->ctx);
-        u->ctx.uc_stack.ss_sp = u->stack;
-        u->ctx.uc_stack.ss_size = u->stack_size;
-        u->ctx.uc_link = nullptr;
-        makecontext(&u->ctx, ult_trampoline, 0);
-    }
-    ucontext_t sched_ctx;
-    tl_sched_ctx = &sched_ctx;
-    tl_current_ult = u;
-    u->state.store(UltState::Running);
-    swapcontext(&sched_ctx, &u->ctx);
-    tl_current_ult = nullptr;
-
-    switch (u->state.load()) {
-    case UltState::Terminated: {
-        m_runtime->release_stack(u->stack, u->stack_size);
-        u->stack = nullptr;
-        u->done.store(true);
-        if (u->on_terminate) {
-            auto fn = std::move(u->on_terminate);
-            u->on_terminate = nullptr;
-            fn();
-        }
-        break;
-    }
-    case UltState::Yielding:
-        u->state.store(UltState::Ready);
-        u->home_pool->push(ult);
-        break;
-    case UltState::Blocking: {
-        // Park a self-reference so the ULT survives while blocked, then
-        // publish the Blocked state. If resume() raced us, requeue.
-        u->self_keepalive = ult;
-        UltState expected = UltState::Blocking;
-        if (!u->state.compare_exchange_strong(expected, UltState::Blocked)) {
-            assert(expected == UltState::ResumeRequested);
-            u->self_keepalive.reset();
-            u->state.store(UltState::Ready);
-            u->home_pool->push(ult);
-        }
-        break;
-    }
-    case UltState::ResumeRequested:
-        // resume() arrived between the ULT's state store and our inspection;
-        // treat as a completed suspend/resume pair and requeue.
-        u->self_keepalive.reset();
-        u->state.store(UltState::Ready);
-        u->home_pool->push(ult);
-        break;
-    default:
-        assert(false && "unexpected ULT state after context switch");
-    }
-}
+void Xstream::run_one(const UltPtr& ult) { m_runtime->execute_ult(ult); }
 
 // ---------------------------------------------------------------------------
 // ThreadHandle
@@ -477,17 +474,167 @@ void Runtime::sleep_for(std::chrono::microseconds d) {
     ev.wait();
 }
 
+void Runtime::execute_ult(const UltPtr& ult) {
+    Ult* u = ult.get();
+    if (u->stack == nullptr) {
+        u->stack_size = Runtime::k_default_stack_size;
+        u->stack = acquire_stack(u->stack_size);
+        getcontext(&u->ctx);
+        u->ctx.uc_stack.ss_sp = u->stack;
+        u->ctx.uc_stack.ss_size = u->stack_size;
+        u->ctx.uc_link = nullptr;
+        makecontext(&u->ctx, ult_trampoline, 0);
+#if MOCHI_TSAN_FIBERS
+        u->tsan_fiber = __tsan_create_fiber(0);
+#endif
+    }
+    // Save and restore the scheduling thread-locals: execute_ult must be
+    // reentrant because finalize() drains pools inline, possibly from inside
+    // a ULT of another runtime (e.g. a handler tearing down a second margo
+    // instance).
+    Ult* prev_ult = cur_ult_get();
+    ucontext_t* prev_sched_ctx = sched_ctx_get();
+    ucontext_t sched_ctx;
+    sched_ctx_set(&sched_ctx);
+    cur_ult_set(u);
+    u->state.store(UltState::Running);
+#if MOCHI_TSAN_FIBERS
+    void* prev_sched_fiber = sched_fiber_get();
+    sched_fiber_set(__tsan_get_current_fiber());
+    __tsan_switch_to_fiber(u->tsan_fiber, 0);
+#endif
+    swapcontext(&sched_ctx, &u->ctx);
+#if MOCHI_TSAN_FIBERS
+    sched_fiber_set(prev_sched_fiber);
+#endif
+    cur_ult_set(prev_ult);
+    sched_ctx_set(prev_sched_ctx);
+
+    switch (u->state.load()) {
+    case UltState::Terminated: {
+#if MOCHI_TSAN_FIBERS
+        if (u->tsan_fiber) {
+            __tsan_destroy_fiber(u->tsan_fiber);
+            u->tsan_fiber = nullptr;
+        }
+#endif
+        release_stack(u->stack, u->stack_size);
+        u->stack = nullptr;
+        u->done.store(true);
+        if (u->on_terminate) {
+            auto fn = std::move(u->on_terminate);
+            u->on_terminate = nullptr;
+            fn();
+        }
+        break;
+    }
+    case UltState::Yielding:
+        u->state.store(UltState::Ready);
+        u->home_pool->push(ult);
+        break;
+    case UltState::Blocking: {
+        // Park a self-reference so the ULT survives while blocked, then
+        // publish the Blocked state. If resume() raced us, requeue.
+        u->self_keepalive = ult;
+        UltState expected = UltState::Blocking;
+        if (!u->state.compare_exchange_strong(expected, UltState::Blocked)) {
+            assert(expected == UltState::ResumeRequested);
+            u->self_keepalive.reset();
+            u->state.store(UltState::Ready);
+            u->home_pool->push(ult);
+        }
+        break;
+    }
+    case UltState::ResumeRequested:
+        // resume() arrived between the ULT's state store and our inspection;
+        // treat as a completed suspend/resume pair and requeue.
+        u->self_keepalive.reset();
+        u->state.store(UltState::Ready);
+        u->home_pool->push(ult);
+        break;
+    default:
+        assert(false && "unexpected ULT state after context switch");
+    }
+}
+
+std::size_t Runtime::drain_pools(const std::vector<std::shared_ptr<Pool>>& pools,
+                                 std::size_t budget) {
+    std::size_t executed = 0;
+    bool progress = true;
+    while (progress && executed < budget) {
+        progress = false;
+        for (const auto& p : pools) {
+            while (executed < budget) {
+                UltPtr ult = p->pop();
+                if (!ult) break;
+                execute_ult(ult);
+                ++executed;
+                progress = true;
+            }
+        }
+    }
+    return executed;
+}
+
 void Runtime::finalize() {
     std::vector<std::unique_ptr<Xstream>> xstreams;
+    std::vector<std::shared_ptr<Pool>> pools;
     {
         std::lock_guard lk{m_mutex};
         if (m_finalized) return;
         m_finalized = true;
         xstreams = std::move(m_xstreams);
         m_xstreams.clear();
+        pools = m_pools;
     }
     for (auto& x : xstreams) x->stop_and_join();
+    // The streams stopped mid-flight: pools may still hold ULTs that were
+    // posted but never ran, or that were resumed while the streams were
+    // shutting down. Dropping them would leave every ThreadHandle::join()
+    // (and any Eventual their on_terminate would set) hung forever — the
+    // teardown dead-end this drain exists to prevent. Run them inline on
+    // this thread instead, bounded so a ULT that endlessly reposts work
+    // cannot wedge finalize. The timer is still live during the first pass
+    // so drained ULTs may sleep/timeout normally.
+    constexpr std::size_t k_drain_budget = 100000;
+    std::size_t executed = drain_pools(pools, k_drain_budget);
     if (m_timer) m_timer->stop();
+    // Timer callbacks that fired during the first pass may have resumed more
+    // ULTs; sweep again now that no new wakeups can arrive.
+    if (executed < k_drain_budget)
+        executed += drain_pools(pools, k_drain_budget - executed);
+    // Backstop: anything still queued (budget exhausted) is aborted without
+    // running. Its join event still completes; objects alive on a partially
+    // executed fiber stack are leaked deliberately. on_terminate may resume
+    // further ULTs into any pool, hence the outer fixpoint loop.
+    bool aborted = true;
+    while (aborted) {
+        aborted = false;
+        for (const auto& p : pools) {
+            while (UltPtr ult = p->pop()) {
+                aborted = true;
+                Ult* u = ult.get();
+#if MOCHI_TSAN_FIBERS
+                if (u->tsan_fiber) {
+                    __tsan_destroy_fiber(u->tsan_fiber);
+                    u->tsan_fiber = nullptr;
+                }
+#endif
+                if (u->stack != nullptr) {
+                    release_stack(u->stack, u->stack_size);
+                    u->stack = nullptr;
+                }
+                u->fn = nullptr;
+                u->state.store(UltState::Terminated);
+                u->done.store(true);
+                if (u->on_terminate) {
+                    auto fn = std::move(u->on_terminate);
+                    u->on_terminate = nullptr;
+                    fn();
+                }
+            }
+        }
+    }
     std::lock_guard slk{m_stack_mutex};
     for (char* s : m_free_stacks) delete[] s;
     m_free_stacks.clear();

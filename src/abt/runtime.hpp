@@ -133,9 +133,17 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
     /// Sleep the calling ULT (or OS thread) for `d`.
     void sleep_for(std::chrono::microseconds d);
 
-    /// Stop all execution streams and the timer. Posted-but-unscheduled ULTs
-    /// are dropped. Idempotent.
+    /// Stop all execution streams and the timer, then *drain* any ULTs left
+    /// in the pools by running them inline on the calling thread (bounded),
+    /// so ThreadHandle::join() and on_terminate events always complete even
+    /// for work racing the teardown. ULTs that remain blocked forever are
+    /// leaked, never joined. Idempotent.
     void finalize();
+
+    // Internal: run one ULT to its next suspension point on the calling
+    // thread (the scheduler core, shared by Xstream and finalize's drain).
+    // Reentrant: saves/restores the scheduling thread-locals.
+    void execute_ult(const UltPtr& ult);
 
     // Internal: stack recycling for ULT fibers.
     char* acquire_stack(std::size_t size);
@@ -145,6 +153,10 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
 
   private:
     Runtime() = default;
+    /// Run queued ULTs inline until all `pools` are empty or `budget` ULT
+    /// slices have executed; returns the number of slices run.
+    std::size_t drain_pools(const std::vector<std::shared_ptr<Pool>>& pools,
+                            std::size_t budget);
     Status apply_config(const json::Value& config);
     Status add_xstream_locked(const json::Value& xstream_config);
     Expected<std::shared_ptr<Pool>> add_pool_locked(const json::Value& pool_config);

@@ -42,7 +42,7 @@ void Mutex::unlock() {
     detail::WaitNode* node = m_waiters.front();
     m_waiters.pop_front();
     lk.unlock();
-    detail::wake_node(node, m_cv);
+    detail::wake_node(node, m_cv, m_mutex);
 }
 
 // ---------------------------------------------------------------------------
@@ -114,7 +114,7 @@ void CondVar::signal_one() {
         node = m_waiters.front();
         m_waiters.pop_front();
     }
-    detail::wake_node(node, m_cv);
+    detail::wake_node(node, m_cv, m_mutex);
 }
 
 void CondVar::signal_all() {
@@ -124,7 +124,7 @@ void CondVar::signal_all() {
         waiters = std::move(m_waiters);
         m_waiters.clear();
     }
-    for (auto* node : waiters) detail::wake_node(node, m_cv);
+    for (auto* node : waiters) detail::wake_node(node, m_cv, m_mutex);
 }
 
 // ---------------------------------------------------------------------------

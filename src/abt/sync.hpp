@@ -15,6 +15,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace mochi::abt {
 
@@ -30,15 +31,51 @@ struct WaitNode {
 };
 
 /// Wake a single node: marks it signaled, then resumes the fiber or pokes
-/// the external-thread condvar. Call *without* holding the primitive lock.
-inline void wake_node(WaitNode* node, std::condition_variable& cv) {
+/// the external-thread condvar. Call *without* holding the primitive lock;
+/// `mtx` is the primitive's internal mutex (the one external waiters sleep
+/// on). For an external-thread waiter the signaled flag must be published
+/// while holding that mutex: the waiter holds it from predicate check to
+/// sleep, so a lock-free store could land in between and the notify would
+/// be lost — the waiter then sleeps forever on an already-true predicate.
+inline void wake_node(WaitNode* node, std::condition_variable& cv, std::mutex& mtx) {
     Ult* u = node->ult;
-    node->signaled.store(true, std::memory_order_release);
     if (u != nullptr) {
+        node->signaled.store(true, std::memory_order_release);
         resume(u);
     } else {
+        {
+            std::lock_guard lk{mtx};
+            node->signaled.store(true, std::memory_order_release);
+        }
         cv.notify_all();
     }
+}
+
+/// Wake every waiter of a one-shot primitive without touching the primitive
+/// after its lock drops. Call with the lock held and readiness already
+/// published under it. The moment the lock is released, any waiter that
+/// observed readiness may return and destroy the primitive (e.g. the
+/// stack-local Eventual in Runtime::sleep_for), so external-thread signaling
+/// and the condvar broadcast both happen under the lock. Suspended-fiber
+/// nodes live on stacks that stay parked until resumed, and resuming
+/// touches only the node and runtime structures — never the primitive — so
+/// fibers are woken after the unlock, where resume() is safe to run.
+inline void wake_all_and_release(std::unique_lock<std::mutex> lk, std::condition_variable& cv,
+                                 std::deque<WaitNode*> waiters) {
+    // Partition under the lock: an external-thread waiter may wake (via the
+    // notify below) and destroy its stack-resident node the moment the lock
+    // drops, so no node may be dereferenced after unlock. Fiber waiters stay
+    // parked until resume() runs, so their Ult pointers remain valid.
+    std::vector<Ult*> fibers;
+    for (auto* node : waiters) {
+        node->signaled.store(true, std::memory_order_release);
+        if (node->ult != nullptr) fibers.push_back(node->ult);
+    }
+    // External-thread wait_for() blocks on the cv with a readiness predicate
+    // without enqueuing a node, so always notify.
+    cv.notify_all();
+    lk.unlock();
+    for (Ult* u : fibers) resume(u);
 }
 
 } // namespace detail
@@ -78,11 +115,7 @@ class Eventual {
         m_ready = true;
         auto waiters = std::move(m_waiters);
         m_waiters.clear();
-        lk.unlock();
-        // External-thread wait_for() blocks on m_cv with an m_ready predicate
-        // without enqueuing a node, so always notify.
-        m_cv.notify_all();
-        for (auto* node : waiters) detail::wake_node(node, m_cv);
+        detail::wake_all_and_release(std::move(lk), m_cv, std::move(waiters));
     }
 
     void wait_impl() {
@@ -143,9 +176,7 @@ class Eventual<void> {
         m_ready = true;
         auto waiters = std::move(m_waiters);
         m_waiters.clear();
-        lk.unlock();
-        m_cv.notify_all(); // see Eventual<T>::complete
-        for (auto* node : waiters) detail::wake_node(node, m_cv);
+        detail::wake_all_and_release(std::move(lk), m_cv, std::move(waiters));
     }
 
     [[nodiscard]] bool test() const {

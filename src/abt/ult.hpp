@@ -51,6 +51,10 @@ struct Ult {
     /// (Listing 1's fine-grain analysis) even when the ULT migrates between
     /// execution streams (a thread_local would break then).
     void* user_context = nullptr;
+    /// ThreadSanitizer fiber handle (TSan cannot follow raw ucontext
+    /// switches; every swapcontext must be bracketed by
+    /// __tsan_switch_to_fiber). Unused outside TSan builds.
+    void* tsan_fiber = nullptr;
 
     Ult() = default;
     Ult(const Ult&) = delete;

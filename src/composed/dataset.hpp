@@ -45,6 +45,8 @@ class DatasetProvider : public margo::Provider {
                     yokan::Database meta, warabi::TargetHandle data,
                     std::optional<poesie::InterpreterHandle> script = std::nullopt,
                     std::shared_ptr<abt::Pool> pool = nullptr);
+    /// Quiesce handlers before the backing handles are destroyed.
+    ~DatasetProvider() override { deregister_all(); }
 
     [[nodiscard]] json::Value get_config() const override;
 

@@ -1,6 +1,8 @@
 #include "margo/instance.hpp"
 #include "common/logging.hpp"
 
+#include <thread>
+
 namespace mochi::margo {
 
 namespace {
@@ -107,37 +109,32 @@ void Instance::shutdown() {
     // Wake the progress loop and wait for it to drain.
     m_queue_cv.signal_all();
     m_progress_done.wait();
-    // Fail all pending calls.
+    // Close the pending-call registry and cancel everything registered so
+    // far. Bumping the generation under the lock makes the race with
+    // forward() deterministic: a forward that registered before this sweep
+    // is cancelled right here; one arriving after sees the closed registry
+    // and fails fast without ever blocking.
     std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending;
     {
         std::lock_guard lk{m_pending_mutex};
+        ++m_pending_generation;
         pending = std::move(m_pending);
         m_pending.clear();
     }
     for (auto& [seq, call] : pending) {
+        call->cancelled.store(true);
         mercury::Message m;
         m.status = static_cast<std::int32_t>(Error::Code::Canceled) + 1;
         m.payload = "instance shut down";
         call->response.set_value(std::move(m));
     }
-    // Let canceled forwards observe their failure before the execution
-    // streams are stopped (bounded wait; leaked forwards would otherwise
-    // never resume once finalize() drops their ULTs). Re-sweep the pending
-    // map each iteration: a forward racing shutdown may register after the
-    // first sweep.
-    for (int i = 0; i < 2000 && m_active_forwards.load() > 0; ++i) {
-        {
-            std::lock_guard lk{m_pending_mutex};
-            for (auto& [seq, call] : m_pending) {
-                mercury::Message m;
-                m.status = static_cast<std::int32_t>(Error::Code::Canceled) + 1;
-                m.payload = "instance shut down";
-                call->response.set_value(std::move(m));
-            }
-            m_pending.clear();
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
+    // Condition-based drain: the last in-flight forward signals on its way
+    // out (its guard observes m_stopping). If a forward's decrement to zero
+    // predates the m_stopping store in the seq_cst order, its guard may skip
+    // the signal — but then the load below is ordered after that decrement
+    // and reads zero, so exactly one side always sets the eventual.
+    if (m_active_forwards.load() == 0) m_forwards_drained.set();
+    m_forwards_drained.wait();
     m_endpoint->detach();
     m_runtime->finalize();
     // "The default implementation of this monitoring system captures
@@ -161,33 +158,86 @@ Expected<std::uint64_t> Instance::register_rpc(std::string name, std::uint16_t p
     std::uint64_t id = rpc_name_to_id(name);
     std::lock_guard lk{m_rpc_mutex};
     auto key = std::make_pair(id, provider_id);
-    if (m_rpcs.count(key))
+    if (auto it = m_rpcs.find(key); it != m_rpcs.end()) {
+        // Distinguish a true duplicate from a 32-bit hash collision between
+        // different names: the latter would silently alias two RPCs.
+        if (it->second.name != name)
+            return Error{Error::Code::Conflict,
+                         "RPC id collision: '" + name + "' and '" + it->second.name +
+                             "' hash to the same 32-bit id " + std::to_string(id) +
+                             " (provider " + std::to_string(provider_id) + ")"};
         return Error{Error::Code::AlreadyExists,
                      "RPC '" + name + "' already registered for provider " +
                          std::to_string(provider_id)};
+    }
     m_rpcs[key] = RpcEntry{std::move(name), std::move(handler),
                            pool ? std::move(pool) : m_handler_pool};
     return id;
 }
 
+namespace {
+/// Wait until no handler ULT for an erased registration is still running.
+/// ULT-aware: abt::yield() lets sibling ULTs proceed when called from one,
+/// and degrades to a thread yield (plus a short sleep so a single-core host
+/// is not starved) elsewhere. Handlers finish on their own and the erased
+/// map entry guarantees no new invocation starts, but a handler stuck on a
+/// long forward timeout stalls this wait for the full duration — returning
+/// early would let the caller destroy state the handler still uses, so the
+/// wait stays unbounded and instead logs its progress once per second.
+void drain_handlers(const std::shared_ptr<std::atomic<int>>& inflight) {
+    auto next_warn = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    int waited_s = 0;
+    while (inflight->load(std::memory_order_acquire) != 0) {
+        abt::yield();
+        if (!abt::current_ult())
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        if (std::chrono::steady_clock::now() >= next_warn) {
+            ++waited_s;
+            log::warn("margo",
+                      "deregister: still waiting on %d in-flight handler(s) after %d s",
+                      inflight->load(std::memory_order_relaxed), waited_s);
+            next_warn += std::chrono::seconds(1);
+        }
+    }
+}
+} // namespace
+
 Status Instance::deregister_rpc(std::string_view name, std::uint16_t provider_id) {
-    std::lock_guard lk{m_rpc_mutex};
-    auto key = std::make_pair(rpc_name_to_id(name), provider_id);
-    if (m_rpcs.erase(key) == 0)
-        return Error{Error::Code::NotFound,
-                     "RPC '" + std::string(name) + "' not registered for provider " +
-                         std::to_string(provider_id)};
+    std::shared_ptr<std::atomic<int>> inflight;
+    {
+        std::lock_guard lk{m_rpc_mutex};
+        auto key = std::make_pair(rpc_name_to_id(name), provider_id);
+        auto it = m_rpcs.find(key);
+        if (it == m_rpcs.end())
+            return Error{Error::Code::NotFound,
+                         "RPC '" + std::string(name) + "' not registered for provider " +
+                             std::to_string(provider_id)};
+        if (it->second.name != name)
+            return Error{Error::Code::Conflict,
+                         "deregister_rpc('" + std::string(name) + "') would remove '" +
+                             it->second.name + "': the names collide on 32-bit id " +
+                             std::to_string(key.first)};
+        inflight = std::move(it->second.inflight);
+        m_rpcs.erase(it);
+    }
+    drain_handlers(inflight);
     return {};
 }
 
 void Instance::deregister_provider(std::uint16_t provider_id) {
-    std::lock_guard lk{m_rpc_mutex};
-    for (auto it = m_rpcs.begin(); it != m_rpcs.end();) {
-        if (it->first.second == provider_id)
-            it = m_rpcs.erase(it);
-        else
-            ++it;
+    std::vector<std::shared_ptr<std::atomic<int>>> inflight;
+    {
+        std::lock_guard lk{m_rpc_mutex};
+        for (auto it = m_rpcs.begin(); it != m_rpcs.end();) {
+            if (it->first.second == provider_id) {
+                inflight.push_back(std::move(it->second.inflight));
+                it = m_rpcs.erase(it);
+            } else {
+                ++it;
+            }
+        }
     }
+    for (const auto& c : inflight) drain_handlers(c);
 }
 
 // ---------------------------------------------------------------------------
@@ -200,16 +250,22 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
         return Error{Error::Code::InvalidState, "instance is shutting down"};
     // Track in-progress forwards so shutdown() can drain them after failing
     // their pending calls (their ULTs must run to completion before the
-    // execution streams are stopped).
+    // execution streams are stopped). The guard doubles as the drain signal:
+    // the last forward out the door wakes shutdown() instead of shutdown()
+    // polling the counter.
     struct ForwardGuard {
-        std::atomic<std::size_t>& counter;
-        ~ForwardGuard() { counter.fetch_sub(1); }
+        Instance* inst;
+        ~ForwardGuard() {
+            if (inst->m_active_forwards.fetch_sub(1) == 1 && inst->m_stopping.load())
+                inst->m_forwards_drained.set();
+        }
     };
     m_active_forwards.fetch_add(1);
-    ForwardGuard guard{m_active_forwards};
+    ForwardGuard guard{this};
     mercury::Message msg;
     msg.kind = mercury::Message::Kind::Request;
     msg.rpc_id = rpc_name_to_id(rpc_name);
+    msg.rpc_name = std::string(rpc_name);
     msg.provider_id = options.provider_id;
     msg.seq = m_next_seq.fetch_add(1);
     msg.payload = std::move(payload);
@@ -233,8 +289,16 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
     mctx.payload_size = msg.payload.size();
 
     auto call = std::make_shared<PendingCall>();
+    std::uint64_t generation;
     {
         std::lock_guard lk{m_pending_mutex};
+        if (m_pending_generation != 0) {
+            // shutdown() already swept the registry; registering now would
+            // park this call forever since nobody will cancel it again.
+            return Error{Error::Code::Canceled,
+                         "RPC '" + std::string(rpc_name) + "' canceled: instance shut down"};
+        }
+        generation = m_pending_generation;
         m_pending[msg.seq] = call;
     }
     std::uint64_t seq = msg.seq;
@@ -243,7 +307,10 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
 
     auto cleanup = [&] {
         std::lock_guard lk{m_pending_mutex};
-        m_pending.erase(seq);
+        // If the generation moved, shutdown's sweep already emptied the map
+        // (and a different call could in principle reuse the slot); only the
+        // registering generation may erase.
+        if (m_pending_generation == generation) m_pending.erase(seq);
     };
 
     if (auto st = m_endpoint->send(address, std::move(msg)); !st.ok()) {
@@ -259,6 +326,9 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
     mctx.duration_us = now_us() - t0;
     if (!response) {
         emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
+        if (call->cancelled.load())
+            return Error{Error::Code::Canceled,
+                         "RPC '" + std::string(rpc_name) + "' canceled: instance shut down"};
         return Error{Error::Code::Timeout,
                      "RPC '" + std::string(rpc_name) + "' to " + address + " timed out"};
     }
@@ -311,7 +381,23 @@ void Instance::dispatch_request(mercury::Message msg) {
                                         ", provider " + std::to_string(req.provider_id()) + ")"});
             return;
         }
+        if (!msg.rpc_name.empty() && msg.rpc_name != it->second.name) {
+            // Hash collision across processes: the caller's name maps to the
+            // same 32-bit id as a different RPC registered here. Running the
+            // wrong handler would silently corrupt both protocols.
+            std::string local_name = it->second.name;
+            Request req{this, std::move(msg)};
+            req.respond_error(Error{Error::Code::Conflict,
+                                    "RPC id " + std::to_string(req.rpc_id()) +
+                                        " names '" + local_name + "' here but '" +
+                                        req.rpc_name() + "' at the caller (hash collision)"});
+            return;
+        }
         entry = it->second; // copy: registration may change concurrently
+        // Claimed under m_rpc_mutex, so a concurrent deregister either sees
+        // this invocation and drains it, or already erased the entry and we
+        // would not be here.
+        entry.inflight->fetch_add(1, std::memory_order_relaxed);
     }
 
     CallContext mctx;
@@ -328,8 +414,19 @@ void Instance::dispatch_request(mercury::Message msg) {
 
     auto self = shared_from_this();
     auto pool = entry.pool; // keep alive: `entry` is moved into the lambda
-    m_runtime->post(pool, [self, entry = std::move(entry), msg = std::move(msg), mctx,
-                           t_received]() mutable {
+    // Both counters are released by this token's deleter, not at the end of
+    // the lambda body: Runtime::finalize()'s abort backstop destroys queued
+    // ULTs without ever running them (fn = nullptr), and only a destructor
+    // fires on that path. Tying the decrement to the capture's lifetime
+    // keeps drain_handlers() from spinning forever on a dispatch that was
+    // discarded un-run.
+    auto dispatched = std::shared_ptr<void>(
+        nullptr, [self, counter = entry.inflight](void*) {
+            self->m_in_flight.fetch_sub(1);
+            counter->fetch_sub(1, std::memory_order_release);
+        });
+    m_runtime->post(pool, [self, dispatched, entry = std::move(entry), msg = std::move(msg),
+                           mctx, t_received]() mutable {
         double t_start = self->now_us();
         mctx.queue_delay_us = t_start - t_received;
         self->emit([&](Monitor& m) { m.on_handler_start(mctx); });
@@ -342,7 +439,6 @@ void Instance::dispatch_request(mercury::Message msg) {
         ult->user_context = saved;
         mctx.duration_us = self->now_us() - t_start;
         self->emit([&](Monitor& m) { m.on_handler_complete(mctx); });
-        self->m_in_flight.fetch_sub(1);
     });
 }
 

@@ -42,6 +42,7 @@ class Request {
   public:
     [[nodiscard]] const std::string& source() const noexcept { return m_msg.source; }
     [[nodiscard]] const std::string& payload() const noexcept { return m_msg.payload; }
+    [[nodiscard]] const std::string& rpc_name() const noexcept { return m_msg.rpc_name; }
     [[nodiscard]] std::uint64_t rpc_id() const noexcept { return m_msg.rpc_id; }
     [[nodiscard]] std::uint16_t provider_id() const noexcept { return m_msg.provider_id; }
 
@@ -101,8 +102,12 @@ class Instance : public std::enable_shared_from_this<Instance> {
     Expected<std::uint64_t> register_rpc(std::string name, std::uint16_t provider_id,
                                          Handler handler,
                                          std::shared_ptr<abt::Pool> pool = nullptr);
+    /// Remove the registration and wait until no handler invocation for it
+    /// is still running, so the caller may destroy whatever the handler
+    /// captured. Must not be called from inside the handler being removed.
     Status deregister_rpc(std::string_view name, std::uint16_t provider_id);
     /// Remove every RPC of a provider (used when a provider shuts down).
+    /// Drains in-flight handlers like deregister_rpc().
     void deregister_provider(std::uint16_t provider_id);
 
     // -- RPC invocation ------------------------------------------------------
@@ -181,9 +186,18 @@ class Instance : public std::enable_shared_from_this<Instance> {
         std::string name;
         Handler handler;
         std::shared_ptr<abt::Pool> pool;
+        /// Number of handler ULTs currently executing for this registration.
+        /// Incremented under m_rpc_mutex at dispatch, decremented when the
+        /// handler returns; deregister_rpc() waits for it to reach zero so
+        /// the owner of the handler's captures can be destroyed safely.
+        std::shared_ptr<std::atomic<int>> inflight = std::make_shared<std::atomic<int>>(0);
     };
     struct PendingCall {
         abt::Eventual<mercury::Message> response;
+        /// Set by shutdown() before completing the eventual, so a forward
+        /// whose wait_for() raced the cancellation (the timeout fired while
+        /// set_value was in flight) still reports Canceled, not Timeout.
+        std::atomic<bool> cancelled{false};
     };
     /// Per-handler-ULT context so nested forwards inherit parent ids.
     struct UltRpcContext {
@@ -222,8 +236,19 @@ class Instance : public std::enable_shared_from_this<Instance> {
 
     std::mutex m_pending_mutex;
     std::map<std::uint64_t, std::shared_ptr<PendingCall>> m_pending;
+    /// Guarded by m_pending_mutex. Bumped exactly once, when shutdown()
+    /// closes the registry and sweeps it; a forward that captured an older
+    /// generation knows its entry was already claimed by that sweep, and a
+    /// forward arriving afterwards fails fast instead of registering a call
+    /// nobody would ever cancel.
+    std::uint64_t m_pending_generation = 0;
     std::atomic<std::uint64_t> m_next_seq{1};
     std::atomic<std::size_t> m_active_forwards{0};
+    /// Condition-based shutdown drain: set by the last in-flight forward to
+    /// exit once m_stopping is visible (or by shutdown() itself when none
+    /// are active). One-shot is sufficient: after m_stopping no new forward
+    /// can get past the closed registry and block.
+    abt::Eventual<void> m_forwards_drained;
 
     std::atomic<std::size_t> m_in_flight{0};
     std::atomic<bool> m_monitoring_enabled{true};

@@ -19,9 +19,7 @@ namespace mochi::margo {
 /// process (Figure 1: "uniquely identified by a provider ID").
 class Provider {
   public:
-    virtual ~Provider() {
-        for (const auto& name : m_rpc_names) m_instance->deregister_rpc(name, m_provider_id);
-    }
+    virtual ~Provider() { deregister_all(); }
     Provider(const Provider&) = delete;
     Provider& operator=(const Provider&) = delete;
 
@@ -37,6 +35,17 @@ class Provider {
              std::shared_ptr<abt::Pool> pool = nullptr)
     : m_instance(std::move(instance)), m_provider_id(provider_id), m_type(std::move(type)),
       m_pool(std::move(pool)) {}
+
+    /// Deregister every RPC this provider defined and wait until no handler
+    /// invocation is still running (deregister_rpc drains in-flight ULTs).
+    /// Idempotent. Derived providers whose handlers capture `this` MUST call
+    /// this first thing in their destructor: derived members are destroyed
+    /// before the base destructor below runs, so relying on the base to
+    /// deregister leaves a window where a live handler touches dead members.
+    void deregister_all() {
+        for (const auto& name : m_rpc_names) m_instance->deregister_rpc(name, m_provider_id);
+        m_rpc_names.clear();
+    }
 
     /// Register an RPC "<type>/<op>" handled by `handler` on this
     /// provider's pool.

@@ -20,7 +20,13 @@ Endpoint::~Endpoint() { detach(); }
 
 void Endpoint::detach() {
     bool was = m_attached.exchange(false);
-    if (was) m_fabric->do_detach(m_address);
+    if (was) {
+        m_fabric->do_detach(m_address);
+        // Quiesce: deliveries hold m_deliver_mutex shared while invoking the
+        // handler, so acquiring it exclusively waits out any invocation that
+        // passed the m_attached check before the exchange above.
+        std::unique_lock lk{m_deliver_mutex};
+    }
 }
 
 Status Endpoint::send(const std::string& dst, Message msg) {
@@ -154,9 +160,19 @@ double Fabric::reserve_link_us(const std::string& src, const std::string& dst,
     return completion - now;
 }
 
+double Fabric::enforce_link_fifo(const std::string& src, const std::string& dst,
+                                 double delay_us) {
+    double now = now_us();
+    double& last = m_link_last_delivery_us[{src, dst}];
+    double delivery = std::max(now + delay_us, last);
+    last = delivery;
+    return delivery - now;
+}
+
 Status Fabric::send_from(const std::string& src, const std::string& dst, Message msg) {
     std::shared_ptr<Endpoint> target;
     double delay_us = 0;
+    double dup_delay_us = -1.0; ///< >= 0: deliver a duplicate copy after this
     {
         std::lock_guard lk{m_mutex};
         auto it = m_endpoints.find(dst);
@@ -165,23 +181,36 @@ Status Fabric::send_from(const std::string& src, const std::string& dst, Message
         if (link_blocked(src, dst))
             return {}; // partition: silent drop (sender sees a timeout)
         LinkModel model = link_model(src, dst);
-        if (model.loss_probability > 0.0) {
-            std::uniform_real_distribution<double> dist{0.0, 1.0};
-            if (dist(m_rng) < model.loss_probability) return {};
-        }
+        std::uniform_real_distribution<double> dist{0.0, 1.0};
+        if (model.loss_probability > 0.0 && dist(m_rng) < model.loss_probability) return {};
         delay_us = reserve_link_us(src, dst, msg.payload.size());
+        if (model.jitter_us > 0.0) delay_us += dist(m_rng) * model.jitter_us;
+        delay_us = enforce_link_fifo(src, dst, delay_us);
+        if (model.duplicate_probability > 0.0 && dist(m_rng) < model.duplicate_probability) {
+            // The duplicate occupies the link like a real retransmission and
+            // gets its own jitter, so it arrives after the original (per-link
+            // FIFO still holds; the redundant copy may land mid-handling).
+            dup_delay_us = reserve_link_us(src, dst, msg.payload.size());
+            if (model.jitter_us > 0.0) dup_delay_us += dist(m_rng) * model.jitter_us;
+            dup_delay_us = enforce_link_fifo(src, dst, dup_delay_us);
+        }
     }
-    auto deliver = [this, target = std::move(target), msg = std::move(msg)]() mutable {
-        if (!target->m_attached.load()) return; // crashed meanwhile
-        m_delivered.fetch_add(1, std::memory_order_relaxed);
-        target->m_handler(std::move(msg));
+    auto dispatch = [this](std::shared_ptr<Endpoint> ep, Message m, double after_us) {
+        auto deliver = [this, ep = std::move(ep), m = std::move(m)]() mutable {
+            std::shared_lock lk{ep->m_deliver_mutex};
+            if (!ep->m_attached.load()) return; // crashed meanwhile
+            m_delivered.fetch_add(1, std::memory_order_relaxed);
+            ep->m_handler(std::move(m));
+        };
+        if (after_us < 1.0) {
+            deliver();
+        } else {
+            m_timer.schedule(std::chrono::microseconds(static_cast<std::int64_t>(after_us)),
+                             std::move(deliver));
+        }
     };
-    if (delay_us < 1.0) {
-        deliver();
-    } else {
-        m_timer.schedule(std::chrono::microseconds(static_cast<std::int64_t>(delay_us)),
-                         std::move(deliver));
-    }
+    if (dup_delay_us >= 0.0) dispatch(target, msg, dup_delay_us);
+    dispatch(std::move(target), std::move(msg), delay_us);
     return {};
 }
 

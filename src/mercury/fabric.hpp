@@ -18,6 +18,7 @@
 #include <mutex>
 #include <random>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,8 @@ struct Message {
     Kind kind = Kind::Request;
     std::uint64_t rpc_id = 0;
     std::uint16_t provider_id = 0;
+    std::string rpc_name;             ///< full RPC name; guards against rpc_id
+                                      ///< (32-bit hash) collisions at dispatch
     std::uint64_t seq = 0;            ///< correlation id (request <-> response)
     std::string source;               ///< sender address
     std::string payload;
@@ -41,11 +44,16 @@ struct Message {
     std::int32_t status = 0;
 };
 
-/// Cost model of one directional link.
+/// Cost model of one directional link, including fault-injection knobs for
+/// the lifecycle stress scenarios (drops, delay jitter, duplication).
 struct LinkModel {
     double latency_us = 0.0;            ///< propagation + per-message overhead
     double bandwidth_bytes_per_us = 0.0; ///< 0 => infinite
     double loss_probability = 0.0;       ///< silent drops
+    double duplicate_probability = 0.0;  ///< deliver a second, delayed copy
+    double jitter_us = 0.0;              ///< uniform [0, jitter_us) extra delay;
+                                         ///< deliveries are clamped so jitter
+                                         ///< never reorders a link's messages
 
     [[nodiscard]] double transfer_us(std::size_t bytes) const noexcept {
         if (bandwidth_bytes_per_us <= 0.0) return 0.0;
@@ -113,6 +121,12 @@ class Endpoint {
     std::shared_ptr<Fabric> m_fabric;
     std::string m_address;
     MessageHandler m_handler;
+    /// Held shared around every handler invocation; detach() takes it
+    /// exclusively after flipping m_attached, so once detach() returns no
+    /// delivery is running and none will start. Without this, a
+    /// timer-scheduled delivery could race the m_attached check and call
+    /// into a handler whose owner is already being destroyed.
+    std::shared_mutex m_deliver_mutex;
     std::mutex m_regions_mutex;
     std::map<std::uint64_t, BulkRegion> m_regions;
     std::atomic<std::uint64_t> m_next_region_id{1};
@@ -164,6 +178,13 @@ class Fabric : public std::enable_shared_from_this<Fabric> {
     /// advance the link's busy horizon (serializes transfers per link).
     [[nodiscard]] double reserve_link_us(const std::string& src, const std::string& dst,
                                          std::size_t bytes);
+    /// Clamp a computed delivery delay so it lands at or after the last
+    /// delivery scheduled on the same directional link. Jitter (and mid-run
+    /// model changes) must not break per-link FIFO ordering — the rest of
+    /// the stack, and FabricModel.MessagesDeliveredInOrderPerLink, rely on
+    /// it. Caller must hold m_mutex.
+    [[nodiscard]] double enforce_link_fifo(const std::string& src, const std::string& dst,
+                                           double delay_us);
     [[nodiscard]] bool link_blocked(const std::string& src, const std::string& dst) const;
     [[nodiscard]] LinkModel link_model(const std::string& src, const std::string& dst) const;
 
@@ -173,6 +194,7 @@ class Fabric : public std::enable_shared_from_this<Fabric> {
     std::set<std::pair<std::string, std::string>> m_cuts; ///< directional
     std::map<std::pair<std::string, std::string>, LinkModel> m_links;
     std::map<std::pair<std::string, std::string>, double> m_link_busy_until_us;
+    std::map<std::pair<std::string, std::string>, double> m_link_last_delivery_us;
     std::mt19937_64 m_rng;
     std::atomic<std::uint64_t> m_delivered{0};
     abt::Timer m_timer; ///< delayed message delivery

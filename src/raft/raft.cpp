@@ -76,7 +76,12 @@ std::shared_ptr<Provider> Provider::create(margo::InstancePtr instance,
     return p;
 }
 
-Provider::~Provider() { stop(); }
+Provider::~Provider() {
+    stop();
+    // Quiesce in-flight RPC handlers before members (log, timers, state
+    // machine pointer) are destroyed.
+    deregister_all();
+}
 
 void Provider::stop() { m_stopped.store(true); }
 

@@ -184,6 +184,10 @@ Expected<MigrationStats> migrate_chunks(const margo::InstancePtr& instance,
             if (!chunks[i].empty() && chunks[i].front().offset != 0) {
                 // Wait for the previous chunk (same file's earlier piece).
                 while (i > 0 && !done[i - 1].load() && !failed.load()) abt::yield();
+                // A failure may be what ended the wait: shipping chunk i now
+                // would append a continuation out of order onto a file whose
+                // earlier piece never landed.
+                if (i > 0 && !done[i - 1].load()) return;
             }
             auto r = instance->call<bool>(dest, "remi/write_chunk", fopts, chunks[i]);
             if (!r) {

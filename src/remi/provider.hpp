@@ -48,6 +48,8 @@ class Provider : public margo::Provider {
   public:
     Provider(margo::InstancePtr instance, std::uint16_t provider_id,
              std::shared_ptr<abt::Pool> pool = nullptr);
+    /// Quiesce handlers before the file store reference is destroyed.
+    ~Provider() override { deregister_all(); }
 
     [[nodiscard]] json::Value get_config() const override;
 

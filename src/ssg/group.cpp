@@ -6,6 +6,12 @@
 namespace mochi::ssg {
 
 std::uint64_t GroupView::digest() const noexcept {
+    // Deliberately hashes the member list only, not the version: the version
+    // is a per-process change counter, and two members that witnessed a
+    // different number of intermediate transitions (e.g. one saw a false
+    // death + rejoin, the other saw nothing) must still agree on the digest
+    // once their member lists converge — that agreement is what the
+    // Colza-style staleness check needs.
     std::uint64_t h = 1469598103934665603ULL;
     auto mix = [&](std::string_view s) {
         for (unsigned char c : s) {
@@ -16,7 +22,6 @@ std::uint64_t GroupView::digest() const noexcept {
         h *= 1099511628211ULL;
     };
     for (const auto& m : members) mix(m);
-    h ^= version;
     return h;
 }
 
@@ -103,6 +108,11 @@ void Group::leave() {
         inc = ++m_self_incarnation;
         for (const auto& [addr, info] : m_members)
             if (addr != self() && info.state == MemberState::Alive) peers.push_back(addr);
+        // Random recipients, not the first 3 in map (i.e. address-sort)
+        // order: with many groups the same low-sorting members would absorb
+        // every departure announcement, and members sorting last would only
+        // learn of departures second-hand through gossip convergence.
+        std::shuffle(peers.begin(), peers.end(), m_rng);
     }
     margo::ForwardOptions opts;
     opts.provider_id = m_provider_id;
@@ -125,6 +135,11 @@ void Group::leave() {
 GroupView Group::view() const {
     std::lock_guard lk{m_mutex};
     return view_locked();
+}
+
+std::uint64_t Group::periods() const {
+    std::lock_guard lk{m_mutex};
+    return m_period_counter;
 }
 
 GroupView Group::view_locked() const {
@@ -181,8 +196,9 @@ void Group::register_rpcs() {
                     return;
                 }
                 for (const auto& u : gossip) g.apply_update(u);
-                // Ack carries our own gossip back.
-                auto mine = g.collect_gossip();
+                // Ack carries our own gossip back, plus the sender's own
+                // status if we (wrongly) hold it Dead/Left so it can refute.
+                auto mine = g.collect_gossip_for(sender);
                 req.respond(mercury::pack(mine));
             });
         });
@@ -211,8 +227,9 @@ void Group::register_rpcs() {
                 }
                 for (const auto& u : gossip) g.apply_update(u);
                 // Reply with our own gossip: a suspected member's refutation
-                // (Alive, incarnation+1) returns on this fast path.
-                req.respond(mercury::pack(g.collect_gossip()));
+                // (Alive, incarnation+1) returns on this fast path. Include
+                // the sender's own status if we hold it Dead/Left.
+                req.respond(mercury::pack(g.collect_gossip_for(sender)));
             });
         });
 
@@ -418,6 +435,21 @@ bool Group::apply_update(const Update& u) {
                     changed = info.state != MemberState::Alive;
                     info.state = MemberState::Alive;
                     info.incarnation = u.incarnation;
+                } else if (u.incarnation > info.incarnation &&
+                           (info.state == MemberState::Dead ||
+                            info.state == MemberState::Left)) {
+                    // Rejoin: a member we declared dead (possibly falsely)
+                    // refuted with a strictly higher incarnation. Dead/Left
+                    // is no longer a terminal state — readmit it so a SWIM
+                    // false positive heals instead of permanently splitting
+                    // the views.
+                    info.state = MemberState::Alive;
+                    info.incarnation = u.incarnation;
+                    info.suspect_since_period = 0;
+                    ++m_version;
+                    notify = true;
+                    event = MembershipEvent::Joined;
+                    changed = true;
                 }
                 break;
             case MemberState::Suspect:
@@ -430,7 +462,14 @@ bool Group::apply_update(const Update& u) {
                 break;
             case MemberState::Dead:
             case MemberState::Left:
-                if (info.state != MemberState::Dead && info.state != MemberState::Left) {
+                // The incarnation guard is what makes rejoin converge: once a
+                // falsely-accused member refuted with incarnation I+1 and we
+                // readmitted it, a stale Dead{I} still circulating in gossip
+                // (or a suspicion timer that expired after the refutation)
+                // must not re-kill it — otherwise the views oscillate
+                // dead/alive once per period and never agree.
+                if (info.state != MemberState::Dead && info.state != MemberState::Left &&
+                    u.incarnation >= info.incarnation) {
                     info.state = state;
                     info.incarnation = std::max(info.incarnation, u.incarnation);
                     ++m_version;
@@ -467,6 +506,22 @@ std::vector<Group::Update> Group::collect_gossip() {
             ++it;
         if (out.size() >= 16) break; // bounded piggyback size
     }
+    return out;
+}
+
+std::vector<Group::Update> Group::collect_gossip_for(const std::string& peer) {
+    auto out = collect_gossip();
+    // If we believe the peer talking to us is Dead/Left, it evidently is not:
+    // tell it what we think, so it can refute with a higher incarnation and
+    // trigger the rejoin path on every member still holding the stale state.
+    // Without this, a falsely-declared-dead member whose death gossip has
+    // exhausted its transmission budget never learns it was written off.
+    std::lock_guard lk{m_mutex};
+    auto it = m_members.find(peer);
+    if (it != m_members.end() &&
+        (it->second.state == MemberState::Dead || it->second.state == MemberState::Left))
+        out.push_back(Update{peer, static_cast<std::uint8_t>(it->second.state),
+                             it->second.incarnation});
     return out;
 }
 

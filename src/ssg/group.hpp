@@ -30,8 +30,9 @@ struct GroupView {
     std::vector<std::string> members; ///< sorted addresses (alive + suspected)
     std::uint64_t version = 0;        ///< bumps on every membership change
 
-    /// Stable digest of (members, version); what Colza-style clients attach
-    /// to their RPCs.
+    /// Stable digest of the member list; what Colza-style clients attach to
+    /// their RPCs. Version-independent so members whose views converged
+    /// agree on it regardless of how many transitions each one witnessed.
     [[nodiscard]] std::uint64_t digest() const noexcept;
 };
 
@@ -76,6 +77,9 @@ class Group : public std::enable_shared_from_this<Group> {
     /// Current view (alive + suspected members), eventually consistent.
     [[nodiscard]] GroupView view() const;
     [[nodiscard]] std::uint64_t view_digest() const { return view().digest(); }
+    /// Number of completed SWIM protocol periods — a liveness diagnostic:
+    /// a frozen counter means the protocol loop stopped rescheduling.
+    [[nodiscard]] std::uint64_t periods() const;
 
     /// Register a callback fired on membership changes (fault notification
     /// mechanism of §7 Obs. 12). Called from SSG ULTs; must not block long.
@@ -123,6 +127,11 @@ class Group : public std::enable_shared_from_this<Group> {
     bool apply_update(const Update& u);
     /// Updates to piggyback (consumes transmission budget).
     std::vector<Update> collect_gossip();
+    /// collect_gossip() plus, when we hold `peer` Dead/Left, an entry with
+    /// that status — the peer is evidently alive and must get a chance to
+    /// refute (and thereby rejoin) even after the death gossip's
+    /// transmission budget is exhausted.
+    std::vector<Update> collect_gossip_for(const std::string& peer);
     void enqueue_gossip(Update u);
     /// Ping `target` directly; true if an ack arrived in time.
     bool direct_ping(const std::string& target);

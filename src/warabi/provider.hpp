@@ -45,6 +45,8 @@ class Provider : public margo::Provider {
   public:
     Provider(margo::InstancePtr instance, std::uint16_t provider_id, TargetConfig config = {},
              std::shared_ptr<abt::Pool> pool = nullptr);
+    /// Quiesce handlers before m_regions/m_mutex are destroyed.
+    ~Provider() override { deregister_all(); }
 
     [[nodiscard]] json::Value get_config() const override;
 

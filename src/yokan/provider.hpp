@@ -57,6 +57,8 @@ class Provider : public margo::Provider {
   public:
     Provider(margo::InstancePtr instance, std::uint16_t provider_id, ProviderConfig config,
              std::shared_ptr<abt::Pool> pool = nullptr);
+    /// Quiesce handlers before the backend is destroyed.
+    ~Provider() override { deregister_all(); }
 
     [[nodiscard]] json::Value get_config() const override;
 

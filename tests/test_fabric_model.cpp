@@ -22,7 +22,11 @@ struct TimedInbox {
     std::vector<Clock::time_point> arrivals;
 
     void push() {
-        { std::lock_guard lk{m}; arrivals.push_back(Clock::now()); }
+        // Notify while holding the lock: the waiter can only wake after the
+        // unlock, so the cv cannot be destroyed mid-broadcast when the test
+        // body returns right after wait_count() succeeds.
+        std::lock_guard lk{m};
+        arrivals.push_back(Clock::now());
         cv.notify_all();
     }
     bool wait_count(std::size_t n, std::chrono::milliseconds timeout = 5000ms) {
@@ -143,7 +147,10 @@ TEST(FabricModel, MessagesDeliveredInOrderPerLink) {
     std::condition_variable cv;
     auto a = fabric->attach("sim://a", [](Message) {});
     auto b = fabric->attach("sim://b", [&](Message msg) {
-        { std::lock_guard lk{m}; seqs.push_back(msg.seq); }
+        // Notify under the lock so the cv cannot be destroyed mid-broadcast
+        // once the waiter sees the final count and the test returns.
+        std::lock_guard lk{m};
+        seqs.push_back(msg.seq);
         cv.notify_all();
     });
     for (std::uint64_t i = 0; i < 50; ++i) {
@@ -155,4 +162,40 @@ TEST(FabricModel, MessagesDeliveredInOrderPerLink) {
     std::unique_lock lk{m};
     ASSERT_TRUE(cv.wait_for(lk, 5000ms, [&] { return seqs.size() == 50; }));
     for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(seqs[i], i);
+}
+
+TEST(FabricModel, DuplicateProbabilityDeliversTwice) {
+    mercury::LinkModel model;
+    model.latency_us = 100;
+    model.duplicate_probability = 1.0; // every message gets a second copy
+    auto fabric = mercury::Fabric::create(model);
+    TimedInbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message) { inbox.push(); });
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE((*a)->send("sim://b", Message{}).ok());
+    EXPECT_TRUE(inbox.wait_count(10));
+}
+
+TEST(FabricModel, JitterDelaysWithinBound) {
+    mercury::LinkModel model;
+    model.latency_us = 1000;
+    model.jitter_us = 20000; // up to 20 ms extra
+    auto fabric = mercury::Fabric::create(model);
+    TimedInbox inbox;
+    auto a = fabric->attach("sim://a", [](Message) {});
+    auto b = fabric->attach("sim://b", [&](Message) { inbox.push(); });
+    auto t0 = Clock::now();
+    for (int i = 0; i < 20; ++i) ASSERT_TRUE((*a)->send("sim://b", Message{}).ok());
+    ASSERT_TRUE(inbox.wait_count(20));
+    // All arrivals within latency + jitter (plus generous scheduling slack);
+    // with 20 samples at least one should draw a nontrivial jitter, so the
+    // spread between first and last arrival is nonzero.
+    for (auto& t : inbox.arrivals) {
+        double ms = std::chrono::duration<double, std::milli>(t - t0).count();
+        EXPECT_LT(ms, 200.0);
+    }
+    double spread = std::chrono::duration<double, std::milli>(
+                        inbox.arrivals.back() - inbox.arrivals.front())
+                        .count();
+    EXPECT_GT(spread, 0.5);
 }

@@ -1,0 +1,327 @@
+// Fault-injection stress harness for the dynamic-lifecycle races: concurrent
+// forward()/shutdown(), chunk migration with mid-pipeline RPC failures, and
+// SWIM membership churn, each hammered across many seeds on a fabric with
+// message loss, duplication, and delay jitter. Intended to run under
+// ThreadSanitizer / AddressSanitizer (see the `tsan`/`asan` CMake presets);
+// every join below doubles as a liveness assertion — a lost wakeup or a
+// dropped ULT hangs the test instead of passing silently.
+//
+// Seed count comes from MOCHI_STRESS_SEEDS (default 10; CI runs 100).
+#include "remi/provider.hpp"
+#include "ssg/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+using namespace mochi;
+using namespace std::chrono_literals;
+
+namespace {
+
+int stress_seeds() {
+    if (const char* s = std::getenv("MOCHI_STRESS_SEEDS"))
+        return std::max(1, std::atoi(s));
+    return 10;
+}
+
+/// Wait until predicate true or timeout; returns the final predicate value.
+template <typename F>
+bool eventually(F f, std::chrono::milliseconds limit) {
+    auto deadline = std::chrono::steady_clock::now() + limit;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (f()) return true;
+        std::this_thread::sleep_for(10ms);
+    }
+    return f();
+}
+
+mercury::LinkModel chaos_link(std::mt19937_64& rng, bool duplicates) {
+    mercury::LinkModel m;
+    m.latency_us = std::uniform_real_distribution<>(0.0, 300.0)(rng);
+    m.jitter_us = std::uniform_real_distribution<>(0.0, 1000.0)(rng);
+    m.loss_probability = std::uniform_real_distribution<>(0.0, 0.15)(rng);
+    if (duplicates)
+        m.duplicate_probability = std::uniform_real_distribution<>(0.0, 0.2)(rng);
+    return m;
+}
+
+/// Mirror of the provider's wire format for "remi/write_chunk".
+struct WireChunkEntry {
+    std::string path;
+    std::uint64_t offset = 0;
+    std::string data;
+    std::uint8_t last = 1;
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& path& offset& data& last;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Scenario 1: forward() racing shutdown()
+// ---------------------------------------------------------------------------
+
+void forward_vs_shutdown(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    auto fabric = mercury::Fabric::create(chaos_link(rng, /*duplicates=*/true), seed);
+    auto server = margo::Instance::create(fabric, "sim://fs-server").value();
+    auto client = margo::Instance::create(fabric, "sim://fs-client").value();
+    ASSERT_TRUE(server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    ASSERT_TRUE(server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+
+    constexpr int k_ults = 6, k_calls = 6;
+    std::atomic<int> ok{0}, timed_out{0}, canceled{0}, invalid{0}, unreachable{0},
+        unexpected{0};
+    std::atomic<int> started{0};
+    std::vector<abt::ThreadHandle> handles;
+    for (int i = 0; i < k_ults; ++i) {
+        handles.push_back(client->runtime()->post_thread(
+            client->runtime()->primary_pool(), [&, i, seed] {
+                std::mt19937_64 lrng(seed * 1000003 + i);
+                ++started;
+                for (int j = 0; j < k_calls; ++j) {
+                    margo::ForwardOptions opts;
+                    opts.timeout = std::chrono::milliseconds(
+                        std::uniform_int_distribution<>(10, 40)(lrng));
+                    const char* name = (lrng() % 2) ? "echo" : "blackhole";
+                    auto r = client->forward("sim://fs-server", name, "x", opts);
+                    if (r) {
+                        ++ok;
+                        continue;
+                    }
+                    switch (r.error().code) {
+                    case Error::Code::Timeout: ++timed_out; break;
+                    case Error::Code::Canceled: ++canceled; break;
+                    case Error::Code::InvalidState: ++invalid; break;
+                    case Error::Code::Unreachable: ++unreachable; break;
+                    default: ++unexpected; break;
+                    }
+                }
+            }));
+    }
+    // Let the ULTs actually start issuing forwards before pulling the rug:
+    // a never-scheduled ULT would make the shutdown race trivial.
+    while (started.load() < k_ults) std::this_thread::sleep_for(1ms);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::uniform_int_distribution<>(0, 30)(rng)));
+    client->shutdown();
+    // Liveness: every forward must have been resolved (completed, timed out,
+    // canceled by the shutdown sweep, or failed fast) — a forward stuck on a
+    // pending call nobody cancels would hang this join.
+    for (auto& h : handles) h.join();
+    int total = ok + timed_out + canceled + invalid + unreachable + unexpected;
+    EXPECT_EQ(total, k_ults * k_calls);
+    EXPECT_EQ(unexpected.load(), 0);
+    // After shutdown() returned, forwards fail fast with InvalidState.
+    auto late = client->forward("sim://fs-server", "echo", "x");
+    ASSERT_FALSE(late.has_value());
+    EXPECT_EQ(late.error().code, Error::Code::InvalidState);
+    server->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: chunk migration with mid-pipeline failures
+// ---------------------------------------------------------------------------
+
+void migration_chaos(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::string src_addr = "sim://mc-src-" + std::to_string(seed);
+    std::string dst_addr = "sim://mc-dst-" + std::to_string(seed);
+    remi::SimFileStore::destroy_node(src_addr);
+    remi::SimFileStore::destroy_node(dst_addr);
+    // No duplicate injection here: "remi/write_chunk" appends are not
+    // idempotent, so a duplicated request would corrupt the destination by
+    // design, not by bug.
+    auto fabric = mercury::Fabric::create(chaos_link(rng, /*duplicates=*/false), seed);
+    auto src = margo::Instance::create(fabric, src_addr).value();
+    auto dst = margo::Instance::create(fabric, dst_addr).value();
+    auto src_store = remi::SimFileStore::for_node(src_addr);
+
+    // Stand-in destination provider: injects chunk failures, reassembles the
+    // stream in memory, and trips on any out-of-order append.
+    std::mutex m;
+    std::map<std::string, std::string> landed; // path -> bytes applied so far
+    bool out_of_order = false;
+    double fail_p = std::uniform_real_distribution<>(0.0, 0.25)(rng);
+    auto handler_rng = std::make_shared<std::mt19937_64>(seed ^ 0x9e3779b97f4a7c15ULL);
+    ASSERT_TRUE(dst->register_rpc("remi/write_chunk", 1,
+                                  [&, handler_rng, fail_p](const margo::Request& req) {
+                                      std::vector<WireChunkEntry> entries;
+                                      ASSERT_TRUE(req.unpack(entries));
+                                      std::lock_guard lk{m};
+                                      if (std::uniform_real_distribution<>(
+                                              0.0, 1.0)(*handler_rng) < fail_p) {
+                                          req.respond_error(Error{Error::Code::Generic,
+                                                                  "injected chunk failure"});
+                                          return;
+                                      }
+                                      for (const auto& e : entries) {
+                                          std::string& got = landed[e.path];
+                                          if (e.offset != got.size()) out_of_order = true;
+                                          if (e.offset == 0) got = e.data;
+                                          else got += e.data;
+                                      }
+                                      req.respond_values(true);
+                                  })
+                    .has_value());
+
+    std::map<std::string, std::string> originals;
+    int files = std::uniform_int_distribution<>(3, 6)(rng);
+    for (int i = 0; i < files; ++i) {
+        std::string path = "/mc/f" + std::to_string(i);
+        std::string data(std::uniform_int_distribution<>(200, 4000)(rng),
+                         static_cast<char>('a' + i));
+        originals[path] = data;
+        ASSERT_TRUE(src_store->write(path, std::move(data)).ok());
+    }
+    auto fileset = remi::Fileset::scan(*src_store, "/mc/");
+    remi::MigrationOptions opts;
+    opts.method = remi::Method::Chunks;
+    opts.chunk_size = 700;
+    opts.pipeline_width = std::uniform_int_distribution<>(1, 3)(rng);
+    opts.rpc_timeout = 300ms;
+
+    abt::Eventual<bool> outcome;
+    src->runtime()->post(src->runtime()->primary_pool(), [&] {
+        auto stats = remi::migrate(src, src_store, fileset, dst_addr, 1, opts);
+        outcome.set_value(stats.has_value());
+    });
+    // Some seeds yank the source instance mid-migration: the pipeline's
+    // forwards must resolve as Canceled and the coordinator ULT must still
+    // run to completion inside shutdown()'s drain.
+    bool shutdown_raced = seed % 4 == 0;
+    if (shutdown_raced) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::uniform_int_distribution<>(0, 15)(rng)));
+        src->shutdown();
+    }
+    bool migrated = outcome.wait(); // liveness: migrate() must return
+    {
+        std::lock_guard lk{m};
+        EXPECT_FALSE(out_of_order) << "a chunk landed after an earlier one failed";
+        if (migrated) {
+            // A reported success must mean every byte arrived intact.
+            for (const auto& [path, data] : originals) EXPECT_EQ(landed[path], data);
+        }
+    }
+    src->shutdown();
+    dst->shutdown();
+    remi::SimFileStore::destroy_node(src_addr);
+    remi::SimFileStore::destroy_node(dst_addr);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: SWIM churn — partition, suspicion, refutation, rejoin
+// ---------------------------------------------------------------------------
+
+void swim_churn(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    ssg::GroupConfig fast;
+    fast.swim_period = 30ms;
+    fast.ping_timeout = 15ms;
+    fast.suspicion_periods = 2 + static_cast<int>(seed % 2);
+    fast.ping_req_fanout = 1;
+    // The churned member never declares the others dead, so it keeps pinging
+    // across the healed partition — the contact that carries refutations.
+    ssg::GroupConfig patient = fast;
+    patient.suspicion_periods = 1000;
+
+    auto fabric = mercury::Fabric::create({}, seed);
+    std::vector<std::string> addrs;
+    std::vector<margo::InstancePtr> instances;
+    std::vector<std::shared_ptr<ssg::Group>> groups;
+    for (int i = 0; i < 3; ++i) addrs.push_back("sim://sw" + std::to_string(i));
+    for (int i = 0; i < 3; ++i)
+        instances.push_back(margo::Instance::create(fabric, addrs[i]).value());
+    for (int i = 0; i < 3; ++i)
+        groups.push_back(
+            ssg::Group::create(instances[i], "churn", addrs, i == 2 ? patient : fast)
+                .value());
+
+    fabric->cut(addrs[0], addrs[2]);
+    fabric->cut(addrs[1], addrs[2]);
+    bool full_death = seed % 3 == 0;
+    if (full_death) {
+        // Hold the partition until node2 is declared dead everywhere, then
+        // heal and require a full rejoin.
+        bool dead = eventually(
+            [&] {
+                for (int i = 0; i < 2; ++i) {
+                    auto v = groups[i]->view();
+                    if (std::find(v.members.begin(), v.members.end(), addrs[2]) !=
+                        v.members.end())
+                        return false;
+                }
+                return true;
+            },
+            8000ms);
+        EXPECT_TRUE(dead);
+    } else {
+        // Brief glitch: long enough to raise suspicion, maybe death.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::uniform_int_distribution<>(40, 150)(rng)));
+    }
+    fabric->heal_all();
+    bool converged = eventually(
+        [&] {
+            if (groups[0]->view().members.size() != 3) return false;
+            auto d0 = groups[0]->view_digest();
+            return d0 == groups[1]->view_digest() && d0 == groups[2]->view_digest();
+        },
+        8000ms);
+    EXPECT_TRUE(converged);
+    if (!converged) {
+        std::vector<std::uint64_t> p0;
+        for (int i = 0; i < 3; ++i) p0.push_back(groups[i]->periods());
+        std::this_thread::sleep_for(1s);
+        for (int i = 0; i < 3; ++i) {
+            auto v = groups[i]->view();
+            std::string list;
+            for (const auto& m : v.members) list += m + " ";
+            ADD_FAILURE() << "group " << i << " members: " << list << "(digest " << v.digest()
+                          << ", version " << v.version << ", periods " << p0[i] << " -> "
+                          << groups[i]->periods() << ")";
+        }
+    }
+
+    for (auto& g : groups) g->leave();
+    for (auto& m : instances) m->shutdown();
+}
+
+} // namespace
+
+TEST(LifecycleStress, ForwardVsShutdown) {
+    int seeds = stress_seeds();
+    for (int s = 1; s <= seeds; ++s) {
+        SCOPED_TRACE("seed " + std::to_string(s));
+        forward_vs_shutdown(static_cast<std::uint64_t>(s));
+        if (HasFatalFailure() || HasNonfatalFailure()) break;
+    }
+}
+
+TEST(LifecycleStress, MigrationChaos) {
+    int seeds = stress_seeds();
+    for (int s = 1; s <= seeds; ++s) {
+        SCOPED_TRACE("seed " + std::to_string(s));
+        migration_chaos(static_cast<std::uint64_t>(s));
+        if (HasFatalFailure() || HasNonfatalFailure()) break;
+    }
+}
+
+TEST(LifecycleStress, SwimChurn) {
+    int seeds = stress_seeds();
+    for (int s = 1; s <= seeds; ++s) {
+        SCOPED_TRACE("seed " + std::to_string(s));
+        swim_churn(static_cast<std::uint64_t>(s));
+        if (HasFatalFailure() || HasNonfatalFailure()) break;
+    }
+}

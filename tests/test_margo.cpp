@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace mochi;
 using namespace std::chrono_literals;
 
@@ -190,10 +192,22 @@ TEST(Margo, MonitoringStatisticsMatchListing1Shape) {
     for (int i = 0; i < 3; ++i)
         ASSERT_TRUE(nodes.client->forward("sim://server", "echo", "x").has_value());
 
-    // Target-side stats on the server.
-    auto stats = nodes.server->monitoring_json();
+    // Target-side stats on the server. The response leaves the server from
+    // inside the handler (respond()), so the client's last forward can
+    // return a hair before the server's handler ULT records
+    // on_handler_complete — wait for the stats to catch up instead of
+    // racing them.
     std::uint64_t echo_id = margo::rpc_name_to_id("echo");
     std::string key = "65535:65535:" + std::to_string(echo_id) + ":65535";
+    json::Value stats;
+    for (int tries = 0; tries < 400; ++tries) {
+        stats = nodes.server->monitoring_json();
+        if (stats["rpcs"].contains(key) &&
+            stats["rpcs"][key]["target"]["received from sim://client"]["ult"]["duration"]["num"]
+                    .as_integer() == 3)
+            break;
+        std::this_thread::sleep_for(5ms);
+    }
     ASSERT_TRUE(stats["rpcs"].contains(key)) << stats.dump(2);
     const auto& rpc = stats["rpcs"][key];
     EXPECT_EQ(rpc["name"].as_string(), "echo");
@@ -249,6 +263,10 @@ TEST(Margo, CustomMonitorCallbacksFire) {
                     .has_value());
     for (int i = 0; i < 5; ++i)
         ASSERT_TRUE(nodes.client->forward("sim://server", "echo", "x").has_value());
+    // The last on_handler_complete races the client's return (the response
+    // is sent from inside the handler); wait instead of sampling.
+    for (int tries = 0; tries < 400 && mon->completed.load() != 5; ++tries)
+        std::this_thread::sleep_for(5ms);
     EXPECT_EQ(mon->received.load(), 5);
     EXPECT_EQ(mon->started.load(), 5);
     EXPECT_EQ(mon->completed.load(), 5);
@@ -435,6 +453,79 @@ TEST(Margo, ShutdownCancelsPendingCalls) {
     std::this_thread::sleep_for(50ms);
     client->shutdown(); // must unblock the pending forward
     EXPECT_FALSE(outcome.wait());
+}
+
+TEST(Margo, ForwardDuringShutdownReturnsCanceled) {
+    // A forward in flight when shutdown() sweeps the pending registry must
+    // report Canceled — not Timeout, even when the timeout deadline races
+    // the cancellation.
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+    auto client = nodes.client;
+    abt::Eventual<Error::Code> outcome;
+    abt::Eventual<void> started;
+    client->runtime()->post(client->runtime()->primary_pool(),
+                            [client, &outcome, &started] {
+        started.set();
+        margo::ForwardOptions opts;
+        opts.timeout = 10000ms;
+        auto r = client->forward("sim://server", "blackhole", "", opts);
+        // blackhole never responds, so success is impossible; Generic here
+        // just means "not the expected Canceled".
+        outcome.set_value(r ? Error::Code::Generic : r.error().code);
+    });
+    started.wait();
+    std::this_thread::sleep_for(20ms);
+    client->shutdown();
+    EXPECT_EQ(outcome.wait(), Error::Code::Canceled);
+}
+
+TEST(Margo, ForwardAfterShutdownFailsFast) {
+    TwoNodes nodes;
+    nodes.client->shutdown();
+    margo::ForwardOptions opts;
+    opts.timeout = 10000ms; // must not be waited out
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = nodes.client->forward("sim://server", "echo", "", opts);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::InvalidState);
+    EXPECT_LT(ms, 1000.0);
+}
+
+TEST(Margo, RpcIdCollisionDetected) {
+    // "costarring" and "liquid" are a known FNV-1a-32 collision pair; keep
+    // this assertion first so a future hash change fails loudly here rather
+    // than silently voiding the test.
+    ASSERT_EQ(margo::rpc_name_to_id("costarring"), margo::rpc_name_to_id("liquid"));
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("costarring", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond("costarring"); })
+                    .has_value());
+    // Registering the colliding name must fail with Conflict, not
+    // AlreadyExists (it is a different RPC).
+    auto clash = nodes.server->register_rpc("liquid", margo::k_default_provider_id,
+                                            [](const margo::Request& req) { req.respond(""); });
+    ASSERT_FALSE(clash.has_value());
+    EXPECT_EQ(clash.error().code, Error::Code::Conflict);
+    // Deregistering by the colliding name must not remove "costarring".
+    auto dereg = nodes.server->deregister_rpc("liquid", margo::k_default_provider_id);
+    ASSERT_FALSE(dereg.ok());
+    EXPECT_EQ(dereg.error().code, Error::Code::Conflict);
+    EXPECT_EQ(*nodes.client->forward("sim://server", "costarring", ""), "costarring");
+    // Dispatch guards against the id matching but the name not: calling
+    // "liquid" must not silently run the "costarring" handler.
+    auto wrong = nodes.client->forward("sim://server", "liquid", "");
+    ASSERT_FALSE(wrong.has_value());
+    EXPECT_EQ(wrong.error().code, Error::Code::Conflict);
+    // The correctly-named deregistration still works.
+    EXPECT_TRUE(nodes.server->deregister_rpc("costarring", margo::k_default_provider_id).ok());
 }
 
 TEST(MargoProvider, ProviderAndHandleAnatomy) {

@@ -177,6 +177,79 @@ TEST(Remi, BothMethodsProduceIdenticalResults) {
     }
 }
 
+namespace {
+
+/// Mirror of the provider's wire format for "remi/write_chunk" (structural
+/// serialization: field order and types must match).
+struct WireChunkEntry {
+    std::string path;
+    std::uint64_t offset = 0;
+    std::string data;
+    std::uint8_t last = 1;
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& path& offset& data& last;
+    }
+};
+
+} // namespace
+
+TEST(Remi, MidPipelineFailureDoesNotShipLaterChunks) {
+    // Regression: when a chunk RPC fails mid-pipeline, a worker waiting on
+    // the failed chunk's completion must abort — not ship its own chunk,
+    // which would append a continuation onto a file whose earlier piece
+    // never landed.
+    auto fabric = mercury::Fabric::create();
+    remi::SimFileStore::destroy_node("sim://src");
+    auto src = margo::Instance::create(fabric, "sim://src").value();
+    auto dst = margo::Instance::create(fabric, "sim://dst").value();
+    auto src_store = remi::SimFileStore::for_node("sim://src");
+
+    // Stand-in destination provider: fails the chunk starting at offset
+    // 2000 and accepts everything else, tracking append contiguity.
+    std::mutex m;
+    std::map<std::string, std::uint64_t> accepted; // path -> bytes landed
+    bool out_of_order = false;
+    ASSERT_TRUE(dst->register_rpc("remi/write_chunk", 1,
+                                  [&](const margo::Request& req) {
+                                      std::vector<WireChunkEntry> entries;
+                                      ASSERT_TRUE(req.unpack(entries));
+                                      std::lock_guard lk{m};
+                                      if (!entries.empty() && entries.front().offset == 2000) {
+                                          req.respond_error(
+                                              Error{Error::Code::Generic, "injected failure"});
+                                          return;
+                                      }
+                                      for (const auto& e : entries) {
+                                          if (e.offset != accepted[e.path]) out_of_order = true;
+                                          accepted[e.path] += e.data.size();
+                                      }
+                                      req.respond_values(true);
+                                  })
+                    .has_value());
+
+    // One 10-chunk file: every chunk but the first is a continuation, so the
+    // pipeline serializes on the done[] chain that the failure breaks.
+    ASSERT_TRUE(src_store->write("/big/f0", std::string(10'000, 'x')).ok());
+    auto fileset = remi::Fileset::scan(*src_store, "/big/");
+    remi::MigrationOptions opts;
+    opts.method = remi::Method::Chunks;
+    opts.chunk_size = 1000;
+    opts.pipeline_width = 2;
+    auto stats = remi::migrate(src, src_store, fileset, "sim://dst", 1, opts);
+    ASSERT_FALSE(stats.has_value());
+    EXPECT_FALSE(out_of_order) << "a chunk landed after an earlier one failed";
+    {
+        std::lock_guard lk{m};
+        EXPECT_EQ(accepted["/big/f0"], 2000u); // chunks 0 and 1 only
+    }
+    // Source untouched on failure.
+    EXPECT_TRUE(src_store->exists("/big/f0"));
+    src->shutdown();
+    dst->shutdown();
+}
+
 TEST(Remi, ProviderConfigReportsStore) {
     RemiPair pair;
     ASSERT_TRUE(pair.dst_store->write("/w/x", "1234").ok());

@@ -210,6 +210,68 @@ TEST(Ssg, PartitionedMemberIsSuspectedThenRecovers) {
     EXPECT_NE(std::find(v.members.begin(), v.members.end(), c.addresses[2]), v.members.end());
 }
 
+TEST(Ssg, RejoinAfterFalsePositiveDeath) {
+    // A partitioned-but-alive member that SWIM falsely declares dead must be
+    // readmitted after the partition heals (refutation with a higher
+    // incarnation → Joined event), and every view must converge to the same
+    // digest again.
+    ssg::GroupConfig fast; // survivors: declare death quickly
+    fast.swim_period = 40ms;
+    fast.ping_timeout = 20ms;
+    fast.suspicion_periods = 2;
+    // The victim keeps suspecting (not declaring dead) the peers it cannot
+    // reach, so it still pings them after the heal — that contact is what
+    // carries the stale Dead state back and triggers the refutation.
+    ssg::GroupConfig patient = fast;
+    patient.suspicion_periods = 1000;
+    SsgCluster c;
+    for (int i = 0; i < 3; ++i) c.addresses.push_back("sim://node" + std::to_string(i));
+    for (int i = 0; i < 3; ++i)
+        c.instances.push_back(margo::Instance::create(c.fabric, c.addresses[i]).value());
+    for (int i = 0; i < 3; ++i)
+        c.groups.push_back(ssg::Group::create(c.instances[i], "test_group", c.addresses,
+                                              i == 2 ? patient : fast)
+                               .value());
+
+    std::atomic<int> rejoined{0};
+    for (int i = 0; i < 2; ++i)
+        c.groups[i]->on_membership_change(
+            [&](const std::string& addr, ssg::MembershipEvent ev) {
+                if (ev == ssg::MembershipEvent::Joined && addr == c.addresses[2])
+                    ++rejoined;
+            });
+
+    // Partition node2 from everyone; node2 still runs, so the death is a
+    // false positive.
+    c.fabric->cut(c.addresses[0], c.addresses[2]);
+    c.fabric->cut(c.addresses[1], c.addresses[2]);
+    bool declared_dead = c.eventually(
+        [&] {
+            for (int i = 0; i < 2; ++i) {
+                auto v = c.groups[i]->view();
+                if (std::find(v.members.begin(), v.members.end(), c.addresses[2]) !=
+                    v.members.end())
+                    return false;
+            }
+            return true;
+        },
+        8000ms);
+    ASSERT_TRUE(declared_dead);
+
+    c.fabric->heal_all();
+    // node2's pings reach the survivors again; their acks carry the stale
+    // Dead state back, node2 refutes, and the rejoin path readmits it.
+    bool healed = c.eventually(
+        [&] {
+            auto d0 = c.groups[0]->view_digest();
+            return c.groups[0]->view().members.size() == 3 &&
+                   d0 == c.groups[1]->view_digest() && d0 == c.groups[2]->view_digest();
+        },
+        8000ms);
+    EXPECT_TRUE(healed);
+    EXPECT_GE(rejoined.load(), 1);
+}
+
 TEST(Ssg, NoSwimMode) {
     ssg::GroupConfig cfg;
     cfg.enable_swim = false;
