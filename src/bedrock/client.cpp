@@ -63,6 +63,12 @@ Expected<json::Value> ServiceHandle::getConfig() const {
     return json::Value::parse(std::get<0>(*r));
 }
 
+Expected<json::Value> ServiceHandle::getMetrics() const {
+    auto r = m_instance->call<std::string>(m_address, "bedrock/get_metrics", {});
+    if (!r) return std::move(r).error();
+    return json::Value::parse(std::get<0>(*r));
+}
+
 Expected<json::Value> ServiceHandle::queryConfig(std::string_view jx9_script) const {
     auto r = m_instance->call<std::string>(m_address, "bedrock/query", {},
                                            std::string(jx9_script));

@@ -50,6 +50,8 @@ class ServiceHandle {
 
     Expected<json::Value> getConfig() const;
     Expected<json::Value> queryConfig(std::string_view jx9_script) const;
+    /// Scrape the remote process's metrics registry (docs/OBSERVABILITY.md).
+    Expected<json::Value> getMetrics() const;
 
     Status addPool(const json::Value& pool_config) const;
     Status removePool(const std::string& name) const;

@@ -490,7 +490,11 @@ json::Value Process::config_locked() const {
 }
 
 Expected<json::Value> Process::query(std::string_view jx9_script) const {
-    return jx9::evaluate(jx9_script, {{"__config__", config()}});
+    // $__metrics__ makes the same snapshot that bedrock/get_metrics returns
+    // available to Jx9 scripts, so an operator (or a rebalancing agent) can
+    // compute over configuration and load in one query.
+    return jx9::evaluate(jx9_script, {{"__config__", config()},
+                                      {"__metrics__", m_margo->metrics_json()}});
 }
 
 // ---------------------------------------------------------------------------
@@ -640,6 +644,9 @@ void Process::register_rpcs() {
 
     reg("bedrock/get_config", with_self([](Process& p, const margo::Request& req) {
             req.respond_values(p.config().dump());
+        }));
+    reg("bedrock/get_metrics", with_self([](Process& p, const margo::Request& req) {
+            req.respond_values(p.m_margo->metrics_json().dump());
         }));
     reg("bedrock/query", with_self([](Process& p, const margo::Request& req) {
             std::string script;

@@ -5,10 +5,6 @@
 
 namespace mochi::margo {
 
-namespace {
-constexpr std::uint64_t k_no_parent = k_default_provider_id; // 65535 sentinel
-} // namespace
-
 std::uint64_t rpc_name_to_id(std::string_view name) noexcept {
     // 32-bit FNV-1a, like Mercury's hashing of RPC names.
     std::uint32_t h = 2166136261u;
@@ -78,6 +74,8 @@ Expected<InstancePtr> Instance::create(std::shared_ptr<mercury::Fabric> fabric,
 
     inst->m_stats = std::make_shared<StatisticsMonitor>();
     inst->m_monitors.push_back(inst->m_stats);
+    inst->m_metrics = std::make_shared<MetricsRegistry>();
+    inst->m_monitors.push_back(std::make_shared<MetricsMonitor>(inst->m_metrics));
     const auto& mon = config["monitoring"];
     inst->m_monitoring_enabled = mon.get_bool("enable", true);
     if (auto p = mon.get_integer("sampling_period_ms", 0); p > 0)
@@ -269,15 +267,21 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
     msg.provider_id = options.provider_id;
     msg.seq = m_next_seq.fetch_add(1);
     msg.payload = std::move(payload);
-    // Parent RPC context (Listing 1): inherited from the handler ULT if the
-    // caller is itself serving an RPC.
-    msg.parent_rpc_id = k_no_parent;
-    msg.parent_provider_id = k_default_provider_id;
-    if (abt::Ult* self = abt::current_ult(); self && self->user_context) {
-        auto* ctx = static_cast<UltRpcContext*>(self->user_context);
-        msg.parent_rpc_id = ctx->rpc_id;
-        msg.parent_provider_id = ctx->provider_id;
-    }
+    // Parent RPC context (Listing 1): inherited from the ambient RpcContext
+    // if the caller is itself serving an RPC (handler ULTs carry it; worker
+    // ULTs inherit it via ContextScope).
+    RpcContext ambient = current_rpc_context();
+    msg.parent_rpc_id = ambient.rpc_id;
+    msg.parent_provider_id = ambient.provider_id;
+    // Forward span: continue the ambient trace, or root a fresh one so every
+    // client-side call is traceable end to end. The envelope carries the
+    // span id; the target's handler span becomes its child.
+    TraceContext span;
+    span.trace_id = ambient.trace.active() ? ambient.trace.trace_id : next_trace_id();
+    span.parent_span_id = ambient.trace.active() ? ambient.trace.span_id : 0;
+    span.span_id = next_span_id();
+    msg.trace_id = span.trace_id;
+    msg.span_id = span.span_id;
 
     CallContext mctx;
     mctx.rpc_id = msg.rpc_id;
@@ -286,7 +290,11 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
     mctx.parent_provider_id = msg.parent_provider_id;
     mctx.name = std::string(rpc_name);
     mctx.peer = address;
+    mctx.self = m_address;
     mctx.payload_size = msg.payload.size();
+    mctx.trace_id = span.trace_id;
+    mctx.span_id = span.span_id;
+    mctx.parent_span_id = span.parent_span_id;
 
     auto call = std::make_shared<PendingCall>();
     std::uint64_t generation;
@@ -407,7 +415,16 @@ void Instance::dispatch_request(mercury::Message msg) {
     mctx.parent_provider_id = msg.parent_provider_id;
     mctx.name = entry.name;
     mctx.peer = msg.source;
+    mctx.self = m_address;
     mctx.payload_size = msg.payload.size();
+    // Handler span: child of the caller's forward span carried in the
+    // envelope. Allocated here so received/start/complete callbacks all
+    // correlate under one span id.
+    if (msg.trace_id != 0) {
+        mctx.trace_id = msg.trace_id;
+        mctx.parent_span_id = msg.span_id;
+        mctx.span_id = next_span_id();
+    }
     double t_received = now_us();
     emit([&](Monitor& m) { m.on_request_received(mctx); });
     m_in_flight.fetch_add(1);
@@ -430,13 +447,15 @@ void Instance::dispatch_request(mercury::Message msg) {
         double t_start = self->now_us();
         mctx.queue_delay_us = t_start - t_received;
         self->emit([&](Monitor& m) { m.on_handler_start(mctx); });
-        UltRpcContext ult_ctx{msg.rpc_id, msg.provider_id};
-        abt::Ult* ult = abt::current_ult();
-        void* saved = ult->user_context;
-        ult->user_context = &ult_ctx;
-        Request req{self.get(), std::move(msg)};
-        entry.handler(req);
-        ult->user_context = saved;
+        {
+            // Ambient context for the handler: nested forwards report this
+            // RPC as their parent and extend this handler's span.
+            ContextScope scope{RpcContext{
+                msg.rpc_id, msg.provider_id,
+                TraceContext{mctx.trace_id, mctx.span_id, mctx.parent_span_id}}};
+            Request req{self.get(), std::move(msg)};
+            entry.handler(req);
+        }
         mctx.duration_us = self->now_us() - t_start;
         self->emit([&](Monitor& m) { m.on_handler_complete(mctx); });
     });
@@ -458,6 +477,25 @@ void Instance::dispatch_response(mercury::Message msg) {
 // Bulk
 // ---------------------------------------------------------------------------
 
+CallContext Instance::bulk_call_context(const std::string& peer) const {
+    // Attribute the transfer to the RPC whose handler drives it (REMI's
+    // fetch_rdma, warabi reads, ...) and open a bulk child span so RDMA
+    // phases show up inside the handler span in a trace.
+    CallContext mctx;
+    mctx.name = "__bulk__";
+    mctx.peer = peer;
+    mctx.self = m_address;
+    RpcContext ambient = current_rpc_context();
+    mctx.rpc_id = ambient.rpc_id;
+    mctx.provider_id = ambient.provider_id;
+    if (ambient.trace.active()) {
+        mctx.trace_id = ambient.trace.trace_id;
+        mctx.parent_span_id = ambient.trace.span_id;
+        mctx.span_id = next_span_id();
+    }
+    return mctx;
+}
+
 mercury::BulkHandle Instance::expose(char* data, std::size_t size, bool writable) {
     return m_endpoint->expose(data, size, writable);
 }
@@ -471,9 +509,7 @@ Status Instance::bulk_pull(const mercury::BulkHandle& remote, std::size_t remote
     if (!delay) return delay.error();
     if (*delay >= 1.0)
         m_runtime->sleep_for(std::chrono::microseconds(static_cast<std::int64_t>(*delay)));
-    CallContext mctx;
-    mctx.name = "__bulk__";
-    mctx.peer = remote.address;
+    CallContext mctx = bulk_call_context(remote.address);
     emit([&](Monitor& m) { m.on_bulk_complete(mctx, size, now_us() - t0); });
     return {};
 }
@@ -485,9 +521,7 @@ Status Instance::bulk_push(const mercury::BulkHandle& remote, std::size_t remote
     if (!delay) return delay.error();
     if (*delay >= 1.0)
         m_runtime->sleep_for(std::chrono::microseconds(static_cast<std::int64_t>(*delay)));
-    CallContext mctx;
-    mctx.name = "__bulk__";
-    mctx.peer = remote.address;
+    CallContext mctx = bulk_call_context(remote.address);
     emit([&](Monitor& m) { m.on_bulk_complete(mctx, size, now_us() - t0); });
     return {};
 }

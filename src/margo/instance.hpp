@@ -14,7 +14,9 @@
 #include "abt/abt.hpp"
 #include "common/expected.hpp"
 #include "common/json.hpp"
+#include "margo/metrics.hpp"
 #include "margo/monitoring.hpp"
+#include "margo/tracing.hpp"
 #include "mercury/archive.hpp"
 #include "mercury/fabric.hpp"
 
@@ -161,6 +163,17 @@ class Instance : public std::enable_shared_from_this<Instance> {
     void set_monitoring_enabled(bool enabled) noexcept { m_monitoring_enabled = enabled; }
     [[nodiscard]] std::size_t in_flight_rpcs() const noexcept { return m_in_flight.load(); }
 
+    // -- metrics export --------------------------------------------------------
+
+    /// The process's metrics registry. The runtime feeds the margo_* metrics
+    /// through an always-installed MetricsMonitor; components add their own
+    /// counters/gauges/histograms here (docs/OBSERVABILITY.md names them).
+    [[nodiscard]] const std::shared_ptr<MetricsRegistry>& metrics() const noexcept {
+        return m_metrics;
+    }
+    /// Rendered snapshot of the registry (what bedrock/get_metrics returns).
+    [[nodiscard]] json::Value metrics_json() const { return m_metrics->to_json(); }
+
     // -- configuration & online reconfiguration (§5) --------------------------
 
     [[nodiscard]] json::Value config() const;
@@ -199,11 +212,8 @@ class Instance : public std::enable_shared_from_this<Instance> {
         /// set_value was in flight) still reports Canceled, not Timeout.
         std::atomic<bool> cancelled{false};
     };
-    /// Per-handler-ULT context so nested forwards inherit parent ids.
-    struct UltRpcContext {
-        std::uint64_t rpc_id;
-        std::uint16_t provider_id;
-    };
+    // Per-handler-ULT context (margo::RpcContext, tracing.hpp) lets nested
+    // forwards inherit parent RPC ids and the active trace.
 
     void on_network_message(mercury::Message msg);
     void progress_loop();
@@ -212,6 +222,8 @@ class Instance : public std::enable_shared_from_this<Instance> {
     void start_sampler();
     void sampler_tick();
     double now_us() const;
+    /// CallContext for a bulk transfer, attributed to the ambient RPC/trace.
+    CallContext bulk_call_context(const std::string& peer) const;
 
     std::shared_ptr<mercury::Fabric> m_fabric;
     std::shared_ptr<mercury::Endpoint> m_endpoint;
@@ -253,6 +265,7 @@ class Instance : public std::enable_shared_from_this<Instance> {
     std::atomic<std::size_t> m_in_flight{0};
     std::atomic<bool> m_monitoring_enabled{true};
     std::shared_ptr<StatisticsMonitor> m_stats;
+    std::shared_ptr<MetricsRegistry> m_metrics;
     mutable std::mutex m_monitors_mutex;
     std::vector<std::shared_ptr<Monitor>> m_monitors;
     std::chrono::milliseconds m_sampling_period{100};

@@ -26,18 +26,34 @@ namespace mochi::margo {
 /// Margo's MARGO_DEFAULT_PROVIDER_ID shown as 65535 in Listing 1.
 inline constexpr std::uint16_t k_default_provider_id = 65535;
 
+/// Sentinel for the 64-bit parent_rpc_id fields (CallContext,
+/// mercury::Message) when an RPC has no parent, i.e. it is a root operation
+/// issued outside any handler. Listing 1 renders the "no parent" slots of
+/// the statistics key with the default provider id (65535), so the sentinel
+/// is kept numerically equal to k_default_provider_id — but it is a
+/// distinct, properly 64-bit-typed constant: parent_rpc_id holds *RPC ids*
+/// (32-bit name hashes widened to 64 bits), not provider ids.
+inline constexpr std::uint64_t k_no_parent_rpc_id = 65535;
+
 /// Identity and timing context of one RPC operation, passed to callbacks.
 struct CallContext {
     std::uint64_t rpc_id = 0;
     std::uint16_t provider_id = k_default_provider_id;
-    std::uint64_t parent_rpc_id = k_default_provider_id; // 65535 = "no parent"
+    std::uint64_t parent_rpc_id = k_no_parent_rpc_id; // see k_no_parent_rpc_id
     std::uint16_t parent_provider_id = k_default_provider_id;
     std::string name;        ///< RPC name, e.g. "echo"
     std::string peer;        ///< target address (origin side) / source (target side)
+    std::string self;        ///< address of the process invoking the callback
     std::size_t payload_size = 0;
     // Durations in microseconds, filled per callback (see each callback doc).
     double duration_us = 0;
     double queue_delay_us = 0; ///< reception -> handler ULT start
+    // Distributed-tracing identity (0 = untraced). On the origin side,
+    // span_id is the forward span; on the target side it is the handler
+    // span and parent_span_id is the originating forward span.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
 };
 
 /// Callback interface. All methods have empty defaults so custom monitors

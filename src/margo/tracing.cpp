@@ -1,0 +1,236 @@
+#include "margo/tracing.hpp"
+#include "abt/ult.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mochi::margo {
+
+// ---------------------------------------------------------------------------
+// Ambient context
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Fallback slot for plain OS threads (fabric timer callbacks, tests): ULTs
+/// use abt::Ult::user_context instead so the context follows the fiber.
+thread_local const RpcContext* tl_ambient = nullptr;
+
+const RpcContext* ambient_ptr() noexcept {
+    if (abt::Ult* u = abt::current_ult()) return static_cast<const RpcContext*>(u->user_context);
+    return tl_ambient;
+}
+} // namespace
+
+RpcContext current_rpc_context() noexcept {
+    const RpcContext* p = ambient_ptr();
+    return p ? *p : RpcContext{};
+}
+
+ContextScope::ContextScope(const RpcContext& ctx) noexcept : m_ctx(ctx) {
+    if (abt::Ult* u = abt::current_ult()) {
+        m_ult = u;
+        m_saved_ult = u->user_context;
+        u->user_context = &m_ctx;
+    } else {
+        m_saved_tl = tl_ambient;
+        tl_ambient = &m_ctx;
+    }
+}
+
+ContextScope::~ContextScope() {
+    if (m_ult)
+        m_ult->user_context = m_saved_ult;
+    else
+        tl_ambient = m_saved_tl;
+}
+
+std::uint64_t next_span_id() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_trace_id() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+double trace_now_us() noexcept {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+// ---------------------------------------------------------------------------
+// TracingMonitor
+// ---------------------------------------------------------------------------
+
+void TracingMonitor::on_forward_start(const CallContext& ctx) {
+    if (ctx.span_id == 0) return;
+    Span s;
+    s.trace_id = ctx.trace_id;
+    s.span_id = ctx.span_id;
+    s.parent_span_id = ctx.parent_span_id;
+    s.name = ctx.name;
+    s.kind = "forward";
+    s.process = ctx.self;
+    s.peer = ctx.peer;
+    s.begin_us = trace_now_us();
+    std::lock_guard lk{m_mutex};
+    m_spans.emplace(s.span_id, std::move(s));
+}
+
+void TracingMonitor::on_forward_complete(const CallContext& ctx, bool ok) {
+    if (ctx.span_id == 0) return;
+    std::lock_guard lk{m_mutex};
+    auto it = m_spans.find(ctx.span_id);
+    if (it == m_spans.end()) return;
+    it->second.end_us = trace_now_us();
+    it->second.ok = ok;
+}
+
+void TracingMonitor::on_handler_start(const CallContext& ctx) {
+    if (ctx.span_id == 0) return;
+    Span s;
+    s.trace_id = ctx.trace_id;
+    s.span_id = ctx.span_id;
+    s.parent_span_id = ctx.parent_span_id;
+    s.name = ctx.name;
+    s.kind = "handler";
+    s.process = ctx.self;
+    s.peer = ctx.peer;
+    s.begin_us = trace_now_us();
+    std::lock_guard lk{m_mutex};
+    m_spans.emplace(s.span_id, std::move(s));
+}
+
+void TracingMonitor::on_handler_complete(const CallContext& ctx) {
+    if (ctx.span_id == 0) return;
+    std::lock_guard lk{m_mutex};
+    auto it = m_spans.find(ctx.span_id);
+    if (it == m_spans.end()) return;
+    it->second.end_us = trace_now_us();
+}
+
+void TracingMonitor::on_bulk_complete(const CallContext& ctx, std::size_t bytes,
+                                      double duration_us) {
+    (void)bytes;
+    if (ctx.span_id == 0) return;
+    // Bulk transfers report once, at completion; reconstruct the interval.
+    Span s;
+    s.trace_id = ctx.trace_id;
+    s.span_id = ctx.span_id;
+    s.parent_span_id = ctx.parent_span_id;
+    s.name = ctx.name;
+    s.kind = "bulk";
+    s.process = ctx.self;
+    s.peer = ctx.peer;
+    s.end_us = trace_now_us();
+    s.begin_us = s.end_us - duration_us;
+    std::lock_guard lk{m_mutex};
+    m_spans.emplace(s.span_id, std::move(s));
+}
+
+std::vector<Span> TracingMonitor::spans() const {
+    std::lock_guard lk{m_mutex};
+    std::vector<Span> out;
+    out.reserve(m_spans.size());
+    for (const auto& [id, s] : m_spans) out.push_back(s);
+    return out;
+}
+
+std::vector<Span> TracingMonitor::trace(std::uint64_t trace_id) const {
+    auto all = spans();
+    std::vector<Span> out;
+    for (auto& s : all)
+        if (s.trace_id == trace_id) out.push_back(std::move(s));
+    std::sort(out.begin(), out.end(),
+              [](const Span& a, const Span& b) { return a.begin_us < b.begin_us; });
+    return out;
+}
+
+json::Value TracingMonitor::trace_events_json() const {
+    auto all = spans();
+    // trace_event pids must be numeric; map each simulated address to a
+    // small integer and emit process_name metadata so viewers show the
+    // address.
+    std::map<std::string, int> pids;
+    for (const auto& s : all)
+        if (!pids.count(s.process)) pids.emplace(s.process, static_cast<int>(pids.size()) + 1);
+
+    auto events = json::Value::array();
+    for (const auto& [process, pid] : pids) {
+        auto m = json::Value::object();
+        m["ph"] = "M";
+        m["name"] = "process_name";
+        m["pid"] = pid;
+        m["tid"] = 0;
+        m["args"]["name"] = process;
+        events.push_back(std::move(m));
+    }
+    for (const auto& s : all) {
+        if (s.end_us == 0) continue; // still open
+        auto e = json::Value::object();
+        e["ph"] = "X";
+        e["name"] = s.name;
+        e["cat"] = s.kind;
+        e["ts"] = s.begin_us;
+        e["dur"] = s.duration_us();
+        e["pid"] = pids[s.process];
+        // One row per span kind keeps nested spans visually stacked.
+        e["tid"] = s.kind == "forward" ? 1 : (s.kind == "handler" ? 2 : 3);
+        e["args"]["trace_id"] = s.trace_id;
+        e["args"]["span_id"] = s.span_id;
+        e["args"]["parent_span_id"] = s.parent_span_id;
+        e["args"]["peer"] = s.peer;
+        if (!s.ok) e["args"]["error"] = true;
+        events.push_back(std::move(e));
+    }
+    auto doc = json::Value::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    return doc;
+}
+
+std::string TracingMonitor::span_tree() const {
+    auto all = spans();
+    std::sort(all.begin(), all.end(),
+              [](const Span& a, const Span& b) { return a.begin_us < b.begin_us; });
+    std::map<std::uint64_t, std::vector<const Span*>> children; // parent -> spans
+    std::map<std::uint64_t, const Span*> by_id;
+    for (const auto& s : all) by_id[s.span_id] = &s;
+    std::vector<const Span*> roots;
+    for (const auto& s : all) {
+        if (s.parent_span_id != 0 && by_id.count(s.parent_span_id))
+            children[s.parent_span_id].push_back(&s);
+        else
+            roots.push_back(&s);
+    }
+    std::string out;
+    auto emit_span = [&](const Span* s, int depth, auto&& recurse) -> void {
+        char line[512];
+        std::snprintf(line, sizeof(line), "%*s%s %s @%s -> %s (%.1f us)%s\n", depth * 2, "",
+                      s->kind.c_str(), s->name.c_str(), s->process.c_str(), s->peer.c_str(),
+                      s->end_us > 0 ? s->duration_us() : 0.0, s->ok ? "" : " [failed]");
+        out += line;
+        for (const Span* c : children[s->span_id]) recurse(c, depth + 1, recurse);
+    };
+    std::uint64_t current_trace = 0;
+    for (const Span* r : roots) {
+        if (r->trace_id != current_trace) {
+            current_trace = r->trace_id;
+            out += "trace " + std::to_string(current_trace) + "\n";
+        }
+        emit_span(r, 1, emit_span);
+    }
+    return out;
+}
+
+void TracingMonitor::reset() {
+    std::lock_guard lk{m_mutex};
+    m_spans.clear();
+}
+
+} // namespace mochi::margo

@@ -1,0 +1,143 @@
+// Distributed tracing over the Monitor callbacks (§4 extended).
+//
+// Every forward() opens a *forward span*; the request envelope carries
+// (trace_id, forward span id) across the wire, and the target's handler
+// runs under a *handler span* whose parent is that forward span. Handler
+// ULTs carry their context in abt::Ult::user_context, so nested forwards —
+// and, with ContextScope, worker ULTs spawned by components (REMI's chunk
+// pipeline, RAFT's replication ULTs) — chain into a single cross-process
+// trace rooted at the client's original call.
+//
+// TracingMonitor turns the callback stream into spans and renders them as
+// Chrome trace_event JSON (loadable in about://tracing or Perfetto) or as
+// an indented span-tree text dump for tests. Attach ONE TracingMonitor to
+// every Instance of interest (Instance::add_monitor) to collect a whole
+// cluster's spans into one trace file, the way an external collector would.
+#pragma once
+
+#include "margo/monitoring.hpp"
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace mochi::abt {
+struct Ult;
+}
+
+namespace mochi::margo {
+
+/// Identity of the trace an operation belongs to and of the currently
+/// active span. trace_id == 0 means "not traced" (a forward without an
+/// ambient context starts a fresh trace).
+struct TraceContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;        ///< currently active span
+    std::uint64_t parent_span_id = 0; ///< its parent (0 = root)
+
+    [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Ambient per-ULT RPC context: the identity of the RPC whose handler the
+/// current ULT is executing (Listing-1 parent attribution) plus the active
+/// trace. Installed by the runtime on handler ULTs; propagated by hand into
+/// spawned worker ULTs with ContextScope.
+struct RpcContext {
+    std::uint64_t rpc_id = k_no_parent_rpc_id;
+    std::uint16_t provider_id = k_default_provider_id;
+    TraceContext trace;
+};
+
+/// The ambient context of the calling ULT (or OS thread), or defaults when
+/// none is installed.
+[[nodiscard]] RpcContext current_rpc_context() noexcept;
+
+/// Install `ctx` as the ambient context for the lifetime of this object
+/// (RAII-restores the previous one). Works both on ULTs (uses the ULT's
+/// user_context slot) and plain OS threads (thread-local). Components that
+/// fan work out to other ULTs capture current_rpc_context() before posting
+/// and open a ContextScope inside the worker, so monitoring parent ids and
+/// the trace survive the hop:
+///
+///   auto ctx = margo::current_rpc_context();
+///   rt->post_thread(pool, [ctx, ...] { margo::ContextScope scope{ctx}; ... });
+class ContextScope {
+  public:
+    explicit ContextScope(const RpcContext& ctx) noexcept;
+    ~ContextScope();
+    ContextScope(const ContextScope&) = delete;
+    ContextScope& operator=(const ContextScope&) = delete;
+
+  private:
+    RpcContext m_ctx;
+    abt::Ult* m_ult = nullptr;   ///< non-null: restored into the ULT slot
+    void* m_saved_ult = nullptr;
+    const RpcContext* m_saved_tl = nullptr;
+};
+
+/// Allocate a process-unique span / trace id (never 0).
+[[nodiscard]] std::uint64_t next_span_id() noexcept;
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
+/// Microseconds since a fixed epoch shared by every instance in this
+/// simulation, so spans collected from different processes line up on one
+/// timeline.
+[[nodiscard]] double trace_now_us() noexcept;
+
+/// One recorded span.
+struct Span {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    std::string name;     ///< RPC name ("yokan/put", "__bulk__", ...)
+    std::string kind;     ///< "forward" | "handler" | "bulk"
+    std::string process;  ///< address of the process the span ran on
+    std::string peer;     ///< remote address
+    double begin_us = 0;  ///< trace_now_us() timestamps
+    double end_us = 0;    ///< 0 while still open
+    bool ok = true;       ///< forward spans: false on failure
+
+    [[nodiscard]] double duration_us() const noexcept { return end_us - begin_us; }
+};
+
+/// Monitor implementation recording every forward/handler/bulk as a span.
+/// Thread-safe; one collector may be attached to many instances.
+class TracingMonitor : public Monitor {
+  public:
+    void on_forward_start(const CallContext& ctx) override;
+    void on_forward_complete(const CallContext& ctx, bool ok) override;
+    void on_handler_start(const CallContext& ctx) override;
+    void on_handler_complete(const CallContext& ctx) override;
+    void on_bulk_complete(const CallContext& ctx, std::size_t bytes,
+                          double duration_us) override;
+
+    /// Snapshot of all spans recorded so far (open spans have end_us == 0).
+    [[nodiscard]] std::vector<Span> spans() const;
+
+    /// All spans of one trace, parents before children where possible.
+    [[nodiscard]] std::vector<Span> trace(std::uint64_t trace_id) const;
+
+    /// Chrome trace_event JSON: {"traceEvents": [...]} with one complete
+    /// ("ph":"X") event per finished span, process_name metadata events
+    /// mapping the synthetic pids back to simulated addresses, and the
+    /// span/trace ids in each event's "args". Load in about://tracing or
+    /// https://ui.perfetto.dev.
+    [[nodiscard]] json::Value trace_events_json() const;
+
+    /// Human-readable per-trace span tree, e.g.
+    ///   trace 7
+    ///     forward dataset/create @sim://client -> sim://p1 (812.4 us)
+    ///       handler dataset/create @sim://p1 (794.1 us)
+    ///         forward yokan/put @sim://p1 -> sim://p2 (101.3 us)
+    ///           handler yokan/put @sim://p2 (12.0 us)
+    /// Used by tests to assert trace shapes.
+    [[nodiscard]] std::string span_tree() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex m_mutex;
+    std::map<std::uint64_t, Span> m_spans; ///< by span id, insertion-keyed
+};
+
+} // namespace mochi::margo

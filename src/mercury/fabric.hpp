@@ -40,6 +40,13 @@ struct Message {
     // Monitoring context propagated with the call (§4, Listing 1).
     std::uint64_t parent_rpc_id = 0;
     std::uint16_t parent_provider_id = 0;
+    // Distributed-tracing context propagated with the call: the trace this
+    // request belongs to and the origin-side (forward) span that sent it.
+    // 0 = untraced. The target's handler span links to `span_id` as parent,
+    // which is what stitches nested forwards, migrations, and replication
+    // into one cross-process trace.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
     /// Response status: 0 = ok; otherwise an Error::Code cast to int.
     std::int32_t status = 0;
 };

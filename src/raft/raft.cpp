@@ -1,5 +1,6 @@
 #include "raft/raft.hpp"
 #include "common/logging.hpp"
+#include "margo/tracing.hpp"
 
 namespace mochi::raft {
 
@@ -275,10 +276,16 @@ void Provider::start_election() {
         become_leader(); // single-node group: win immediately
         return;
     }
+    instance()->metrics()->counter("raft_elections_total").inc();
     auto weak = weak_from_this();
     auto rt = instance()->runtime();
+    // Vote requests fan out on fresh ULTs; keep them on the ambient trace
+    // (e.g. the membership-change RPC that triggered this election).
+    margo::RpcContext rpc_ctx = margo::current_rpc_context();
     for (const auto& peer : peers) {
-        rt->post(rt->primary_pool(), [weak, peer, args, votes, majority, election_term] {
+        rt->post(rt->primary_pool(), [weak, peer, args, votes, majority, election_term,
+                                      rpc_ctx] {
+            margo::ContextScope scope{rpc_ctx};
             auto self = weak.lock();
             if (!self || self->m_stopped.load()) return;
             margo::ForwardOptions opts;
@@ -342,7 +349,11 @@ void Provider::replicate_to(const std::string& peer) {
     }
     auto weak = weak_from_this();
     auto rt = instance()->runtime();
-    rt->post(rt->primary_pool(), [weak, peer] {
+    // The replication ULT inherits the submitter's context so append_entries
+    // forwards show up as children of the client operation being committed.
+    margo::RpcContext rpc_ctx = margo::current_rpc_context();
+    rt->post(rt->primary_pool(), [weak, peer, rpc_ctx] {
+        margo::ContextScope scope{rpc_ctx};
         auto self = weak.lock();
         if (!self || self->m_stopped.load()) return;
         bool again = false;
@@ -397,6 +408,7 @@ void Provider::replicate_to(const std::string& peer) {
                 if (!again) self->m_replicating[peer] = false;
                 continue;
             }
+            self->instance()->metrics()->counter("raft_append_entries_sent_total").inc();
             auto r = self->instance()->call<std::uint64_t, bool, std::uint64_t>(
                 peer, "raft/append_entries", opts, args);
             std::unique_lock lk{self->m_mutex};
@@ -457,6 +469,7 @@ void Provider::apply_committed() {
         ++m_last_applied;
         const LogEntry& e = m_log[m_last_applied - m_snapshot_index - 1];
         std::string result = m_sm->apply(e.command);
+        instance()->metrics()->counter("raft_entries_applied_total").inc();
         auto it = m_waiters.find(m_last_applied);
         if (it != m_waiters.end()) {
             it->second->set_value(Expected<std::string>(std::move(result)));

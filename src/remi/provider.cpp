@@ -1,6 +1,7 @@
 #include "remi/provider.hpp"
 #include "bedrock/component.hpp"
 #include "common/logging.hpp"
+#include "margo/tracing.hpp"
 
 #include <atomic>
 
@@ -177,7 +178,12 @@ Expected<MigrationStats> migrate_chunks(const margo::InstancePtr& instance,
     // index to complete.
     std::vector<std::atomic<bool>> done(chunks.size());
     for (auto& d : done) d.store(false);
-    auto worker = [&] {
+    // Worker ULTs have a fresh user_context; carry the migration's ambient
+    // RPC/trace context across the post so the write_chunk forwards keep
+    // their parent attribution and stay on the caller's trace.
+    margo::RpcContext ctx = margo::current_rpc_context();
+    auto worker = [&, ctx] {
+        margo::ContextScope scope{ctx};
         for (;;) {
             std::size_t i = next.fetch_add(1);
             if (i >= chunks.size() || failed.load()) return;
@@ -225,6 +231,11 @@ Expected<MigrationStats> migrate(const margo::InstancePtr& instance,
     result->duration_us = std::chrono::duration<double, std::micro>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
+    auto& metrics = *instance->metrics();
+    metrics.counter("remi_migrations_total").inc();
+    metrics.counter("remi_migrated_files_total").inc(result->files);
+    metrics.counter("remi_migrated_bytes_total").inc(result->bytes);
+    metrics.histogram("remi_migration_duration_us").observe(result->duration_us);
     log::debug("remi", "migrated %zu files (%zu bytes) to %s in %.0f us", result->files,
                result->bytes, dest_address.c_str(), result->duration_us);
     return result;

@@ -377,6 +377,7 @@ bool Group::direct_ping(const std::string& target) {
     opts.provider_id = m_provider_id;
     opts.timeout =
         std::chrono::duration_cast<std::chrono::milliseconds>(m_config.ping_timeout);
+    m_instance->metrics()->counter("ssg_pings_total").inc();
     auto gossip = collect_gossip();
     auto r = m_instance->forward(target, "ssg/ping", mercury::pack(m_name, self(), gossip),
                                  opts);
@@ -541,10 +542,12 @@ void Group::mark_suspect(const std::string& address) {
         inc = it->second.incarnation;
     }
     log::debug("ssg", "%s suspects %s", self().c_str(), address.c_str());
+    m_instance->metrics()->counter("ssg_suspicions_total").inc();
     enqueue_gossip(Update{address, static_cast<std::uint8_t>(MemberState::Suspect), inc});
 }
 
 void Group::mark_dead(const std::string& address, std::uint64_t incarnation, bool graceful) {
+    if (!graceful) m_instance->metrics()->counter("ssg_deaths_total").inc();
     apply_update(Update{address,
                         static_cast<std::uint8_t>(graceful ? MemberState::Left
                                                             : MemberState::Dead),

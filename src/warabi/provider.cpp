@@ -74,6 +74,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        this->instance()->metrics()->counter("warabi_regions_created_total").inc();
         std::uint64_t id;
         {
             std::lock_guard lk{m_mutex};
@@ -89,6 +90,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        this->instance()->metrics()->counter("warabi_bytes_written_total").inc(data.size());
         std::lock_guard lk{m_mutex};
         auto it = m_regions.find(region);
         if (it == m_regions.end()) {
@@ -118,6 +120,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "read out of bounds"});
             return;
         }
+        this->instance()->metrics()->counter("warabi_bytes_read_total").inc(size);
         req.respond_values(it->second.substr(offset, size));
     });
     define("erase", [this](const margo::Request& req) {

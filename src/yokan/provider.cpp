@@ -150,6 +150,7 @@ void Provider::define_rpcs() {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        instance()->metrics()->counter("yokan_puts_total").inc();
         Status st = m_backend ? m_backend->put(key, std::move(value))
                               : virtual_put(key, value);
         if (!st.ok())
@@ -163,6 +164,7 @@ void Provider::define_rpcs() {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        instance()->metrics()->counter("yokan_gets_total").inc();
         auto r = m_backend ? m_backend->get(key) : virtual_get(key);
         if (!r)
             req.respond_error(r.error());

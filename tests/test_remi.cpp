@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 using namespace mochi;
 
 namespace {
@@ -256,4 +258,49 @@ TEST(Remi, ProviderConfigReportsStore) {
     auto cfg = pair.dst_provider->get_config();
     EXPECT_EQ(cfg["type"].as_string(), "remi");
     EXPECT_GE(cfg["files"].as_integer(), 1);
+}
+
+TEST(Remi, BulkAccountingExactUnderPipelinedTransfers) {
+    // Monitor edge case: concurrent RDMA migrations must account every bulk
+    // transfer exactly once — the destination's on_bulk_complete feeds both
+    // the Listing-1 statistics and the margo_bulk_* metrics counters.
+    RemiPair pair;
+    constexpr int k_sets = 4, k_files = 5;
+    constexpr std::size_t k_size = 1024;
+    for (int s = 0; s < k_sets; ++s)
+        pair.make_files("/set" + std::to_string(s) + "/", k_files, k_size);
+
+    remi::MigrationOptions opts;
+    opts.method = remi::Method::Rdma;
+    auto rt = pair.src->runtime();
+    std::vector<abt::ThreadHandle> workers;
+    std::atomic<int> failures{0};
+    for (int s = 0; s < k_sets; ++s) {
+        workers.push_back(rt->post_thread(rt->primary_pool(), [&, s] {
+            auto fs = remi::Fileset::scan(*pair.src_store, "/set" + std::to_string(s) + "/");
+            auto r = remi::migrate(pair.src, pair.src_store, fs, "sim://dst", 1, opts);
+            if (!r || r->files != k_files) ++failures;
+        }));
+    }
+    for (auto& w : workers) w.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    // Each file is one bulk pull on the destination: exact counts, no
+    // double-counting and no lost updates despite the pipelining.
+    auto& m = *pair.dst->metrics();
+    EXPECT_EQ(m.counter("margo_bulk_transfers_total").value(),
+              static_cast<std::uint64_t>(k_sets * k_files));
+    EXPECT_EQ(m.counter("margo_bulk_bytes_total").value(),
+              static_cast<std::uint64_t>(k_sets * k_files) * k_size);
+    // The Listing-1 statistics agree on the byte total.
+    auto stats = pair.dst->monitoring_json();
+    std::uint64_t stat_bulk_num = 0;
+    double stat_bulk_sum = 0;
+    for (const auto& [key, entry] : stats["rpcs"].as_object()) {
+        if (!entry.contains("bulk")) continue;
+        stat_bulk_num += entry["bulk"]["size"]["num"].as_integer();
+        stat_bulk_sum += entry["bulk"]["size"]["sum"].as_real();
+    }
+    EXPECT_EQ(stat_bulk_num, static_cast<std::uint64_t>(k_sets * k_files));
+    EXPECT_DOUBLE_EQ(stat_bulk_sum, static_cast<double>(k_sets * k_files * k_size));
 }
