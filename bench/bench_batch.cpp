@@ -1,0 +1,133 @@
+// E10: client-side op coalescing. Measures yokan put throughput vs batch
+// size — N ops packed into one put_multi RPC (one request, one vectored
+// server execution, one reply) against N individual put round trips — plus
+// the pipelined auto-batcher. The headline gated metric is speedup_32
+// (batch 32 vs batch 1), which the bench-regression harness
+// (tools/bench_gate.py) requires to stay >= 3x.
+//
+// Plain main like bench_ult; `--json FILE` additionally writes a flat
+// {"metrics": {...}} document for the gate.
+#include "yokan/provider.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace mochi;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct World {
+    std::shared_ptr<mercury::Fabric> fabric = mercury::Fabric::create();
+    margo::InstancePtr server;
+    margo::InstancePtr client;
+    std::unique_ptr<yokan::Provider> provider;
+
+    World() {
+        // Two server execution streams so the vectored handler's
+        // parallel_for actually overlaps op execution.
+        auto cfg = json::Value::parse(R"({"argobots": {
+            "pools": [{"name": "p", "type": "fifo_wait"}],
+            "xstreams": [{"name": "x0", "scheduler": {"pools": ["p"]}},
+                          {"name": "x1", "scheduler": {"pools": ["p"]}}]}})")
+                       .value();
+        server = margo::Instance::create(fabric, "sim://server", cfg).value();
+        client = margo::Instance::create(fabric, "sim://client").value();
+        provider = std::make_unique<yokan::Provider>(server, 1, yokan::ProviderConfig{});
+    }
+    ~World() {
+        client->shutdown();
+        server->shutdown();
+    }
+};
+
+std::vector<std::pair<std::string, std::string>> make_pairs(std::size_t n,
+                                                            std::size_t value_size) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    pairs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pairs.emplace_back("key" + std::to_string(i), std::string(value_size, 'v'));
+    return pairs;
+}
+
+/// ops/sec for `total_ops` puts issued in batches of `batch`.
+double run_batched(std::size_t batch, std::size_t total_ops, std::size_t value_size) {
+    World w;
+    yokan::Database db{w.client, "sim://server", 1};
+    auto pairs = make_pairs(total_ops, value_size);
+    // Warm up the path (RPC registration lookups, first allocations).
+    (void)db.put_multi(make_pairs(std::min<std::size_t>(batch, 8), value_size));
+    auto t0 = Clock::now();
+    std::size_t done = 0;
+    if (batch == 1) {
+        for (const auto& [k, v] : pairs)
+            if (db.put(k, v).ok()) ++done;
+    } else {
+        for (std::size_t at = 0; at < pairs.size(); at += batch) {
+            std::vector<std::pair<std::string, std::string>> slice(
+                pairs.begin() + static_cast<std::ptrdiff_t>(at),
+                pairs.begin() +
+                    static_cast<std::ptrdiff_t>(std::min(at + batch, pairs.size())));
+            auto n = slice.size();
+            if (db.put_multi(slice).ok()) done += n;
+        }
+    }
+    double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (done != total_ops) std::fprintf(stderr, "warning: %zu/%zu puts ok\n", done, total_ops);
+    return static_cast<double>(done) / secs;
+}
+
+/// ops/sec through the auto-batcher (async pipelined flushes).
+double run_batcher(std::size_t max_ops, std::size_t total_ops, std::size_t value_size) {
+    World w;
+    yokan::Database db{w.client, "sim://server", 1};
+    auto pairs = make_pairs(total_ops, value_size);
+    yokan::Batcher::Options opts;
+    opts.max_ops = max_ops;
+    auto t0 = Clock::now();
+    {
+        yokan::Batcher batcher{db, opts};
+        for (const auto& [k, v] : pairs) batcher.put(k, v);
+        auto st = batcher.drain();
+        if (!st.ok()) std::fprintf(stderr, "warning: drain failed: %s\n", st.error().message.c_str());
+    }
+    double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    return static_cast<double>(total_ops) / secs;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc - 1; ++i)
+        if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+    constexpr std::size_t k_total_ops = 4096;
+    constexpr std::size_t k_value_size = 64;
+
+    std::printf("# E10: yokan put throughput vs batch size (%zu ops, %zu-byte values)\n",
+                k_total_ops, k_value_size);
+    std::printf("%10s %14s %10s\n", "batch", "ops_per_s", "speedup");
+    std::map<std::size_t, double> ops_s;
+    for (std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{8},
+                              std::size_t{16}, std::size_t{32}, std::size_t{64}}) {
+        ops_s[batch] = run_batched(batch, k_total_ops, k_value_size);
+        std::printf("%10zu %14.0f %9.1fx\n", batch, ops_s[batch], ops_s[batch] / ops_s[1]);
+    }
+    double batcher = run_batcher(32, k_total_ops, k_value_size);
+    std::printf("%10s %14.0f %9.1fx   (auto-batcher, max_ops=32, async flushes)\n",
+                "batcher", batcher, batcher / ops_s[1]);
+    double speedup_32 = ops_s[32] / ops_s[1];
+    std::printf("# speedup_32 = %.2fx (bench_gate requires >= 3x)\n", speedup_32);
+
+    if (json_path) {
+        std::ofstream out{json_path};
+        out << "{\n  \"metrics\": {\n";
+        for (const auto& [batch, v] : ops_s)
+            out << "    \"yokan_put_ops_s_batch_" << batch << "\": " << v << ",\n";
+        out << "    \"yokan_put_ops_s_batcher_32\": " << batcher << ",\n";
+        out << "    \"speedup_32\": " << speedup_32 << "\n  }\n}\n";
+    }
+    return 0;
+}

@@ -5,9 +5,14 @@
 // one whose handlers block the OS thread, under concurrent load on a single
 // execution stream — the property that makes Figure 2's shared-runtime
 // design viable.
+// `--json FILE` writes a flat {"metrics": {...}} document consumed by the
+// bench-regression gate (tools/bench_gate.py).
 #include "margo/instance.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <thread>
 
 using namespace mochi;
@@ -56,17 +61,31 @@ double run(bool ult_aware, int concurrency, int ops_per_ult,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace std::chrono_literals;
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc - 1; ++i)
+        if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     std::printf("# ULT-aware blocking ablation: 1 server ES, handlers 'do I/O' for 1 ms\n");
     std::printf("%12s %18s %18s %10s\n", "concurrency", "ult_aware_ops_s",
                 "blocking_ops_s", "ratio");
+    std::map<int, std::pair<double, double>> results;
     for (int conc : {1, 4, 16}) {
         double ult = run(/*ult_aware=*/true, conc, 40, 1000us);
         double blk = run(/*ult_aware=*/false, conc, 40, 1000us);
+        results[conc] = {ult, blk};
         std::printf("%12d %18.0f %18.0f %9.1fx\n", conc, ult, blk, ult / blk);
     }
     std::printf("# expected shape: ~1x at concurrency 1, growing toward Nx with "
                 "concurrency (blocked ESs serialize handlers)\n");
+    if (json_path) {
+        std::ofstream out{json_path};
+        out << "{\n  \"metrics\": {\n";
+        for (const auto& [conc, r] : results)
+            out << "    \"ult_aware_ops_s_c" << conc << "\": " << r.first << ",\n"
+                << "    \"blocking_ops_s_c" << conc << "\": " << r.second << ",\n";
+        out << "    \"ult_ratio_c16\": " << results[16].first / results[16].second
+            << "\n  }\n}\n";
+    }
     return 0;
 }

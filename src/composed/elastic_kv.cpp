@@ -440,4 +440,91 @@ Status ElasticKvClient::erase(const std::string& key) {
     return {};
 }
 
+Status ElasticKvClient::put_multi(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+    if (pairs.empty()) return {};
+    if (m_directory.shard_to_node.empty()) {
+        if (auto st = refresh(); !st.ok()) return st;
+    }
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        // Group by shard; every group leaves as one RPC and all shards'
+        // round trips overlap.
+        std::map<std::uint32_t, std::vector<std::pair<std::string, std::string>>> by_shard;
+        for (const auto& p : pairs)
+            by_shard[shard_hash(p.first, m_directory.shard_to_node.size())].push_back(p);
+        std::vector<margo::AsyncRequest> inflight;
+        inflight.reserve(by_shard.size());
+        for (auto& [shard, group] : by_shard) {
+            yokan::Database db{m_instance, m_directory.shard_to_node[shard],
+                               static_cast<std::uint16_t>(
+                                   ElasticKvService::k_first_shard_provider_id + shard)};
+            inflight.push_back(db.put_multi_async(group));
+        }
+        std::optional<Error> first;
+        for (auto& req : inflight) {
+            auto r = req.wait_unpack<bool>();
+            if (!r && !first) first = std::move(r).error();
+        }
+        if (!first) return {};
+        // Stale view? Refresh and retry the whole batch once (puts are
+        // idempotent, so re-sending already-applied groups is safe).
+        if (attempt == 0 && indicates_stale_directory(*first)) {
+            if (auto st = refresh(); !st.ok()) return st;
+            continue;
+        }
+        return *first;
+    }
+    return Error{Error::Code::Unreachable, "routing failed"};
+}
+
+Expected<std::vector<std::optional<std::string>>>
+ElasticKvClient::get_multi(const std::vector<std::string>& keys) {
+    std::vector<std::optional<std::string>> values(keys.size());
+    if (keys.empty()) return values;
+    if (m_directory.shard_to_node.empty()) {
+        if (auto st = refresh(); !st.ok()) return st.error();
+    }
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        // Group key positions by shard so results can be scattered back
+        // into the caller's order.
+        std::map<std::uint32_t, std::vector<std::size_t>> by_shard;
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            by_shard[shard_hash(keys[i], m_directory.shard_to_node.size())].push_back(i);
+        std::vector<std::pair<const std::vector<std::size_t>*, margo::AsyncRequest>> inflight;
+        inflight.reserve(by_shard.size());
+        for (auto& [shard, positions] : by_shard) {
+            std::vector<std::string> group;
+            group.reserve(positions.size());
+            for (auto i : positions) group.push_back(keys[i]);
+            yokan::Database db{m_instance, m_directory.shard_to_node[shard],
+                               static_cast<std::uint16_t>(
+                                   ElasticKvService::k_first_shard_provider_id + shard)};
+            inflight.emplace_back(&positions, db.get_multi_async(group));
+        }
+        std::optional<Error> first;
+        for (auto& [positions, req] : inflight) {
+            auto r = req.wait_unpack<std::vector<std::optional<std::string>>>();
+            if (!r) {
+                if (!first) first = std::move(r).error();
+                continue;
+            }
+            auto& group_values = std::get<0>(*r);
+            if (group_values.size() != positions->size()) {
+                if (!first)
+                    first = Error{Error::Code::Corruption, "get_multi result size mismatch"};
+                continue;
+            }
+            for (std::size_t j = 0; j < positions->size(); ++j)
+                values[(*positions)[j]] = std::move(group_values[j]);
+        }
+        if (!first) return values;
+        if (attempt == 0 && indicates_stale_directory(*first)) {
+            if (auto st = refresh(); !st.ok()) return st.error();
+            continue;
+        }
+        return *first;
+    }
+    return Error{Error::Code::Unreachable, "routing failed"};
+}
+
 } // namespace mochi::composed

@@ -139,6 +139,16 @@ class ElasticKvClient {
     Expected<std::string> get(const std::string& key);
     Status erase(const std::string& key);
 
+    /// Batched writes: pairs are grouped by shard and each group leaves as
+    /// one put_multi RPC, all shards in flight concurrently (async
+    /// forwards). On a stale directory the client refreshes once and
+    /// retries the whole batch (put_multi is idempotent).
+    Status put_multi(const std::vector<std::pair<std::string, std::string>>& pairs);
+    /// Batched reads, same shard-grouped fan-out; results align with `keys`
+    /// (nullopt for missing keys).
+    Expected<std::vector<std::optional<std::string>>>
+    get_multi(const std::vector<std::string>& keys);
+
     /// Explicitly refresh the cached directory from the controller.
     Status refresh();
     [[nodiscard]] std::uint64_t cached_version() const noexcept {

@@ -16,6 +16,11 @@ std::string YokanStateMachine::encode_erase(const std::string& key) { return "E"
 
 std::string YokanStateMachine::encode_get(const std::string& key) { return "G" + key; }
 
+std::string YokanStateMachine::encode_put_multi(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+    return "B" + mercury::pack(pairs);
+}
+
 std::string YokanStateMachine::apply(const std::string& command) {
     if (command.empty()) return "";
     switch (command[0]) {
@@ -33,6 +38,15 @@ std::string YokanStateMachine::apply(const std::string& command) {
         auto v = m_backend->get(command.substr(1));
         if (!v) return std::string(1, k_missing);
         return std::string(1, k_found) + *v;
+    }
+    case 'B': {
+        // Batched put: the whole batch lives in one committed entry, so
+        // apply() runs it atomically on every replica (no entry boundary
+        // can fall inside the batch).
+        std::vector<std::pair<std::string, std::string>> pairs;
+        if (!mercury::unpack(std::string_view(command).substr(1), pairs)) return "";
+        for (auto& [k, v] : pairs) (void)m_backend->put(k, std::move(v));
+        return std::string(1, k_found);
     }
     default: return "";
     }
@@ -92,6 +106,34 @@ Expected<std::string> ReplicatedKvClient::get(const std::string& key) {
     if (r->empty() || (*r)[0] == k_missing)
         return Error{Error::Code::NotFound, "no such key: " + key};
     return r->substr(1);
+}
+
+Status ReplicatedKvClient::put_multi(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+    if (pairs.empty()) return {};
+    auto r = m_raft.submit(YokanStateMachine::encode_put_multi(pairs));
+    if (!r) return r.error();
+    if (r->empty())
+        return Error{Error::Code::Corruption, "replica rejected batched put"};
+    return {};
+}
+
+Expected<std::vector<std::optional<std::string>>>
+ReplicatedKvClient::get_multi(const std::vector<std::string>& keys) {
+    std::vector<std::string> commands;
+    commands.reserve(keys.size());
+    for (const auto& k : keys) commands.push_back(YokanStateMachine::encode_get(k));
+    auto r = m_raft.submit_multi(commands);
+    if (!r) return std::move(r).error();
+    std::vector<std::optional<std::string>> values;
+    values.reserve(r->size());
+    for (auto& res : *r) {
+        if (res.empty() || res[0] == k_missing)
+            values.emplace_back(std::nullopt);
+        else
+            values.emplace_back(res.substr(1));
+    }
+    return values;
 }
 
 Status ReplicatedKvClient::erase(const std::string& key) {

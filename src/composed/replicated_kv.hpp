@@ -15,12 +15,16 @@
 #include "raft/raft.hpp"
 #include "yokan/backend.hpp"
 
+#include <optional>
+
 namespace mochi::composed {
 
 /// Adapts a Yokan backend to RAFT's state machine interface. Commands:
 ///   "P<klen:8><key><value>"  put
 ///   "E<key>"                  erase
 ///   "G<key>"                  get (read-through-log for linearizable reads)
+///   "B<pairs>"                put_multi: one log entry carrying a whole
+///                             batch, applied atomically on every replica
 class YokanStateMachine : public raft::StateMachine {
   public:
     explicit YokanStateMachine(std::unique_ptr<yokan::Backend> backend)
@@ -29,6 +33,8 @@ class YokanStateMachine : public raft::StateMachine {
     static std::string encode_put(const std::string& key, const std::string& value);
     static std::string encode_erase(const std::string& key);
     static std::string encode_get(const std::string& key);
+    static std::string
+    encode_put_multi(const std::vector<std::pair<std::string, std::string>>& pairs);
 
     std::string apply(const std::string& command) override;
     [[nodiscard]] std::string snapshot() const override;
@@ -66,6 +72,14 @@ class ReplicatedKvClient {
     Status put(const std::string& key, const std::string& value);
     Expected<std::string> get(const std::string& key);
     Status erase(const std::string& key);
+
+    /// Store a batch through a SINGLE log entry ('B' command): one consensus
+    /// round replicates and applies all pairs atomically.
+    Status put_multi(const std::vector<std::pair<std::string, std::string>>& pairs);
+    /// Linearizable batched read: the 'G' commands travel together in one
+    /// raft/submit_multi RPC and one log append/replication round.
+    Expected<std::vector<std::optional<std::string>>>
+    get_multi(const std::vector<std::string>& keys);
 
   private:
     raft::Client m_raft;

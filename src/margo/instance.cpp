@@ -242,24 +242,69 @@ void Instance::deregister_provider(std::uint16_t provider_id) {
 // Forward / dispatch
 // ---------------------------------------------------------------------------
 
+namespace detail {
+
+/// Shared state behind AsyncRequest handles. Created by forward_async()
+/// after the request is on the wire (or failed to get there — then
+/// `completed` is already true and `result` holds the send error).
+struct AsyncForwardState {
+    InstancePtr instance;
+    std::shared_ptr<Instance::PendingCall> call;
+    std::uint64_t seq = 0;
+    std::uint64_t generation = 0;
+    std::chrono::milliseconds timeout{0};
+    CallContext mctx;
+    double t0 = 0;
+    // Completion is resolved exactly once (first waiter, or the destructor
+    // for an abandoned call); the mutex orders concurrent waiters on copies
+    // of the handle. It is never held across a blocking wait.
+    std::mutex mutex;
+    bool completed = false;
+    std::optional<Expected<std::string>> result;
+
+    ~AsyncForwardState() {
+        if (completed || !instance) return;
+        // Abandoned without wait(): release the registry slot so
+        // dispatch_response() drops a late reply, and close the forward
+        // span as failed so every on_forward_start stays paired.
+        {
+            std::lock_guard lk{instance->m_pending_mutex};
+            if (instance->m_pending_generation == generation)
+                instance->m_pending.erase(seq);
+        }
+        mctx.duration_us = instance->now_us() - t0;
+        instance->emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
+    }
+};
+
+} // namespace detail
+
 Expected<std::string> Instance::forward(const std::string& address, std::string_view rpc_name,
                                         std::string payload, ForwardOptions options) {
-    if (m_stopping.load())
-        return Error{Error::Code::InvalidState, "instance is shutting down"};
     // Track in-progress forwards so shutdown() can drain them after failing
     // their pending calls (their ULTs must run to completion before the
-    // execution streams are stopped). The guard doubles as the drain signal:
-    // the last forward out the door wakes shutdown() instead of shutdown()
-    // polling the counter.
-    struct ForwardGuard {
-        Instance* inst;
-        ~ForwardGuard() {
-            if (inst->m_active_forwards.fetch_sub(1) == 1 && inst->m_stopping.load())
-                inst->m_forwards_drained.set();
-        }
-    };
-    m_active_forwards.fetch_add(1);
+    // execution streams are stopped). Held across send *and* wait so the
+    // synchronous path counts as one uninterrupted in-flight section.
     ForwardGuard guard{this};
+    return forward_async(address, rpc_name, std::move(payload), options).wait();
+}
+
+AsyncRequest Instance::forward_async(const std::string& address, std::string_view rpc_name,
+                                     std::string payload, ForwardOptions options) {
+    auto state = std::make_shared<detail::AsyncForwardState>();
+    state->instance = shared_from_this();
+    state->timeout = options.timeout.count() > 0 ? options.timeout : m_default_timeout;
+    auto fail_now = [&](Error e) {
+        state->completed = true;
+        state->result.emplace(std::move(e));
+        return AsyncRequest{std::move(state)};
+    };
+    if (m_stopping.load())
+        return fail_now(Error{Error::Code::InvalidState, "instance is shutting down"});
+    // Cover the registration/send window; a blocked waiter re-enters the
+    // guard inside AsyncRequest::wait().
+    ForwardGuard guard{this};
+
     mercury::Message msg;
     msg.kind = mercury::Message::Kind::Request;
     msg.rpc_id = rpc_name_to_id(rpc_name);
@@ -283,7 +328,7 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
     msg.trace_id = span.trace_id;
     msg.span_id = span.span_id;
 
-    CallContext mctx;
+    CallContext& mctx = state->mctx;
     mctx.rpc_id = msg.rpc_id;
     mctx.provider_id = msg.provider_id;
     mctx.parent_rpc_id = msg.parent_rpc_id;
@@ -297,56 +342,86 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
     mctx.parent_span_id = span.parent_span_id;
 
     auto call = std::make_shared<PendingCall>();
-    std::uint64_t generation;
     {
         std::lock_guard lk{m_pending_mutex};
         if (m_pending_generation != 0) {
             // shutdown() already swept the registry; registering now would
             // park this call forever since nobody will cancel it again.
-            return Error{Error::Code::Canceled,
-                         "RPC '" + std::string(rpc_name) + "' canceled: instance shut down"};
+            return fail_now(Error{Error::Code::Canceled, "RPC '" + std::string(rpc_name) +
+                                                             "' canceled: instance shut down"});
         }
-        generation = m_pending_generation;
+        state->generation = m_pending_generation;
         m_pending[msg.seq] = call;
     }
-    std::uint64_t seq = msg.seq;
-    double t0 = now_us();
+    state->call = call;
+    state->seq = msg.seq;
+    state->t0 = now_us();
     emit([&](Monitor& m) { m.on_forward_start(mctx); });
 
-    auto cleanup = [&] {
-        std::lock_guard lk{m_pending_mutex};
+    if (auto st = m_endpoint->send(address, std::move(msg)); !st.ok()) {
+        {
+            std::lock_guard lk{m_pending_mutex};
+            if (m_pending_generation == state->generation) m_pending.erase(state->seq);
+        }
+        emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
+        return fail_now(st.error());
+    }
+    return AsyncRequest{std::move(state)};
+}
+
+bool AsyncRequest::test() const {
+    if (!m_state) return false;
+    std::lock_guard lk{m_state->mutex};
+    if (m_state->completed) return true;
+    return m_state->call && m_state->call->response.test();
+}
+
+Expected<std::string> AsyncRequest::wait() {
+    if (!m_state)
+        return Error{Error::Code::InvalidState, "wait() on an empty AsyncRequest"};
+    detail::AsyncForwardState& st = *m_state;
+    {
+        std::lock_guard lk{st.mutex};
+        if (st.completed) return *st.result;
+    }
+    Instance* inst = st.instance.get();
+    // A blocked waiter counts toward the shutdown drain, exactly like a
+    // synchronous forward; shutdown()'s sweep sets the eventual, so this
+    // never outlives the drain by more than the wakeup.
+    Instance::ForwardGuard guard{inst};
+    auto response = st.call->response.wait_for(
+        std::chrono::duration_cast<std::chrono::microseconds>(st.timeout));
+    std::lock_guard lk{st.mutex};
+    if (st.completed) return *st.result; // a concurrent waiter resolved it
+    {
+        std::lock_guard plk{inst->m_pending_mutex};
         // If the generation moved, shutdown's sweep already emptied the map
         // (and a different call could in principle reuse the slot); only the
         // registering generation may erase.
-        if (m_pending_generation == generation) m_pending.erase(seq);
-    };
-
-    if (auto st = m_endpoint->send(address, std::move(msg)); !st.ok()) {
-        cleanup();
-        emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
-        return st.error();
+        if (inst->m_pending_generation == st.generation) inst->m_pending.erase(st.seq);
     }
-
-    auto timeout = options.timeout.count() > 0 ? options.timeout : m_default_timeout;
-    auto response = call->response.wait_for(
-        std::chrono::duration_cast<std::chrono::microseconds>(timeout));
-    cleanup();
-    mctx.duration_us = now_us() - t0;
+    st.mctx.duration_us = inst->now_us() - st.t0;
+    const std::string& rpc_name = st.mctx.name;
     if (!response) {
-        emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
-        if (call->cancelled.load())
-            return Error{Error::Code::Canceled,
-                         "RPC '" + std::string(rpc_name) + "' canceled: instance shut down"};
-        return Error{Error::Code::Timeout,
-                     "RPC '" + std::string(rpc_name) + "' to " + address + " timed out"};
-    }
-    if (response->status != 0) {
-        emit([&](Monitor& m) { m.on_forward_complete(mctx, false); });
+        inst->emit([&](Monitor& m) { m.on_forward_complete(st.mctx, false); });
+        if (st.call->cancelled.load())
+            st.result.emplace(Error{Error::Code::Canceled,
+                                    "RPC '" + rpc_name + "' canceled: instance shut down"});
+        else
+            st.result.emplace(Error{Error::Code::Timeout,
+                                    "RPC '" + rpc_name + "' to " + st.mctx.peer +
+                                        " timed out"});
+    } else if (response->status != 0) {
+        inst->emit([&](Monitor& m) { m.on_forward_complete(st.mctx, false); });
         auto code = static_cast<Error::Code>(response->status - 1);
-        return Error{code, response->payload.empty() ? "remote error" : response->payload};
+        st.result.emplace(Error{
+            code, response->payload.empty() ? "remote error" : response->payload});
+    } else {
+        inst->emit([&](Monitor& m) { m.on_forward_complete(st.mctx, true); });
+        st.result.emplace(std::move(response->payload));
     }
-    emit([&](Monitor& m) { m.on_forward_complete(mctx, true); });
-    return std::move(response->payload);
+    st.completed = true;
+    return *st.result;
 }
 
 void Instance::on_network_message(mercury::Message msg) {
@@ -533,6 +608,30 @@ Status Instance::bulk_push(const mercury::BulkHandle& remote, std::size_t remote
 void Instance::add_monitor(std::shared_ptr<Monitor> monitor) {
     std::lock_guard lk{m_monitors_mutex};
     m_monitors.push_back(std::move(monitor));
+}
+
+void Instance::notify_batch_op(std::string_view op_name, std::size_t payload_size,
+                               double duration_us, bool ok) {
+    // Attribute the op to the enclosing batched RPC (the ambient handler
+    // context) and open a child span under the handler span, mirroring how
+    // bulk transfers report themselves.
+    RpcContext ambient = current_rpc_context();
+    CallContext mctx;
+    mctx.rpc_id = rpc_name_to_id(op_name);
+    mctx.provider_id = ambient.provider_id;
+    mctx.parent_rpc_id = ambient.rpc_id;
+    mctx.parent_provider_id = ambient.provider_id;
+    mctx.name = std::string(op_name);
+    mctx.peer = m_address;
+    mctx.self = m_address;
+    mctx.payload_size = payload_size;
+    mctx.duration_us = duration_us;
+    if (ambient.trace.active()) {
+        mctx.trace_id = ambient.trace.trace_id;
+        mctx.parent_span_id = ambient.trace.span_id;
+        mctx.span_id = next_span_id();
+    }
+    emit([&](Monitor& m) { m.on_batch_op(mctx, ok); });
 }
 
 void Instance::start_sampler() {

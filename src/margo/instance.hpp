@@ -75,6 +75,61 @@ struct ForwardOptions {
     std::uint16_t provider_id = k_default_provider_id;
 };
 
+namespace detail {
+struct AsyncForwardState;
+}
+
+/// Handle to an RPC issued with Instance::forward_async(). The request is
+/// already on the wire when the handle is returned; wait() blocks
+/// (ULT-aware) for the response, so a caller can launch N forwards and
+/// overlap their round trips. Handles share state when copied; wait() may
+/// be called repeatedly (the first outcome is cached). Dropping the last
+/// handle without waiting abandons the call: its registry slot is released
+/// and its forward span closes as failed, so monitors stay paired.
+///
+/// Shutdown composes exactly like the synchronous path: an in-flight async
+/// forward lives in the same pending-call registry, shutdown()'s sweep
+/// cancels it, and any waiter (current or future) observes Canceled instead
+/// of hanging. A waiter that is blocked counts toward the shutdown drain
+/// (m_active_forwards) for the duration of its wait.
+class AsyncRequest {
+  public:
+    AsyncRequest() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return m_state != nullptr; }
+    /// True once the response (or failure) is ready: wait() will not block.
+    [[nodiscard]] bool test() const;
+    /// Block until the response arrives, the timeout fires, or shutdown
+    /// cancels the call. Error codes match forward(): Timeout / Canceled /
+    /// the remote error. Calling wait() on an empty handle is InvalidState.
+    Expected<std::string> wait();
+
+    /// Typed wait: unpack the response payload into a tuple, surfacing
+    /// malformed payloads (and throwing serialize() implementations) as
+    /// Expected errors rather than exceptions.
+    template <typename... Outs>
+    Expected<std::tuple<Outs...>> wait_unpack() {
+        auto resp = wait();
+        if (!resp) return std::move(resp).error();
+        std::tuple<Outs...> out;
+        try {
+            bool ok =
+                std::apply([&](auto&... o) { return mercury::unpack(*resp, o...); }, out);
+            if (!ok) return Error{Error::Code::Corruption, "malformed async response payload"};
+        } catch (const std::exception& e) {
+            return Error{Error::Code::Corruption,
+                         std::string("async response unpack threw: ") + e.what()};
+        }
+        return out;
+    }
+
+  private:
+    friend class Instance;
+    explicit AsyncRequest(std::shared_ptr<detail::AsyncForwardState> state)
+    : m_state(std::move(state)) {}
+    std::shared_ptr<detail::AsyncForwardState> m_state;
+};
+
 class Instance : public std::enable_shared_from_this<Instance> {
   public:
     /// Create a Margo instance attached to `fabric` under `address`.
@@ -95,6 +150,11 @@ class Instance : public std::enable_shared_from_this<Instance> {
     }
     [[nodiscard]] const std::shared_ptr<mercury::Fabric>& fabric() const noexcept {
         return m_fabric;
+    }
+    /// Default pool handler ULTs run on (providers without a dedicated pool
+    /// fan vectored batches out to it).
+    [[nodiscard]] const std::shared_ptr<abt::Pool>& handler_pool() const noexcept {
+        return m_handler_pool;
     }
 
     // -- RPC registration ----------------------------------------------------
@@ -118,6 +178,13 @@ class Instance : public std::enable_shared_from_this<Instance> {
     Expected<std::string> forward(const std::string& address, std::string_view rpc_name,
                                   std::string payload, ForwardOptions options = {});
 
+    /// Send a request without blocking for the response; see AsyncRequest.
+    /// A send-side failure (shutdown, unreachable address) is reported by
+    /// the returned handle's wait(), never thrown.
+    [[nodiscard]] AsyncRequest forward_async(const std::string& address,
+                                             std::string_view rpc_name, std::string payload,
+                                             ForwardOptions options = {});
+
     /// Typed convenience: pack arguments, forward, unpack the result tuple.
     template <typename... Outs, typename... Ins>
     Expected<std::tuple<Outs...>> call(const std::string& address, std::string_view rpc_name,
@@ -125,10 +192,22 @@ class Instance : public std::enable_shared_from_this<Instance> {
         auto resp = forward(address, rpc_name, mercury::pack(ins...), options);
         if (!resp) return std::move(resp).error();
         std::tuple<Outs...> out;
-        bool ok = std::apply([&](auto&... o) { return mercury::unpack(*resp, o...); }, out);
-        if (!ok)
-            return Error{Error::Code::Corruption, "malformed response payload for " +
-                                                      std::string(rpc_name)};
+        // unpack() reports malformed input through its return value, but a
+        // user-defined serialize() may throw (resource exhaustion, value
+        // validation); an exception escaping here would unwind through the
+        // calling ULT's fiber boundary and terminate the process, so both
+        // failure modes collapse into the Expected.
+        try {
+            bool ok =
+                std::apply([&](auto&... o) { return mercury::unpack(*resp, o...); }, out);
+            if (!ok)
+                return Error{Error::Code::Corruption, "malformed response payload for " +
+                                                          std::string(rpc_name)};
+        } catch (const std::exception& e) {
+            return Error{Error::Code::Corruption, "response unpack for " +
+                                                      std::string(rpc_name) + " threw: " +
+                                                      e.what()};
+        }
         return out;
     }
 
@@ -147,6 +226,14 @@ class Instance : public std::enable_shared_from_this<Instance> {
 
     /// Install an additional monitor (the "inject callbacks" API).
     void add_monitor(std::shared_ptr<Monitor> monitor);
+    /// Report one logical operation executed inside a batched (vectored)
+    /// RPC handler: emits Monitor::on_batch_op with a child span of the
+    /// ambient handler span, so coalescing N ops into one RPC keeps per-op
+    /// resolution in traces and metrics. `op_name` is the logical operation
+    /// ("yokan/put"), `payload_size` that op's bytes, `duration_us` its
+    /// execution time.
+    void notify_batch_op(std::string_view op_name, std::size_t payload_size,
+                         double duration_us, bool ok);
     /// The always-installed statistics monitor.
     [[nodiscard]] const std::shared_ptr<StatisticsMonitor>& statistics() const noexcept {
         return m_stats;
@@ -193,7 +280,23 @@ class Instance : public std::enable_shared_from_this<Instance> {
 
   private:
     friend class Request;
+    friend class AsyncRequest;
+    friend struct detail::AsyncForwardState;
     Instance() = default;
+
+    /// RAII tracker of in-progress forward sections: synchronous forwards
+    /// for their whole duration, async ones while registering/sending and
+    /// again while a waiter blocks. The guard doubles as the drain signal —
+    /// the last forward out the door after m_stopping wakes shutdown()
+    /// instead of shutdown() polling the counter.
+    struct ForwardGuard {
+        Instance* inst;
+        explicit ForwardGuard(Instance* i) : inst(i) { i->m_active_forwards.fetch_add(1); }
+        ~ForwardGuard() {
+            if (inst->m_active_forwards.fetch_sub(1) == 1 && inst->m_stopping.load())
+                inst->m_forwards_drained.set();
+        }
+    };
 
     struct RpcEntry {
         std::string name;

@@ -56,7 +56,14 @@ double Histogram::quantile(double q) const {
 json::Value Histogram::to_json() const {
     auto v = json::Value::object();
     auto cs = counts();
-    std::uint64_t n = count();
+    // Derive the reported count from the same bucket snapshot instead of
+    // reading m_count separately: observe() increments bucket and count in
+    // two relaxed steps, so a concurrent scrape could otherwise see
+    // count != sum(buckets) — a "torn" snapshot that breaks consumers which
+    // cross-check the two (the invariant count == sum(buckets) must hold in
+    // every rendered document).
+    std::uint64_t n = 0;
+    for (auto c : cs) n += c;
     v["count"] = n;
     v["sum"] = sum();
     v["avg"] = n ? sum() / static_cast<double>(n) : 0.0;
@@ -126,6 +133,8 @@ MetricsMonitor::MetricsMonitor(std::shared_ptr<MetricsRegistry> registry)
   m_handled(m_registry->counter("margo_rpc_handled_total")),
   m_bulk_transfers(m_registry->counter("margo_bulk_transfers_total")),
   m_bulk_bytes(m_registry->counter("margo_bulk_bytes_total")),
+  m_batch_ops(m_registry->counter("margo_batch_ops_total")),
+  m_batch_op_failures(m_registry->counter("margo_batch_op_failures_total")),
   m_forward_latency(m_registry->histogram("margo_rpc_forward_latency_us")),
   m_handler_duration(m_registry->histogram("margo_rpc_handler_duration_us")),
   m_queue_delay(m_registry->histogram("margo_rpc_queue_delay_us")),
@@ -154,6 +163,11 @@ void MetricsMonitor::on_bulk_complete(const CallContext&, std::size_t bytes,
     (void)duration_us;
     m_bulk_transfers.inc();
     m_bulk_bytes.inc(bytes);
+}
+
+void MetricsMonitor::on_batch_op(const CallContext&, bool ok) {
+    m_batch_ops.inc();
+    if (!ok) m_batch_op_failures.inc();
 }
 
 void MetricsMonitor::on_progress_sample(std::size_t in_flight_rpcs,

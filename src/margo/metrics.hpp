@@ -123,6 +123,7 @@ class MetricsMonitor : public Monitor {
     void on_handler_complete(const CallContext& ctx) override;
     void on_bulk_complete(const CallContext& ctx, std::size_t bytes,
                           double duration_us) override;
+    void on_batch_op(const CallContext& ctx, bool ok) override;
     void on_progress_sample(std::size_t in_flight_rpcs,
                             const std::map<std::string, std::size_t>& pool_sizes) override;
 
@@ -134,6 +135,8 @@ class MetricsMonitor : public Monitor {
     Counter& m_handled;
     Counter& m_bulk_transfers;
     Counter& m_bulk_bytes;
+    Counter& m_batch_ops;
+    Counter& m_batch_op_failures;
     Histogram& m_forward_latency;
     Histogram& m_handler_duration;
     Histogram& m_queue_delay;

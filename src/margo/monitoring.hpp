@@ -78,6 +78,13 @@ class Monitor {
         (void)bytes;
         (void)duration_us;
     }
+    /// Target: one logical operation inside a *batched* RPC finished.
+    /// Vectored handlers coalesce N client operations into a single RPC, so
+    /// the fabric-level callbacks above only see the enclosing request; they
+    /// call Instance::notify_batch_op() per operation so traces and metrics
+    /// keep per-op resolution (ctx carries a child span of the handler span,
+    /// duration_us = that op's execution time).
+    virtual void on_batch_op(const CallContext&, bool ok) { (void)ok; }
     /// Periodic runtime sample: in-flight RPC count and pool depths (§4:
     /// "periodically tracks the number of in-flight RPCs and the sizes of
     /// user-level thread pools").

@@ -8,6 +8,8 @@
 
 #include "margo/instance.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,43 @@ class Provider {
 
     [[nodiscard]] const std::shared_ptr<abt::Pool>& pool() const noexcept { return m_pool; }
 
+    /// Vectored-handler helper: run fn(i) for every i in [0, n) across up
+    /// to `ways` ULTs of this provider's pool, the calling (handler) ULT
+    /// executing one share inline. The ambient RPC/trace context propagates
+    /// into the spawned workers (so per-op spans emitted inside fn chain
+    /// under the enclosing handler span), and the join is ULT-aware — on a
+    /// single execution stream the blocked handler yields to its workers.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                      std::size_t ways = 4) const {
+        if (n == 0) return;
+        ways = std::min(std::max<std::size_t>(ways, 1), n);
+        if (ways == 1) {
+            for (std::size_t i = 0; i < n; ++i) fn(i);
+            return;
+        }
+        auto ctx = current_rpc_context();
+        const auto& pool = m_pool ? m_pool : m_instance->handler_pool();
+        struct Join {
+            std::atomic<std::size_t> remaining;
+            abt::Eventual<void> done;
+        };
+        auto join = std::make_shared<Join>();
+        join->remaining.store(ways - 1);
+        // Block partition: worker w owns [w*n/ways, (w+1)*n/ways). fn is
+        // borrowed by reference — safe, the caller blocks on the join below.
+        for (std::size_t w = 1; w < ways; ++w) {
+            std::size_t lo = w * n / ways;
+            std::size_t hi = (w + 1) * n / ways;
+            m_instance->runtime()->post(pool, [join, ctx, &fn, lo, hi] {
+                ContextScope scope{ctx};
+                for (std::size_t i = lo; i < hi; ++i) fn(i);
+                if (join->remaining.fetch_sub(1) == 1) join->done.set();
+            });
+        }
+        for (std::size_t i = 0; i < n / ways; ++i) fn(i);
+        join->done.wait();
+    }
+
   private:
     InstancePtr m_instance;
     std::uint16_t m_provider_id;
@@ -89,6 +128,17 @@ class ResourceHandle {
         opts.provider_id = m_provider_id;
         return m_instance->call<Outs...>(m_address, m_type + "/" + std::string(op), opts,
                                          ins...);
+    }
+
+    /// Fire the RPC without waiting for the reply: returns a handle whose
+    /// wait_unpack<Outs...>() yields the typed result. Batched clients use
+    /// this to overlap round trips to several providers.
+    template <typename... Ins>
+    [[nodiscard]] AsyncRequest async_call(std::string_view op, const Ins&... ins) const {
+        ForwardOptions opts;
+        opts.provider_id = m_provider_id;
+        return m_instance->forward_async(m_address, m_type + "/" + std::string(op),
+                                         mercury::pack(ins...), opts);
     }
 
     /// As `call`, but with an explicit timeout.

@@ -133,6 +133,24 @@ void TracingMonitor::on_bulk_complete(const CallContext& ctx, std::size_t bytes,
     m_spans.emplace(s.span_id, std::move(s));
 }
 
+void TracingMonitor::on_batch_op(const CallContext& ctx, bool ok) {
+    if (ctx.span_id == 0) return;
+    // Like bulk transfers, batched sub-ops report once, at completion.
+    Span s;
+    s.trace_id = ctx.trace_id;
+    s.span_id = ctx.span_id;
+    s.parent_span_id = ctx.parent_span_id;
+    s.name = ctx.name;
+    s.kind = "op";
+    s.process = ctx.self;
+    s.peer = ctx.peer;
+    s.end_us = trace_now_us();
+    s.begin_us = s.end_us - ctx.duration_us;
+    s.ok = ok;
+    std::lock_guard lk{m_mutex};
+    m_spans.emplace(s.span_id, std::move(s));
+}
+
 std::vector<Span> TracingMonitor::spans() const {
     std::lock_guard lk{m_mutex};
     std::vector<Span> out;

@@ -90,7 +90,7 @@ struct Span {
     std::uint64_t span_id = 0;
     std::uint64_t parent_span_id = 0;
     std::string name;     ///< RPC name ("yokan/put", "__bulk__", ...)
-    std::string kind;     ///< "forward" | "handler" | "bulk"
+    std::string kind;     ///< "forward" | "handler" | "bulk" | "op" (batched sub-op)
     std::string process;  ///< address of the process the span ran on
     std::string peer;     ///< remote address
     double begin_us = 0;  ///< trace_now_us() timestamps
@@ -110,6 +110,7 @@ class TracingMonitor : public Monitor {
     void on_handler_complete(const CallContext& ctx) override;
     void on_bulk_complete(const CallContext& ctx, std::size_t bytes,
                           double duration_us) override;
+    void on_batch_op(const CallContext& ctx, bool ok) override;
 
     /// Snapshot of all spans recorded so far (open spans have end_us == 0).
     [[nodiscard]] std::vector<Span> spans() const;

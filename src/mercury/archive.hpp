@@ -204,4 +204,84 @@ template <typename... Ts>
     return !ar.failed();
 }
 
+// ---------------------------------------------------------------------------
+// Vectored payloads
+// ---------------------------------------------------------------------------
+//
+// A batched RPC carries N independently-serialized per-op payloads in one
+// buffer: a u64 segment count, then per segment a u64 length prefix and the
+// raw bytes. The receiver addresses every segment as a zero-copy view into
+// the buffer, so a vectored handler can hand sub-ranges to different ULTs
+// without re-copying — the format behind yokan/warabi's *_multi bulk paths
+// and the client-side auto-batcher.
+
+/// Incrementally accumulates segments (the auto-batcher appends one per
+/// queued op); take() finalizes the buffer and resets the builder.
+class SegmentBuilder {
+  public:
+    void add(std::string_view segment) {
+        std::uint64_t len = segment.size();
+        m_body.append(reinterpret_cast<const char*>(&len), sizeof len);
+        m_body.append(segment);
+        ++m_count;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return m_count; }
+    /// Size of the finalized buffer take() would currently produce.
+    [[nodiscard]] std::size_t bytes() const noexcept {
+        return sizeof(std::uint64_t) + m_body.size();
+    }
+
+    [[nodiscard]] std::string take() {
+        std::uint64_t n = m_count;
+        std::string out;
+        out.reserve(sizeof n + m_body.size());
+        out.append(reinterpret_cast<const char*>(&n), sizeof n);
+        out.append(m_body);
+        m_body.clear();
+        m_count = 0;
+        return out;
+    }
+
+  private:
+    std::string m_body;
+    std::size_t m_count = 0;
+};
+
+[[nodiscard]] inline std::string pack_segments(const std::vector<std::string>& segments) {
+    SegmentBuilder b;
+    for (const auto& s : segments) b.add(s);
+    return b.take();
+}
+
+/// Zero-copy decode of a vectored payload: the returned views alias
+/// `payload`, which must outlive them. Strict framing — truncated input,
+/// corrupt counts, and trailing bytes all return false (a segment buffer
+/// travels alone, so every byte must be accounted for).
+[[nodiscard]] inline bool unpack_segments(std::string_view payload,
+                                          std::vector<std::string_view>& out) {
+    out.clear();
+    std::size_t pos = 0;
+    auto read_u64 = [&](std::uint64_t& v) {
+        if (payload.size() - pos < sizeof v) return false;
+        std::memcpy(&v, payload.data() + pos, sizeof v);
+        pos += sizeof v;
+        return true;
+    };
+    std::uint64_t count = 0;
+    if (!read_u64(count)) return false;
+    // Each segment needs at least its length prefix, so a count exceeding
+    // remaining/8 is corrupt — this also caps the reserve below.
+    if (count > (payload.size() - pos) / sizeof(std::uint64_t)) return false;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t len = 0;
+        if (!read_u64(len)) return false;
+        if (payload.size() - pos < len) return false;
+        out.emplace_back(payload.data() + pos, static_cast<std::size_t>(len));
+        pos += static_cast<std::size_t>(len);
+    }
+    return pos == payload.size();
+}
+
 } // namespace mochi::mercury

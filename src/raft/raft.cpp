@@ -524,6 +524,50 @@ Expected<std::string> Provider::submit(const std::string& command) {
     return std::move(*result);
 }
 
+Expected<std::vector<std::string>> Provider::submit_multi(
+    const std::vector<std::string>& commands) {
+    if (commands.empty()) return std::vector<std::string>{};
+    std::vector<std::shared_ptr<abt::Eventual<Expected<std::string>>>> waiters;
+    waiters.reserve(commands.size());
+    std::uint64_t first_index = 0;
+    {
+        std::lock_guard lk{m_mutex};
+        if (m_role != Role::Leader)
+            return Error{Error::Code::NotLeader,
+                         m_leader.empty() ? "no leader known" : m_leader};
+        for (const auto& command : commands) m_log.push_back(LogEntry{m_term, command});
+        persist(); // one store write for the whole batch
+        first_index = m_snapshot_index + m_log.size() - commands.size() + 1;
+        for (std::size_t i = 0; i < commands.size(); ++i) {
+            auto w = std::make_shared<abt::Eventual<Expected<std::string>>>();
+            m_waiters[first_index + i] = w;
+            waiters.push_back(std::move(w));
+        }
+        if (m_peers.size() == 1) advance_commit(); // single-node commit
+    }
+    instance()->metrics()->counter("raft_batches_submitted_total").inc();
+    broadcast(); // one replication round carries every entry of the batch
+    auto budget = std::chrono::duration_cast<std::chrono::microseconds>(
+        m_config.rpc_timeout * 20);
+    std::vector<std::string> results;
+    results.reserve(commands.size());
+    for (std::size_t i = 0; i < waiters.size(); ++i) {
+        auto r = waiters[i]->wait_for(budget);
+        if (!r) {
+            // Deregister the rest so a timed-out batch does not leak waiters.
+            std::lock_guard lk{m_mutex};
+            for (std::size_t j = i; j < waiters.size(); ++j) {
+                auto it = m_waiters.find(first_index + j);
+                if (it != m_waiters.end() && it->second == waiters[j]) m_waiters.erase(it);
+            }
+            return Error{Error::Code::Timeout, "batch not committed in time"};
+        }
+        if (!*r) return std::move(*r).error();
+        results.push_back(std::move(**r));
+    }
+    return results;
+}
+
 // ---------------------------------------------------------------------------
 // RPC handlers (follower side)
 // ---------------------------------------------------------------------------
@@ -636,6 +680,19 @@ void Provider::define_rpcs() {
             req.respond_values(*r);
     });
 
+    define("submit_multi", [this](const margo::Request& req) {
+        std::vector<std::string> commands;
+        if (!req.unpack(commands)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        auto r = submit_multi(commands);
+        if (!r)
+            req.respond_error(r.error());
+        else
+            req.respond_values(*r);
+    });
+
     define("status", [this](const margo::Request& req) {
         req.respond_values(get_config().dump());
     });
@@ -669,22 +726,52 @@ Expected<std::string> Client::submit(const std::string& command) {
             return std::get<0>(std::move(*r));
         }
         last = r.error();
-        if (last.code == Error::Code::NotLeader) {
-            // The message carries the leader hint (possibly empty).
-            m_leader = last.message.find("sim://") == 0 ? last.message : "";
-            if (m_leader.empty()) {
-                // Strip known prefixes like "leadership lost; leader=".
-                auto pos = last.message.find("sim://");
-                if (pos != std::string::npos) m_leader = last.message.substr(pos);
-            }
-            if (m_leader.empty()) m_instance->runtime()->sleep_for(
-                std::chrono::milliseconds(20));
-            continue;
-        }
-        m_leader.clear();
-        m_instance->runtime()->sleep_for(std::chrono::milliseconds(20));
+        absorb_submit_error(last);
     }
     return last;
+}
+
+Expected<std::vector<std::string>> Client::submit_multi(
+    const std::vector<std::string>& commands) {
+    auto deadline = std::chrono::steady_clock::now() + m_op_timeout;
+    margo::ForwardOptions opts;
+    opts.provider_id = m_provider_id;
+    opts.timeout = std::chrono::milliseconds(1000);
+    std::size_t next_peer = 0;
+    Error last{Error::Code::Unreachable, "no peer reachable"};
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::string target = m_leader;
+        if (target.empty()) {
+            target = m_peers[next_peer % m_peers.size()];
+            ++next_peer;
+        }
+        auto r = m_instance->call<std::vector<std::string>>(target, "raft/submit_multi",
+                                                            opts, commands);
+        if (r) {
+            m_leader = target;
+            return std::get<0>(std::move(*r));
+        }
+        last = r.error();
+        absorb_submit_error(last);
+    }
+    return last;
+}
+
+void Client::absorb_submit_error(const Error& e) {
+    if (e.code == Error::Code::NotLeader) {
+        // The message carries the leader hint (possibly empty).
+        m_leader = e.message.find("sim://") == 0 ? e.message : "";
+        if (m_leader.empty()) {
+            // Strip known prefixes like "leadership lost; leader=".
+            auto pos = e.message.find("sim://");
+            if (pos != std::string::npos) m_leader = e.message.substr(pos);
+        }
+        if (m_leader.empty())
+            m_instance->runtime()->sleep_for(std::chrono::milliseconds(20));
+        return;
+    }
+    m_leader.clear();
+    m_instance->runtime()->sleep_for(std::chrono::milliseconds(20));
 }
 
 } // namespace mochi::raft

@@ -75,6 +75,13 @@ class Provider : public margo::Provider, public std::enable_shared_from_this<Pro
     /// leader hint in the message (clients use RaftClient instead).
     Expected<std::string> submit(const std::string& command);
 
+    /// Submit a batch: every command is appended under one lock acquisition
+    /// with a single persist(), and one replication round ships the whole
+    /// batch (append_entries already carries entry vectors). Results come
+    /// back in submission order; a timeout or lost leadership fails the
+    /// whole call.
+    Expected<std::vector<std::string>> submit_multi(const std::vector<std::string>& commands);
+
     [[nodiscard]] Role role() const;
     [[nodiscard]] std::uint64_t term() const;
     [[nodiscard]] std::string leader_hint() const;
@@ -145,9 +152,16 @@ class Client {
                                           std::chrono::milliseconds(5000));
 
     Expected<std::string> submit(const std::string& command);
+    /// Batched submit: one raft/submit_multi RPC carries all commands to the
+    /// leader, which commits them as one log append + replication round.
+    Expected<std::vector<std::string>> submit_multi(const std::vector<std::string>& commands);
     [[nodiscard]] const std::string& known_leader() const noexcept { return m_leader; }
 
   private:
+    /// Update the tracked leader from a failed submit (NotLeader hints
+    /// carry the leader address); back off briefly when no hint is known.
+    void absorb_submit_error(const Error& e);
+
     margo::InstancePtr m_instance;
     std::vector<std::string> m_peers;
     std::uint16_t m_provider_id;

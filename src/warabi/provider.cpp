@@ -39,6 +39,37 @@ Expected<std::uint64_t> TargetHandle::region_size(std::uint64_t region) const {
     return std::get<0>(*r);
 }
 
+Status TargetHandle::write_multi(
+    std::uint64_t region,
+    const std::vector<std::pair<std::uint64_t, std::string>>& writes) const {
+    if (writes.empty()) return {};
+    std::size_t bytes = 0;
+    for (const auto& [off, data] : writes) {
+        (void)off;
+        bytes += data.size();
+    }
+    if (writes.size() > 1 && bytes >= k_bulk_threshold) {
+        // Offsets stay inline with the RPC; the concatenated segment data
+        // travels in one bulk pull.
+        std::vector<std::uint64_t> offsets;
+        offsets.reserve(writes.size());
+        mercury::SegmentBuilder builder;
+        for (const auto& [off, data] : writes) {
+            offsets.push_back(off);
+            builder.add(data);
+        }
+        auto buffer = builder.take();
+        auto handle = instance()->expose(buffer.data(), buffer.size(), /*writable=*/false);
+        auto r = call<bool>("write_multi_bulk", region, offsets, handle);
+        instance()->unexpose(handle.id);
+        if (!r) return r.error();
+        return {};
+    }
+    auto r = call<bool>("write_multi", region, writes);
+    if (!r) return r.error();
+    return {};
+}
+
 Status TargetHandle::write_bulk(std::uint64_t region, std::uint64_t offset, const char* data,
                                 std::size_t size) const {
     auto handle = instance()->expose(const_cast<char*>(data), size, /*writable=*/false);
@@ -150,6 +181,45 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
         }
         req.respond_values(static_cast<std::uint64_t>(it->second.size()));
     });
+    define("write_multi", [this](const margo::Request& req) {
+        std::uint64_t region = 0;
+        std::vector<std::pair<std::uint64_t, std::string>> writes;
+        if (!req.unpack(region, writes)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::vector<std::uint64_t> offsets;
+        std::vector<std::string_view> datas;
+        offsets.reserve(writes.size());
+        datas.reserve(writes.size());
+        for (const auto& [off, data] : writes) {
+            offsets.push_back(off);
+            datas.emplace_back(data);
+        }
+        handle_write_multi(req, region, offsets, datas);
+    });
+    define("write_multi_bulk", [this](const margo::Request& req) {
+        std::uint64_t region = 0;
+        std::vector<std::uint64_t> offsets;
+        mercury::BulkHandle handle;
+        if (!req.unpack(region, offsets, handle)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        std::string buffer(handle.size, '\0');
+        if (auto st = this->instance()->bulk_pull(handle, 0, buffer.data(), buffer.size());
+            !st.ok()) {
+            req.respond_error(st.error());
+            return;
+        }
+        std::vector<std::string_view> datas;
+        if (!mercury::unpack_segments(buffer, datas) || datas.size() != offsets.size()) {
+            req.respond_error(
+                Error{Error::Code::Corruption, "bad write_multi segment buffer"});
+            return;
+        }
+        handle_write_multi(req, region, offsets, datas);
+    });
     define("write_bulk", [this](const margo::Request& req) {
         std::uint64_t region = 0, offset = 0;
         mercury::BulkHandle handle;
@@ -204,6 +274,37 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
         }
         req.respond_values(true);
     });
+}
+
+void Provider::handle_write_multi(const margo::Request& req, std::uint64_t region,
+                                  const std::vector<std::uint64_t>& offsets,
+                                  const std::vector<std::string_view>& datas) {
+    auto& bytes_written = instance()->metrics()->counter("warabi_bytes_written_total");
+    std::lock_guard lk{m_mutex};
+    auto it = m_regions.find(region);
+    if (it == m_regions.end()) {
+        req.respond_error(Error{Error::Code::NotFound, "no such region"});
+        return;
+    }
+    // Validate the whole batch before applying any of it, so a bad op never
+    // leaves the region half-written.
+    for (std::size_t i = 0; i < datas.size(); ++i) {
+        if (offsets[i] + datas[i].size() > it->second.size()) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "write out of bounds"});
+            return;
+        }
+    }
+    // Applied in order under the region lock (ops in a batch may overlap),
+    // but every op still reports its own span and metric count even though
+    // the fabric saw a single RPC.
+    for (std::size_t i = 0; i < datas.size(); ++i) {
+        double t0 = margo::trace_now_us();
+        it->second.replace(offsets[i], datas[i].size(), datas[i].data(), datas[i].size());
+        bytes_written.inc(datas[i].size());
+        instance()->notify_batch_op("warabi/write", datas[i].size(),
+                                    margo::trace_now_us() - t0, true);
+    }
+    req.respond_values(true);
 }
 
 json::Value Provider::get_config() const {

@@ -18,9 +18,20 @@ class TargetHandle : public margo::ResourceHandle {
     TargetHandle(margo::InstancePtr instance, std::string address, std::uint16_t provider_id)
     : ResourceHandle(std::move(instance), std::move(address), provider_id, "warabi") {}
 
+    /// write_multi batches at or above this many payload bytes ride a
+    /// single bulk (RDMA) pull instead of inline RPC bytes.
+    static constexpr std::size_t k_bulk_threshold = 16 * 1024;
+
     /// Allocate a region of `size` bytes; returns its id.
     [[nodiscard]] Expected<std::uint64_t> create(std::uint64_t size) const;
     Status write(std::uint64_t region, std::uint64_t offset, const std::string& data) const;
+    /// Apply N (offset, bytes) writes to one region in a single RPC. Small
+    /// batches travel inline; at k_bulk_threshold total payload bytes the
+    /// data rides one bulk pull (offsets inline, bytes as a segment buffer).
+    /// The batch is validated whole before any byte lands, so a failed op
+    /// never leaves the region half-written.
+    Status write_multi(std::uint64_t region,
+                       const std::vector<std::pair<std::uint64_t, std::string>>& writes) const;
     [[nodiscard]] Expected<std::string> read(std::uint64_t region, std::uint64_t offset,
                                              std::uint64_t size) const;
     Status erase(std::uint64_t region) const;
@@ -55,6 +66,12 @@ class Provider : public margo::Provider {
     Status load_from_store(remi::SimFileStore& store);
 
   private:
+    /// Shared tail of write_multi / write_multi_bulk: validate the whole
+    /// batch, apply it, emit one notify_batch_op per op, reply once.
+    void handle_write_multi(const margo::Request& req, std::uint64_t region,
+                            const std::vector<std::uint64_t>& offsets,
+                            const std::vector<std::string_view>& datas);
+
     TargetConfig m_config;
     mutable std::mutex m_mutex;
     std::map<std::uint64_t, std::string> m_regions;

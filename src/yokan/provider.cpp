@@ -40,9 +40,121 @@ Expected<std::uint64_t> Database::count() const {
 
 Status Database::put_multi(
     const std::vector<std::pair<std::string, std::string>>& pairs) const {
+    std::size_t bytes = 0;
+    for (const auto& [k, v] : pairs) bytes += k.size() + v.size();
+    if (pairs.size() > 1 && bytes >= k_bulk_threshold) {
+        // Large batch: the RPC carries only a bulk handle and the server
+        // pulls the packed pairs in one RDMA transfer.
+        std::string buffer = mercury::pack(pairs);
+        auto handle = instance()->expose(buffer.data(), buffer.size(), /*writable=*/false);
+        auto r = call<bool>("put_multi_bulk", handle);
+        instance()->unexpose(handle.id);
+        if (!r) return r.error();
+        return {};
+    }
     auto r = call<bool>("put_multi", pairs);
     if (!r) return r.error();
     return {};
+}
+
+margo::AsyncRequest Database::put_multi_async(
+    const std::vector<std::pair<std::string, std::string>>& pairs) const {
+    // Always inline: an async bulk path would have to keep the exposed
+    // buffer alive until completion; batches large enough to want RDMA
+    // should use the synchronous put_multi.
+    return async_call("put_multi", pairs);
+}
+
+margo::AsyncRequest Database::get_multi_async(const std::vector<std::string>& keys) const {
+    return async_call("get_multi", keys);
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+// ---------------------------------------------------------------------------
+
+struct Batcher::Inner {
+    Database db;
+    Options opts;
+    std::mutex mutex;
+    std::vector<std::pair<std::string, std::string>> queue;
+    std::size_t queued_bytes = 0;
+    bool timer_armed = false;
+    std::vector<margo::AsyncRequest> inflight;
+    Stats stats;
+
+    Inner(Database d, Options o) : db(std::move(d)), opts(o) {}
+
+    void flush_locked() {
+        if (queue.empty()) return;
+        ++stats.batches_sent;
+        stats.largest_batch = std::max<std::uint64_t>(stats.largest_batch, queue.size());
+        inflight.push_back(db.put_multi_async(queue));
+        queue.clear();
+        queued_bytes = 0;
+    }
+
+    /// Time-threshold flush: armed when the first op of a batch arrives,
+    /// fires once, re-armed by the next op. The callback holds only a weak
+    /// reference so a destroyed Batcher never sees a late timer.
+    void arm_timer_locked(const std::shared_ptr<Inner>& self) {
+        if (timer_armed || opts.max_delay.count() <= 0) return;
+        timer_armed = true;
+        std::weak_ptr<Inner> w = self;
+        db.instance()->runtime()->timer().schedule(
+            std::chrono::duration_cast<std::chrono::microseconds>(opts.max_delay), [w] {
+                if (auto inner = w.lock()) {
+                    std::lock_guard lk{inner->mutex};
+                    inner->timer_armed = false;
+                    inner->flush_locked();
+                }
+            });
+    }
+};
+
+Batcher::Batcher(Database db) : Batcher(std::move(db), Options{}) {}
+
+Batcher::Batcher(Database db, Options options)
+: m_inner(std::make_shared<Inner>(std::move(db), options)) {}
+
+Batcher::~Batcher() { (void)drain(); }
+
+void Batcher::put(std::string key, std::string value) {
+    std::lock_guard lk{m_inner->mutex};
+    m_inner->queued_bytes += key.size() + value.size();
+    m_inner->queue.emplace_back(std::move(key), std::move(value));
+    ++m_inner->stats.ops_enqueued;
+    if (m_inner->queue.size() >= m_inner->opts.max_ops ||
+        m_inner->queued_bytes >= m_inner->opts.max_bytes)
+        m_inner->flush_locked();
+    else
+        m_inner->arm_timer_locked(m_inner);
+}
+
+void Batcher::flush() {
+    std::lock_guard lk{m_inner->mutex};
+    m_inner->flush_locked();
+}
+
+Status Batcher::drain() {
+    std::vector<margo::AsyncRequest> pending;
+    {
+        std::lock_guard lk{m_inner->mutex};
+        m_inner->flush_locked();
+        pending = std::move(m_inner->inflight);
+        m_inner->inflight.clear();
+    }
+    Status first;
+    for (auto& req : pending) {
+        auto r = req.wait_unpack<bool>();
+        if (!r && first.ok()) first = r.error();
+    }
+    return first;
+}
+
+Batcher::Stats Batcher::stats() const {
+    std::lock_guard lk{m_inner->mutex};
+    return m_inner->stats;
 }
 
 Expected<std::vector<std::optional<std::string>>>
@@ -224,14 +336,29 @@ void Provider::define_rpcs() {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
-        for (auto& [k, v] : pairs) {
-            Status st = m_backend ? m_backend->put(k, std::move(v)) : virtual_put(k, v);
-            if (!st.ok()) {
-                req.respond_error(st.error());
-                return;
-            }
+        handle_put_multi(req, std::move(pairs));
+    });
+    define("put_multi_bulk", [this](const margo::Request& req) {
+        // Large batches: the request carries only a bulk handle; one RDMA
+        // pull fetches the packed pairs, then execution is identical to the
+        // inline path.
+        mercury::BulkHandle handle;
+        if (!req.unpack(handle)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
         }
-        req.respond_values(true);
+        std::string buffer(handle.size, '\0');
+        if (auto st = instance()->bulk_pull(handle, 0, buffer.data(), buffer.size());
+            !st.ok()) {
+            req.respond_error(st.error());
+            return;
+        }
+        std::vector<std::pair<std::string, std::string>> pairs;
+        if (!mercury::unpack(buffer, pairs)) {
+            req.respond_error(Error{Error::Code::Corruption, "corrupt bulk batch"});
+            return;
+        }
+        handle_put_multi(req, std::move(pairs));
     });
     define("get_multi", [this](const margo::Request& req) {
         std::vector<std::string> keys;
@@ -239,14 +366,35 @@ void Provider::define_rpcs() {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
-        std::vector<std::optional<std::string>> values;
-        values.reserve(keys.size());
-        for (const auto& k : keys) {
-            auto r = m_backend ? m_backend->get(k) : virtual_get(k);
-            if (r)
-                values.emplace_back(std::move(*r));
-            else
-                values.emplace_back(std::nullopt);
+        std::vector<std::optional<std::string>> values(keys.size());
+        if (m_backend) {
+            // Vectored execution: slices of the batch run on handler-pool
+            // ULTs (the backend is internally synchronized), each op
+            // reporting its own span/metric before the single reply.
+            parallel_for(keys.size(), [&](std::size_t i) {
+                double t0 = margo::trace_now_us();
+                auto r = m_backend->get(keys[i]);
+                instance()->metrics()->counter("yokan_gets_total").inc();
+                instance()->notify_batch_op("yokan/get", keys[i].size(),
+                                            margo::trace_now_us() - t0, r.has_value());
+                if (r) values[i].emplace(std::move(*r));
+            });
+        } else {
+            // Virtual database: hand the whole batch to the first replica
+            // that answers instead of paying one RPC per key.
+            bool served = false;
+            for (const auto& replica : m_replicas) {
+                auto r = replica.get_multi(keys);
+                if (r) {
+                    values = std::move(*r);
+                    served = true;
+                    break;
+                }
+            }
+            if (!served) {
+                req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
+                return;
+            }
         }
         req.respond_values(values);
     });
@@ -330,6 +478,46 @@ void Provider::define_rpcs() {
         }
         req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
     });
+}
+
+void Provider::handle_put_multi(const margo::Request& req,
+                                std::vector<std::pair<std::string, std::string>>&& pairs) {
+    if (!m_backend) {
+        // Virtual database: forward the whole batch to every replica (one
+        // RPC per replica, not one per pair).
+        for (const auto& replica : m_replicas) {
+            if (auto st = replica.put_multi(pairs); !st.ok()) {
+                req.respond_error(st.error());
+                return;
+            }
+        }
+        for (const auto& [k, v] : pairs) {
+            (void)k;
+            (void)v;
+            instance()->metrics()->counter("yokan_puts_total").inc();
+        }
+        req.respond_values(true);
+        return;
+    }
+    // Vectored execution across the handler pool's ULTs; every op keeps its
+    // own trace span and metric count even though the fabric saw one RPC.
+    std::vector<Status> results(pairs.size());
+    parallel_for(pairs.size(), [&](std::size_t i) {
+        auto& [k, v] = pairs[i];
+        double t0 = margo::trace_now_us();
+        std::size_t bytes = k.size() + v.size();
+        Status st = m_backend->put(k, std::move(v));
+        instance()->metrics()->counter("yokan_puts_total").inc();
+        instance()->notify_batch_op("yokan/put", bytes, margo::trace_now_us() - t0, st.ok());
+        results[i] = std::move(st);
+    });
+    for (auto& st : results) {
+        if (!st.ok()) {
+            req.respond_error(st.error());
+            return;
+        }
+    }
+    req.respond_values(true);
 }
 
 Status Provider::virtual_put(const std::string& key, const std::string& value) {

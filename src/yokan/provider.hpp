@@ -19,14 +19,29 @@ class Database : public margo::ResourceHandle {
     Database(margo::InstancePtr instance, std::string address, std::uint16_t provider_id)
     : ResourceHandle(std::move(instance), std::move(address), provider_id, "yokan") {}
 
+    /// put_multi batches at or above this many payload bytes ride a single
+    /// bulk (RDMA) pull instead of inline RPC bytes.
+    static constexpr std::size_t k_bulk_threshold = 16 * 1024;
+
     Status put(const std::string& key, const std::string& value) const;
     [[nodiscard]] Expected<std::string> get(const std::string& key) const;
     [[nodiscard]] Expected<bool> exists(const std::string& key) const;
     Status erase(const std::string& key) const;
     [[nodiscard]] Expected<std::uint64_t> count() const;
+    /// Store N pairs in one RPC (inline payload, or one bulk transfer when
+    /// the batch reaches k_bulk_threshold). The server executes the batch
+    /// across its handler pool's ULTs and replies once.
     Status put_multi(const std::vector<std::pair<std::string, std::string>>& pairs) const;
     [[nodiscard]] Expected<std::vector<std::optional<std::string>>>
     get_multi(const std::vector<std::string>& keys) const;
+    /// Fire-and-wait-later variants: the returned handle's
+    /// wait_unpack<bool>() / wait_unpack<std::vector<...>>() yields the
+    /// result; callers overlap batches to several providers (elastic_kv's
+    /// shard fan-out) or pipeline consecutive batches (the Batcher).
+    [[nodiscard]] margo::AsyncRequest
+    put_multi_async(const std::vector<std::pair<std::string, std::string>>& pairs) const;
+    [[nodiscard]] margo::AsyncRequest
+    get_multi_async(const std::vector<std::string>& keys) const;
     /// Erase several keys; returns how many existed and were removed.
     [[nodiscard]] Expected<std::uint64_t>
     erase_multi(const std::vector<std::string>& keys) const;
@@ -39,6 +54,49 @@ class Database : public margo::ResourceHandle {
                  std::uint64_t max = 0) const;
     /// Total bytes stored in the database.
     [[nodiscard]] Expected<std::uint64_t> size_bytes() const;
+};
+
+/// Opt-in client-side op coalescing: put() enqueues locally and whole
+/// batches leave as single put_multi RPCs (sent asynchronously, so
+/// consecutive batches pipeline). A batch flushes when it reaches
+/// `max_ops` operations or `max_bytes` payload bytes; with `max_delay` > 0
+/// a timer also flushes a partial batch that sat too long, bounding the
+/// latency a coalesced op can pay. Errors surface at drain(): the returned
+/// status is the first failed batch's error.
+///
+/// Thread-safe; put() never blocks on the network. The destructor flushes
+/// and drains (dropping any error), so explicitly drain() when failures
+/// matter.
+class Batcher {
+  public:
+    struct Options {
+        std::size_t max_ops = 32;
+        std::size_t max_bytes = 1 << 20;
+        std::chrono::milliseconds max_delay{0}; ///< 0 = no time-based flush
+    };
+    struct Stats {
+        std::uint64_t ops_enqueued = 0;
+        std::uint64_t batches_sent = 0;
+        std::uint64_t largest_batch = 0;
+    };
+
+    explicit Batcher(Database db);
+    Batcher(Database db, Options options);
+    ~Batcher();
+    Batcher(const Batcher&) = delete;
+    Batcher& operator=(const Batcher&) = delete;
+
+    /// Enqueue one put; may send a full batch on its way out.
+    void put(std::string key, std::string value);
+    /// Send whatever is queued now (async; does not wait).
+    void flush();
+    /// Flush, then wait for every outstanding batch; first error wins.
+    Status drain();
+    [[nodiscard]] Stats stats() const;
+
+  private:
+    struct Inner;
+    std::shared_ptr<Inner> m_inner;
 };
 
 struct ProviderConfig {
@@ -91,6 +149,11 @@ class Provider : public margo::Provider {
 
   private:
     void define_rpcs();
+    /// Vectored batch execution (shared by put_multi and put_multi_bulk):
+    /// runs the pairs across the handler pool's ULTs, emitting one
+    /// notify_batch_op per pair, and replies once.
+    void handle_put_multi(const margo::Request& req,
+                          std::vector<std::pair<std::string, std::string>>&& pairs);
     Status virtual_put(const std::string& key, const std::string& value);
     Expected<std::string> virtual_get(const std::string& key) const;
 

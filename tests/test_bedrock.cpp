@@ -520,3 +520,79 @@ TEST(Bedrock, Jx9ParameterizedBootstrap) {
     EXPECT_FALSE(
         bedrock::Process::spawn_jx9(d.fabric, "sim://bad2", "return 1/0;").has_value());
 }
+
+TEST(Bedrock, MetricsScrapeIsConsistentUnderPoolChurn) {
+    // bedrock/get_metrics renders the margo metrics registry while the
+    // process keeps serving RPCs and while pools come and go through the
+    // reconfiguration RPCs. Every scraped document must be internally
+    // consistent — in particular the histogram invariant
+    // count == sum(buckets) must hold in every snapshot (a torn snapshot
+    // breaks consumers that cross-check the two, e.g. Prometheus-style
+    // rate() over the series).
+    Deployment d;
+    d.spawn("sim://n1", parse(k_listing3_config));
+    auto handle = d.client().makeServiceHandle("sim://n1");
+    auto rt = d.client_margo->runtime();
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> rpcs_done{0};
+    std::atomic<int> churn_cycles{0};
+
+    // Traffic: keeps the margo_rpc_* histograms observing concurrently with
+    // every scrape below.
+    auto traffic = rt->post_thread(rt->primary_pool(), [&] {
+        margo::ForwardOptions opts;
+        opts.provider_id = 1;
+        while (!stop.load()) {
+            auto r = d.client_margo->call<std::int64_t>("sim://n1", "counter/inc", opts,
+                                                        std::int64_t{1});
+            EXPECT_TRUE(r.has_value());
+            ++rpcs_done;
+        }
+    });
+    // Churn: adds and removes a pool per cycle, mutating the registry owner's
+    // runtime structures while the scraper reads.
+    auto churn = rt->post_thread(rt->primary_pool(), [&] {
+        while (!stop.load()) {
+            std::string name = "ChurnPool" + std::to_string(churn_cycles.load() % 4);
+            auto add = handle.addPool(
+                parse(("{\"name\": \"" + name + "\", \"type\": \"fifo_wait\"}").c_str()));
+            EXPECT_TRUE(add.ok()) << add.error().message;
+            auto rm = handle.removePool(name);
+            EXPECT_TRUE(rm.ok()) << rm.error().message;
+            ++churn_cycles;
+        }
+    });
+
+    int scrapes = 0;
+    std::int64_t last_handler_count = 0;
+    while (scrapes < 60 || churn_cycles.load() < 10 || rpcs_done.load() < 50) {
+        auto doc = handle.getMetrics();
+        ASSERT_TRUE(doc.has_value()) << doc.error().message;
+        ASSERT_TRUE((*doc)["histograms"].is_object());
+        for (const auto& [name, h] : (*doc)["histograms"].as_object()) {
+            ASSERT_TRUE(h["buckets"].is_array()) << name;
+            ASSERT_TRUE(h["le"].is_array()) << name;
+            // One bucket per bound plus the overflow bucket.
+            EXPECT_EQ(h["buckets"].size(), h["le"].size() + 1) << name;
+            std::int64_t total = 0;
+            for (const auto& b : h["buckets"].as_array()) total += b.as_integer();
+            // The invariant under test: never a torn count/buckets pair.
+            EXPECT_EQ(h["count"].as_integer(), total) << name << " scrape " << scrapes;
+        }
+        // Monotonicity across scrapes (a second tear mode: going backwards).
+        auto hd = (*doc)["histograms"]["margo_rpc_handler_duration_us"];
+        if (hd.is_object()) {
+            EXPECT_GE(hd["count"].as_integer(), last_handler_count);
+            last_handler_count = hd["count"].as_integer();
+        }
+        ++scrapes;
+    }
+    stop.store(true);
+    traffic.join();
+    churn.join();
+    EXPECT_GT(rpcs_done.load(), 0);
+    EXPECT_GE(churn_cycles.load(), 10);
+    // The traffic actually reached the handler histograms.
+    EXPECT_GT(last_handler_count, 0);
+}

@@ -445,3 +445,88 @@ TEST(ReplicatedController, ControllersAgreeOnOrchestrationCommands) {
         ctl_margo[i]->shutdown();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batched paths through the composed services
+// ---------------------------------------------------------------------------
+
+TEST(ReplicatedKv, PutMultiIsOneLogEntry) {
+    ReplicatedKvWorld w{3};
+    ReplicatedKvClient kv{w.client_margo, w.addresses, 7};
+    // Warm up and find the leader's log position.
+    ASSERT_TRUE(kv.put("warmup", "x").ok());
+    raft::Provider* leader = nullptr;
+    for (auto& r : w.replicas)
+        if (r.raft && r.raft->role() == raft::Role::Leader) leader = r.raft.get();
+    ASSERT_NE(leader, nullptr);
+    auto before = leader->last_log_index();
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 25; ++i)
+        pairs.emplace_back("bk" + std::to_string(i), "bv" + std::to_string(i));
+    ASSERT_TRUE(kv.put_multi(pairs).ok());
+    // The whole batch consumed exactly ONE consensus slot.
+    EXPECT_EQ(leader->last_log_index(), before + 1);
+    EXPECT_EQ(*kv.get("bk24"), "bv24");
+    // The 'B' entry applies atomically on every replica.
+    bool ok = eventually([&] {
+        for (auto& r : w.replicas)
+            if (r.machine->backend().count() != 26) return false;
+        return true;
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST(ReplicatedKv, GetMultiIsLinearizableBatch) {
+    ReplicatedKvWorld w{3};
+    ReplicatedKvClient kv{w.client_margo, w.addresses, 7};
+    ASSERT_TRUE(kv.put_multi({{"a", "1"}, {"b", "2"}, {"c", "3"}}).ok());
+    auto values = kv.get_multi({"a", "missing", "c"});
+    ASSERT_TRUE(values.has_value()) << values.error().message;
+    ASSERT_EQ(values->size(), 3u);
+    EXPECT_EQ(*(*values)[0], "1");
+    EXPECT_FALSE((*values)[1].has_value());
+    EXPECT_EQ(*(*values)[2], "3");
+    // Empty batches short-circuit.
+    EXPECT_TRUE(kv.put_multi({}).ok());
+    auto none = kv.get_multi({});
+    ASSERT_TRUE(none.has_value());
+    EXPECT_TRUE(none->empty());
+}
+
+TEST(ElasticKvClientProtocol, BatchedOpsFanOutByShardAndSurviveRescale) {
+    Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 8;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(cluster, {"sim://ekv0", "sim://ekv1"}, cfg);
+    ASSERT_TRUE(svc.has_value());
+    auto& kv = **svc;
+    auto app = margo::Instance::create(cluster.fabric(), "sim://app").value();
+    ElasticKvClient client{app, kv.controller_address()};
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::vector<std::string> keys;
+    for (int i = 0; i < 64; ++i) {
+        pairs.emplace_back("mk" + std::to_string(i), "mv" + std::to_string(i));
+        keys.push_back("mk" + std::to_string(i));
+    }
+    ASSERT_TRUE(client.put_multi(pairs).ok());
+    auto values = client.get_multi(keys);
+    ASSERT_TRUE(values.has_value()) << values.error().message;
+    ASSERT_EQ(values->size(), keys.size());
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(*(*values)[i], "mv" + std::to_string(i)) << i;
+    // Shards move; the batched paths must notice the stale directory,
+    // refresh once, and retry the whole batch.
+    std::size_t refreshes_before = client.refreshes();
+    ASSERT_TRUE(kv.scale_up("sim://ekv2").ok());
+    ASSERT_TRUE(client.put_multi({{"post-scale", "yes"}}).ok());
+    auto again = client.get_multi(keys);
+    ASSERT_TRUE(again.has_value()) << again.error().message;
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(*(*again)[i], "mv" + std::to_string(i)) << i;
+    EXPECT_GE(client.refreshes(), refreshes_before);
+    // Missing keys come back empty rather than erroring the batch.
+    auto mixed = client.get_multi({"mk0", "never-written"});
+    ASSERT_TRUE(mixed.has_value());
+    EXPECT_TRUE((*mixed)[0].has_value());
+    EXPECT_FALSE((*mixed)[1].has_value());
+    app->shutdown();
+}

@@ -7,11 +7,15 @@
 // dropped ULT hangs the test instead of passing silently.
 //
 // Seed count comes from MOCHI_STRESS_SEEDS (default 10; CI runs 100).
+// The jitter/loss knobs derive from the seed, and the base seed itself is
+// overridable via STRESS_SEED — a failing run logs it, so any seed can be
+// replayed exactly: STRESS_SEED=<seed> MOCHI_STRESS_SEEDS=1 ./test_lifecycle_stress
 #include "remi/provider.hpp"
 #include "ssg/group.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -24,6 +28,34 @@ int stress_seeds() {
     if (const char* s = std::getenv("MOCHI_STRESS_SEEDS"))
         return std::max(1, std::atoi(s));
     return 10;
+}
+
+std::uint64_t stress_base_seed() {
+    static std::uint64_t base = [] {
+        std::uint64_t b = 1;
+        if (const char* s = std::getenv("STRESS_SEED")) b = std::strtoull(s, nullptr, 10);
+        std::printf("[stress] seeds %llu..%llu (override base with STRESS_SEED)\n",
+                    static_cast<unsigned long long>(b),
+                    static_cast<unsigned long long>(b + stress_seeds() - 1));
+        std::fflush(stdout);
+        return b;
+    }();
+    return base;
+}
+
+/// Run `scenario` once per seed, stopping at the first failing seed so the
+/// logged "seed N" line points at the reproducer.
+template <typename Scenario>
+void run_seeded(Scenario scenario) {
+    int n = stress_seeds();
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t seed = stress_base_seed() + static_cast<std::uint64_t>(i);
+        SCOPED_TRACE("seed " + std::to_string(seed) +
+                     " (replay: STRESS_SEED=" + std::to_string(seed) +
+                     " MOCHI_STRESS_SEEDS=1)");
+        scenario(seed);
+        if (testing::Test::HasFatalFailure() || testing::Test::HasNonfatalFailure()) break;
+    }
 }
 
 /// Wait until predicate true or timeout; returns the final predicate value.
@@ -297,31 +329,96 @@ void swim_churn(std::uint64_t seed) {
     for (auto& m : instances) m->shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 4: async forwards racing shutdown()
+// ---------------------------------------------------------------------------
+//
+// forward_async() decouples issuing a call from waiting on it, which opens
+// drain windows the synchronous path never has: a handle can be abandoned
+// without waiting, waited on *after* shutdown() started, or in flight with
+// no waiter at all when the cancel sweep runs. Every one of those must
+// resolve — the joins below hang on any lost wakeup.
+
+void async_vs_shutdown(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    auto fabric = mercury::Fabric::create(chaos_link(rng, /*duplicates=*/true), seed);
+    auto server = margo::Instance::create(fabric, "sim://as-server").value();
+    auto client = margo::Instance::create(fabric, "sim://as-client").value();
+    ASSERT_TRUE(server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    ASSERT_TRUE(server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+
+    constexpr int k_ults = 4, k_inflight = 8;
+    std::atomic<int> waited{0}, abandoned{0}, unexpected{0}, started{0};
+    std::vector<abt::ThreadHandle> handles;
+    for (int i = 0; i < k_ults; ++i) {
+        handles.push_back(client->runtime()->post_thread(
+            client->runtime()->primary_pool(), [&, i, seed] {
+                std::mt19937_64 lrng(seed * 2000003 + i);
+                ++started;
+                // Launch a window of overlapping async forwards...
+                std::vector<margo::AsyncRequest> reqs;
+                for (int j = 0; j < k_inflight; ++j) {
+                    margo::ForwardOptions opts;
+                    opts.timeout = std::chrono::milliseconds(
+                        std::uniform_int_distribution<>(10, 40)(lrng));
+                    const char* name = (lrng() % 2) ? "echo" : "blackhole";
+                    reqs.push_back(client->forward_async("sim://as-server", name, "x", opts));
+                }
+                // ...then abandon some without waiting (their registry slots
+                // must be reclaimed and their spans closed regardless), and
+                // wait on the rest, possibly concurrently with shutdown().
+                for (auto& r : reqs) {
+                    if (lrng() % 4 == 0) {
+                        r = margo::AsyncRequest{}; // drop the last handle
+                        ++abandoned;
+                        continue;
+                    }
+                    auto out = r.wait();
+                    ++waited;
+                    if (out) continue;
+                    switch (out.error().code) {
+                    case Error::Code::Timeout:
+                    case Error::Code::Canceled:
+                    case Error::Code::InvalidState:
+                    case Error::Code::Unreachable: break;
+                    default: ++unexpected; break;
+                    }
+                    // A second wait on the same handle must return the same
+                    // cached outcome, not hang on a consumed eventual.
+                    auto again = r.wait();
+                    EXPECT_FALSE(again.has_value());
+                }
+            }));
+    }
+    while (started.load() < k_ults) std::this_thread::sleep_for(1ms);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::uniform_int_distribution<>(0, 30)(rng)));
+    client->shutdown();
+    // Liveness: every waited-on forward resolved, every abandoned one was
+    // swept; shutdown() itself must have drained without deadlocking first.
+    for (auto& h : handles) h.join();
+    EXPECT_EQ(waited.load() + abandoned.load(), k_ults * k_inflight);
+    EXPECT_EQ(unexpected.load(), 0);
+    // Post-shutdown issuance fails fast through the handle, not a throw.
+    auto late = client->forward_async("sim://as-server", "echo", "x");
+    auto out = late.wait();
+    ASSERT_FALSE(out.has_value());
+    EXPECT_EQ(out.error().code, Error::Code::InvalidState);
+    server->shutdown();
+}
+
 } // namespace
 
-TEST(LifecycleStress, ForwardVsShutdown) {
-    int seeds = stress_seeds();
-    for (int s = 1; s <= seeds; ++s) {
-        SCOPED_TRACE("seed " + std::to_string(s));
-        forward_vs_shutdown(static_cast<std::uint64_t>(s));
-        if (HasFatalFailure() || HasNonfatalFailure()) break;
-    }
-}
+TEST(LifecycleStress, ForwardVsShutdown) { run_seeded(forward_vs_shutdown); }
 
-TEST(LifecycleStress, MigrationChaos) {
-    int seeds = stress_seeds();
-    for (int s = 1; s <= seeds; ++s) {
-        SCOPED_TRACE("seed " + std::to_string(s));
-        migration_chaos(static_cast<std::uint64_t>(s));
-        if (HasFatalFailure() || HasNonfatalFailure()) break;
-    }
-}
+TEST(LifecycleStress, MigrationChaos) { run_seeded(migration_chaos); }
 
-TEST(LifecycleStress, SwimChurn) {
-    int seeds = stress_seeds();
-    for (int s = 1; s <= seeds; ++s) {
-        SCOPED_TRACE("seed " + std::to_string(s));
-        swim_churn(static_cast<std::uint64_t>(s));
-        if (HasFatalFailure() || HasNonfatalFailure()) break;
-    }
-}
+TEST(LifecycleStress, SwimChurn) { run_seeded(swim_churn); }
+
+TEST(LifecycleStress, AsyncVsShutdown) { run_seeded(async_vs_shutdown); }

@@ -656,3 +656,181 @@ TEST(Margo, ProgressSamplerTracksDynamicPoolAddRemove) {
     auto pools = nodes.server->runtime()->pool_names();
     EXPECT_EQ(std::count(pools.begin(), pools.end(), "ephemeral"), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Asynchronous forwards (batched RPC pipeline)
+// ---------------------------------------------------------------------------
+
+TEST(MargoAsync, ForwardAsyncRoundTrip) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    auto req = nodes.client->forward_async("sim://server", "echo", "async hello");
+    ASSERT_TRUE(req.valid());
+    auto r = req.wait();
+    ASSERT_TRUE(r.has_value()) << r.error().message;
+    EXPECT_EQ(*r, "async hello");
+    // Repeated wait() returns the cached outcome.
+    auto again = req.wait();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, "async hello");
+    EXPECT_TRUE(req.test());
+}
+
+TEST(MargoAsync, EmptyHandleIsInvalidState) {
+    margo::AsyncRequest req;
+    EXPECT_FALSE(req.valid());
+    auto r = req.wait();
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::InvalidState);
+}
+
+TEST(MargoAsync, WaitUnpackTyped) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("double", margo::k_default_provider_id,
+                                   [](const margo::Request& req) {
+                                       std::int64_t v = 0;
+                                       ASSERT_TRUE(req.unpack(v));
+                                       req.respond_values(v * 2);
+                                   })
+                    .has_value());
+    auto req = nodes.client->forward_async("sim://server", "double",
+                                           mercury::pack(std::int64_t{21}));
+    auto r = req.wait_unpack<std::int64_t>();
+    ASSERT_TRUE(r.has_value()) << r.error().message;
+    EXPECT_EQ(std::get<0>(*r), 42);
+}
+
+TEST(MargoAsync, ManyInFlightForwardsOverlap) {
+    TwoNodes nodes;
+    std::atomic<int> inflight{0}, peak{0};
+    auto server = nodes.server;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("slow", margo::k_default_provider_id,
+                                   [server, &inflight, &peak](const margo::Request& req) {
+                                       int now = ++inflight;
+                                       int prev = peak.load();
+                                       while (now > prev && !peak.compare_exchange_weak(prev, now))
+                                           ;
+                                       server->runtime()->sleep_for(20ms);
+                                       --inflight;
+                                       req.respond(req.payload());
+                                   })
+                    .has_value());
+    constexpr int k_reqs = 8;
+    std::vector<margo::AsyncRequest> reqs;
+    for (int i = 0; i < k_reqs; ++i)
+        reqs.push_back(nodes.client->forward_async("sim://server", "slow",
+                                                   "r" + std::to_string(i)));
+    for (int i = 0; i < k_reqs; ++i) {
+        auto r = reqs[i].wait();
+        ASSERT_TRUE(r.has_value()) << r.error().message;
+        EXPECT_EQ(*r, "r" + std::to_string(i));
+    }
+    // The requests were on the wire concurrently, not serialized.
+    EXPECT_GT(peak.load(), 1);
+}
+
+TEST(MargoAsync, AbandonedRequestKeepsMonitorPaired) {
+    struct PairMonitor : margo::Monitor {
+        std::atomic<int> started{0}, completed{0};
+        void on_forward_start(const margo::CallContext&) override { ++started; }
+        void on_forward_complete(const margo::CallContext&, bool) override { ++completed; }
+    };
+    TwoNodes nodes;
+    auto mon = std::make_shared<PairMonitor>();
+    nodes.client->add_monitor(mon);
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+    {
+        auto req = nodes.client->forward_async("sim://server", "blackhole", "x");
+        EXPECT_TRUE(req.valid());
+        // Dropped without wait(): the registry slot must be released and the
+        // forward span closed as failed.
+    }
+    EXPECT_EQ(mon->started.load(), 1);
+    EXPECT_EQ(mon->completed.load(), 1);
+    // The pending registry is empty again, so shutdown has nothing to drain.
+    nodes.client->shutdown();
+}
+
+TEST(MargoAsync, ShutdownCancelsAsyncWaiter) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+    auto client = nodes.client;
+    auto req = client->forward_async("sim://server", "blackhole", "x");
+    abt::Eventual<Error::Code> outcome;
+    client->runtime()->post(client->runtime()->primary_pool(), [&outcome, req]() mutable {
+        margo::AsyncRequest local = req;
+        auto r = local.wait();
+        outcome.set_value(r ? Error::Code::Generic : r.error().code);
+    });
+    std::this_thread::sleep_for(20ms);
+    client->shutdown();
+    EXPECT_EQ(outcome.wait(), Error::Code::Canceled);
+}
+
+TEST(MargoAsync, ForwardAsyncAfterShutdownFailsFast) {
+    TwoNodes nodes;
+    nodes.client->shutdown();
+    auto t0 = std::chrono::steady_clock::now();
+    auto req = nodes.client->forward_async("sim://server", "echo", "x");
+    auto r = req.wait();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::InvalidState);
+    EXPECT_LT(ms, 1000.0);
+}
+
+TEST(MargoAsync, AsyncTimeoutReportsTimeout) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("blackhole", margo::k_default_provider_id,
+                                   [](const margo::Request&) {})
+                    .has_value());
+    margo::ForwardOptions opts;
+    opts.timeout = 80ms;
+    auto req = nodes.client->forward_async("sim://server", "blackhole", "x", opts);
+    auto r = req.wait();
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::Timeout);
+}
+
+namespace {
+
+// A response type whose deserialization throws: exercises the guarantee
+// that typed calls surface broken serialize() implementations as Expected
+// errors instead of throwing through the ULT boundary.
+struct ExplodingOnLoad {
+    template <typename A>
+    void serialize(A&) {
+        if constexpr (!A::is_saving) throw std::runtime_error("boom");
+    }
+};
+
+} // namespace
+
+TEST(MargoAsync, ThrowingUnpackSurfacesAsExpectedError) {
+    TwoNodes nodes;
+    ASSERT_TRUE(nodes.server
+                    ->register_rpc("ok", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond("payload"); })
+                    .has_value());
+    auto sync = nodes.client->call<ExplodingOnLoad>("sim://server", "ok", {});
+    ASSERT_FALSE(sync.has_value());
+    EXPECT_EQ(sync.error().code, Error::Code::Corruption);
+    auto req = nodes.client->forward_async("sim://server", "ok", "");
+    auto async = req.wait_unpack<ExplodingOnLoad>();
+    ASSERT_FALSE(async.has_value());
+    EXPECT_EQ(async.error().code, Error::Code::Corruption);
+}

@@ -370,3 +370,64 @@ TEST(Raft, StatusRpcReportsState) {
     EXPECT_EQ((*status)["peers"].size(), 3u);
     ci->shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Batched submission (submit_multi)
+// ---------------------------------------------------------------------------
+
+TEST(Raft, SubmitMultiCommitsBatchInOrder) {
+    RaftCluster cluster(3);
+    int leader = cluster.leader_index();
+    ASSERT_GE(leader, 0);
+    std::vector<std::string> commands;
+    for (int i = 0; i < 10; ++i) commands.push_back("append:" + std::to_string(i));
+    auto before = cluster.nodes[leader]->last_log_index();
+    auto results = cluster.nodes[leader]->submit_multi(commands);
+    ASSERT_TRUE(results.has_value()) << results.error().message;
+    ASSERT_EQ(results->size(), 10u);
+    // Results arrive in submission order: each echoes the register after its
+    // own append, so the last equals the full concatenation.
+    EXPECT_EQ((*results)[0], "0");
+    EXPECT_EQ((*results)[9], "0123456789");
+    // The batch took exactly ten log entries.
+    EXPECT_EQ(cluster.nodes[leader]->last_log_index(), before + 10);
+    // All replicas converge on the batch.
+    auto deadline = std::chrono::steady_clock::now() + 5000ms;
+    while (std::chrono::steady_clock::now() < deadline) {
+        bool all = true;
+        for (auto& m : cluster.machines)
+            if (m->value() != "0123456789") all = false;
+        if (all) break;
+        std::this_thread::sleep_for(10ms);
+    }
+    for (auto& m : cluster.machines) EXPECT_EQ(m->value(), "0123456789");
+}
+
+TEST(Raft, SubmitMultiRejectedOnFollower) {
+    RaftCluster cluster(3);
+    int leader = cluster.leader_index();
+    ASSERT_GE(leader, 0);
+    int follower = (leader + 1) % 3;
+    auto r = cluster.nodes[follower]->submit_multi({"set:x"});
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::NotLeader);
+    // Empty batch short-circuits successfully even on a follower.
+    auto empty = cluster.nodes[follower]->submit_multi({});
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_TRUE(empty->empty());
+}
+
+TEST(Raft, ClientSubmitMultiTracksLeader) {
+    RaftCluster cluster(3);
+    ASSERT_GE(cluster.leader_index(), 0);
+    auto fabric = cluster.fabric;
+    auto app = margo::Instance::create(fabric, "sim://app").value();
+    raft::Client client{app, cluster.addresses, 9};
+    std::vector<std::string> commands = {"set:a", "append:b", "append:c"};
+    auto r = client.submit_multi(commands);
+    ASSERT_TRUE(r.has_value()) << r.error().message;
+    ASSERT_EQ(r->size(), 3u);
+    EXPECT_EQ((*r)[2], "abc");
+    EXPECT_FALSE(client.known_leader().empty());
+    app->shutdown();
+}

@@ -8,6 +8,7 @@
 #include "margo/metrics.hpp"
 #include "margo/tracing.hpp"
 #include "remi/provider.hpp"
+#include "yokan/provider.hpp"
 
 #include <gtest/gtest.h>
 
@@ -538,4 +539,70 @@ TEST(Metrics, ComponentCountersAccumulate) {
     EXPECT_EQ(m.counter("warabi_bytes_read_total").value(), 10u);
     client->shutdown();
     server->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Per-op spans inside batched RPCs
+// ---------------------------------------------------------------------------
+
+TEST(Tracing, BatchedRpcKeepsPerOpSpans) {
+    // One put_multi RPC carrying N ops must yield N "op" spans, each a child
+    // of the single handler span — coalescing the wire traffic must not
+    // collapse the observability of individual operations.
+    TracedPair w;
+    yokan::Provider provider{w.server, 3, {}};
+    yokan::Database db{w.client, "sim://server", 3};
+    constexpr std::size_t k_ops = 12;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (std::size_t i = 0; i < k_ops; ++i)
+        pairs.emplace_back("k" + std::to_string(i), "v");
+    ASSERT_TRUE(db.put_multi(pairs).ok());
+    ASSERT_TRUE(eventually([&] {
+        auto spans = w.tracer->spans();
+        std::size_t ops = 0;
+        for (const auto& s : spans)
+            if (s.kind == "op") ++ops;
+        return ops == k_ops && all_spans_closed(*w.tracer);
+    }));
+
+    auto spans = w.tracer->spans();
+    const Span* hdl = find_span(spans, "handler", "yokan/put_multi");
+    ASSERT_NE(hdl, nullptr);
+    std::size_t ops = 0;
+    for (const auto& s : spans) {
+        if (s.kind != "op") continue;
+        ++ops;
+        EXPECT_EQ(s.name, "yokan/put");
+        EXPECT_EQ(s.trace_id, hdl->trace_id);
+        EXPECT_EQ(s.parent_span_id, hdl->span_id);
+        EXPECT_EQ(s.process, "sim://server");
+        EXPECT_TRUE(s.ok);
+    }
+    EXPECT_EQ(ops, k_ops);
+    // The metrics side counted every op too.
+    EXPECT_EQ(w.server->metrics()->counter("margo_batch_ops_total").value(), k_ops);
+    EXPECT_EQ(w.server->metrics()->counter("yokan_puts_total").value(), k_ops);
+}
+
+TEST(Tracing, AsyncForwardSpansMatchSyncShape) {
+    // forward_async must produce the same forward/handler span pair as a
+    // synchronous forward, closed when the response is consumed.
+    TracedPair w;
+    ASSERT_TRUE(w.server
+                    ->register_rpc("echo", k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+    auto req = w.client->forward_async("sim://server", "echo", "ping");
+    ASSERT_TRUE(req.wait().has_value());
+    ASSERT_TRUE(eventually([&] {
+        return w.tracer->spans().size() == 2 && all_spans_closed(*w.tracer);
+    }));
+    auto spans = w.tracer->spans();
+    const Span* fwd = find_span(spans, "forward", "echo");
+    const Span* hdl = find_span(spans, "handler", "echo");
+    ASSERT_NE(fwd, nullptr);
+    ASSERT_NE(hdl, nullptr);
+    EXPECT_EQ(fwd->trace_id, hdl->trace_id);
+    EXPECT_EQ(hdl->parent_span_id, fwd->span_id);
+    EXPECT_TRUE(fwd->ok);
 }

@@ -367,3 +367,126 @@ TEST(Yokan, ExtendedOperationsOnVirtualDatabase) {
     front->shutdown();
     n1->shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Batched RPC pipeline (op coalescing, vectored handlers, auto-batcher)
+// ---------------------------------------------------------------------------
+
+TEST(YokanBatch, LargeBatchRidesBulkTransfer) {
+    // A batch whose payload reaches k_bulk_threshold switches to the
+    // put_multi_bulk path: pairs are packed into one buffer and pulled over
+    // RDMA. The result must be indistinguishable from the inline path.
+    YokanWorld w;
+    yokan::Provider provider{w.server, 3, {}};
+    yokan::Database db{w.client, "sim://server", 3};
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 64; ++i)
+        pairs.emplace_back("bulk" + std::to_string(i), std::string(1024, 'a' + i % 26));
+    ASSERT_GE(pairs.size() * 1024, yokan::Database::k_bulk_threshold);
+    ASSERT_TRUE(db.put_multi(pairs).ok());
+    EXPECT_EQ(*db.count(), 64u);
+    EXPECT_EQ(*db.get("bulk63"), std::string(1024, 'a' + 63 % 26));
+    // Every op in the batch counted individually despite the single RPC.
+    EXPECT_EQ(w.server->metrics()->counter("yokan_puts_total").value(), 64u);
+    EXPECT_EQ(w.server->metrics()->counter("margo_batch_ops_total").value(), 64u);
+}
+
+TEST(YokanBatch, PutMultiAsyncOverlapsBatches) {
+    YokanWorld w;
+    yokan::Provider provider{w.server, 3, {}};
+    yokan::Database db{w.client, "sim://server", 3};
+    std::vector<margo::AsyncRequest> inflight;
+    for (int b = 0; b < 4; ++b) {
+        std::vector<std::pair<std::string, std::string>> pairs;
+        for (int i = 0; i < 8; ++i)
+            pairs.emplace_back("b" + std::to_string(b) + "k" + std::to_string(i), "v");
+        inflight.push_back(db.put_multi_async(pairs));
+    }
+    for (auto& req : inflight) {
+        auto r = req.wait_unpack<bool>();
+        ASSERT_TRUE(r.has_value()) << r.error().message;
+    }
+    EXPECT_EQ(*db.count(), 32u);
+}
+
+TEST(YokanBatch, BatcherFlushesOnOpCount) {
+    YokanWorld w;
+    yokan::Provider provider{w.server, 3, {}};
+    yokan::Database db{w.client, "sim://server", 3};
+    yokan::Batcher::Options opts;
+    opts.max_ops = 8;
+    yokan::Batcher batcher{db, opts};
+    for (int i = 0; i < 20; ++i)
+        batcher.put("k" + std::to_string(i), "v" + std::to_string(i));
+    ASSERT_TRUE(batcher.drain().ok());
+    EXPECT_EQ(*db.count(), 20u);
+    EXPECT_EQ(*db.get("k19"), "v19");
+    auto stats = batcher.stats();
+    EXPECT_EQ(stats.ops_enqueued, 20u);
+    EXPECT_GE(stats.batches_sent, 3u); // 8 + 8 + 4
+    EXPECT_LE(stats.largest_batch, 8u);
+}
+
+TEST(YokanBatch, BatcherTimerFlushesPartialBatch) {
+    YokanWorld w;
+    yokan::Provider provider{w.server, 3, {}};
+    yokan::Database db{w.client, "sim://server", 3};
+    yokan::Batcher::Options opts;
+    opts.max_ops = 1000; // never reached
+    opts.max_delay = std::chrono::milliseconds(20);
+    yokan::Batcher batcher{db, opts};
+    batcher.put("lonely", "op");
+    // No flush()/drain(): the delay timer must push the batch out.
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (*db.count() == 1u) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(*db.count(), 1u);
+    EXPECT_EQ(*db.get("lonely"), "op");
+    ASSERT_TRUE(batcher.drain().ok());
+}
+
+TEST(YokanBatch, BatcherDestructorDrains) {
+    YokanWorld w;
+    yokan::Provider provider{w.server, 3, {}};
+    yokan::Database db{w.client, "sim://server", 3};
+    {
+        yokan::Batcher batcher{db};
+        for (int i = 0; i < 5; ++i) batcher.put("d" + std::to_string(i), "v");
+    }
+    EXPECT_EQ(*db.count(), 5u);
+}
+
+TEST(YokanBatch, VirtualDatabaseForwardsWholeBatch) {
+    // A batched write through a virtual database must reach every replica
+    // as one put_multi per replica, not one RPC per pair.
+    auto fabric = mercury::Fabric::create();
+    auto n1 = margo::Instance::create(fabric, "sim://n1").value();
+    auto n2 = margo::Instance::create(fabric, "sim://n2").value();
+    auto front = margo::Instance::create(fabric, "sim://front").value();
+    auto client = margo::Instance::create(fabric, "sim://client").value();
+    yokan::Provider real1{n1, 1, {}};
+    yokan::Provider real2{n2, 1, {}};
+    yokan::ProviderConfig vc;
+    vc.db_name = "virtual";
+    vc.targets = {"yokan:1@sim://n1", "yokan:1@sim://n2"};
+    yokan::Provider virt{front, 9, vc};
+    yokan::Database db{client, "sim://front", 9};
+
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 10; ++i) pairs.emplace_back("vk" + std::to_string(i), "v");
+    ASSERT_TRUE(db.put_multi(pairs).ok());
+    yokan::Database d1{client, "sim://n1", 1}, d2{client, "sim://n2", 1};
+    EXPECT_EQ(*d1.count(), 10u);
+    EXPECT_EQ(*d2.count(), 10u);
+    auto values = db.get_multi({"vk0", "vk9", "gone"});
+    ASSERT_TRUE(values.has_value());
+    EXPECT_TRUE((*values)[0].has_value());
+    EXPECT_TRUE((*values)[1].has_value());
+    EXPECT_FALSE((*values)[2].has_value());
+    client->shutdown();
+    front->shutdown();
+    n2->shutdown();
+    n1->shutdown();
+}

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate.
+
+Runs the covered benchmarks (bench_rpc, bench_tracing, bench_ult,
+bench_batch), writes each one's raw results to BENCH_<name>.json in
+--out-dir, and compares a curated set of metrics against the checked-in
+baselines in bench/baselines/.
+
+Two kinds of checks:
+
+  * ratio comparison against the baseline value, with a per-metric
+    tolerance band (baselines capture the shape, not the exact machine, so
+    bands are generous — the gate catches order-of-magnitude regressions
+    such as a batched path quietly falling back to per-op RPCs, not 10%%
+    noise);
+  * absolute floors (``min``), for metrics that are themselves ratios and
+    must hold on any machine — e.g. speedup_32 >= 3 (E10's acceptance
+    criterion) regardless of absolute throughput.
+
+Usage:
+  tools/bench_gate.py --bin-dir build/bench [--baselines bench/baselines]
+                      [--out-dir .] [--update-baselines]
+
+Exit status 0 = all gates pass; 1 = regression or missing benchmark.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Benchmarks to run: name -> how to produce BENCH_<name>.json.
+#   google    - google-benchmark binary, native --benchmark_out JSON
+#   metrics   - plain binary supporting `--json FILE` ({"metrics": {...}})
+BENCHMARKS = {
+    "rpc": {"kind": "google", "args": ["--benchmark_min_time=0.05"]},
+    "tracing": {"kind": "google", "args": ["--benchmark_min_time=0.05"]},
+    "ult": {"kind": "metrics", "args": []},
+    "batch": {"kind": "metrics", "args": []},
+}
+
+# Gated metrics: (bench, metric) -> spec.
+#   For google benches the metric is "<benchmark name>:<field>".
+#   higher_is_better decides the direction of the tolerance band.
+#   tolerance T allows measured in [baseline/T, inf) for higher-is-better
+#   and (0, baseline*T] for lower-is-better.
+#   An optional "min" adds an absolute floor independent of the baseline.
+GATES = {
+    ("rpc", "BM_EchoRoundTrip/8:real_time"): {
+        "higher_is_better": False, "tolerance": 3.0},
+    ("rpc", "BM_BulkPull/1048576:bytes_per_second"): {
+        "higher_is_better": True, "tolerance": 3.0},
+    ("tracing", "BM_TracingOverhead/2/8:real_time"): {
+        "higher_is_better": False, "tolerance": 3.0},
+    ("ult", "ult_aware_ops_s_c16"): {
+        "higher_is_better": True, "tolerance": 3.0},
+    # The ULT ablation's point: ULT-aware blocking must beat thread-blocking
+    # handlers by a wide margin at concurrency 16.
+    ("ult", "ult_ratio_c16"): {
+        "higher_is_better": True, "tolerance": 3.0, "min": 4.0},
+    ("batch", "yokan_put_ops_s_batch_32"): {
+        "higher_is_better": True, "tolerance": 3.0},
+    # E10 acceptance criterion: batching 32 ops into one RPC must be at
+    # least 3x faster than per-op round trips, on any machine.
+    ("batch", "speedup_32"): {
+        "higher_is_better": True, "tolerance": 3.0, "min": 3.0},
+}
+
+
+def run_benchmark(name, spec, bin_dir, out_dir):
+    """Run one benchmark, write BENCH_<name>.json, return the parsed doc."""
+    binary = os.path.join(bin_dir, "bench_" + name)
+    out_path = os.path.join(out_dir, "BENCH_%s.json" % name)
+    if not os.path.exists(binary):
+        print("bench_gate: missing binary %s" % binary)
+        return None
+    if spec["kind"] == "google":
+        cmd = [binary, "--benchmark_out=" + out_path,
+               "--benchmark_out_format=json"] + spec["args"]
+    else:
+        cmd = [binary, "--json", out_path] + spec["args"]
+    print("bench_gate: running %s" % " ".join(cmd))
+    sys.stdout.flush()
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    sys.stdout.buffer.write(proc.stdout)
+    sys.stdout.flush()
+    if proc.returncode != 0:
+        print("bench_gate: %s exited with %d" % (binary, proc.returncode))
+        return None
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def extract(doc, kind, metric):
+    """Pull one gated metric out of a raw benchmark document."""
+    if kind == "metrics":
+        return doc.get("metrics", {}).get(metric)
+    bench_name, field = metric.rsplit(":", 1)
+    for entry in doc.get("benchmarks", []):
+        if entry.get("name") == bench_name:
+            return entry.get(field)
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin-dir", default="build/bench",
+                    help="directory holding the bench_* binaries")
+    ap.add_argument("--baselines", default=None,
+                    help="baseline directory (default: bench/baselines "
+                         "next to this script's repo)")
+    ap.add_argument("--out-dir", default=".",
+                    help="where BENCH_*.json files are written")
+    ap.add_argument("--update-baselines", action="store_true",
+                    help="rewrite the baseline files from this run's "
+                         "numbers instead of gating")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baselines_dir = args.baselines or os.path.join(repo_root, "bench", "baselines")
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    # Run everything first so BENCH_*.json exist even when a gate fails.
+    raw = {}
+    failures = []
+    for name, spec in BENCHMARKS.items():
+        doc = run_benchmark(name, spec, args.bin_dir, args.out_dir)
+        if doc is None:
+            failures.append("benchmark %s did not produce results" % name)
+        raw[name] = doc
+
+    # Collect the gated metrics from the raw documents.
+    measured = {}
+    for (bench, metric), gate in GATES.items():
+        doc = raw.get(bench)
+        if doc is None:
+            continue  # already recorded as a failure above
+        value = extract(doc, BENCHMARKS[bench]["kind"], metric)
+        if value is None:
+            failures.append("metric %s missing from bench_%s output" % (metric, bench))
+            continue
+        measured[(bench, metric)] = float(value)
+
+    if args.update_baselines:
+        os.makedirs(baselines_dir, exist_ok=True)
+        per_bench = {}
+        for (bench, metric), value in measured.items():
+            per_bench.setdefault(bench, {})[metric] = value
+        for bench, metrics in sorted(per_bench.items()):
+            path = os.path.join(baselines_dir, bench + ".json")
+            with open(path, "w") as f:
+                json.dump({"metrics": metrics}, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print("bench_gate: wrote %s" % path)
+        return 1 if failures else 0
+
+    # Gate against the baselines.
+    for (bench, metric), gate in sorted(GATES.items()):
+        if (bench, metric) not in measured:
+            continue
+        value = measured[(bench, metric)]
+        path = os.path.join(baselines_dir, bench + ".json")
+        if not os.path.exists(path):
+            failures.append("no baseline file %s (run with --update-baselines)" % path)
+            continue
+        with open(path) as f:
+            base_doc = json.load(f)
+        base = base_doc.get("metrics", {}).get(metric)
+        if base is None:
+            failures.append("baseline %s lacks metric %s" % (path, metric))
+            continue
+        tol = gate["tolerance"]
+        if gate["higher_is_better"]:
+            ok = value >= base / tol
+            band = ">= %.4g (baseline %.4g / %.1f)" % (base / tol, base, tol)
+        else:
+            ok = value <= base * tol
+            band = "<= %.4g (baseline %.4g * %.1f)" % (base * tol, base, tol)
+        floor = gate.get("min")
+        if floor is not None and value < floor:
+            ok = False
+            band += ", absolute floor %.4g" % floor
+        status = "ok " if ok else "FAIL"
+        print("bench_gate: [%s] %s/%s = %.4g  (%s)" % (status, bench, metric, value, band))
+        if not ok:
+            failures.append("%s/%s = %.4g outside band %s" % (bench, metric, value, band))
+
+    if failures:
+        print("bench_gate: FAILED")
+        for f in failures:
+            print("  - " + f)
+        return 1
+    print("bench_gate: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
