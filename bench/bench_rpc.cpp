@@ -2,9 +2,18 @@
 // Margo runtime over the simulated fabric, vs. payload size, handler-pool
 // concurrency, and bulk (RDMA) transfer size. Establishes the baseline the
 // other experiments build on.
+//
+// `--json FILE` switches to the hot-path metrics mode consumed by the
+// bench-regression gate (tools/bench_gate.py): small-message ops/s, p99
+// latency, and the speedup of the zero-copy/SPSC fast path over the generic
+// timer-driven delivery path (Fabric::set_fast_path_enabled(false)).
 #include "margo/instance.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
 
 using namespace mochi;
 
@@ -110,6 +119,70 @@ void BM_RegisteredRpcLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_RegisteredRpcLookup)->Arg(1)->Arg(100)->Arg(1000);
 
+// ---------------------------------------------------------------------------
+// Hot-path metrics mode (--json FILE), gated by tools/bench_gate.py.
+// ---------------------------------------------------------------------------
+
+struct HotPathStats {
+    double ops_s = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+};
+
+HotPathStats measure_small_echo(bool fast_path) {
+    using Clock = std::chrono::steady_clock;
+    RpcWorld world;
+    world.fabric->set_fast_path_enabled(fast_path);
+    std::string payload(8, 'x');
+    constexpr int k_warmup = 200;
+    constexpr int k_ops = 3000;
+    for (int i = 0; i < k_warmup; ++i)
+        (void)world.client->forward("sim://server", "echo", payload);
+    std::vector<double> lat_us;
+    lat_us.reserve(k_ops);
+    auto t0 = Clock::now();
+    for (int i = 0; i < k_ops; ++i) {
+        auto s = Clock::now();
+        (void)world.client->forward("sim://server", "echo", payload);
+        lat_us.push_back(std::chrono::duration<double, std::micro>(Clock::now() - s).count());
+    }
+    double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    std::sort(lat_us.begin(), lat_us.end());
+    HotPathStats st;
+    st.ops_s = static_cast<double>(k_ops) / secs;
+    st.p50_us = lat_us[lat_us.size() / 2];
+    st.p99_us = lat_us[lat_us.size() * 99 / 100];
+    return st;
+}
+
+int run_hotpath_metrics(const char* json_path) {
+    std::printf("# small-message (8 B) echo round-trip, 1 client ULT\n");
+    auto fast = measure_small_echo(/*fast_path=*/true);
+    auto slow = measure_small_echo(/*fast_path=*/false);
+    double speedup = fast.ops_s / slow.ops_s;
+    std::printf("%-28s %12.0f ops/s  p50 %7.1f us  p99 %7.1f us\n", "fast path (default)",
+                fast.ops_s, fast.p50_us, fast.p99_us);
+    std::printf("%-28s %12.0f ops/s  p50 %7.1f us  p99 %7.1f us\n", "generic path (disabled)",
+                slow.ops_s, slow.p50_us, slow.p99_us);
+    std::printf("%-28s %12.2fx\n", "fast-path speedup", speedup);
+    std::ofstream out{json_path};
+    out << "{\n  \"metrics\": {\n"
+        << "    \"small_echo_ops_s\": " << fast.ops_s << ",\n"
+        << "    \"small_echo_p50_us\": " << fast.p50_us << ",\n"
+        << "    \"small_echo_p99_us\": " << fast.p99_us << ",\n"
+        << "    \"generic_path_ops_s\": " << slow.ops_s << ",\n"
+        << "    \"fast_path_speedup\": " << speedup << "\n  }\n}\n";
+    return out ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc - 1; ++i)
+        if (std::strcmp(argv[i], "--json") == 0) return run_hotpath_metrics(argv[i + 1]);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

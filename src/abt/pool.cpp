@@ -43,7 +43,6 @@ Pool::Pool(std::string name, PoolKind kind, PoolAccess access)
 : m_name(std::move(name)), m_kind(kind), m_access(access) {}
 
 void Pool::push(UltPtr ult, int priority) {
-    std::vector<Xstream*> to_notify;
     {
         std::lock_guard lk{m_mutex};
         Item item{std::move(ult), priority, m_seq++};
@@ -57,9 +56,13 @@ void Pool::push(UltPtr ult, int priority) {
         } else {
             m_queue.push_back(std::move(item));
         }
-        to_notify = m_subscribers;
     }
-    for (Xstream* es : to_notify) es->notify();
+    // Subscribers are notified outside the queue lock (an Xstream's notify
+    // takes its own mutex and may issue a futex wake). The shared lock on
+    // m_sub_mutex keeps every notified Xstream alive for the duration: see
+    // the quiescence contract on m_sub_mutex in pool.hpp.
+    std::shared_lock slk{m_sub_mutex};
+    for (Xstream* es : m_subscribers) es->notify();
 }
 
 UltPtr Pool::pop() {
@@ -91,17 +94,19 @@ std::uint64_t Pool::total_pushed() const {
 }
 
 void Pool::subscribe(Xstream* es) {
-    std::lock_guard lk{m_mutex};
+    std::lock_guard lk{m_sub_mutex};
     m_subscribers.push_back(es);
 }
 
 void Pool::unsubscribe(Xstream* es) {
-    std::lock_guard lk{m_mutex};
+    // Exclusive acquisition drains every pusher currently notifying under a
+    // shared lock; afterwards the caller may safely destroy the Xstream.
+    std::lock_guard lk{m_sub_mutex};
     std::erase(m_subscribers, es);
 }
 
 std::size_t Pool::subscriber_count() const {
-    std::lock_guard lk{m_mutex};
+    std::shared_lock lk{m_sub_mutex};
     return m_subscribers.size();
 }
 

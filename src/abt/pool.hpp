@@ -6,9 +6,10 @@
 
 #include "abt/ult.hpp"
 #include "common/expected.hpp"
+#include "common/ring_queue.hpp"
 
-#include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -63,10 +64,17 @@ class Pool {
     PoolAccess m_access;
 
     mutable std::mutex m_mutex;
-    std::deque<Item> m_queue;     // FIFO kinds
+    RingQueue<Item> m_queue;      // FIFO kinds (steady-state allocation-free)
     std::vector<Item> m_heap;     // Prio kind (max-heap by priority, FIFO ties)
     std::uint64_t m_seq = 0;
     std::uint64_t m_total_pushed = 0;
+    /// Subscribers are raw pointers into Runtime-owned Xstreams, so their
+    /// lifetime is guarded by quiescence: push() notifies while holding
+    /// m_sub_mutex shared, and unsubscribe() takes it exclusively — once
+    /// unsubscribe returns, no in-flight notify can still touch the stream
+    /// (remove_xstream destroys it right after). Separate from m_mutex so
+    /// the queue critical section stays free of condvar/futex work.
+    mutable std::shared_mutex m_sub_mutex;
     std::vector<Xstream*> m_subscribers;
 };
 

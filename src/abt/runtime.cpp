@@ -72,6 +72,7 @@ void ult_trampoline() {
     Ult* self = cur_ult_get();
     self->fn();
     self->fn = nullptr; // destroy captured state while the fiber is alive
+    self->task_payload.reset();
     self->state.store(UltState::Terminated);
     tsan_switch_to_sched();
     swapcontext(&self->ctx, sched_ctx_get());
@@ -436,23 +437,35 @@ Status Runtime::remove_xstream(std::string_view name) {
     return {};
 }
 
-void Runtime::post(const std::shared_ptr<Pool>& pool, std::function<void()> fn) {
-    auto ult = std::make_shared<Ult>();
-    ult->fn = std::move(fn);
+UltPtr Runtime::make_ult(const std::shared_ptr<Pool>& pool) {
+    auto ult = std::allocate_shared<Ult>(PoolAllocator<Ult>{m_ult_pool});
     ult->home_pool = pool.get();
     ult->runtime = this;
     ult->state.store(UltState::Ready);
+    return ult;
+}
+
+void Runtime::post(const std::shared_ptr<Pool>& pool, std::function<void()> fn) {
+    auto ult = make_ult(pool);
+    ult->fn = std::move(fn);
+    pool->push(std::move(ult));
+}
+
+void Runtime::post_with_payload(const std::shared_ptr<Pool>& pool, std::shared_ptr<void> payload,
+                                void (*fn)(void*)) {
+    auto ult = make_ult(pool);
+    ult->task_payload = std::move(payload);
+    // Captures one function pointer (8 bytes, trivially copyable): stays in
+    // std::function's inline buffer. The payload rides in the descriptor.
+    ult->fn = [fn] { fn(current_ult()->task_payload.get()); };
     pool->push(std::move(ult));
 }
 
 ThreadHandle Runtime::post_thread(const std::shared_ptr<Pool>& pool, std::function<void()> fn) {
-    auto ult = std::make_shared<Ult>();
+    auto ult = make_ult(pool);
     auto event = std::make_shared<Eventual<void>>();
     ult->fn = std::move(fn);
-    ult->home_pool = pool.get();
-    ult->runtime = this;
     ult->on_terminate = [event] { event->set(); };
-    ult->state.store(UltState::Ready);
     ThreadHandle handle{ult, event};
     pool->push(std::move(ult));
     return handle;
@@ -625,6 +638,7 @@ void Runtime::finalize() {
                     u->stack = nullptr;
                 }
                 u->fn = nullptr;
+                u->task_payload.reset(); // destroy the un-run task's state
                 u->state.store(UltState::Terminated);
                 u->done.store(true);
                 if (u->on_terminate) {

@@ -9,6 +9,7 @@
 #include "abt/ult.hpp"
 #include "common/expected.hpp"
 #include "common/json.hpp"
+#include "common/pool_alloc.hpp"
 
 #include <condition_variable>
 #include <map>
@@ -122,8 +123,24 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
     /// Post a ULT to a pool; fire-and-forget.
     void post(const std::shared_ptr<Pool>& pool, std::function<void()> fn);
 
+    /// Allocation-lean post for the RPC hot path: the task's state travels
+    /// in Ult::task_payload and `fn` receives payload.get(). The wrapper
+    /// closure captures only the function pointer, so it fits
+    /// std::function's small-buffer optimization, and the ULT descriptor
+    /// itself comes from a free list — a warm post performs zero heap
+    /// allocations. If the runtime is finalized before the ULT runs, the
+    /// payload is destroyed without `fn` ever running.
+    void post_with_payload(const std::shared_ptr<Pool>& pool, std::shared_ptr<void> payload,
+                           void (*fn)(void*));
+
     /// Post a ULT and get a joinable handle.
     ThreadHandle post_thread(const std::shared_ptr<Pool>& pool, std::function<void()> fn);
+
+    /// ULT descriptors served from the free list instead of the heap
+    /// (feeds margo_pool_recycled_total).
+    [[nodiscard]] std::uint64_t ult_pool_recycled() const noexcept {
+        return m_ult_pool->recycled();
+    }
 
     /// The default pool (first pool of the configuration).
     [[nodiscard]] std::shared_ptr<Pool> primary_pool() const;
@@ -153,6 +170,9 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
 
   private:
     Runtime() = default;
+    /// A fresh Ready ULT whose descriptor (and shared_ptr control block)
+    /// come from m_ult_pool.
+    [[nodiscard]] UltPtr make_ult(const std::shared_ptr<Pool>& pool);
     /// Run queued ULTs inline until all `pools` are empty or `budget` ULT
     /// slices have executed; returns the number of slices run.
     std::size_t drain_pools(const std::vector<std::shared_ptr<Pool>>& pools,
@@ -170,6 +190,12 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
 
     std::mutex m_stack_mutex;
     std::vector<char*> m_free_stacks; // all of k_default_stack_size
+
+    /// Free list for Ult descriptors (allocate_shared control block + Ult in
+    /// one recycled block). shared_ptr-held: a ThreadHandle's UltPtr may be
+    /// the last owner after the Runtime is gone, and the block must still
+    /// return somewhere valid.
+    std::shared_ptr<FreeList> m_ult_pool = std::make_shared<FreeList>();
 };
 
 } // namespace mochi::abt

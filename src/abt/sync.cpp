@@ -1,5 +1,7 @@
 #include "abt/sync.hpp"
 
+#include <cassert>
+
 namespace mochi::abt {
 
 // ---------------------------------------------------------------------------
@@ -39,8 +41,7 @@ void Mutex::unlock() {
         return;
     }
     // FIFO handoff: m_locked stays true; the woken waiter owns the mutex.
-    detail::WaitNode* node = m_waiters.front();
-    m_waiters.pop_front();
+    detail::WaitNode* node = m_waiters.pop_front();
     lk.unlock();
     detail::wake_node(node, m_cv, m_mutex);
 }
@@ -78,9 +79,7 @@ bool CondVar::wait_for(Mutex& mtx, std::chrono::microseconds timeout) {
         Timer& timer = node.ult->runtime->timer();
         auto tid = timer.schedule(timeout, [this, &node] {
             std::unique_lock lk{m_mutex};
-            auto it = std::find(m_waiters.begin(), m_waiters.end(), &node);
-            if (it == m_waiters.end()) return; // already signaled
-            m_waiters.erase(it);
+            if (!m_waiters.remove(&node)) return; // already signaled
             node.timed_out = true;
             Ult* u = node.ult;
             lk.unlock();
@@ -93,7 +92,7 @@ bool CondVar::wait_for(Mutex& mtx, std::chrono::microseconds timeout) {
         bool ok = m_cv.wait_for(lk, timeout,
                                 [&] { return node.signaled.load(std::memory_order_acquire); });
         if (!ok) {
-            if (std::erase(m_waiters, &node) > 0) {
+            if (m_waiters.remove(&node)) {
                 node.timed_out = true;
             } else {
                 // A signaler already dequeued us; wait until it finishes
@@ -110,21 +109,29 @@ void CondVar::signal_one() {
     detail::WaitNode* node = nullptr;
     {
         std::lock_guard lk{m_mutex};
-        if (m_waiters.empty()) return;
-        node = m_waiters.front();
-        m_waiters.pop_front();
+        node = m_waiters.pop_front();
     }
-    detail::wake_node(node, m_cv, m_mutex);
+    if (node != nullptr) detail::wake_node(node, m_cv, m_mutex);
 }
 
 void CondVar::signal_all() {
-    std::deque<detail::WaitNode*> waiters;
+    // Dequeue everything under the lock, then wake outside it. Unlike the
+    // one-shot primitives, CondVar waiters re-check a predicate under the
+    // paired abt::Mutex, so waking them one at a time is fine — but an
+    // external-thread waiter may time out, fail remove(), and then block on
+    // `signaled`, so the chain must not be walked after a node is signaled.
+    // wake_node touches exactly one node, and the next pointer is read
+    // before signaling it.
+    detail::WaitList waiters;
     {
         std::lock_guard lk{m_mutex};
-        waiters = std::move(m_waiters);
-        m_waiters.clear();
+        waiters = m_waiters.take();
     }
-    for (auto* node : waiters) detail::wake_node(node, m_cv, m_mutex);
+    for (detail::WaitNode* node = waiters.head; node != nullptr;) {
+        detail::WaitNode* next = node->next;
+        detail::wake_node(node, m_cv, m_mutex);
+        node = next;
+    }
 }
 
 // ---------------------------------------------------------------------------

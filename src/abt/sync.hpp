@@ -4,15 +4,18 @@
 // while a plain OS thread blocks on a condition variable. This mirrors
 // Argobots/Margo semantics where e.g. margo_wait() may be called both from
 // handler ULTs and from the application's main thread.
+//
+// Waiters are linked intrusively through their stack-resident WaitNodes, so
+// parking and waking never allocate — a property the RPC hot path depends
+// on (every forward waits on an Eventual, and the allocation-count
+// regression test asserts the warm path is heap-free).
 #pragma once
 
 #include "abt/runtime.hpp"
 #include "abt/timer.hpp"
 #include "abt/ult.hpp"
 
-#include <algorithm>
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -28,6 +31,60 @@ struct WaitNode {
     Ult* ult = nullptr;               ///< nullptr => external-thread waiter
     std::atomic<bool> signaled{false};
     bool timed_out = false;
+    WaitNode* next = nullptr;         ///< intrusive FIFO link (see WaitList)
+};
+
+/// Intrusive FIFO of WaitNodes. Nodes are stack-resident; the list only
+/// stores pointers into them, so linking/unlinking is allocation-free.
+/// All operations require the owning primitive's lock.
+struct WaitList {
+    WaitNode* head = nullptr;
+    WaitNode* tail = nullptr;
+
+    [[nodiscard]] bool empty() const noexcept { return head == nullptr; }
+
+    void push_back(WaitNode* n) noexcept {
+        n->next = nullptr;
+        if (tail)
+            tail->next = n;
+        else
+            head = n;
+        tail = n;
+    }
+
+    WaitNode* pop_front() noexcept {
+        WaitNode* n = head;
+        if (n) {
+            head = n->next;
+            if (!head) tail = nullptr;
+            n->next = nullptr;
+        }
+        return n;
+    }
+
+    /// Unlink `target` if present; returns false when it was already
+    /// removed (i.e. a waker claimed it).
+    bool remove(WaitNode* target) noexcept {
+        WaitNode* prev = nullptr;
+        for (WaitNode* n = head; n; prev = n, n = n->next) {
+            if (n != target) continue;
+            if (prev)
+                prev->next = n->next;
+            else
+                head = n->next;
+            if (tail == n) tail = prev;
+            n->next = nullptr;
+            return true;
+        }
+        return false;
+    }
+
+    /// Detach the whole list, leaving this one empty.
+    [[nodiscard]] WaitList take() noexcept {
+        WaitList out = *this;
+        head = tail = nullptr;
+        return out;
+    }
 };
 
 /// Wake a single node: marks it signaled, then resumes the fiber or pokes
@@ -61,21 +118,32 @@ inline void wake_node(WaitNode* node, std::condition_variable& cv, std::mutex& m
 /// touches only the node and runtime structures — never the primitive — so
 /// fibers are woken after the unlock, where resume() is safe to run.
 inline void wake_all_and_release(std::unique_lock<std::mutex> lk, std::condition_variable& cv,
-                                 std::deque<WaitNode*> waiters) {
+                                 WaitList waiters) {
     // Partition under the lock: an external-thread waiter may wake (via the
     // notify below) and destroy its stack-resident node the moment the lock
-    // drops, so no node may be dereferenced after unlock. Fiber waiters stay
-    // parked until resume() runs, so their Ult pointers remain valid.
-    std::vector<Ult*> fibers;
-    for (auto* node : waiters) {
+    // drops, so no node — including its `next` link — may be dereferenced
+    // after unlock. Fiber waiters stay parked until resume() runs, so they
+    // are relinked into a fiber-only chain here (their nodes, and thus the
+    // chain, remain valid past the unlock).
+    WaitList fibers;
+    for (WaitNode* node = waiters.head; node != nullptr;) {
+        WaitNode* next = node->next;
         node->signaled.store(true, std::memory_order_release);
-        if (node->ult != nullptr) fibers.push_back(node->ult);
+        if (node->ult != nullptr) fibers.push_back(node);
+        node = next;
     }
     // External-thread wait_for() blocks on the cv with a readiness predicate
     // without enqueuing a node, so always notify.
     cv.notify_all();
     lk.unlock();
-    for (Ult* u : fibers) resume(u);
+    for (WaitNode* node = fibers.head; node != nullptr;) {
+        // resume() hands the fiber back to its pool; the node (on the
+        // fiber's stack) may be gone the instant it runs, so read the link
+        // first.
+        WaitNode* next = node->next;
+        resume(node->ult);
+        node = next;
+    }
 }
 
 } // namespace detail
@@ -110,12 +178,21 @@ class Eventual {
         return m_value;
     }
 
+    /// Like wait_for(), but *moves* the stored value out — for single-waiter
+    /// protocols (one pending call, one waiter) where copying the value
+    /// (e.g. a Message with a large payload) would defeat the zero-copy
+    /// path. After a successful take_for(), other accessors see a
+    /// moved-from value.
+    std::optional<T> take_for(std::chrono::microseconds timeout) {
+        if (!wait_for_impl(timeout)) return std::nullopt;
+        std::lock_guard lk{m_mutex};
+        return std::move(m_value);
+    }
+
   private:
     void complete(std::unique_lock<std::mutex> lk) {
         m_ready = true;
-        auto waiters = std::move(m_waiters);
-        m_waiters.clear();
-        detail::wake_all_and_release(std::move(lk), m_cv, std::move(waiters));
+        detail::wake_all_and_release(std::move(lk), m_cv, m_waiters.take());
     }
 
     void wait_impl() {
@@ -145,9 +222,7 @@ class Eventual {
         Timer& timer = node.ult->runtime->timer();
         auto tid = timer.schedule(timeout, [this, &node] {
             std::unique_lock lk2{m_mutex};
-            auto it = std::find(m_waiters.begin(), m_waiters.end(), &node);
-            if (it == m_waiters.end()) return; // already woken by set_value
-            m_waiters.erase(it);
+            if (!m_waiters.remove(&node)) return; // already woken by set_value
             node.timed_out = true;
             Ult* u = node.ult;
             lk2.unlock();
@@ -163,7 +238,7 @@ class Eventual {
     std::condition_variable m_cv;
     bool m_ready = false;
     std::optional<T> m_value;
-    std::deque<detail::WaitNode*> m_waiters;
+    detail::WaitList m_waiters;
 };
 
 /// Eventual<void>: a one-shot event.
@@ -174,9 +249,7 @@ class Eventual<void> {
         std::unique_lock lk{m_mutex};
         if (m_ready) return;
         m_ready = true;
-        auto waiters = std::move(m_waiters);
-        m_waiters.clear();
-        detail::wake_all_and_release(std::move(lk), m_cv, std::move(waiters));
+        detail::wake_all_and_release(std::move(lk), m_cv, m_waiters.take());
     }
 
     [[nodiscard]] bool test() const {
@@ -211,9 +284,7 @@ class Eventual<void> {
         Timer& timer = node.ult->runtime->timer();
         auto tid = timer.schedule(timeout, [this, &node] {
             std::unique_lock lk2{m_mutex};
-            auto it = std::find(m_waiters.begin(), m_waiters.end(), &node);
-            if (it == m_waiters.end()) return;
-            m_waiters.erase(it);
+            if (!m_waiters.remove(&node)) return;
             node.timed_out = true;
             Ult* u = node.ult;
             lk2.unlock();
@@ -229,7 +300,7 @@ class Eventual<void> {
     mutable std::mutex m_mutex;
     std::condition_variable m_cv;
     bool m_ready = false;
-    std::deque<detail::WaitNode*> m_waiters;
+    detail::WaitList m_waiters;
 };
 
 /// ULT-aware mutex with FIFO handoff (no barging, so ULT waiters cannot be
@@ -244,7 +315,7 @@ class Mutex {
     std::mutex m_mutex;
     std::condition_variable m_cv;
     bool m_locked = false;
-    std::deque<detail::WaitNode*> m_waiters;
+    detail::WaitList m_waiters;
 };
 
 /// ULT-aware condition variable paired with abt::Mutex.
@@ -259,7 +330,7 @@ class CondVar {
   private:
     std::mutex m_mutex;
     std::condition_variable m_cv;
-    std::deque<detail::WaitNode*> m_waiters;
+    detail::WaitList m_waiters;
 };
 
 /// Cyclic barrier for a fixed number of participants.

@@ -9,8 +9,13 @@ Timer::~Timer() { stop(); }
 Timer::TimerId Timer::schedule(std::chrono::microseconds delay, std::function<void()> fn) {
     std::lock_guard lk{m_mutex};
     TimerId id = m_next_id++;
-    m_entries.emplace(Clock::now() + delay, std::make_pair(id, std::move(fn)));
-    m_cv.notify_one();
+    auto deadline = Clock::now() + delay;
+    m_entries.emplace(deadline, std::make_pair(id, std::move(fn)));
+    // Wake the timer thread only if this entry is due before whatever it is
+    // currently sleeping toward. The common RPC pattern — schedule a far-out
+    // timeout, complete, cancel — then never touches the condvar, saving a
+    // futex wake + context switch per call.
+    if (deadline < m_wait_deadline) m_cv.notify_one();
     return id;
 }
 
@@ -18,6 +23,9 @@ bool Timer::cancel(TimerId id) {
     std::unique_lock lk{m_mutex};
     for (auto it = m_entries.begin(); it != m_entries.end(); ++it) {
         if (it->second.first == id) {
+            // No notify: if this was the earliest entry the thread wakes at
+            // the stale deadline, finds nothing due, and re-sleeps. That is
+            // cheaper than unconditionally waking it now.
             m_entries.erase(it);
             return true;
         }
@@ -43,13 +51,17 @@ void Timer::loop() {
     std::unique_lock lk{m_mutex};
     while (!m_stop) {
         if (m_entries.empty()) {
+            m_wait_deadline = Clock::time_point::max();
             m_cv.wait(lk, [&] { return m_stop || !m_entries.empty(); });
+            m_wait_deadline = Clock::time_point::min();
             continue;
         }
         auto it = m_entries.begin();
         auto now = Clock::now();
         if (it->first > now) {
+            m_wait_deadline = it->first;
             m_cv.wait_until(lk, it->first);
+            m_wait_deadline = Clock::time_point::min();
             continue; // re-evaluate: earlier entries / stop may have arrived
         }
         auto [id, fn] = std::move(it->second);

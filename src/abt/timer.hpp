@@ -1,15 +1,26 @@
 // A shared timer thread: schedules callbacks at deadlines. Used for ULT
 // sleeps, Eventual timeouts, Margo's periodic monitoring sampler (§4), SWIM
 // protocol periods (§7) and RAFT election timeouts.
+//
+// Hot-path notes: every RPC forward schedules (and almost always cancels) a
+// timeout entry, so this class is on the allocation- and wakeup-critical
+// path. Map nodes come from a free list, and schedule() only pokes the
+// timer thread when the new deadline is *earlier* than the one it is
+// already sleeping toward — an RPC-timeout entry behind an existing
+// deadline costs no context switch.
 #pragma once
+
+#include "common/pool_alloc.hpp"
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace mochi::abt {
 
@@ -38,11 +49,21 @@ class Timer {
   private:
     void loop();
 
+    using Entry = std::pair<TimerId, std::function<void()>>;
+    using EntryMap =
+        std::multimap<Clock::time_point, Entry, std::less<Clock::time_point>,
+                      PoolAllocator<std::pair<const Clock::time_point, Entry>>>;
+
     std::mutex m_mutex;
     std::condition_variable m_cv;
-    std::multimap<Clock::time_point, std::pair<TimerId, std::function<void()>>> m_entries;
+    std::shared_ptr<FreeList> m_node_pool = std::make_shared<FreeList>();
+    EntryMap m_entries{PoolAllocator<std::pair<const Clock::time_point, Entry>>{m_node_pool}};
     TimerId m_next_id = 1;
     TimerId m_running_id = 0; ///< id of the callback currently executing
+    /// Deadline the timer thread is currently sleeping toward: max() while
+    /// parked with no entries, min() while not blocked in a wait at all.
+    /// schedule() compares against it (under m_mutex) to elide notifies.
+    Clock::time_point m_wait_deadline = Clock::time_point::min();
     bool m_stop = false;
     std::thread m_thread;
 };

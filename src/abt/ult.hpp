@@ -51,6 +51,12 @@ struct Ult {
     /// (Listing 1's fine-grain analysis) even when the ULT migrates between
     /// execution streams (a thread_local would break then).
     void* user_context = nullptr;
+    /// Owned payload for Runtime::post_with_payload: keeps the task's
+    /// argument alive for `fn` without a capturing closure (a shared_ptr
+    /// capture would defeat std::function's small-buffer optimization and
+    /// heap-allocate per task). Cleared when the ULT terminates — including
+    /// the finalize/abort path, where `fn` is destroyed un-run.
+    std::shared_ptr<void> task_payload;
     /// ThreadSanitizer fiber handle (TSan cannot follow raw ucontext
     /// switches; every swapcontext must be bracketed by
     /// __tsan_switch_to_fiber). Unused outside TSan builds.

@@ -324,12 +324,12 @@ Status Process::stop_provider_locked(const std::string& name) {
     return {};
 }
 
-bool Process::has_provider(const std::string& name) const {
+bool Process::has_provider(std::string_view name) const {
     std::lock_guard lk{m_mutex};
-    return m_providers.count(name) > 0;
+    return m_providers.find(name) != m_providers.end();
 }
 
-bool Process::has_provider(const std::string& type, std::uint16_t provider_id) const {
+bool Process::has_provider(std::string_view type, std::uint16_t provider_id) const {
     std::lock_guard lk{m_mutex};
     for (const auto& [n, e] : m_providers)
         if (e.type == type && e.provider_id == provider_id) return true;
@@ -690,7 +690,7 @@ void Process::register_rpcs() {
             respond_status(req, p.stop_provider(name));
         }));
     reg("bedrock/has_provider", with_self([](Process& p, const margo::Request& req) {
-            std::string name;
+            std::string_view name; // zero-copy: aliases the request payload
             if (!req.unpack(name)) {
                 req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
                 return;
@@ -698,7 +698,7 @@ void Process::register_rpcs() {
             req.respond_values(p.has_provider(name));
         }));
     reg("bedrock/has_provider_typed", with_self([](Process& p, const margo::Request& req) {
-            std::string type;
+            std::string_view type;
             std::uint32_t id = 0;
             if (!req.unpack(type, id)) {
                 req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
@@ -707,7 +707,8 @@ void Process::register_rpcs() {
             req.respond_values(p.has_provider(type, static_cast<std::uint16_t>(id)));
         }));
     reg("bedrock/register_dependent", with_self([](Process& p, const margo::Request& req) {
-            std::string type, spec;
+            std::string_view type; // compared only; spec is retained, so owned
+            std::string spec;
             std::uint32_t id = 0;
             if (!req.unpack(type, id, spec)) {
                 req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
@@ -725,7 +726,8 @@ void Process::register_rpcs() {
             req.respond_error(Error{Error::Code::NotFound, "no such provider"});
         }));
     reg("bedrock/unregister_dependent", with_self([](Process& p, const margo::Request& req) {
-            std::string type, spec;
+            std::string_view type;
+            std::string spec;
             std::uint32_t id = 0;
             if (!req.unpack(type, id, spec)) {
                 req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});

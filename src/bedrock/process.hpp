@@ -21,6 +21,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
 
 namespace mochi::bedrock {
 
@@ -67,8 +68,8 @@ class Process : public std::enable_shared_from_this<Process> {
 
     Status start_provider(const json::Value& descriptor);
     Status stop_provider(const std::string& name);
-    [[nodiscard]] bool has_provider(const std::string& name) const;
-    [[nodiscard]] bool has_provider(const std::string& type, std::uint16_t provider_id) const;
+    [[nodiscard]] bool has_provider(std::string_view name) const;
+    [[nodiscard]] bool has_provider(std::string_view type, std::uint16_t provider_id) const;
     [[nodiscard]] std::vector<std::string> provider_names() const;
 
     /// Look up the live component instance of a provider (for composition
@@ -134,7 +135,9 @@ class Process : public std::enable_shared_from_this<Process> {
     mutable std::recursive_mutex m_mutex;
     std::map<std::string, std::string> m_libraries; ///< type -> library
     std::map<std::string, ModuleDefinition> m_modules; ///< type -> module
-    std::map<std::string, ProviderEntry> m_providers; ///< by name
+    // Transparent comparator: RPC handlers look names up as zero-copy
+    // string_view slices of the request payload.
+    std::map<std::string, ProviderEntry, std::less<>> m_providers; ///< by name
     // Active 2PC transaction (at most one at a time per process).
     std::string m_txn_id;
     json::Value m_txn_ops;

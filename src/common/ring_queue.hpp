@@ -1,0 +1,67 @@
+// Grow-only circular FIFO for hot-path queues (ready-ULT pools, the margo
+// progress queue). Unlike std::deque — whose libstdc++ implementation
+// allocates and frees a 512-byte chunk roughly every 64 push/pop cycles
+// even when the queue hovers near empty — this ring reaches a steady state
+// where push/pop never touch the heap: capacity only grows, and slots are
+// recycled in place. Moved-from slots keep their capacity (e.g. a Message
+// whose strings were moved out), which is exactly what a reusable queue
+// wants.
+//
+// Not thread-safe; callers hold their own lock (Pool::m_mutex,
+// Instance::m_queue_mutex).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mochi {
+
+template <typename T>
+class RingQueue {
+  public:
+    [[nodiscard]] bool empty() const noexcept { return m_count == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return m_count; }
+
+    void push_back(T v) {
+        if (m_count == m_slots.size()) grow();
+        m_slots[index(m_count)] = std::move(v);
+        ++m_count;
+    }
+
+    /// Precondition: !empty(). The popped slot stays constructed (moved
+    /// from), retaining any buffers for reuse on a later push.
+    T pop_front() {
+        T out = std::move(m_slots[m_head]);
+        m_head = index(1);
+        --m_count;
+        return out;
+    }
+
+    [[nodiscard]] T& front() { return m_slots[m_head]; }
+
+    void clear() {
+        while (m_count != 0) (void)pop_front();
+    }
+
+  private:
+    [[nodiscard]] std::size_t index(std::size_t offset) const noexcept {
+        std::size_t i = m_head + offset;
+        if (i >= m_slots.size()) i -= m_slots.size();
+        return i;
+    }
+
+    void grow() {
+        std::size_t cap = m_slots.empty() ? 16 : m_slots.size() * 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < m_count; ++i) next[i] = std::move(m_slots[index(i)]);
+        m_slots.swap(next);
+        m_head = 0;
+    }
+
+    std::vector<T> m_slots;
+    std::size_t m_head = 0;
+    std::size_t m_count = 0;
+};
+
+} // namespace mochi

@@ -87,6 +87,15 @@ Expected<InstancePtr> Instance::create(std::shared_ptr<mercury::Fabric> fabric,
     });
     if (!ep) return ep.error();
     inst->m_endpoint = std::move(ep).value();
+    // Fast-path inbox: clean links deliver straight into the endpoint's
+    // SPSC ring (no timer, no fabric shared_mutex); the wakeup only has to
+    // unpark the progress loop when it has actually gone idle.
+    inst->m_endpoint->enable_fast_inbox([w = std::weak_ptr<Instance>(inst)] {
+        if (auto self = w.lock()) self->wake_progress_loop();
+    });
+    // Register the recycle counter up front so it shows up (at zero) in
+    // metrics snapshots taken before the first sync.
+    inst->m_metrics->counter("margo_pool_recycled_total");
 
     // Start the network progress loop on its pool (Figure 2).
     inst->m_runtime->post(inst->m_progress_pool,
@@ -112,11 +121,11 @@ void Instance::shutdown() {
     // forward() deterministic: a forward that registered before this sweep
     // is cancelled right here; one arriving after sees the closed registry
     // and fails fast without ever blocking.
-    std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending;
+    PendingMap pending{PendingMap::key_compare{}, PendingMap::allocator_type{m_pending_node_pool}};
     {
         std::lock_guard lk{m_pending_mutex};
         ++m_pending_generation;
-        pending = std::move(m_pending);
+        pending = std::move(m_pending); // same allocator: node steal, no copies
         m_pending.clear();
     }
     for (auto& [seq, call] : pending) {
@@ -159,17 +168,20 @@ Expected<std::uint64_t> Instance::register_rpc(std::string name, std::uint16_t p
     if (auto it = m_rpcs.find(key); it != m_rpcs.end()) {
         // Distinguish a true duplicate from a 32-bit hash collision between
         // different names: the latter would silently alias two RPCs.
-        if (it->second.name != name)
+        if (it->second->name != name)
             return Error{Error::Code::Conflict,
-                         "RPC id collision: '" + name + "' and '" + it->second.name +
+                         "RPC id collision: '" + name + "' and '" + it->second->name +
                              "' hash to the same 32-bit id " + std::to_string(id) +
                              " (provider " + std::to_string(provider_id) + ")"};
         return Error{Error::Code::AlreadyExists,
                      "RPC '" + name + "' already registered for provider " +
                          std::to_string(provider_id)};
     }
-    m_rpcs[key] = RpcEntry{std::move(name), std::move(handler),
-                           pool ? std::move(pool) : m_handler_pool};
+    auto entry = std::make_shared<RpcEntry>();
+    entry->name = std::move(name);
+    entry->handler = std::move(handler);
+    entry->pool = pool ? std::move(pool) : m_handler_pool;
+    m_rpcs[key] = std::move(entry);
     return id;
 }
 
@@ -210,12 +222,12 @@ Status Instance::deregister_rpc(std::string_view name, std::uint16_t provider_id
             return Error{Error::Code::NotFound,
                          "RPC '" + std::string(name) + "' not registered for provider " +
                              std::to_string(provider_id)};
-        if (it->second.name != name)
+        if (it->second->name != name)
             return Error{Error::Code::Conflict,
                          "deregister_rpc('" + std::string(name) + "') would remove '" +
-                             it->second.name + "': the names collide on 32-bit id " +
+                             it->second->name + "': the names collide on 32-bit id " +
                              std::to_string(key.first)};
-        inflight = std::move(it->second.inflight);
+        inflight = it->second->inflight;
         m_rpcs.erase(it);
     }
     drain_handlers(inflight);
@@ -228,7 +240,7 @@ void Instance::deregister_provider(std::uint16_t provider_id) {
         std::lock_guard lk{m_rpc_mutex};
         for (auto it = m_rpcs.begin(); it != m_rpcs.end();) {
             if (it->first.second == provider_id) {
-                inflight.push_back(std::move(it->second.inflight));
+                inflight.push_back(it->second->inflight);
                 it = m_rpcs.erase(it);
             } else {
                 ++it;
@@ -291,7 +303,10 @@ Expected<std::string> Instance::forward(const std::string& address, std::string_
 
 AsyncRequest Instance::forward_async(const std::string& address, std::string_view rpc_name,
                                      std::string payload, ForwardOptions options) {
-    auto state = std::make_shared<detail::AsyncForwardState>();
+    // Pooled: the control block + state live in one recycled block, so a
+    // warm forward does not touch the heap for its bookkeeping.
+    auto state = std::allocate_shared<detail::AsyncForwardState>(
+        PoolAllocator<detail::AsyncForwardState>{m_async_state_pool});
     state->instance = shared_from_this();
     state->timeout = options.timeout.count() > 0 ? options.timeout : m_default_timeout;
     auto fail_now = [&](Error e) {
@@ -341,7 +356,7 @@ AsyncRequest Instance::forward_async(const std::string& address, std::string_vie
     mctx.span_id = span.span_id;
     mctx.parent_span_id = span.parent_span_id;
 
-    auto call = std::make_shared<PendingCall>();
+    auto call = std::allocate_shared<PendingCall>(PoolAllocator<PendingCall>{m_pending_call_pool});
     {
         std::lock_guard lk{m_pending_mutex};
         if (m_pending_generation != 0) {
@@ -389,7 +404,11 @@ Expected<std::string> AsyncRequest::wait() {
     // synchronous forward; shutdown()'s sweep sets the eventual, so this
     // never outlives the drain by more than the wakeup.
     Instance::ForwardGuard guard{inst};
-    auto response = st.call->response.wait_for(
+    // take_for moves the response Message out of the eventual: the single
+    // logical consumer of a pending call never copies the payload. (A
+    // concurrent waiter on a copied handle observes `completed` below and
+    // reads the cached result instead.)
+    auto response = st.call->response.take_for(
         std::chrono::duration_cast<std::chrono::microseconds>(st.timeout));
     std::lock_guard lk{st.mutex};
     if (st.completed) return *st.result; // a concurrent waiter resolved it
@@ -425,35 +444,141 @@ Expected<std::string> AsyncRequest::wait() {
 }
 
 void Instance::on_network_message(mercury::Message msg) {
-    // Called from arbitrary threads (fabric). Enqueue for the progress ULT.
+    // Called from arbitrary threads (fabric slow path). Enqueue for the
+    // progress ULT. The CondVar enqueues waiters before releasing the held
+    // mutex, so signaling after the push can never be lost.
     m_queue_mutex.lock();
     m_queue.push_back(std::move(msg));
     m_queue_mutex.unlock();
     m_queue_cv.signal_one();
 }
 
+void Instance::wake_progress_loop() {
+    // Fast-path producer side of the idle protocol. The push into the SPSC
+    // ring already happened; the fence orders it before the idle-flag read
+    // (pairing with the consumer's store-then-fence-then-recheck), so either
+    // we observe the consumer going idle, or the consumer's recheck observes
+    // our message — never neither.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!m_progress_idle.load(std::memory_order_relaxed)) return;
+    // The consumer may be between its recheck and the CondVar park. It still
+    // holds m_queue_mutex there, and CondVar::wait_for registers the waiter
+    // before releasing the mutex — so this lock/unlock serializes with the
+    // park and the signal below cannot fall into the gap.
+    m_queue_mutex.lock();
+    m_queue_mutex.unlock();
+    m_queue_cv.signal_one();
+}
+
 void Instance::progress_loop() {
     using namespace std::chrono_literals;
+    mercury::Endpoint* ep = m_endpoint.get();
+    mercury::Message msg;
     for (;;) {
+        // Drain the lock-free fast inbox first: the common steady-state
+        // source. Each message is dispatched immediately (no handoff through
+        // m_queue), which is what removes the timer hop + fabric lock from
+        // the clean-link round trip.
+        bool did_work = false;
+        while (ep->poll_fast(msg)) {
+            did_work = true;
+            if (msg.kind == mercury::Message::Kind::Request)
+                dispatch_request(std::move(msg));
+            else
+                dispatch_response(std::move(msg));
+        }
+        // Then batch-drain the slow queue, dropping the lock around each
+        // dispatch so producers never block behind handler bookkeeping.
         m_queue_mutex.lock();
-        while (m_queue.empty() && !m_stopping.load()) m_queue_cv.wait_for(m_queue_mutex, 50ms);
-        if (m_queue.empty() && m_stopping.load()) {
+        while (!m_queue.empty()) {
+            msg = m_queue.pop_front();
+            m_queue_mutex.unlock();
+            did_work = true;
+            if (msg.kind == mercury::Message::Kind::Request)
+                dispatch_request(std::move(msg));
+            else
+                dispatch_response(std::move(msg));
+            m_queue_mutex.lock();
+        }
+        if (m_stopping.load()) {
             m_queue_mutex.unlock();
             break;
         }
-        mercury::Message msg = std::move(m_queue.front());
-        m_queue.pop_front();
+        if (did_work) {
+            // New work may have arrived while dispatching; re-poll before
+            // considering the park.
+            m_queue_mutex.unlock();
+            continue;
+        }
+        // Idle protocol (consumer side): publish the flag, fence, recheck
+        // the fast ring. A producer that pushed before our fence is seen by
+        // the recheck; one that pushed after it sees the flag and signals.
+        m_progress_idle.store(true, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (!ep->fast_inbox_empty() || !m_queue.empty()) {
+            m_progress_idle.store(false, std::memory_order_relaxed);
+            m_queue_mutex.unlock();
+            continue;
+        }
+        m_queue_cv.wait_for(m_queue_mutex, 50ms);
+        m_progress_idle.store(false, std::memory_order_relaxed);
         m_queue_mutex.unlock();
-        if (msg.kind == mercury::Message::Kind::Request)
-            dispatch_request(std::move(msg));
-        else
-            dispatch_response(std::move(msg));
     }
+    m_progress_idle.store(false, std::memory_order_relaxed);
+    // Shutdown: discard whatever is still in the fast ring, mirroring the
+    // slow queue (pending calls complete as Canceled via the sweep; request
+    // senders observe their timeout, as with any message lost to teardown).
+    while (ep->poll_fast(msg)) {}
     m_progress_done.set();
 }
 
+namespace detail {
+
+/// Per-request dispatch state. Pooled (allocate_shared over the instance's
+/// dispatch free list) and carried to the handler ULT in Ult::task_payload,
+/// so a warm dispatch allocates nothing. The destructor owns the counter
+/// decrements — Runtime::finalize()'s abort backstop destroys queued ULTs
+/// without running them, and only a destructor fires on that path, which
+/// keeps drain_handlers() from spinning forever on a dispatch discarded
+/// un-run.
+struct DispatchCtx {
+    InstancePtr self;
+    std::shared_ptr<const Instance::RpcEntry> entry;
+    mercury::Message msg;
+    CallContext mctx;
+    double t_received = 0;
+
+    ~DispatchCtx() {
+        self->m_in_flight.fetch_sub(1);
+        entry->inflight->fetch_sub(1, std::memory_order_release);
+    }
+
+    /// ULT entry point (function pointer: the posting closure stays within
+    /// std::function's small-buffer optimization).
+    static void run(void* p) {
+        auto* ctx = static_cast<DispatchCtx*>(p);
+        Instance* self = ctx->self.get();
+        double t_start = self->now_us();
+        ctx->mctx.queue_delay_us = t_start - ctx->t_received;
+        self->emit([&](Monitor& m) { m.on_handler_start(ctx->mctx); });
+        {
+            // Ambient context for the handler: nested forwards report this
+            // RPC as their parent and extend this handler's span.
+            ContextScope scope{RpcContext{
+                ctx->msg.rpc_id, ctx->msg.provider_id,
+                TraceContext{ctx->mctx.trace_id, ctx->mctx.span_id, ctx->mctx.parent_span_id}}};
+            Request req{self, std::move(ctx->msg)};
+            ctx->entry->handler(req);
+        }
+        ctx->mctx.duration_us = self->now_us() - t_start;
+        self->emit([&](Monitor& m) { m.on_handler_complete(ctx->mctx); });
+    }
+};
+
+} // namespace detail
+
 void Instance::dispatch_request(mercury::Message msg) {
-    RpcEntry entry;
+    std::shared_ptr<const RpcEntry> entry;
     {
         std::lock_guard lk{m_rpc_mutex};
         auto it = m_rpcs.find({msg.rpc_id, msg.provider_id});
@@ -464,11 +589,11 @@ void Instance::dispatch_request(mercury::Message msg) {
                                         ", provider " + std::to_string(req.provider_id()) + ")"});
             return;
         }
-        if (!msg.rpc_name.empty() && msg.rpc_name != it->second.name) {
+        if (!msg.rpc_name.empty() && msg.rpc_name != it->second->name) {
             // Hash collision across processes: the caller's name maps to the
             // same 32-bit id as a different RPC registered here. Running the
             // wrong handler would silently corrupt both protocols.
-            std::string local_name = it->second.name;
+            std::string local_name = it->second->name;
             Request req{this, std::move(msg)};
             req.respond_error(Error{Error::Code::Conflict,
                                     "RPC id " + std::to_string(req.rpc_id()) +
@@ -476,19 +601,26 @@ void Instance::dispatch_request(mercury::Message msg) {
                                         req.rpc_name() + "' at the caller (hash collision)"});
             return;
         }
-        entry = it->second; // copy: registration may change concurrently
+        // Pin the registration with a refcount instead of copying it (a
+        // Handler copy would re-allocate its captures on every request).
+        entry = it->second;
         // Claimed under m_rpc_mutex, so a concurrent deregister either sees
         // this invocation and drains it, or already erased the entry and we
         // would not be here.
-        entry.inflight->fetch_add(1, std::memory_order_relaxed);
+        entry->inflight->fetch_add(1, std::memory_order_relaxed);
     }
+    m_in_flight.fetch_add(1);
 
-    CallContext mctx;
+    // From here on, ctx's destructor releases both counters claimed above.
+    auto ctx = std::allocate_shared<detail::DispatchCtx>(
+        PoolAllocator<detail::DispatchCtx>{m_dispatch_pool});
+    ctx->self = shared_from_this();
+    CallContext& mctx = ctx->mctx;
     mctx.rpc_id = msg.rpc_id;
     mctx.provider_id = msg.provider_id;
     mctx.parent_rpc_id = msg.parent_rpc_id;
     mctx.parent_provider_id = msg.parent_provider_id;
-    mctx.name = entry.name;
+    mctx.name = entry->name;
     mctx.peer = msg.source;
     mctx.self = m_address;
     mctx.payload_size = msg.payload.size();
@@ -500,40 +632,13 @@ void Instance::dispatch_request(mercury::Message msg) {
         mctx.parent_span_id = msg.span_id;
         mctx.span_id = next_span_id();
     }
-    double t_received = now_us();
+    ctx->t_received = now_us();
     emit([&](Monitor& m) { m.on_request_received(mctx); });
-    m_in_flight.fetch_add(1);
 
-    auto self = shared_from_this();
-    auto pool = entry.pool; // keep alive: `entry` is moved into the lambda
-    // Both counters are released by this token's deleter, not at the end of
-    // the lambda body: Runtime::finalize()'s abort backstop destroys queued
-    // ULTs without ever running them (fn = nullptr), and only a destructor
-    // fires on that path. Tying the decrement to the capture's lifetime
-    // keeps drain_handlers() from spinning forever on a dispatch that was
-    // discarded un-run.
-    auto dispatched = std::shared_ptr<void>(
-        nullptr, [self, counter = entry.inflight](void*) {
-            self->m_in_flight.fetch_sub(1);
-            counter->fetch_sub(1, std::memory_order_release);
-        });
-    m_runtime->post(pool, [self, dispatched, entry = std::move(entry), msg = std::move(msg),
-                           mctx, t_received]() mutable {
-        double t_start = self->now_us();
-        mctx.queue_delay_us = t_start - t_received;
-        self->emit([&](Monitor& m) { m.on_handler_start(mctx); });
-        {
-            // Ambient context for the handler: nested forwards report this
-            // RPC as their parent and extend this handler's span.
-            ContextScope scope{RpcContext{
-                msg.rpc_id, msg.provider_id,
-                TraceContext{mctx.trace_id, mctx.span_id, mctx.parent_span_id}}};
-            Request req{self.get(), std::move(msg)};
-            entry.handler(req);
-        }
-        mctx.duration_us = self->now_us() - t_start;
-        self->emit([&](Monitor& m) { m.on_handler_complete(mctx); });
-    });
+    auto pool = entry->pool; // keep alive across the move below
+    ctx->entry = std::move(entry);
+    ctx->msg = std::move(msg);
+    m_runtime->post_with_payload(pool, std::move(ctx), &detail::DispatchCtx::run);
 }
 
 void Instance::dispatch_response(mercury::Message msg) {
@@ -604,6 +709,17 @@ Status Instance::bulk_push(const mercury::BulkHandle& remote, std::size_t remote
 // ---------------------------------------------------------------------------
 // Monitoring plumbing
 // ---------------------------------------------------------------------------
+
+void Instance::sync_pool_metrics() const {
+    // The free lists count recycles monotonically; fold the delta since the
+    // last export into the counter. exchange() makes concurrent snapshots
+    // count each delta exactly once (a stale total simply contributes zero).
+    std::uint64_t total = m_pending_call_pool->recycled() + m_pending_node_pool->recycled() +
+                          m_async_state_pool->recycled() + m_dispatch_pool->recycled() +
+                          m_runtime->ult_pool_recycled();
+    std::uint64_t last = m_pool_recycled_exported.exchange(total, std::memory_order_relaxed);
+    if (total > last) m_metrics->counter("margo_pool_recycled_total").inc(total - last);
+}
 
 void Instance::add_monitor(std::shared_ptr<Monitor> monitor) {
     std::lock_guard lk{m_monitors_mutex};
@@ -692,9 +808,9 @@ Status Instance::remove_pool(std::string_view name) {
     {
         std::lock_guard lk{m_rpc_mutex};
         for (const auto& [key, entry] : m_rpcs) {
-            if (entry.pool->name() == name)
+            if (entry->pool->name() == name)
                 return Error{Error::Code::InvalidState,
-                             "pool '" + std::string(name) + "' is in use by RPC '" + entry.name +
+                             "pool '" + std::string(name) + "' is in use by RPC '" + entry->name +
                                  "'"};
         }
     }

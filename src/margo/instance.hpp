@@ -14,6 +14,8 @@
 #include "abt/abt.hpp"
 #include "common/expected.hpp"
 #include "common/json.hpp"
+#include "common/pool_alloc.hpp"
+#include "common/ring_queue.hpp"
 #include "margo/metrics.hpp"
 #include "margo/monitoring.hpp"
 #include "margo/tracing.hpp"
@@ -22,7 +24,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,6 +37,11 @@ using InstancePtr = std::shared_ptr<Instance>;
 /// Compute the stable 32-bit id of an RPC name (Mercury hashes RPC names
 /// the same way; Listing 1's rpc_id 2924675071 is such a hash).
 [[nodiscard]] std::uint64_t rpc_name_to_id(std::string_view name) noexcept;
+
+namespace detail {
+struct AsyncForwardState;
+struct DispatchCtx;
+}
 
 /// An incoming RPC being handled. Handlers receive a const reference and
 /// must call respond()/respond_error() exactly once (unless the RPC was
@@ -63,6 +69,7 @@ class Request {
 
   private:
     friend class Instance;
+    friend struct detail::DispatchCtx;
     Request(Instance* inst, mercury::Message msg) : m_instance(inst), m_msg(std::move(msg)) {}
     Instance* m_instance;
     mercury::Message m_msg;
@@ -74,10 +81,6 @@ struct ForwardOptions {
     std::chrono::milliseconds timeout{2000};
     std::uint16_t provider_id = k_default_provider_id;
 };
-
-namespace detail {
-struct AsyncForwardState;
-}
 
 /// Handle to an RPC issued with Instance::forward_async(). The request is
 /// already on the wire when the handle is returned; wait() blocks
@@ -259,7 +262,12 @@ class Instance : public std::enable_shared_from_this<Instance> {
         return m_metrics;
     }
     /// Rendered snapshot of the registry (what bedrock/get_metrics returns).
-    [[nodiscard]] json::Value metrics_json() const { return m_metrics->to_json(); }
+    /// Folds the free-list recycle totals into margo_pool_recycled_total
+    /// first, so the counter is current without the hot path touching it.
+    [[nodiscard]] json::Value metrics_json() const {
+        sync_pool_metrics();
+        return m_metrics->to_json();
+    }
 
     // -- configuration & online reconfiguration (§5) --------------------------
 
@@ -282,6 +290,7 @@ class Instance : public std::enable_shared_from_this<Instance> {
     friend class Request;
     friend class AsyncRequest;
     friend struct detail::AsyncForwardState;
+    friend struct detail::DispatchCtx;
     Instance() = default;
 
     /// RAII tracker of in-progress forward sections: synchronous forwards
@@ -320,11 +329,15 @@ class Instance : public std::enable_shared_from_this<Instance> {
 
     void on_network_message(mercury::Message msg);
     void progress_loop();
+    void wake_progress_loop();
     void dispatch_request(mercury::Message msg);
     void dispatch_response(mercury::Message msg);
     void start_sampler();
     void sampler_tick();
     double now_us() const;
+    /// Reconcile the absolute FreeList recycle counts into the monotonic
+    /// margo_pool_recycled_total counter (called from metrics_json()).
+    void sync_pool_metrics() const;
     /// CallContext for a bulk transfer, attributed to the ambient RPC/trace.
     CallContext bulk_call_context(const std::string& peer) const;
 
@@ -338,19 +351,46 @@ class Instance : public std::enable_shared_from_this<Instance> {
     std::shared_ptr<abt::Pool> m_handler_pool;
     std::chrono::milliseconds m_default_timeout{2000};
 
-    // incoming message queue consumed by the progress ULT
+    // Incoming message queue consumed by the progress ULT. The slow-path
+    // fabric delivery lands here; fast-path messages bypass it entirely via
+    // the endpoint's SPSC ring, which the progress loop drains lock-free.
+    // The ring-buffer queue recycles its slots, so steady-state traffic that
+    // does reach it stays allocation-free (unlike a deque's chunk churn).
     abt::Mutex m_queue_mutex;
     abt::CondVar m_queue_cv;
-    std::deque<mercury::Message> m_queue;
+    RingQueue<mercury::Message> m_queue;
+    /// Dekker-style idle flag for the fast-path wakeup: the progress loop
+    /// publishes "about to block" before re-checking the fast inbox, and a
+    /// fast-path producer publishes its push before reading the flag (both
+    /// via seq_cst fences), so at least one side always sees the other and
+    /// a message can never be parked behind a sleeping consumer.
+    std::atomic<bool> m_progress_idle{false};
     std::atomic<bool> m_stopping{false};
     std::atomic<bool> m_stopped{false};
     abt::Eventual<void> m_progress_done;
 
     mutable std::mutex m_rpc_mutex;
-    std::map<std::pair<std::uint64_t, std::uint16_t>, RpcEntry> m_rpcs;
+    // Entries are shared_ptr-held so dispatch pins a registration with one
+    // refcount bump instead of copying the name + handler (a std::function
+    // copy re-allocates any non-trivial capture on every request).
+    std::map<std::pair<std::uint64_t, std::uint16_t>, std::shared_ptr<const RpcEntry>> m_rpcs;
 
+    // Free lists behind the per-call hot-path objects; see pool_alloc.hpp.
+    // shared_ptr-held because allocator copies (inside allocate_shared
+    // control blocks and map internals) may outlive the Instance.
+    std::shared_ptr<FreeList> m_pending_call_pool = std::make_shared<FreeList>();
+    std::shared_ptr<FreeList> m_pending_node_pool = std::make_shared<FreeList>();
+    std::shared_ptr<FreeList> m_async_state_pool = std::make_shared<FreeList>();
+    std::shared_ptr<FreeList> m_dispatch_pool = std::make_shared<FreeList>();
+    /// Last total already folded into margo_pool_recycled_total.
+    mutable std::atomic<std::uint64_t> m_pool_recycled_exported{0};
+
+    using PendingMap =
+        std::map<std::uint64_t, std::shared_ptr<PendingCall>, std::less<std::uint64_t>,
+                 PoolAllocator<std::pair<const std::uint64_t, std::shared_ptr<PendingCall>>>>;
     std::mutex m_pending_mutex;
-    std::map<std::uint64_t, std::shared_ptr<PendingCall>> m_pending;
+    PendingMap m_pending{PendingMap::key_compare{},
+                         PendingMap::allocator_type{m_pending_node_pool}};
     /// Guarded by m_pending_mutex. Bumped exactly once, when shutdown()
     /// closes the registry and sweeps it; a forward that captured an older
     /// generation knows its entry was already claimed by that sweep, and a

@@ -13,14 +13,9 @@ json::Value Statistics::to_json() const {
     return v;
 }
 
-std::string StatisticsMonitor::key_of(const CallContext& ctx) {
-    // Same shape as Listing 1: "parent_rpc:parent_provider:rpc:provider".
-    return std::to_string(ctx.parent_rpc_id) + ":" + std::to_string(ctx.parent_provider_id) +
-           ":" + std::to_string(ctx.rpc_id) + ":" + std::to_string(ctx.provider_id);
-}
-
 StatisticsMonitor::RpcStats& StatisticsMonitor::stats_for(const CallContext& ctx) {
-    auto& s = m_rpcs[key_of(ctx)];
+    auto& s = m_rpcs[StatKey{ctx.parent_rpc_id, ctx.parent_provider_id, ctx.rpc_id,
+                             ctx.provider_id}];
     if (s.name.empty()) {
         s.rpc_id = ctx.rpc_id;
         s.provider_id = ctx.provider_id;
@@ -34,12 +29,12 @@ StatisticsMonitor::RpcStats& StatisticsMonitor::stats_for(const CallContext& ctx
 void StatisticsMonitor::on_forward_start(const CallContext& ctx) {
     std::lock_guard lk{m_mutex};
     auto& s = stats_for(ctx);
-    s.origin["sent to " + ctx.peer].request_size.add(static_cast<double>(ctx.payload_size));
+    s.origin[ctx.peer].request_size.add(static_cast<double>(ctx.payload_size));
 }
 
 void StatisticsMonitor::on_forward_complete(const CallContext& ctx, bool ok) {
     std::lock_guard lk{m_mutex};
-    auto& peer = stats_for(ctx).origin["sent to " + ctx.peer];
+    auto& peer = stats_for(ctx).origin[ctx.peer];
     if (ok)
         peer.forward_duration.add(ctx.duration_us);
     else
@@ -49,20 +44,19 @@ void StatisticsMonitor::on_forward_complete(const CallContext& ctx, bool ok) {
 void StatisticsMonitor::on_request_received(const CallContext& ctx) {
     std::lock_guard lk{m_mutex};
     auto& s = stats_for(ctx);
-    s.target["received from " + ctx.peer].request_size.add(
-        static_cast<double>(ctx.payload_size));
+    s.target[ctx.peer].request_size.add(static_cast<double>(ctx.payload_size));
 }
 
 void StatisticsMonitor::on_handler_start(const CallContext& ctx) {
     std::lock_guard lk{m_mutex};
     auto& s = stats_for(ctx);
-    s.target["received from " + ctx.peer].ult_queue_delay.add(ctx.queue_delay_us);
+    s.target[ctx.peer].ult_queue_delay.add(ctx.queue_delay_us);
 }
 
 void StatisticsMonitor::on_handler_complete(const CallContext& ctx) {
     std::lock_guard lk{m_mutex};
     auto& s = stats_for(ctx);
-    s.target["received from " + ctx.peer].handler_duration.add(ctx.duration_us);
+    s.target[ctx.peer].handler_duration.add(ctx.duration_us);
 }
 
 void StatisticsMonitor::on_bulk_complete(const CallContext& ctx, std::size_t bytes,
@@ -88,7 +82,10 @@ json::Value StatisticsMonitor::to_json() const {
     auto& rpcs = doc["rpcs"];
     rpcs = json::Value::object();
     for (const auto& [key, s] : m_rpcs) {
-        auto& r = rpcs[key];
+        // Listing 1 textual key, rebuilt only here at render time.
+        auto& r = rpcs[std::to_string(key.parent_rpc_id) + ":" +
+                       std::to_string(key.parent_provider_id) + ":" +
+                       std::to_string(key.rpc_id) + ":" + std::to_string(key.provider_id)];
         r["rpc_id"] = s.rpc_id;
         r["provider_id"] = s.provider_id;
         r["parent_rpc_id"] = s.parent_rpc_id;
@@ -96,14 +93,14 @@ json::Value StatisticsMonitor::to_json() const {
         r["name"] = s.name;
         r["origin"] = json::Value::object();
         for (const auto& [peer, ps] : s.origin) {
-            auto& p = r["origin"][peer];
+            auto& p = r["origin"]["sent to " + peer];
             p["forward"]["duration"] = ps.forward_duration.to_json();
             p["request_size"] = ps.request_size.to_json();
             p["failures"] = ps.failures;
         }
         r["target"] = json::Value::object();
         for (const auto& [peer, ps] : s.target) {
-            auto& p = r["target"][peer];
+            auto& p = r["target"]["received from " + peer];
             p["ult"]["queue_delay"] = ps.ult_queue_delay.to_json();
             p["ult"]["duration"] = ps.handler_duration.to_json();
             p["request_size"] = ps.request_size.to_json();

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 
 namespace mochi::margo {
 
@@ -154,17 +155,35 @@ class StatisticsMonitor : public Monitor {
         std::uint64_t parent_rpc_id = 0;
         std::uint16_t parent_provider_id = 0;
         std::string name;
+        // Keyed by the plain peer address; the "sent to "/"received from "
+        // prefixes of Listing 1 are applied only when rendering, so the hot
+        // path never builds a prefixed key string per event.
         std::map<std::string, PeerOriginStats> origin; ///< by target address
         std::map<std::string, PeerTargetStats> target; ///< by source address
         Statistics bulk_size;
         Statistics bulk_duration;
     };
 
+    /// Numeric aggregation key. The Listing 1 textual form
+    /// "parent_rpc:parent_provider:rpc:provider" is produced at to_json()
+    /// time; keeping the map key numeric means a monitored RPC event does
+    /// four std::to_string-free integer comparisons instead of building a
+    /// throwaway key string (and its heap allocation) per callback.
+    struct StatKey {
+        std::uint64_t parent_rpc_id;
+        std::uint16_t parent_provider_id;
+        std::uint64_t rpc_id;
+        std::uint16_t provider_id;
+        bool operator<(const StatKey& o) const noexcept {
+            return std::tie(parent_rpc_id, parent_provider_id, rpc_id, provider_id) <
+                   std::tie(o.parent_rpc_id, o.parent_provider_id, o.rpc_id, o.provider_id);
+        }
+    };
+
     RpcStats& stats_for(const CallContext& ctx);
-    static std::string key_of(const CallContext& ctx);
 
     mutable std::mutex m_mutex;
-    std::map<std::string, RpcStats> m_rpcs;
+    std::map<StatKey, RpcStats> m_rpcs;
     Statistics m_in_flight;
     std::map<std::string, Statistics> m_pool_sizes;
     std::uint64_t m_samples = 0;

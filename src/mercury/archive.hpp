@@ -25,8 +25,17 @@ class OutputArchive {
   public:
     static constexpr bool is_saving = true;
 
-    [[nodiscard]] std::string& buffer() noexcept { return m_buffer; }
-    [[nodiscard]] std::string take() { return std::move(m_buffer); }
+    OutputArchive() : m_out(&m_owned) {}
+
+    /// Serialize into a caller-supplied buffer instead of an internal one.
+    /// The buffer is cleared but keeps its capacity, so a reused buffer
+    /// makes repeated serialization allocation-free once warm (the reply
+    /// path of every provider relies on this). The archive holds a pointer
+    /// to `external`: it must outlive the archive.
+    explicit OutputArchive(std::string& external) : m_out(&external) { external.clear(); }
+
+    [[nodiscard]] std::string& buffer() noexcept { return *m_out; }
+    [[nodiscard]] std::string take() { return std::move(*m_out); }
 
     template <typename T>
     OutputArchive& operator&(const T& v) {
@@ -41,7 +50,7 @@ class OutputArchive {
             save(static_cast<std::underlying_type_t<T>>(v));
         } else if constexpr (std::is_arithmetic_v<T>) {
             const char* p = reinterpret_cast<const char*>(&v);
-            m_buffer.append(p, sizeof v);
+            m_out->append(p, sizeof v);
         } else {
             // User type: member serialize(Archive&). const_cast is safe: the
             // saving path only reads.
@@ -50,11 +59,11 @@ class OutputArchive {
     }
     void save(const std::string& s) {
         save(static_cast<std::uint64_t>(s.size()));
-        m_buffer.append(s);
+        m_out->append(s);
     }
     void save(std::string_view s) {
         save(static_cast<std::uint64_t>(s.size()));
-        m_buffer.append(s);
+        m_out->append(s);
     }
     void save(const char* s) { save(std::string_view{s}); }
     template <typename T>
@@ -81,7 +90,8 @@ class OutputArchive {
         if (o) save(*o);
     }
 
-    std::string m_buffer;
+    std::string m_owned;
+    std::string* m_out;
 };
 
 class InputArchive {
@@ -131,6 +141,23 @@ class InputArchive {
         }
         s.assign(m_data.data() + m_pos, n);
         m_pos += n;
+    }
+    /// Zero-copy string decode: the view aliases the archive's underlying
+    /// buffer, which must outlive it (a Request keeps its Message payload
+    /// alive for the handler's duration, which is what makes this safe for
+    /// provider argument structs). Fails closed: a corrupt length leaves
+    /// the view empty and marks the archive failed, never reading out of
+    /// bounds.
+    void load(std::string_view& s) {
+        std::uint64_t n = 0;
+        s = {};
+        if (!take(&n, sizeof n)) return;
+        if (m_data.size() - m_pos < n) {
+            m_failed = true;
+            return;
+        }
+        s = m_data.substr(m_pos, static_cast<std::size_t>(n));
+        m_pos += static_cast<std::size_t>(n);
     }
     template <typename T>
     void load(std::vector<T>& v) {
@@ -195,8 +222,18 @@ template <typename... Ts>
     return ar.take();
 }
 
+/// Serialize a value pack into a caller-owned buffer, reusing its capacity
+/// (allocation-free once the buffer has grown to the working-set size).
+template <typename... Ts>
+void pack_into(std::string& out, const Ts&... values) {
+    OutputArchive ar{out};
+    (ar & ... & values);
+}
+
 /// Deserialize a payload string into a value pack. Returns false on
-/// malformed/truncated input.
+/// malformed/truncated input. Targets may be std::string_view (directly or
+/// inside a serialize() method): those decode as zero-copy slices of
+/// `payload`, which must then outlive them.
 template <typename... Ts>
 [[nodiscard]] bool unpack(std::string_view payload, Ts&... values) {
     InputArchive ar{payload};

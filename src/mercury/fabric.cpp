@@ -2,10 +2,68 @@
 #include "common/logging.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstring>
 #include <thread>
 
 namespace mochi::mercury {
+
+// ---------------------------------------------------------------------------
+// MsgRing
+// ---------------------------------------------------------------------------
+
+MsgRing::MsgRing(std::size_t capacity)
+: m_cells(new Cell[capacity]), m_mask(capacity - 1) {
+    assert((capacity & m_mask) == 0 && "MsgRing capacity must be a power of two");
+    for (std::size_t i = 0; i < capacity; ++i)
+        m_cells[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool MsgRing::push(Message&& m) {
+    std::size_t pos = m_enqueue.load(std::memory_order_relaxed);
+    for (;;) {
+        Cell& cell = m_cells[pos & m_mask];
+        std::size_t seq = cell.seq.load(std::memory_order_acquire);
+        auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+        if (dif == 0) {
+            if (m_enqueue.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+                cell.msg = std::move(m);
+                cell.seq.store(pos + 1, std::memory_order_release);
+                return true;
+            }
+            // CAS failure reloaded pos; retry with it.
+        } else if (dif < 0) {
+            return false; // full: slot still occupied by an unread message
+        } else {
+            pos = m_enqueue.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+bool MsgRing::pop(Message& out) {
+    std::size_t pos = m_dequeue.load(std::memory_order_relaxed);
+    for (;;) {
+        Cell& cell = m_cells[pos & m_mask];
+        std::size_t seq = cell.seq.load(std::memory_order_acquire);
+        auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+        if (dif == 0) {
+            // Single consumer: the plain store cannot race another popper.
+            m_dequeue.store(pos + 1, std::memory_order_relaxed);
+            out = std::move(cell.msg);
+            // Release the slot for producers, one full lap ahead.
+            cell.seq.store(pos + m_mask + 1, std::memory_order_release);
+            return true;
+        }
+        if (dif < 0) return false; // empty (or producer mid-publish)
+        pos = m_dequeue.load(std::memory_order_relaxed);
+    }
+}
+
+bool MsgRing::empty() const noexcept {
+    return m_dequeue.load(std::memory_order_acquire) ==
+           m_enqueue.load(std::memory_order_acquire);
+}
 
 // ---------------------------------------------------------------------------
 // Endpoint
@@ -61,12 +119,36 @@ Expected<double> Endpoint::bulk_push(const BulkHandle& remote, std::size_t remot
                              /*pull=*/false);
 }
 
+void Endpoint::enable_fast_inbox(std::function<void()> wakeup) {
+    m_fast_ring = std::make_shared<MsgRing>();
+    m_fast_wakeup = std::move(wakeup);
+    // Publish last: senders gate on this flag (under the fabric mutex when
+    // validating, so the release pairs with that acquire).
+    m_fast_enabled.store(true, std::memory_order_release);
+}
+
+bool Endpoint::poll_fast(Message& out) {
+    if (!m_fast_ring || !m_fast_ring->pop(out)) return false;
+    // Statistics only — see the messages_delivered() ordering contract.
+    m_fabric->m_delivered.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool Endpoint::fast_inbox_empty() const noexcept {
+    return !m_fast_ring || m_fast_ring->empty();
+}
+
 // ---------------------------------------------------------------------------
 // Fabric
 // ---------------------------------------------------------------------------
 
+namespace {
+std::atomic<std::uint64_t> g_fabric_uid{1};
+} // namespace
+
 Fabric::Fabric(LinkModel default_link, std::uint64_t seed)
-: m_default_link(default_link), m_rng(seed), m_epoch(std::chrono::steady_clock::now()) {}
+: m_default_link(default_link), m_rng(seed), m_epoch(std::chrono::steady_clock::now()),
+  m_uid(g_fabric_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
 std::shared_ptr<Fabric> Fabric::create(LinkModel default_link, std::uint64_t seed) {
     return std::shared_ptr<Fabric>(new Fabric(default_link, seed));
@@ -88,39 +170,52 @@ Expected<std::shared_ptr<Endpoint>> Fabric::attach(std::string address,
     auto ep = std::shared_ptr<Endpoint>(
         new Endpoint(shared_from_this(), address, std::move(handler)));
     m_endpoints[ep->address()] = ep;
+    bump_epoch_locked();
     return ep;
 }
 
 void Fabric::do_detach(const std::string& addr) {
     std::lock_guard lk{m_mutex};
     m_endpoints.erase(addr);
+    bump_epoch_locked();
 }
 
 void Fabric::cut(const std::string& a, const std::string& b) {
     std::lock_guard lk{m_mutex};
     m_cuts.insert({a, b});
     m_cuts.insert({b, a});
+    bump_epoch_locked();
 }
 
 void Fabric::heal(const std::string& a, const std::string& b) {
     std::lock_guard lk{m_mutex};
     m_cuts.erase({a, b});
     m_cuts.erase({b, a});
+    bump_epoch_locked();
 }
 
 void Fabric::heal_all() {
     std::lock_guard lk{m_mutex};
     m_cuts.clear();
+    bump_epoch_locked();
 }
 
 void Fabric::set_link(const std::string& src, const std::string& dst, LinkModel model) {
     std::lock_guard lk{m_mutex};
     m_links[{src, dst}] = model;
+    bump_epoch_locked();
 }
 
 void Fabric::set_default_link(LinkModel model) {
     std::lock_guard lk{m_mutex};
     m_default_link = model;
+    bump_epoch_locked();
+}
+
+void Fabric::set_fast_path_enabled(bool enabled) {
+    std::lock_guard lk{m_mutex};
+    m_fast_path_enabled.store(enabled, std::memory_order_relaxed);
+    bump_epoch_locked();
 }
 
 std::vector<std::string> Fabric::attached() const {
@@ -169,7 +264,81 @@ double Fabric::enforce_link_fifo(const std::string& src, const std::string& dst,
     return delivery - now;
 }
 
+bool Fabric::validate_fast_entry(const std::string& src, const std::string& dst,
+                                 FastSendCacheEntry& entry) {
+    std::lock_guard lk{m_mutex};
+    entry.fabric_uid = m_uid;
+    entry.epoch = m_topology_epoch.load(std::memory_order_relaxed);
+    entry.src = src;
+    entry.dst = dst;
+    entry.eligible = false;
+    entry.target.reset();
+    if (!m_fast_path_enabled.load(std::memory_order_relaxed)) return false;
+    auto it = m_endpoints.find(dst);
+    std::shared_ptr<Endpoint> target;
+    if (it == m_endpoints.end() || !(target = it->second.lock())) return false;
+    if (!target->m_fast_enabled.load(std::memory_order_acquire)) return false;
+    if (link_blocked(src, dst)) return false;
+    // Eligible only when the model would have delivered inline anyway
+    // (latency below the timer's 1 µs scheduling threshold, no bandwidth
+    // serialization) and no fault knob needs the per-message RNG roll — so
+    // the fast path changes the delivery mechanism, not the timing model.
+    LinkModel model = link_model(src, dst);
+    if (model.loss_probability > 0.0 || model.duplicate_probability > 0.0 ||
+        model.jitter_us > 0.0 || model.bandwidth_bytes_per_us > 0.0 || model.latency_us >= 1.0)
+        return false;
+    entry.target = target;
+    entry.eligible = true;
+    return true;
+}
+
+bool Fabric::try_fast_send(const std::string& src, const std::string& dst, Message& msg) {
+    // Per-thread cache of recent (fabric, src, dst) verdicts. Entries hold
+    // weak_ptrs only, so a long-lived idle thread cannot pin endpoints.
+    constexpr std::size_t k_cache_slots = 8;
+    thread_local std::array<FastSendCacheEntry, k_cache_slots> tl_cache;
+    thread_local std::size_t tl_evict = 0;
+
+    FastSendCacheEntry* entry = nullptr;
+    for (auto& e : tl_cache) {
+        if (e.fabric_uid == m_uid && e.src == src && e.dst == dst) {
+            entry = &e;
+            break;
+        }
+    }
+    if (entry == nullptr) {
+        entry = &tl_cache[tl_evict];
+        tl_evict = (tl_evict + 1) % k_cache_slots;
+        validate_fast_entry(src, dst, *entry);
+    } else if (entry->epoch != m_topology_epoch.load(std::memory_order_acquire)) {
+        validate_fast_entry(src, dst, *entry);
+    }
+    if (!entry->eligible) return false;
+    std::shared_ptr<Endpoint> target = entry->target.lock();
+    if (!target) {
+        entry->eligible = false;
+        return false; // let the slow path produce Unreachable
+    }
+    // The push + wakeup must hold m_deliver_mutex shared, exactly like the
+    // slow path's deliver(): Endpoint::detach() quiesces by taking it
+    // exclusively after clearing m_attached, and the receiving instance
+    // only finalizes its runtime after detach() returns. Without the lock,
+    // m_fast_wakeup() could still be signaling into the receiver's
+    // scheduler while that runtime is being torn down.
+    std::shared_lock deliver_lk{target->m_deliver_mutex};
+    if (!target->m_attached.load(std::memory_order_acquire)) {
+        entry->eligible = false;
+        return false;
+    }
+    if (!target->m_fast_ring->push(std::move(msg))) return false; // ring full
+    target->m_fast_wakeup();
+    return true;
+}
+
 Status Fabric::send_from(const std::string& src, const std::string& dst, Message msg) {
+    if (m_fast_path_enabled.load(std::memory_order_relaxed) &&
+        try_fast_send(src, dst, msg))
+        return {};
     std::shared_ptr<Endpoint> target;
     double delay_us = 0;
     double dup_delay_us = -1.0; ///< >= 0: deliver a duplicate copy after this

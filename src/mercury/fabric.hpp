@@ -90,6 +90,44 @@ struct BulkHandle {
 
 class Fabric;
 
+/// Bounded lock-free message ring (Vyukov's bounded MPMC queue, used here
+/// multi-producer / single-consumer: any number of sender ULTs push, the
+/// receiving endpoint's progress loop is the only popper). Backs the fabric
+/// fast path: fault-free links enqueue here instead of going through the
+/// timer + shared_mutex delivery machinery.
+///
+/// Memory-ordering contract: each cell carries a sequence number. Producers
+/// claim a slot by CAS on the enqueue cursor, write the message, then
+/// publish with a release store of the cell sequence; the consumer's
+/// acquire load of the same sequence is what makes the message contents
+/// visible. Cursor loads are relaxed — they only feed the claim CAS, which
+/// re-validates via the cell sequence.
+class MsgRing {
+  public:
+    /// `capacity` must be a power of two.
+    explicit MsgRing(std::size_t capacity = 1024);
+
+    /// Returns false when the ring is full (caller falls back to the slow
+    /// delivery path; messages are never dropped on overflow).
+    bool push(Message&& m);
+
+    /// Single-consumer pop. Returns false when empty.
+    bool pop(Message& out);
+
+    [[nodiscard]] bool empty() const noexcept;
+
+  private:
+    struct Cell {
+        std::atomic<std::size_t> seq;
+        Message msg;
+    };
+
+    std::unique_ptr<Cell[]> m_cells;
+    std::size_t m_mask;
+    std::atomic<std::size_t> m_enqueue{0};
+    std::atomic<std::size_t> m_dequeue{0};
+};
+
 /// An attached communication endpoint: one per simulated service process.
 class Endpoint {
   public:
@@ -121,6 +159,27 @@ class Endpoint {
 
     void detach();
 
+    // -- lock-free fast inbox (opt-in) ---------------------------------------
+    //
+    // A consumer that actively polls (margo's progress loop) can enable a
+    // fast inbox: messages on fault-free links are pushed straight into an
+    // MPSC ring, bypassing the timer thread and this endpoint's
+    // m_deliver_mutex/handler path entirely. `wakeup` is invoked after every
+    // push (from the sender's thread) so a parked consumer can be poked; it
+    // must be cheap, non-blocking, and safe for the endpoint's whole
+    // lifetime. There must be exactly ONE polling thread.
+
+    /// Enable the fast inbox. Call once, before the endpoint receives
+    /// traffic (margo does so at create()).
+    void enable_fast_inbox(std::function<void()> wakeup);
+
+    /// Pop one fast-inbox message. Counts toward
+    /// Fabric::messages_delivered(), like a handler delivery.
+    bool poll_fast(Message& out);
+
+    /// Approximate emptiness check for the consumer's idle protocol.
+    [[nodiscard]] bool fast_inbox_empty() const noexcept;
+
   private:
     friend class Fabric;
     Endpoint(std::shared_ptr<Fabric> fabric, std::string address, MessageHandler handler);
@@ -128,6 +187,9 @@ class Endpoint {
     std::shared_ptr<Fabric> m_fabric;
     std::string m_address;
     MessageHandler m_handler;
+    std::shared_ptr<MsgRing> m_fast_ring;       ///< non-null once enabled
+    std::function<void()> m_fast_wakeup;
+    std::atomic<bool> m_fast_enabled{false};
     /// Held shared around every handler invocation; detach() takes it
     /// exclusively after flipping m_attached, so once detach() returns no
     /// delivery is running and none will start. Without this, a
@@ -162,14 +224,26 @@ class Fabric : public std::enable_shared_from_this<Fabric> {
     void set_link(const std::string& src, const std::string& dst, LinkModel model);
     /// Change the default model for links without an override.
     void set_default_link(LinkModel model);
+    /// Globally enable/disable the lock-free fast path (default: enabled).
+    /// Benchmarks use this for before/after ablations; links fall back to
+    /// the timer/shared_mutex delivery path when disabled.
+    void set_fast_path_enabled(bool enabled);
 
     /// Addresses currently attached.
     [[nodiscard]] std::vector<std::string> attached() const;
     [[nodiscard]] bool is_attached(const std::string& addr) const;
 
     /// Total messages delivered (for tests and monitoring cross-checks).
+    ///
+    /// Ordering contract: m_delivered is a statistics counter, not a
+    /// synchronization point. Increments (one per handler invocation or
+    /// fast-inbox pop) and this load are all `memory_order_relaxed`: the
+    /// count is monotonically exact, but reading it implies nothing about
+    /// the visibility of any message's side effects. Tests that compare it
+    /// against per-message effects must establish their own
+    /// happens-before (e.g. join the RPC first).
     [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
-        return m_delivered.load();
+        return m_delivered.load(std::memory_order_relaxed);
     }
 
   private:
@@ -195,6 +269,31 @@ class Fabric : public std::enable_shared_from_this<Fabric> {
     [[nodiscard]] bool link_blocked(const std::string& src, const std::string& dst) const;
     [[nodiscard]] LinkModel link_model(const std::string& src, const std::string& dst) const;
 
+    // -- fast path -----------------------------------------------------------
+
+    /// Per-thread cached verdict for one (fabric, src, dst) triple, so the
+    /// sender's hot path touches neither m_mutex nor the endpoint map. A
+    /// cached entry is valid only while its epoch matches m_epoch; every
+    /// topology/model mutation bumps the epoch, forcing revalidation.
+    struct FastSendCacheEntry {
+        std::uint64_t fabric_uid = 0;
+        std::uint64_t epoch = 0;
+        bool eligible = false;
+        std::string src, dst;
+        std::weak_ptr<Endpoint> target;
+    };
+
+    /// Recompute `entry` under m_mutex. Returns entry.eligible.
+    bool validate_fast_entry(const std::string& src, const std::string& dst,
+                             FastSendCacheEntry& entry);
+    /// Try to deliver via the target's fast inbox; false => use slow path.
+    bool try_fast_send(const std::string& src, const std::string& dst, Message& msg);
+    /// Bump m_epoch; call with m_mutex held, after any mutation that could
+    /// change a cached fast-path verdict.
+    void bump_epoch_locked() noexcept {
+        m_topology_epoch.fetch_add(1, std::memory_order_release);
+    }
+
     mutable std::mutex m_mutex;
     LinkModel m_default_link;
     std::map<std::string, std::weak_ptr<Endpoint>> m_endpoints;
@@ -206,6 +305,13 @@ class Fabric : public std::enable_shared_from_this<Fabric> {
     std::atomic<std::uint64_t> m_delivered{0};
     abt::Timer m_timer; ///< delayed message delivery
     std::chrono::steady_clock::time_point m_epoch;
+    /// Distinguishes this fabric in the thread-local send caches (a new
+    /// fabric may reuse a destroyed one's address).
+    const std::uint64_t m_uid;
+    /// Generation counter for cached fast-path verdicts (see
+    /// FastSendCacheEntry). Mutated under m_mutex only.
+    std::atomic<std::uint64_t> m_topology_epoch{1};
+    std::atomic<bool> m_fast_path_enabled{true};
 
     [[nodiscard]] double now_us() const;
 };

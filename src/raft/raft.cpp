@@ -6,9 +6,17 @@ namespace mochi::raft {
 
 namespace {
 
-struct RequestVoteArgs {
+// Argument structs are templated on their string representation: senders use
+// the owned std::string aliases (the struct outlives the pack call), while
+// RPC handlers decode the `View` aliases whose string_view fields alias the
+// request payload (kept alive by margo::Request for the handler's duration).
+// Decoding therefore copies nothing; bytes are copied only at the sites that
+// actually retain them (voted_for, m_leader, snapshot data). LogEntry stays
+// owned in both directions because entries are moved into the durable log.
+template <typename S>
+struct BasicRequestVoteArgs {
     std::uint64_t term = 0;
-    std::string candidate;
+    S candidate{};
     std::uint64_t last_log_index = 0;
     std::uint64_t last_log_term = 0;
 
@@ -17,10 +25,13 @@ struct RequestVoteArgs {
         ar& term& candidate& last_log_index& last_log_term;
     }
 };
+using RequestVoteArgs = BasicRequestVoteArgs<std::string>;
+using RequestVoteView = BasicRequestVoteArgs<std::string_view>;
 
-struct AppendEntriesArgs {
+template <typename S>
+struct BasicAppendEntriesArgs {
     std::uint64_t term = 0;
-    std::string leader;
+    S leader{};
     std::uint64_t prev_log_index = 0;
     std::uint64_t prev_log_term = 0;
     std::vector<LogEntry> entries;
@@ -31,19 +42,24 @@ struct AppendEntriesArgs {
         ar& term& leader& prev_log_index& prev_log_term& entries& leader_commit;
     }
 };
+using AppendEntriesArgs = BasicAppendEntriesArgs<std::string>;
+using AppendEntriesView = BasicAppendEntriesArgs<std::string_view>;
 
-struct InstallSnapshotArgs {
+template <typename S>
+struct BasicInstallSnapshotArgs {
     std::uint64_t term = 0;
-    std::string leader;
+    S leader{};
     std::uint64_t last_included_index = 0;
     std::uint64_t last_included_term = 0;
-    std::string data;
+    S data{};
 
     template <typename A>
     void serialize(A& ar) {
         ar& term& leader& last_included_index& last_included_term& data;
     }
 };
+using InstallSnapshotArgs = BasicInstallSnapshotArgs<std::string>;
+using InstallSnapshotView = BasicInstallSnapshotArgs<std::string_view>;
 
 } // namespace
 
@@ -228,7 +244,7 @@ void Provider::tick() {
 // Role transitions
 // ---------------------------------------------------------------------------
 
-void Provider::become_follower(std::uint64_t term, const std::string& leader) {
+void Provider::become_follower(std::uint64_t term, std::string_view leader) {
     // m_mutex held by caller
     bool was_leader = m_role == Role::Leader;
     if (term > m_term) {
@@ -574,7 +590,7 @@ Expected<std::vector<std::string>> Provider::submit_multi(
 
 void Provider::define_rpcs() {
     define("request_vote", [this](const margo::Request& req) {
-        RequestVoteArgs args;
+        RequestVoteView args;
         if (!req.unpack(args)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -599,7 +615,7 @@ void Provider::define_rpcs() {
     });
 
     define("append_entries", [this](const margo::Request& req) {
-        AppendEntriesArgs args;
+        AppendEntriesView args;
         if (!req.unpack(args)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -643,7 +659,7 @@ void Provider::define_rpcs() {
     });
 
     define("install_snapshot", [this](const margo::Request& req) {
-        InstallSnapshotArgs args;
+        InstallSnapshotView args;
         if (!req.unpack(args)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -655,8 +671,8 @@ void Provider::define_rpcs() {
         }
         become_follower(args.term, args.leader);
         if (args.last_included_index > m_snapshot_index) {
-            (void)m_sm->restore(args.data);
-            m_snapshot_data = args.data;
+            m_snapshot_data = args.data; // materialize the payload view once
+            (void)m_sm->restore(m_snapshot_data);
             m_snapshot_index = args.last_included_index;
             m_snapshot_term = args.last_included_term;
             m_log.clear();

@@ -16,6 +16,7 @@
 
 #include <deque>
 #include <random>
+#include <string_view>
 
 namespace mochi::raft {
 
@@ -102,7 +103,7 @@ class Provider : public margo::Provider, public std::enable_shared_from_this<Pro
     void define_rpcs();
     void schedule_tick();
     void tick();
-    void become_follower(std::uint64_t term, const std::string& leader);
+    void become_follower(std::uint64_t term, std::string_view leader);
     void start_election();
     void become_leader();
     void replicate_to(const std::string& peer);

@@ -116,7 +116,9 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
     });
     define("write", [this](const margo::Request& req) {
         std::uint64_t region = 0, offset = 0;
-        std::string data;
+        // Zero-copy: the data bytes are read straight out of the request
+        // payload into the region, never staged in an owned string.
+        std::string_view data;
         if (!req.unpack(region, offset, data)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -183,7 +185,9 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
     });
     define("write_multi", [this](const margo::Request& req) {
         std::uint64_t region = 0;
-        std::vector<std::pair<std::uint64_t, std::string>> writes;
+        // Data segments decode as views into the request payload, so the
+        // batch is never re-copied between the wire and the region.
+        std::vector<std::pair<std::uint64_t, std::string_view>> writes;
         if (!req.unpack(region, writes)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -194,7 +198,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
         datas.reserve(writes.size());
         for (const auto& [off, data] : writes) {
             offsets.push_back(off);
-            datas.emplace_back(data);
+            datas.push_back(data);
         }
         handle_write_multi(req, region, offsets, datas);
     });

@@ -6,15 +6,28 @@ namespace mochi::yokan {
 
 namespace {
 
+std::string no_such_key(std::string_view key) {
+    return "no such key: " + std::string(key);
+}
+
+/// Transparent hash so unordered containers can look up string_view keys
+/// without materializing a std::string (C++20 heterogeneous lookup).
+struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
 /// Ordered std::map backend (the default; supports efficient prefix scans).
 class MapBackend final : public Backend {
   public:
-    Status put(const std::string& key, std::string value) override {
+    Status put(std::string_view key, std::string value) override {
         std::lock_guard lk{m_mutex};
         auto it = m_data.find(key);
         if (it == m_data.end()) {
             m_bytes += key.size() + value.size();
-            m_data.emplace(key, std::move(value));
+            m_data.emplace(std::string(key), std::move(value));
         } else {
             m_bytes += value.size();
             m_bytes -= it->second.size();
@@ -22,20 +35,20 @@ class MapBackend final : public Backend {
         }
         return {};
     }
-    Expected<std::string> get(const std::string& key) const override {
+    Expected<std::string> get(std::string_view key) const override {
         std::lock_guard lk{m_mutex};
         auto it = m_data.find(key);
-        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        if (it == m_data.end()) return Error{Error::Code::NotFound, no_such_key(key)};
         return it->second;
     }
-    bool exists(const std::string& key) const override {
+    bool exists(std::string_view key) const override {
         std::lock_guard lk{m_mutex};
-        return m_data.count(key) > 0;
+        return m_data.find(key) != m_data.end();
     }
-    Status erase(const std::string& key) override {
+    Status erase(std::string_view key) override {
         std::lock_guard lk{m_mutex};
         auto it = m_data.find(key);
-        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        if (it == m_data.end()) return Error{Error::Code::NotFound, no_such_key(key)};
         m_bytes -= it->first.size() + it->second.size();
         m_data.erase(it);
         return {};
@@ -48,11 +61,11 @@ class MapBackend final : public Backend {
         std::lock_guard lk{m_mutex};
         return m_bytes;
     }
-    std::vector<std::string> list_keys(const std::string& from, const std::string& prefix,
+    std::vector<std::string> list_keys(std::string_view from, std::string_view prefix,
                                        std::size_t max) const override {
         std::lock_guard lk{m_mutex};
         std::vector<std::string> out;
-        const std::string& start = from > prefix ? from : prefix;
+        std::string_view start = from > prefix ? from : prefix;
         for (auto it = m_data.lower_bound(start); it != m_data.end(); ++it) {
             // Ordered scan: once a key stops matching the prefix, none after
             // it can match.
@@ -76,19 +89,19 @@ class MapBackend final : public Backend {
 
   private:
     mutable std::mutex m_mutex;
-    std::map<std::string, std::string> m_data;
+    std::map<std::string, std::string, std::less<>> m_data;
     std::size_t m_bytes = 0;
 };
 
 /// Hash-map backend (no ordered scans; list_keys sorts on demand).
 class UnorderedMapBackend final : public Backend {
   public:
-    Status put(const std::string& key, std::string value) override {
+    Status put(std::string_view key, std::string value) override {
         std::lock_guard lk{m_mutex};
         auto it = m_data.find(key);
         if (it == m_data.end()) {
             m_bytes += key.size() + value.size();
-            m_data.emplace(key, std::move(value));
+            m_data.emplace(std::string(key), std::move(value));
         } else {
             m_bytes += value.size();
             m_bytes -= it->second.size();
@@ -96,20 +109,20 @@ class UnorderedMapBackend final : public Backend {
         }
         return {};
     }
-    Expected<std::string> get(const std::string& key) const override {
+    Expected<std::string> get(std::string_view key) const override {
         std::lock_guard lk{m_mutex};
         auto it = m_data.find(key);
-        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        if (it == m_data.end()) return Error{Error::Code::NotFound, no_such_key(key)};
         return it->second;
     }
-    bool exists(const std::string& key) const override {
+    bool exists(std::string_view key) const override {
         std::lock_guard lk{m_mutex};
-        return m_data.count(key) > 0;
+        return m_data.find(key) != m_data.end();
     }
-    Status erase(const std::string& key) override {
+    Status erase(std::string_view key) override {
         std::lock_guard lk{m_mutex};
         auto it = m_data.find(key);
-        if (it == m_data.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        if (it == m_data.end()) return Error{Error::Code::NotFound, no_such_key(key)};
         m_bytes -= it->first.size() + it->second.size();
         m_data.erase(it);
         return {};
@@ -122,7 +135,7 @@ class UnorderedMapBackend final : public Backend {
         std::lock_guard lk{m_mutex};
         return m_bytes;
     }
-    std::vector<std::string> list_keys(const std::string& from, const std::string& prefix,
+    std::vector<std::string> list_keys(std::string_view from, std::string_view prefix,
                                        std::size_t max) const override {
         std::lock_guard lk{m_mutex};
         std::vector<std::string> out;
@@ -149,7 +162,7 @@ class UnorderedMapBackend final : public Backend {
 
   private:
     mutable std::mutex m_mutex;
-    std::unordered_map<std::string, std::string> m_data;
+    std::unordered_map<std::string, std::string, StringHash, std::equal_to<>> m_data;
     std::size_t m_bytes = 0;
 };
 
@@ -158,30 +171,34 @@ class UnorderedMapBackend final : public Backend {
 /// rewrites the log when garbage exceeds half of it.
 class LogBackend final : public Backend {
   public:
-    Status put(const std::string& key, std::string value) override {
+    Status put(std::string_view key, std::string value) override {
         std::lock_guard lk{m_mutex};
-        m_log.emplace_back(key, value, /*tombstone=*/false);
+        m_log.emplace_back(std::string(key), std::move(value), /*tombstone=*/false);
         auto it = m_index.find(key);
-        if (it != m_index.end()) m_garbage += 1;
-        m_index[key] = m_log.size() - 1;
+        if (it != m_index.end()) {
+            m_garbage += 1;
+            it->second = m_log.size() - 1;
+        } else {
+            m_index.emplace(std::string(key), m_log.size() - 1);
+        }
         maybe_compact();
         return {};
     }
-    Expected<std::string> get(const std::string& key) const override {
+    Expected<std::string> get(std::string_view key) const override {
         std::lock_guard lk{m_mutex};
         auto it = m_index.find(key);
-        if (it == m_index.end()) return Error{Error::Code::NotFound, "no such key: " + key};
+        if (it == m_index.end()) return Error{Error::Code::NotFound, no_such_key(key)};
         return std::get<1>(m_log[it->second]);
     }
-    bool exists(const std::string& key) const override {
+    bool exists(std::string_view key) const override {
         std::lock_guard lk{m_mutex};
-        return m_index.count(key) > 0;
+        return m_index.find(key) != m_index.end();
     }
-    Status erase(const std::string& key) override {
+    Status erase(std::string_view key) override {
         std::lock_guard lk{m_mutex};
         auto it = m_index.find(key);
-        if (it == m_index.end()) return Error{Error::Code::NotFound, "no such key: " + key};
-        m_log.emplace_back(key, "", /*tombstone=*/true);
+        if (it == m_index.end()) return Error{Error::Code::NotFound, no_such_key(key)};
+        m_log.emplace_back(std::string(key), "", /*tombstone=*/true);
         m_index.erase(it);
         m_garbage += 2;
         maybe_compact();
@@ -198,7 +215,7 @@ class LogBackend final : public Backend {
             b += k.size() + std::get<1>(m_log[idx]).size();
         return b;
     }
-    std::vector<std::string> list_keys(const std::string& from, const std::string& prefix,
+    std::vector<std::string> list_keys(std::string_view from, std::string_view prefix,
                                        std::size_t max) const override {
         std::lock_guard lk{m_mutex};
         std::vector<std::string> out;
@@ -232,7 +249,7 @@ class LogBackend final : public Backend {
     void maybe_compact() {
         if (m_garbage * 2 < m_log.size() || m_log.size() < 64) return;
         std::vector<std::tuple<std::string, std::string, bool>> compacted;
-        std::map<std::string, std::size_t> new_index;
+        std::map<std::string, std::size_t, std::less<>> new_index;
         compacted.reserve(m_index.size());
         for (const auto& [k, idx] : m_index) {
             compacted.emplace_back(k, std::get<1>(m_log[idx]), false);
@@ -245,7 +262,7 @@ class LogBackend final : public Backend {
 
     mutable std::mutex m_mutex;
     std::vector<std::tuple<std::string, std::string, bool>> m_log;
-    std::map<std::string, std::size_t> m_index;
+    std::map<std::string, std::size_t, std::less<>> m_index;
     std::size_t m_garbage = 0;
 };
 

@@ -11,25 +11,31 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace mochi::yokan {
 
+/// Keys are passed as string_view: RPC handlers decode them as zero-copy
+/// slices of the request payload (mercury::InputArchive's string_view load),
+/// so a lookup never materializes a key string. Backends only copy a key
+/// when they actually store it (insert paths); the containers use
+/// transparent comparators/hashes so find/lower_bound take views directly.
 class Backend {
   public:
     virtual ~Backend() = default;
 
-    virtual Status put(const std::string& key, std::string value) = 0;
-    [[nodiscard]] virtual Expected<std::string> get(const std::string& key) const = 0;
-    [[nodiscard]] virtual bool exists(const std::string& key) const = 0;
-    virtual Status erase(const std::string& key) = 0;
+    virtual Status put(std::string_view key, std::string value) = 0;
+    [[nodiscard]] virtual Expected<std::string> get(std::string_view key) const = 0;
+    [[nodiscard]] virtual bool exists(std::string_view key) const = 0;
+    virtual Status erase(std::string_view key) = 0;
     [[nodiscard]] virtual std::size_t count() const = 0;
     [[nodiscard]] virtual std::size_t size_bytes() const = 0;
 
     /// Keys >= `from`, filtered by `prefix`, up to `max` (0 = unlimited).
-    [[nodiscard]] virtual std::vector<std::string> list_keys(const std::string& from,
-                                                             const std::string& prefix,
+    [[nodiscard]] virtual std::vector<std::string> list_keys(std::string_view from,
+                                                             std::string_view prefix,
                                                              std::size_t max) const = 0;
 
     /// Visit every pair (for dump/migration/checkpoint). Stable snapshot not

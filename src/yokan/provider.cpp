@@ -256,8 +256,12 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
 }
 
 void Provider::define_rpcs() {
+    // Scalar-op handlers decode their key as a zero-copy view of the request
+    // payload (the Request owns the payload for the handler's lifetime), so
+    // the common lookup path never copies the key.
     define("put", [this](const margo::Request& req) {
-        std::string key, value;
+        std::string_view key;
+        std::string value;
         if (!req.unpack(key, value)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -271,7 +275,7 @@ void Provider::define_rpcs() {
             req.respond_values(true);
     });
     define("get", [this](const margo::Request& req) {
-        std::string key;
+        std::string_view key;
         if (!req.unpack(key)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -284,7 +288,7 @@ void Provider::define_rpcs() {
             req.respond_values(*r);
     });
     define("exists", [this](const margo::Request& req) {
-        std::string key;
+        std::string_view key;
         if (!req.unpack(key)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -297,7 +301,7 @@ void Provider::define_rpcs() {
         req.respond_values(r.has_value());
     });
     define("erase", [this](const margo::Request& req) {
-        std::string key;
+        std::string_view key;
         if (!req.unpack(key)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -306,8 +310,9 @@ void Provider::define_rpcs() {
         if (m_backend) {
             st = m_backend->erase(key);
         } else {
+            std::string owned{key};
             for (const auto& replica : m_replicas) {
-                auto rs = replica.erase(key);
+                auto rs = replica.erase(owned);
                 if (!rs.ok()) st = rs; // report last failure; best effort
             }
         }
@@ -331,7 +336,9 @@ void Provider::define_rpcs() {
         req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
     });
     define("put_multi", [this](const margo::Request& req) {
-        std::vector<std::pair<std::string, std::string>> pairs;
+        // Keys decode as views into the inline payload; values are owned
+        // (they are moved into the backend).
+        std::vector<std::pair<std::string_view, std::string>> pairs;
         if (!req.unpack(pairs)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -353,7 +360,9 @@ void Provider::define_rpcs() {
             req.respond_error(st.error());
             return;
         }
-        std::vector<std::pair<std::string, std::string>> pairs;
+        // Key views alias `buffer`, which outlives the (synchronous)
+        // handle_put_multi call below.
+        std::vector<std::pair<std::string_view, std::string>> pairs;
         if (!mercury::unpack(buffer, pairs)) {
             req.respond_error(Error{Error::Code::Corruption, "corrupt bulk batch"});
             return;
@@ -361,7 +370,7 @@ void Provider::define_rpcs() {
         handle_put_multi(req, std::move(pairs));
     });
     define("get_multi", [this](const margo::Request& req) {
-        std::vector<std::string> keys;
+        std::vector<std::string_view> keys;
         if (!req.unpack(keys)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -383,8 +392,9 @@ void Provider::define_rpcs() {
             // Virtual database: hand the whole batch to the first replica
             // that answers instead of paying one RPC per key.
             bool served = false;
+            std::vector<std::string> owned(keys.begin(), keys.end());
             for (const auto& replica : m_replicas) {
-                auto r = replica.get_multi(keys);
+                auto r = replica.get_multi(owned);
                 if (r) {
                     values = std::move(*r);
                     served = true;
@@ -399,7 +409,7 @@ void Provider::define_rpcs() {
         req.respond_values(values);
     });
     define("list_keys", [this](const margo::Request& req) {
-        std::string from, prefix;
+        std::string_view from, prefix;
         std::uint64_t max = 0;
         if (!req.unpack(from, prefix, max)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
@@ -410,7 +420,7 @@ void Provider::define_rpcs() {
             return;
         }
         for (const auto& replica : m_replicas) {
-            auto r = replica.list_keys(from, prefix, max);
+            auto r = replica.list_keys(std::string(from), std::string(prefix), max);
             if (r) {
                 req.respond_values(*r);
                 return;
@@ -419,7 +429,7 @@ void Provider::define_rpcs() {
         req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
     });
     define("erase_multi", [this](const margo::Request& req) {
-        std::vector<std::string> keys;
+        std::vector<std::string_view> keys;
         if (!req.unpack(keys)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
@@ -430,8 +440,9 @@ void Provider::define_rpcs() {
             if (m_backend) {
                 st = m_backend->erase(k);
             } else {
+                std::string owned{k};
                 for (const auto& replica : m_replicas) {
-                    auto rs = replica.erase(k);
+                    auto rs = replica.erase(owned);
                     if (!rs.ok()) st = rs;
                 }
             }
@@ -440,7 +451,7 @@ void Provider::define_rpcs() {
         req.respond_values(erased);
     });
     define("list_keyvals", [this](const margo::Request& req) {
-        std::string from, prefix;
+        std::string_view from, prefix;
         std::uint64_t max = 0;
         if (!req.unpack(from, prefix, max)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
@@ -456,7 +467,7 @@ void Provider::define_rpcs() {
             return;
         }
         for (const auto& replica : m_replicas) {
-            auto r = replica.list_keyvals(from, prefix, max);
+            auto r = replica.list_keyvals(std::string(from), std::string(prefix), max);
             if (r) {
                 req.respond_values(*r);
                 return;
@@ -481,12 +492,16 @@ void Provider::define_rpcs() {
 }
 
 void Provider::handle_put_multi(const margo::Request& req,
-                                std::vector<std::pair<std::string, std::string>>&& pairs) {
+                                std::vector<std::pair<std::string_view, std::string>>&& pairs) {
     if (!m_backend) {
         // Virtual database: forward the whole batch to every replica (one
-        // RPC per replica, not one per pair).
+        // RPC per replica, not one per pair). The client API owns its
+        // strings, so materialize the key views once for all replicas.
+        std::vector<std::pair<std::string, std::string>> owned;
+        owned.reserve(pairs.size());
+        for (auto& [k, v] : pairs) owned.emplace_back(std::string(k), std::move(v));
         for (const auto& replica : m_replicas) {
-            if (auto st = replica.put_multi(pairs); !st.ok()) {
+            if (auto st = replica.put_multi(owned); !st.ok()) {
                 req.respond_error(st.error());
                 return;
             }
@@ -520,18 +535,20 @@ void Provider::handle_put_multi(const margo::Request& req,
     req.respond_values(true);
 }
 
-Status Provider::virtual_put(const std::string& key, const std::string& value) {
+Status Provider::virtual_put(std::string_view key, const std::string& value) {
     // All replicas must accept the write (N-way replication).
+    std::string owned{key};
     for (const auto& replica : m_replicas) {
-        if (auto st = replica.put(key, value); !st.ok()) return st;
+        if (auto st = replica.put(owned, value); !st.ok()) return st;
     }
     return {};
 }
 
-Expected<std::string> Provider::virtual_get(const std::string& key) const {
+Expected<std::string> Provider::virtual_get(std::string_view key) const {
     Error last{Error::Code::Unreachable, "no replica reachable"};
+    std::string owned{key};
     for (const auto& replica : m_replicas) {
-        auto r = replica.get(key);
+        auto r = replica.get(owned);
         if (r) return r;
         last = r.error();
         if (last.code == Error::Code::NotFound) return last; // authoritative

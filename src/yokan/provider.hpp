@@ -151,11 +151,13 @@ class Provider : public margo::Provider {
     void define_rpcs();
     /// Vectored batch execution (shared by put_multi and put_multi_bulk):
     /// runs the pairs across the handler pool's ULTs, emitting one
-    /// notify_batch_op per pair, and replies once.
+    /// notify_batch_op per pair, and replies once. Keys are zero-copy views
+    /// into the request payload (or the pulled bulk buffer), both of which
+    /// outlive this call.
     void handle_put_multi(const margo::Request& req,
-                          std::vector<std::pair<std::string, std::string>>&& pairs);
-    Status virtual_put(const std::string& key, const std::string& value);
-    Expected<std::string> virtual_get(const std::string& key) const;
+                          std::vector<std::pair<std::string_view, std::string>>&& pairs);
+    Status virtual_put(std::string_view key, const std::string& value);
+    Expected<std::string> virtual_get(std::string_view key) const;
 
     ProviderConfig m_config;
     std::unique_ptr<Backend> m_backend; ///< null in virtual mode

@@ -199,6 +199,142 @@ TEST(ArchiveFuzz, SegmentsRejectTruncationAndTrailingBytes) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy string_view decoding (the RPC hot path's decode mode)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The owned/view pair every provider request struct follows: identical wire
+/// format, different decode targets.
+struct OwnedRecord {
+    std::uint64_t id = 0;
+    std::string key;
+    std::string value;
+    std::vector<std::string> extras;
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& id& key& value& extras;
+    }
+};
+
+struct ViewRecord {
+    std::uint64_t id = 0;
+    std::string_view key;
+    std::string_view value;
+    std::vector<std::string_view> extras;
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& id& key& value& extras;
+    }
+};
+
+bool view_in_buffer(std::string_view v, std::string_view buf) {
+    return v.empty() ||
+           (v.data() >= buf.data() && v.data() + v.size() <= buf.data() + buf.size());
+}
+
+OwnedRecord random_record(std::mt19937_64& rng) {
+    OwnedRecord r;
+    r.id = rng();
+    r.key = random_string(rng, 32);
+    r.value = random_string(rng, 64);
+    std::uniform_int_distribution<std::size_t> count(0, 6);
+    r.extras.resize(count(rng));
+    for (auto& e : r.extras) e = random_string(rng, 24);
+    return r;
+}
+
+} // namespace
+
+TEST(ArchiveFuzz, ViewDecodingMatchesOwnedDecodingByteForByte) {
+    // Decoding into string_view fields must yield exactly the bytes the
+    // owned (copying) decode yields, while aliasing the payload buffer
+    // instead of allocating.
+    for (int iter = 0; iter < 200; ++iter) {
+        std::mt19937_64 rng{base_seed() + 7000 + iter};
+        OwnedRecord original = random_record(rng);
+        std::string payload = mercury::pack(original);
+
+        OwnedRecord owned;
+        ViewRecord viewed;
+        ASSERT_TRUE(mercury::unpack(payload, owned)) << "seed " << base_seed() + 7000 + iter;
+        ASSERT_TRUE(mercury::unpack(payload, viewed)) << "seed " << base_seed() + 7000 + iter;
+
+        EXPECT_EQ(viewed.id, owned.id);
+        EXPECT_EQ(viewed.key, owned.key);
+        EXPECT_EQ(viewed.value, owned.value);
+        ASSERT_EQ(viewed.extras.size(), owned.extras.size());
+        for (std::size_t i = 0; i < owned.extras.size(); ++i)
+            EXPECT_EQ(viewed.extras[i], owned.extras[i]);
+
+        // Zero-copy: every view lies inside the payload buffer.
+        EXPECT_TRUE(view_in_buffer(viewed.key, payload));
+        EXPECT_TRUE(view_in_buffer(viewed.value, payload));
+        for (const auto& e : viewed.extras) EXPECT_TRUE(view_in_buffer(e, payload));
+    }
+}
+
+TEST(ArchiveFuzz, ViewDecodingFailsClosedOnTruncation) {
+    // Every strict prefix must be rejected when decoding into views, exactly
+    // as when decoding into owned strings — and (ASan-enforced) the decoder
+    // must not read past the truncated buffer to decide.
+    for (int iter = 0; iter < 25; ++iter) {
+        std::mt19937_64 rng{base_seed() + 8000 + iter};
+        std::string payload = mercury::pack(random_record(rng));
+        for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+            ViewRecord back;
+            EXPECT_FALSE(mercury::unpack(std::string_view(payload).substr(0, cut), back))
+                << "seed " << base_seed() + 8000 + iter << " cut " << cut;
+        }
+    }
+}
+
+TEST(ArchiveFuzz, ViewDecodingRejectsCorruptLengths) {
+    // A length prefix pointing past the end of the buffer must fail instead
+    // of producing a view into out-of-bounds memory.
+    std::string huge = mercury::pack(std::uint64_t{1} << 60);
+    std::string_view v;
+    EXPECT_FALSE(mercury::unpack(huge, v));
+    std::vector<std::string_view> vs;
+    EXPECT_FALSE(mercury::unpack(mercury::pack(std::uint64_t{0xFFFFFFFFFFFFFFFFull}), vs));
+}
+
+TEST(ArchiveFuzz, ViewDecodingUnderByteFlipsNeverEscapesBuffer) {
+    // Corrupted payloads may decode to failure or to some other record, but
+    // any view produced must still alias the input buffer — never OOB.
+    for (int iter = 0; iter < 100; ++iter) {
+        std::mt19937_64 rng{base_seed() + 9000 + iter};
+        std::string payload = mercury::pack(random_record(rng));
+        if (payload.empty()) continue;
+        std::uniform_int_distribution<std::size_t> pos(0, payload.size() - 1);
+        std::uniform_int_distribution<int> byte(0, 255);
+        for (int flips = 0; flips < 4; ++flips)
+            payload[pos(rng)] = static_cast<char>(byte(rng));
+        ViewRecord back;
+        if (mercury::unpack(payload, back)) {
+            EXPECT_TRUE(view_in_buffer(back.key, payload));
+            EXPECT_TRUE(view_in_buffer(back.value, payload));
+            for (const auto& e : back.extras) EXPECT_TRUE(view_in_buffer(e, payload));
+        }
+    }
+}
+
+TEST(ArchiveFuzz, PackIntoReusedBufferMatchesPack) {
+    // The reply hot path serializes into a caller-owned buffer with
+    // pack_into(); its bytes must match pack() exactly, for every reuse of
+    // the same (growing, shrinking) buffer.
+    std::string buffer;
+    for (int iter = 0; iter < 100; ++iter) {
+        std::mt19937_64 rng{base_seed() + 10000 + iter};
+        OwnedRecord rec = random_record(rng);
+        mercury::pack_into(buffer, rec);
+        EXPECT_EQ(buffer, mercury::pack(rec)) << "seed " << base_seed() + 10000 + iter;
+    }
+}
+
 TEST(ArchiveFuzz, SegmentsRejectCorruptCount) {
     auto segs = std::vector<std::string>{"abc", "def"};
     std::string payload = mercury::pack_segments(segs);

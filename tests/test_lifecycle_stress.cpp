@@ -413,6 +413,111 @@ void async_vs_shutdown(std::uint64_t seed) {
     server->shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 5: links flipping fast <-> slow under RPC load
+// ---------------------------------------------------------------------------
+//
+// The fabric's SPSC fast path only engages on clean links; flipping a link's
+// fault knobs mid-run retargets in-flight senders between the ring and the
+// timer-driven slow path (and invalidates their per-thread eligibility
+// caches via the topology epoch). Every forward must still resolve exactly
+// once, and once the link settles clean again the path must work — a stale
+// cache entry, a message stranded in the ring, or a lost wakeup at the
+// boundary hangs or fails this scenario.
+
+void fast_slow_flip(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    const std::string server_addr = "sim://ff-server";
+    const std::string client_addr = "sim://ff-client";
+    auto fabric = mercury::Fabric::create({}, seed); // clean default: fast path eligible
+    auto server = margo::Instance::create(fabric, server_addr).value();
+    auto client = margo::Instance::create(fabric, client_addr).value();
+    ASSERT_TRUE(server
+                    ->register_rpc("echo", margo::k_default_provider_id,
+                                   [](const margo::Request& req) { req.respond(req.payload()); })
+                    .has_value());
+
+    constexpr int k_ults = 4, k_calls = 40;
+    std::atomic<int> ok{0}, timed_out{0}, canceled{0}, invalid{0}, unreachable{0},
+        unexpected{0};
+    std::atomic<int> started{0};
+    std::atomic<bool> done{false};
+    std::vector<abt::ThreadHandle> handles;
+    for (int i = 0; i < k_ults; ++i) {
+        handles.push_back(client->runtime()->post_thread(
+            client->runtime()->primary_pool(), [&, i, seed] {
+                std::mt19937_64 lrng(seed * 3000003 + i);
+                ++started;
+                for (int j = 0; j < k_calls; ++j) {
+                    margo::ForwardOptions opts;
+                    opts.timeout = std::chrono::milliseconds(
+                        std::uniform_int_distribution<>(10, 40)(lrng));
+                    auto r = client->forward(server_addr, "echo", "x", opts);
+                    if (r) {
+                        ++ok;
+                        continue;
+                    }
+                    switch (r.error().code) {
+                    case Error::Code::Timeout: ++timed_out; break;
+                    case Error::Code::Canceled: ++canceled; break;
+                    case Error::Code::InvalidState: ++invalid; break;
+                    case Error::Code::Unreachable: ++unreachable; break;
+                    default: ++unexpected; break;
+                    }
+                }
+            }));
+    }
+    while (started.load() < k_ults) std::this_thread::sleep_for(1ms);
+
+    // Flip both directions (requests and responses) between a clean link and
+    // a lossy/jittery one while the ULTs hammer the server; occasionally
+    // toggle the global fast-path switch too, covering the
+    // enabled<->ineligible<->disabled transitions.
+    std::thread flipper{[&] {
+        std::mt19937_64 frng(seed ^ 0xF11FF11Full);
+        bool fast = true;
+        while (!done.load()) {
+            if (fast) {
+                auto model = chaos_link(frng, /*duplicates=*/true);
+                fabric->set_link(client_addr, server_addr, model);
+                fabric->set_link(server_addr, client_addr, model);
+            } else {
+                fabric->set_link(client_addr, server_addr, {});
+                fabric->set_link(server_addr, client_addr, {});
+            }
+            fast = !fast;
+            if (frng() % 8 == 0)
+                fabric->set_fast_path_enabled(frng() % 2 == 0);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(std::uniform_int_distribution<>(1, 5)(frng)));
+        }
+    }};
+    // Liveness: every forward resolves despite the churn.
+    for (auto& h : handles) h.join();
+    done.store(true);
+    flipper.join();
+
+    int total = ok + timed_out + canceled + invalid + unreachable + unexpected;
+    EXPECT_EQ(total, k_ults * k_calls);
+    EXPECT_EQ(unexpected.load(), 0);
+    EXPECT_EQ(canceled.load(), 0);     // nobody shut down mid-run
+    EXPECT_EQ(invalid.load(), 0);
+    EXPECT_EQ(unreachable.load(), 0);  // flips never detach the endpoint
+
+    // Settle clean and re-enable the fast path: the next forward must ride
+    // it successfully (stale eligibility caches must have been invalidated).
+    fabric->set_link(client_addr, server_addr, {});
+    fabric->set_link(server_addr, client_addr, {});
+    fabric->set_fast_path_enabled(true);
+    margo::ForwardOptions settle;
+    settle.timeout = 2000ms;
+    auto r = client->forward(server_addr, "echo", "settled", settle);
+    EXPECT_TRUE(r.has_value());
+
+    client->shutdown();
+    server->shutdown();
+}
+
 } // namespace
 
 TEST(LifecycleStress, ForwardVsShutdown) { run_seeded(forward_vs_shutdown); }
@@ -422,3 +527,5 @@ TEST(LifecycleStress, MigrationChaos) { run_seeded(migration_chaos); }
 TEST(LifecycleStress, SwimChurn) { run_seeded(swim_churn); }
 
 TEST(LifecycleStress, AsyncVsShutdown) { run_seeded(async_vs_shutdown); }
+
+TEST(LifecycleStress, FastSlowFlip) { run_seeded(fast_slow_flip); }
