@@ -7,9 +7,19 @@
 //
 // The fabric models per-node ingress bandwidth, so a node serving more
 // shards really is a bottleneck.
+//
+// E12 — `--json FILE` switches to the layout-scale harness instead: a
+// million keys over 32 shards driven through a detached ElasticKvClient,
+// measuring (a) explicit layout/directory RPCs per steady-state op — must be
+// exactly zero, routing is client-computed — (b) the fraction of resident
+// keys a shard split moves (x num_shards; bounded by 2), and (c) that after
+// the split every key is still readable with the stale client repaired
+// purely from piggybacked epoch hints. Gated by tools/bench_gate.py against
+// bench/baselines/elastic.json.
 #include "composed/elastic_kv.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 
 using namespace mochi;
@@ -95,9 +105,150 @@ std::vector<PhaseResult> run_scenario(bool elastic) {
     return results;
 }
 
+// ---------------------------------------------------------------------------
+// E12: layout-scale harness (--json mode)
+// ---------------------------------------------------------------------------
+
+std::string bench_key(std::size_t i) { return "k" + std::to_string(i); }
+
+int run_layout_scale(const char* json_path) {
+    constexpr std::size_t k_keys = 1u << 20; // >= 1M resident keys
+    constexpr std::size_t k_batch = 8192;
+    constexpr std::size_t k_shards = 32;
+
+    Cluster cluster; // clean links: this harness measures ops, not bandwidth
+    ElasticKvConfig cfg;
+    cfg.num_shards = k_shards;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(
+        cluster, {"sim://n0", "sim://n1", "sim://n2", "sim://n3"}, cfg);
+    if (!svc) {
+        std::fprintf(stderr, "deploy failed: %s\n", svc.error().message.c_str());
+        return 1;
+    }
+    auto& kv = **svc;
+    auto app = margo::Instance::create(cluster.fabric(), "sim://bench-app").value();
+    ElasticKvClient client{app, kv.controller_address()};
+
+    // Phase 1: ingest. Batches are shard-grouped client-side; each batch
+    // leaves as (at most) one RPC per shard.
+    std::printf("# E12: ingesting %zu keys over %zu shards...\n", k_keys, k_shards);
+    auto t0 = Clock::now();
+    for (std::size_t base = 0; base < k_keys; base += k_batch) {
+        std::vector<std::pair<std::string, std::string>> pairs;
+        pairs.reserve(k_batch);
+        for (std::size_t i = base; i < base + k_batch && i < k_keys; ++i)
+            pairs.emplace_back(bench_key(i), "v");
+        if (auto st = client.put_multi(pairs); !st.ok()) {
+            std::fprintf(stderr, "ingest put_multi: %s\n", st.error().message.c_str());
+            return 1;
+        }
+    }
+    double ingest_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    double ingest_ops_s = static_cast<double>(k_keys) / ingest_s;
+
+    // Phase 2: steady state. The cached layout routes everything locally;
+    // the refresh counter must not move at all.
+    std::size_t refreshes_before = client.refreshes();
+    std::size_t steady_ops = 0;
+    t0 = Clock::now();
+    for (int round = 0; round < 24; ++round) {
+        std::vector<std::string> keys;
+        keys.reserve(k_batch);
+        std::size_t base = (static_cast<std::size_t>(round) * 37 * k_batch) % k_keys;
+        for (std::size_t i = 0; i < k_batch; ++i)
+            keys.push_back(bench_key((base + i) % k_keys));
+        auto got = client.get_multi(keys);
+        if (!got.has_value()) {
+            std::fprintf(stderr, "steady get_multi: %s\n", got.error().message.c_str());
+            return 1;
+        }
+        steady_ops += keys.size();
+    }
+    double steady_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    double steady_ops_s = static_cast<double>(steady_ops) / steady_s;
+    double steady_layout_rpcs_per_op =
+        static_cast<double>(client.refreshes() - refreshes_before) /
+        static_cast<double>(steady_ops);
+
+    // Phase 3: split the shard owning k0 and measure movement. Routing is
+    // deterministic, so the moved-key count falls straight out of the two
+    // layouts (test_yokan proves data movement matches routing).
+    Layout before = kv.layout();
+    std::uint32_t hot = before.shard_for_key(bench_key(0)).id;
+    auto plan = kv.split_shard(hot);
+    if (!plan) {
+        std::fprintf(stderr, "split_shard: %s\n", plan.error().message.c_str());
+        return 1;
+    }
+    Layout after = kv.layout();
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < k_keys; ++i)
+        if (after.shard_for_key(bench_key(i)).id != before.shard_for_key(bench_key(i)).id)
+            ++moved;
+    double moved_fraction_x_shards = static_cast<double>(moved) /
+                                     static_cast<double>(k_keys) *
+                                     static_cast<double>(k_shards);
+
+    // Phase 4: full sweep through the (now stale) client. The first batch
+    // hits the epoch guard and repairs from the piggybacked hint — zero
+    // explicit layout RPCs — after which every key must read back.
+    std::size_t post_refreshes_before = client.refreshes();
+    std::size_t missing = 0;
+    for (std::size_t base = 0; base < k_keys; base += k_batch) {
+        std::vector<std::string> keys;
+        keys.reserve(k_batch);
+        for (std::size_t i = base; i < base + k_batch && i < k_keys; ++i)
+            keys.push_back(bench_key(i));
+        auto got = client.get_multi(keys);
+        if (!got.has_value()) {
+            std::fprintf(stderr, "post-split get_multi: %s\n",
+                         got.error().message.c_str());
+            return 1;
+        }
+        for (const auto& v : *got)
+            if (!v.has_value()) ++missing;
+    }
+    double post_split_refreshes =
+        static_cast<double>(client.refreshes() - post_refreshes_before);
+
+    std::FILE* out = std::fopen(json_path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", json_path);
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"metrics\": {\n"
+                 "    \"shards\": %zu,\n"
+                 "    \"keys\": %zu,\n"
+                 "    \"ingest_ops_s\": %.1f,\n"
+                 "    \"steady_ops_s\": %.1f,\n"
+                 "    \"steady_layout_rpcs_per_op\": %.6f,\n"
+                 "    \"split_moved_fraction_x_shards\": %.4f,\n"
+                 "    \"post_split_missing_keys\": %zu,\n"
+                 "    \"post_split_refreshes\": %.0f,\n"
+                 "    \"stale_epoch_retries\": %zu\n"
+                 "  }\n}\n",
+                 k_shards, k_keys, ingest_ops_s, steady_ops_s,
+                 steady_layout_rpcs_per_op, moved_fraction_x_shards, missing,
+                 post_split_refreshes, client.stale_retries());
+    std::fclose(out);
+    std::printf("# E12: steady %.0f ops/s, %.6f layout RPCs/op, split moved "
+                "%.4f x shards (bound 2.0), %zu missing, %.0f post-split "
+                "refreshes, %zu piggyback repairs\n",
+                steady_ops_s, steady_layout_rpcs_per_op, moved_fraction_x_shards,
+                missing, post_split_refreshes, client.stale_retries());
+    app->shutdown();
+    bool ok = steady_layout_rpcs_per_op == 0.0 && moved_fraction_x_shards <= 2.0 &&
+              missing == 0 && post_split_refreshes == 0.0;
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0) return run_layout_scale(argv[i + 1]);
     std::printf("# E8: phased workload, static vs elastic deployment\n");
     std::printf("# link model: 5 us + 50 MB/s per directional link; 16 shards\n");
     auto static_results = run_scenario(/*elastic=*/false);

@@ -13,12 +13,12 @@ using namespace mochi::composed;
 
 namespace {
 
-void show_directory(ElasticKvService& kv, const char* label) {
-    auto dir = kv.directory();
+void show_layout(ElasticKvService& kv, const char* label) {
+    auto layout = kv.layout();
     std::map<std::string, int> per_node;
-    for (const auto& n : dir.shard_to_node) ++per_node[n];
-    std::printf("  %-22s directory v%llu:", label,
-                static_cast<unsigned long long>(dir.version));
+    for (const auto& s : layout.shards()) ++per_node[s.node];
+    std::printf("  %-22s layout epoch %llu:", label,
+                static_cast<unsigned long long>(layout.epoch()));
     for (const auto& [node, count] : per_node)
         std::printf("  %s=%d shards", node.c_str(), count);
     std::printf("\n");
@@ -45,7 +45,7 @@ int main() {
     }
     auto& kv = **svc;
     std::printf("== deployed elastic KV over 2 nodes, %zu shards\n", kv.num_shards());
-    show_directory(kv, "initial");
+    show_layout(kv, "initial");
 
     std::printf("== phase 1: ingest 2000 key-value pairs\n");
     for (int i = 0; i < 2000; ++i) {
@@ -63,7 +63,7 @@ int main() {
         return 1;
     }
     (void)kv.scale_up("sim://node3");
-    show_directory(kv, "after scale-up");
+    show_layout(kv, "after scale-up");
     show_balance(kv);
 
     // Verify every key survived the shard migrations.
@@ -75,7 +75,7 @@ int main() {
     std::printf("== phase 3: burst is over -> scale back down to 2 nodes\n");
     (void)kv.scale_down("sim://node2");
     (void)kv.scale_down("sim://node3");
-    show_directory(kv, "after scale-down");
+    show_layout(kv, "after scale-down");
     show_balance(kv);
     missing = 0;
     for (int i = 0; i < 2000; ++i)

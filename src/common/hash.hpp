@@ -1,0 +1,25 @@
+// Shared stable hashes. The 64-bit key hash defines the elastic service's
+// ring coordinate (composed/layout.hpp) and is also what a Yokan provider
+// uses to carve its catalogue into hash ranges during a shard split
+// (yokan extract_range / erase_range) — both sides MUST agree bit-for-bit,
+// which is why the function lives here rather than in either component.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mochi::common {
+
+/// FNV-1a over the full 64-bit space. Deterministic across processes (no
+/// seeding, no pointer mixing): any client computes the same ring
+/// coordinate for a key as every server.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace mochi::common

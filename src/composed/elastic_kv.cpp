@@ -1,6 +1,9 @@
 #include "composed/elastic_kv.hpp"
 #include "common/logging.hpp"
 
+#include <numeric>
+#include <thread>
+
 namespace mochi::composed {
 
 // ---------------------------------------------------------------------------
@@ -21,11 +24,11 @@ json::Value ElasticKvService::node_bootstrap_config() {
     return cfg;
 }
 
-json::Value ElasticKvService::shard_descriptor(std::size_t shard) const {
+json::Value ElasticKvService::shard_descriptor(std::uint32_t shard) const {
     auto desc = json::Value::object();
     desc["name"] = shard_name(shard);
     desc["type"] = "yokan";
-    desc["provider_id"] = static_cast<std::int64_t>(k_first_shard_provider_id + shard);
+    desc["provider_id"] = static_cast<std::int64_t>(shard_provider_id(shard));
     desc["config"]["name"] = shard_name(shard);
     desc["config"]["backend"] = m_config.backend;
     desc["dependencies"]["remi"] = "remi";
@@ -49,27 +52,26 @@ ElasticKvService::create(Cluster& cluster, std::vector<std::string> addresses,
     for (const auto& addr : addresses) {
         if (auto st = service->spawn_service_node(addr); !st.ok()) return st.error();
     }
-    // Initial round-robin shard placement.
-    {
-        std::lock_guard lk{service->m_mutex};
-        service->m_shard_to_node.resize(service->m_config.num_shards);
-        for (std::size_t s = 0; s < service->m_config.num_shards; ++s)
-            service->m_shard_to_node[s] = addresses[s % addresses.size()];
-    }
-    for (std::size_t s = 0; s < service->m_config.num_shards; ++s) {
-        auto node = cluster.node(addresses[s % addresses.size()]);
-        if (auto st = node->start_provider(service->shard_descriptor(s)); !st.ok())
+    // Initial layout: even ring partition, shards round-robin over nodes.
+    Layout layout = Layout::initial(service->m_config.num_shards, addresses);
+    for (const auto& shard : layout.shards()) {
+        auto node = cluster.node(shard.node);
+        if (auto st = node->start_provider(service->shard_descriptor(shard.id)); !st.ok())
             return st.error();
     }
-    // Serve the directory to detached clients (the explicit query function
-    // of §6's first client strategy).
+    {
+        std::lock_guard lk{service->m_mutex};
+        service->m_layout = std::move(layout);
+    }
+    // Serve the layout to detached clients: the one explicit fetch they do
+    // (bootstrap); everything after rides on piggybacked epoch hints.
     ElasticKvService* raw = service.get();
     (void)service->m_client->register_rpc(
-        "elastic_kv/directory", margo::k_default_provider_id,
-        [raw](const margo::Request& req) {
-            auto dir = raw->directory();
-            req.respond_values(dir.version, dir.shard_to_node);
+        "elastic_kv/layout", margo::k_default_provider_id, [raw](const margo::Request& req) {
+            auto layout = raw->layout();
+            req.respond_values(layout.epoch(), layout.pack());
         });
+    service->publish_layout();
     return service;
 }
 
@@ -103,6 +105,12 @@ Status ElasticKvService::spawn_service_node(const std::string& address) {
         if (!g) return g.error();
         group = std::move(g).value();
     }
+    // Gossip-delivered layouts flow into the node's local shard providers
+    // (supplements the controller's direct update_epoch push, and covers
+    // providers the push raced with).
+    group->on_payload([instance](std::uint64_t version, const std::string& blob) {
+        yokan::apply_epoch_update(instance, version, blob);
+    });
     if (m_config.enable_resilience) {
         group->on_membership_change([this](const std::string& addr,
                                            ssg::MembershipEvent ev) {
@@ -116,7 +124,7 @@ Status ElasticKvService::spawn_service_node(const std::string& address) {
 
 ElasticKvService::~ElasticKvService() {
     m_stopping.store(true);
-    (void)m_client->deregister_rpc("elastic_kv/directory", margo::k_default_provider_id);
+    (void)m_client->deregister_rpc("elastic_kv/layout", margo::k_default_provider_id);
     {
         std::lock_guard lk{m_mutex};
         for (auto& [a, g] : m_groups) g->leave();
@@ -125,30 +133,48 @@ ElasticKvService::~ElasticKvService() {
     if (m_client) m_client->shutdown();
 }
 
+void ElasticKvService::publish_layout() {
+    Layout layout;
+    std::shared_ptr<ssg::Group> group;
+    {
+        std::lock_guard lk{m_mutex};
+        layout = m_layout;
+        if (!m_groups.empty()) group = m_groups.begin()->second;
+    }
+    if (layout.empty()) return;
+    const std::string blob = layout.pack();
+    // Direct push to every shard provider: after this returns, stale-epoch
+    // requests are rejected service-wide (best effort per provider — a
+    // missed one catches up via gossip or a guarded client's next request).
+    for (const auto& shard : layout.shards())
+        (void)shard_db(shard).update_epoch(layout.epoch(), blob);
+    // One member publishes; SWIM piggybacks the version and the rest of the
+    // group pulls the blob (anti-entropy).
+    if (group) group->publish_payload(layout.epoch(), blob);
+}
+
 // ---------------------------------------------------------------------------
 // Client operations
 // ---------------------------------------------------------------------------
 
-namespace {
-
-std::uint32_t shard_hash(const std::string& key, std::size_t num_shards) {
-    std::uint32_t h = 2166136261u;
-    for (unsigned char c : key) {
-        h ^= c;
-        h *= 16777619u;
-    }
-    return h % static_cast<std::uint32_t>(num_shards);
-}
-
-} // namespace
-
 std::uint32_t ElasticKvService::shard_of(const std::string& key) const {
-    return shard_hash(key, m_config.num_shards);
+    std::lock_guard lk{m_mutex};
+    return m_layout.shard_for_key(key).id;
 }
 
-Directory ElasticKvService::directory() const {
+Layout ElasticKvService::layout() const {
     std::lock_guard lk{m_mutex};
-    return Directory{m_directory_version, m_shard_to_node};
+    return m_layout;
+}
+
+std::uint64_t ElasticKvService::epoch() const {
+    std::lock_guard lk{m_mutex};
+    return m_layout.epoch();
+}
+
+std::size_t ElasticKvService::num_shards() const {
+    std::lock_guard lk{m_mutex};
+    return m_layout.num_shards();
 }
 
 std::vector<std::string> ElasticKvService::nodes() const {
@@ -163,39 +189,30 @@ std::uint64_t ElasticKvService::group_digest() const {
 }
 
 Status ElasticKvService::put(const std::string& key, const std::string& value) {
-    std::size_t shard = shard_of(key);
-    std::string node;
+    LayoutShard shard;
     {
         std::lock_guard lk{m_mutex};
-        node = m_shard_to_node[shard];
+        shard = m_layout.shard_for_key(key);
     }
-    yokan::Database db{m_client, node,
-                       static_cast<std::uint16_t>(k_first_shard_provider_id + shard)};
-    return db.put(key, value);
+    return shard_db(shard).put(key, value);
 }
 
 Expected<std::string> ElasticKvService::get(const std::string& key) {
-    std::size_t shard = shard_of(key);
-    std::string node;
+    LayoutShard shard;
     {
         std::lock_guard lk{m_mutex};
-        node = m_shard_to_node[shard];
+        shard = m_layout.shard_for_key(key);
     }
-    yokan::Database db{m_client, node,
-                       static_cast<std::uint16_t>(k_first_shard_provider_id + shard)};
-    return db.get(key);
+    return shard_db(shard).get(key);
 }
 
 Status ElasticKvService::erase(const std::string& key) {
-    std::size_t shard = shard_of(key);
-    std::string node;
+    LayoutShard shard;
     {
         std::lock_guard lk{m_mutex};
-        node = m_shard_to_node[shard];
+        shard = m_layout.shard_for_key(key);
     }
-    yokan::Database db{m_client, node,
-                       static_cast<std::uint16_t>(k_first_shard_provider_id + shard)};
-    return db.erase(key);
+    return shard_db(shard).erase(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -205,50 +222,64 @@ Status ElasticKvService::erase(const std::string& key) {
 std::vector<pufferscale::Resource> ElasticKvService::shard_resources() const {
     // Load signal: per-provider handler activity from each node's Margo
     // monitoring (§4 — "using the performance introspection tools presented
-    // in Section 4 to guide load rebalancing"); size from the provider's
-    // own config (key count via yokan config is not exposed, so we use the
-    // monitoring request sizes as a proxy plus the DB's store footprint).
+    // in Section 4 to guide load rebalancing"); size from a live count query.
     std::vector<pufferscale::Resource> resources;
-    Directory dir = directory();
-    for (std::size_t s = 0; s < dir.shard_to_node.size(); ++s) {
+    Layout layout = this->layout();
+    for (const auto& shard : layout.shards()) {
         pufferscale::Resource r;
-        r.id = shard_name(s);
-        r.node = dir.shard_to_node[s];
+        r.id = shard_name(shard.id);
+        r.node = shard.node;
         auto proc = m_cluster.node(r.node);
         if (!proc) continue;
         auto stats = proc->margo_instance()->monitoring_json();
         double load = 0;
-        std::uint16_t pid = static_cast<std::uint16_t>(k_first_shard_provider_id + s);
+        std::uint16_t pid = shard_provider_id(shard.id);
         for (const auto& [key, rpc] : stats["rpcs"].as_object()) {
             if (rpc["provider_id"].as_integer() != pid) continue;
             for (const auto& [peer, t] : rpc["target"].as_object())
                 load += static_cast<double>(t["ult"]["duration"]["num"].as_integer());
         }
         r.load = load;
-        // Size: count keys through a live query.
-        yokan::Database db{m_client, r.node, pid};
+        yokan::Database db = shard_db(shard);
         if (auto c = db.count()) r.size = static_cast<double>(*c);
         resources.push_back(std::move(r));
     }
     return resources;
 }
 
-Status ElasticKvService::migrate_shard(std::size_t shard, const std::string& dest) {
-    std::string source;
+Status ElasticKvService::migrate_shard(std::uint32_t shard, const std::string& dest) {
+    LayoutShard source;
+    Layout staged;
     {
         std::lock_guard lk{m_mutex};
-        source = m_shard_to_node[shard];
+        const auto* s = m_layout.find_shard(shard);
+        if (!s) return Error{Error::Code::NotFound, "no shard " + std::to_string(shard)};
+        source = *s;
+        staged = m_layout;
     }
-    if (source == dest) return {};
+    if (source.node == dest) return {};
+    if (auto st = staged.move_shard(shard, dest); !st.ok()) return st;
+    // 1. Freeze the source *before* the checkpoint: push the staged epoch
+    //    (with the staged layout as the repair hint) so no guarded write can
+    //    land after the snapshot and silently miss the transfer. Writers
+    //    adopt the hinted layout and retry against `dest`, backing off until
+    //    the restore below brings the provider up there.
+    if (auto st = shard_db(source).update_epoch(staged.epoch(), staged.pack()); !st.ok())
+        return st;
+    // 2. Checkpoint-and-restore the frozen provider onto `dest` (Bedrock's
+    //    managed migration over REMI).
     bedrock::Client bc{m_client};
-    auto handle = bc.makeServiceHandle(source);
+    auto handle = bc.makeServiceHandle(source.node);
     auto options = json::Value::object();
     options["method"] = m_config.migration_method == remi::Method::Rdma ? "rdma" : "chunks";
     if (auto st = handle.migrateProvider(shard_name(shard), dest, options); !st.ok())
         return st;
-    std::lock_guard lk{m_mutex};
-    m_shard_to_node[shard] = dest;
-    ++m_directory_version;
+    // 3. Flip: commit the staged layout and publish the new epoch.
+    {
+        std::lock_guard lk{m_mutex};
+        if (auto st = m_layout.move_shard(shard, dest); !st.ok()) return st;
+    }
+    publish_layout();
     return {};
 }
 
@@ -257,11 +288,23 @@ Status ElasticKvService::rebalance() {
     auto plan = pufferscale::plan_rescale(resources, nodes(), m_config.objectives);
     if (!plan) return plan.error();
     // Pufferscale executes through dependency injection: the injected
-    // function is Bedrock's managed provider migration.
+    // function is Bedrock's managed provider migration (which also flips the
+    // layout entry and publishes the new epoch).
     return pufferscale::execute(*plan, [this](const pufferscale::Move& move) -> Status {
-        std::size_t shard = std::stoul(move.resource.substr(5));
+        auto shard = static_cast<std::uint32_t>(std::stoul(move.resource.substr(5)));
         return migrate_shard(shard, move.to);
     });
+}
+
+Status ElasticKvService::rebalance_weighted(const std::vector<WeightedNode>& weights) {
+    // Plan on a scratch copy (rendezvous placement over the weighted nodes);
+    // each executed migration flips the live layout and publishes.
+    Layout staged = layout();
+    auto moves = staged.rebalance_weighted(weights);
+    for (const auto& move : moves) {
+        if (auto st = migrate_shard(move.shard, move.to); !st.ok()) return st;
+    }
+    return {};
 }
 
 Status ElasticKvService::scale_up(const std::string& address) {
@@ -284,7 +327,7 @@ Status ElasticKvService::scale_down(const std::string& address) {
     auto plan = pufferscale::plan_rescale(resources, nodes(), m_config.objectives);
     if (!plan) return plan.error();
     if (auto st = pufferscale::execute(*plan, [this](const pufferscale::Move& move) {
-            std::size_t shard = std::stoul(move.resource.substr(5));
+            auto shard = static_cast<std::uint32_t>(std::stoul(move.resource.substr(5)));
             return migrate_shard(shard, move.to);
         });
         !st.ok())
@@ -304,15 +347,105 @@ Status ElasticKvService::scale_down(const std::string& address) {
 }
 
 // ---------------------------------------------------------------------------
+// Shard split / merge
+// ---------------------------------------------------------------------------
+
+Expected<Layout::SplitPlan> ElasticKvService::split_shard(std::uint32_t shard_id,
+                                                          std::string child_node) {
+    Layout staged = layout();
+    auto plan = staged.split(shard_id, std::move(child_node));
+    if (!plan) return plan.error();
+    yokan::Database parent{m_client, plan->parent_node, shard_provider_id(plan->parent)};
+    const std::string method =
+        m_config.migration_method == remi::Method::Rdma ? "rdma" : "chunks";
+    // 1. Start the (empty) child provider so post-flip traffic has a target.
+    auto node = m_cluster.node(plan->child_node);
+    if (!node)
+        return Error{Error::Code::NotFound, "no service node at " + plan->child_node};
+    if (auto st = node->start_provider(shard_descriptor(plan->child)); !st.ok())
+        return st.error();
+    // 2. Flip: commit the staged layout and publish the new epoch. Guarded
+    //    writes for the upper half now land on the child, and the parent's
+    //    epoch guard rejects stale writers — the parent's copy of the upper
+    //    half is frozen from here on.
+    {
+        std::lock_guard lk{m_mutex};
+        m_layout = staged;
+    }
+    publish_layout();
+    // 3. Copy the frozen upper half into the child (REMI ships the files
+    //    when the child landed on another node). absorb() is put-if-absent:
+    //    any key the child already holds was written *after* the flip and is
+    //    newer than the parent's frozen copy, so the copy can never clobber
+    //    a post-flip update. Reads of not-yet-copied keys transiently miss;
+    //    acknowledged writes are never lost.
+    auto seeded = parent.extract_range(plan->mid, plan->end, shard_root(plan->child), "seed",
+                                       plan->child_node, method, k_remi_provider_id);
+    if (!seeded) return seeded.error();
+    yokan::Database child{m_client, plan->child_node, shard_provider_id(plan->child)};
+    if (auto a = child.absorb("seed"); !a) return a.error();
+    // 4. Drop the moved range from the parent.
+    auto erased = parent.erase_range(plan->mid, plan->end);
+    if (!erased) return erased.error();
+    log::info("elastic_kv", "split shard%u -> shard%u on %s (%llu keys moved)",
+              plan->parent, plan->child, plan->child_node.c_str(),
+              static_cast<unsigned long long>(*seeded));
+    return *plan;
+}
+
+Expected<Layout::MergePlan> ElasticKvService::merge_shards(std::uint32_t victim_id) {
+    Layout staged = layout();
+    const auto* victim_shard = staged.find_shard(victim_id);
+    if (!victim_shard)
+        return Error{Error::Code::NotFound, "no shard " + std::to_string(victim_id)};
+    const std::uint64_t vbegin = victim_shard->range_begin;
+    const std::uint64_t vend = staged.range_end_of(victim_id);
+    auto plan = staged.merge(victim_id);
+    if (!plan) return plan.error();
+    yokan::Database victim{m_client, plan->victim_node, shard_provider_id(plan->victim)};
+    yokan::Database survivor{m_client, plan->survivor_node,
+                             shard_provider_id(plan->survivor)};
+    const std::string method =
+        m_config.migration_method == remi::Method::Rdma ? "rdma" : "chunks";
+    const std::uint64_t new_epoch = staged.epoch();
+    const std::string blob = staged.pack();
+    // 1. Flip: the victim's range now belongs to the survivor. The victim
+    //    left the layout, so publish_layout() cannot reach it — push the new
+    //    epoch to it directly; from then on its guard rejects every stale
+    //    writer and its data is frozen.
+    {
+        std::lock_guard lk{m_mutex};
+        m_layout = staged;
+    }
+    publish_layout();
+    if (auto st = victim.update_epoch(new_epoch, blob); !st.ok()) return st.error();
+    // 2. Move the frozen range under the survivor's root and load it;
+    //    put-if-absent, as in split_shard: the survivor's own post-flip
+    //    writes win over the victim's frozen copies.
+    auto moved = victim.extract_range(vbegin, vend, shard_root(plan->survivor), "xfer",
+                                      plan->survivor_node, method, k_remi_provider_id);
+    if (!moved) return moved.error();
+    if (auto a = survivor.absorb("xfer"); !a) return a.error();
+    // 3. Retire the victim.
+    auto node = m_cluster.node(plan->victim_node);
+    if (node) (void)node->stop_provider(shard_name(plan->victim));
+    log::info("elastic_kv", "merged shard%u into shard%u (%llu keys moved)", plan->victim,
+              plan->survivor, static_cast<unsigned long long>(*moved));
+    return *plan;
+}
+
+// ---------------------------------------------------------------------------
 // Resilience (§7)
 // ---------------------------------------------------------------------------
 
 Status ElasticKvService::checkpoint_all() {
-    Directory dir = directory();
+    Layout layout = this->layout();
     bedrock::Client bc{m_client};
-    for (std::size_t s = 0; s < dir.shard_to_node.size(); ++s) {
-        auto handle = bc.makeServiceHandle(dir.shard_to_node[s]);
-        if (auto st = handle.checkpointProvider(shard_name(s), checkpoint_path(s)); !st.ok())
+    for (const auto& shard : layout.shards()) {
+        auto handle = bc.makeServiceHandle(shard.node);
+        if (auto st = handle.checkpointProvider(shard_name(shard.id),
+                                                checkpoint_path(shard.id));
+            !st.ok())
             return st;
     }
     return {};
@@ -328,21 +461,21 @@ Status ElasticKvService::recover_shards_of(const std::string& address) {
     // Top-down recovery (§7): the controller has the global view; it
     // restarts every shard the dead node hosted on surviving nodes, restored
     // from the latest PFS checkpoint.
-    std::vector<std::size_t> lost;
+    std::vector<std::uint32_t> lost;
     std::vector<std::string> survivors;
     {
         std::lock_guard lk{m_mutex};
         if (!m_nodes.erase(address)) return {}; // already handled
         m_groups.erase(address);
-        for (std::size_t s = 0; s < m_shard_to_node.size(); ++s)
-            if (m_shard_to_node[s] == address) lost.push_back(s);
+        for (const auto& shard : m_layout.shards())
+            if (shard.node == address) lost.push_back(shard.id);
         survivors.assign(m_nodes.begin(), m_nodes.end());
     }
     if (survivors.empty())
         return Error{Error::Code::InvalidState, "no surviving node to recover onto"};
     bedrock::Client bc{m_client};
     std::size_t next = 0;
-    for (std::size_t s : lost) {
+    for (std::uint32_t s : lost) {
         const std::string& target = survivors[next++ % survivors.size()];
         auto handle = bc.makeServiceHandle(target);
         if (auto st = handle.startProvider(shard_descriptor(s)); !st.ok()) return st;
@@ -353,41 +486,97 @@ Status ElasticKvService::recover_shards_of(const std::string& address) {
             (void)handle.restoreProvider(shard_name(s), checkpoint_path(s));
         {
             std::lock_guard lk{m_mutex};
-            m_shard_to_node[s] = target;
-            ++m_directory_version;
+            (void)m_layout.move_shard(s, target);
         }
         m_recoveries.fetch_add(1);
     }
+    publish_layout();
     return {};
 }
 
 // ---------------------------------------------------------------------------
-// ElasticKvClient (Colza-style stale-view protocol)
+// ElasticKvClient (layout cache + piggybacked epoch invalidation)
 // ---------------------------------------------------------------------------
 
 ElasticKvClient::ElasticKvClient(margo::InstancePtr instance, std::string controller)
-: m_instance(std::move(instance)), m_controller(std::move(controller)) {}
+: m_instance(std::move(instance)), m_controller(std::move(controller)),
+  m_epoch_context(std::make_shared<yokan::EpochContext>()) {}
+
+bool ElasticKvClient::adopt(std::uint64_t epoch, const std::string& blob) {
+    if (epoch <= m_layout.epoch()) return false;
+    auto layout = Layout::unpack_blob(blob);
+    if (!layout || layout->epoch() <= m_layout.epoch()) return false;
+    m_layout = std::move(*layout);
+    m_epoch_context->epoch.store(m_layout.epoch(), std::memory_order_relaxed);
+    return true;
+}
 
 Status ElasticKvClient::refresh() {
-    auto r = m_instance->call<std::uint64_t, std::vector<std::string>>(
-        m_controller, "elastic_kv/directory", {});
+    auto r = m_instance->call<std::uint64_t, std::string>(m_controller, "elastic_kv/layout",
+                                                          {});
     if (!r) return r.error();
-    m_directory.version = std::get<0>(*r);
-    m_directory.shard_to_node = std::move(std::get<1>(*r));
     ++m_refreshes;
+    m_instance->metrics()->counter("elastic_layout_refreshes_total").inc();
+    (void)adopt(std::get<0>(*r), std::get<1>(*r));
     return {};
+}
+
+Status ElasticKvClient::refresh_from_member(const std::string& member_address,
+                                            const std::string& group_name) {
+    auto r = ssg::Group::fetch_payload(m_instance, group_name, member_address);
+    if (!r) return r.error();
+    ++m_refreshes;
+    m_instance->metrics()->counter("elastic_layout_refreshes_total").inc();
+    if (r->first == 0)
+        return Error{Error::Code::NotFound, "member holds no layout payload yet"};
+    (void)adopt(r->first, r->second);
+    return {};
+}
+
+Status ElasticKvClient::ensure_layout() {
+    if (!m_layout.empty()) return {};
+    return refresh();
+}
+
+bool ElasticKvClient::handle_stale(const Error& err) {
+    std::uint64_t epoch = 0;
+    std::string blob;
+    if (!yokan::decode_stale_epoch(err, epoch, blob)) return false;
+    ++m_stale_retries;
+    m_instance->metrics()->counter("elastic_stale_epoch_retries_total").inc();
+    // Fast path: the rejection carried the new layout — repair the cache
+    // with zero extra RPCs.
+    if (!blob.empty() && adopt(epoch, blob)) return true;
+    // Blob too large (or raced): one explicit refresh.
+    if (auto st = refresh(); !st.ok()) return false;
+    return m_layout.epoch() >= epoch;
 }
 
 namespace {
 
 /// True when an error indicates the client routed to the wrong node: the
 /// node is gone, or it no longer hosts the shard's provider (the dispatch
-/// layer answers "no such RPC").
-bool indicates_stale_directory(const Error& err) {
+/// layer answers "no such RPC"). Epoch-guarded requests normally fail with
+/// the richer stale-epoch rejection instead; this is the fallback for nodes
+/// that died (resilience) or providers stopped by a merge.
+bool indicates_stale_layout(const Error& err) {
     if (err.code == Error::Code::Unreachable || err.code == Error::Code::Timeout)
         return true;
     return err.code == Error::Code::NotFound &&
            err.message.find("no such RPC") != std::string::npos;
+}
+
+/// Routing attempts per operation. A stale-epoch rejection repairs the cache
+/// instantly (no backoff needed), but the wrong-node path may race an
+/// in-flight migration: the source provider is already gone while the layout
+/// still points at it. Backing off briefly between refreshes rides that
+/// window out instead of surfacing a transient error to the caller.
+constexpr int k_route_attempts = 8;
+
+void routing_backoff(int attempt) {
+    if (attempt > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min(1 << attempt, 32)));
 }
 
 } // namespace
@@ -395,24 +584,24 @@ bool indicates_stale_directory(const Error& err) {
 template <typename Op>
 auto ElasticKvClient::with_routing(const std::string& key, Op op)
     -> decltype(op(std::declval<yokan::Database&>())) {
-    if (m_directory.shard_to_node.empty()) {
-        if (auto st = refresh(); !st.ok()) return st.error();
-    }
-    for (int attempt = 0; attempt < 2; ++attempt) {
-        std::uint32_t shard = shard_hash(key, m_directory.shard_to_node.size());
-        yokan::Database db{
-            m_instance, m_directory.shard_to_node[shard],
-            static_cast<std::uint16_t>(ElasticKvService::k_first_shard_provider_id + shard)};
+    if (auto st = ensure_layout(); !st.ok()) return st.error();
+    for (int attempt = 0;; ++attempt) {
+        LayoutShard shard = m_layout.shard_for_key(key);
+        auto db = shard_db(shard);
         auto result = op(db);
         if (result) return result;
-        // Stale view? Refresh and retry once (the Colza mismatch protocol).
-        if (attempt == 0 && indicates_stale_directory(result.error())) {
+        if (attempt >= k_route_attempts - 1) return result;
+        // Stale epoch? Repair from the piggybacked layout and retry.
+        if (handle_stale(result.error())) continue;
+        // Wrong node (death/migration)? Refresh (with backoff: the layout
+        // may not have flipped yet) and retry.
+        if (indicates_stale_layout(result.error())) {
+            routing_backoff(attempt);
             if (auto st = refresh(); !st.ok()) return st.error();
             continue;
         }
         return result;
     }
-    return Error{Error::Code::Unreachable, "routing failed"};
 }
 
 Status ElasticKvClient::put(const std::string& key, const std::string& value) {
@@ -443,88 +632,120 @@ Status ElasticKvClient::erase(const std::string& key) {
 Status ElasticKvClient::put_multi(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
     if (pairs.empty()) return {};
-    if (m_directory.shard_to_node.empty()) {
-        if (auto st = refresh(); !st.ok()) return st;
-    }
-    for (int attempt = 0; attempt < 2; ++attempt) {
-        // Group by shard; every group leaves as one RPC and all shards'
-        // round trips overlap.
-        std::map<std::uint32_t, std::vector<std::pair<std::string, std::string>>> by_shard;
-        for (const auto& p : pairs)
-            by_shard[shard_hash(p.first, m_directory.shard_to_node.size())].push_back(p);
-        std::vector<margo::AsyncRequest> inflight;
+    if (auto st = ensure_layout(); !st.ok()) return st;
+    // Indices into `pairs` still to be written; shrinks as groups succeed.
+    std::vector<std::size_t> remaining(pairs.size());
+    std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+    std::optional<Error> last_error;
+    for (int attempt = 0; attempt < k_route_attempts && !remaining.empty(); ++attempt) {
+        // Group the remaining pairs by shard under the *current* layout;
+        // every group leaves as one RPC and all round trips overlap.
+        std::map<std::uint32_t, std::vector<std::size_t>> by_shard;
+        for (auto i : remaining)
+            by_shard[m_layout.shard_for_key(pairs[i].first).id].push_back(i);
+        struct Flight {
+            std::vector<std::size_t> items;
+            margo::AsyncRequest req;
+        };
+        std::vector<Flight> inflight;
         inflight.reserve(by_shard.size());
-        for (auto& [shard, group] : by_shard) {
-            yokan::Database db{m_instance, m_directory.shard_to_node[shard],
-                               static_cast<std::uint16_t>(
-                                   ElasticKvService::k_first_shard_provider_id + shard)};
-            inflight.push_back(db.put_multi_async(group));
+        for (auto& [sid, items] : by_shard) {
+            const auto* shard = m_layout.find_shard(sid);
+            std::vector<std::pair<std::string, std::string>> group;
+            group.reserve(items.size());
+            for (auto i : items) group.push_back(pairs[i]);
+            auto db = shard_db(*shard);
+            inflight.push_back({std::move(items), db.put_multi_async(group)});
         }
-        std::optional<Error> first;
-        for (auto& req : inflight) {
-            auto r = req.wait_unpack<bool>();
-            if (!r && !first) first = std::move(r).error();
+        // Per-shard-group outcome: successful groups are done for good; only
+        // failed groups carry over to the next attempt (regrouped under the
+        // repaired layout).
+        std::vector<std::size_t> failed;
+        last_error.reset();
+        for (auto& f : inflight) {
+            auto r = f.req.wait_unpack<std::uint64_t, bool>();
+            if (r) {
+                m_epoch_context->observe(std::get<0>(*r));
+                continue;
+            }
+            failed.insert(failed.end(), f.items.begin(), f.items.end());
+            if (!last_error) last_error = std::move(r).error();
         }
-        if (!first) return {};
-        // Stale view? Refresh and retry the whole batch once (puts are
-        // idempotent, so re-sending already-applied groups is safe).
-        if (attempt == 0 && indicates_stale_directory(*first)) {
+        remaining = std::move(failed);
+        if (remaining.empty()) return {};
+        // Repair the layout before retrying; a non-stale error is final.
+        if (!handle_stale(*last_error)) {
+            if (!indicates_stale_layout(*last_error)) return *last_error;
+            routing_backoff(attempt);
             if (auto st = refresh(); !st.ok()) return st;
-            continue;
         }
-        return *first;
     }
-    return Error{Error::Code::Unreachable, "routing failed"};
+    if (!remaining.empty())
+        return last_error ? *last_error
+                          : Error{Error::Code::Unreachable, "routing failed"};
+    return {};
 }
 
 Expected<std::vector<std::optional<std::string>>>
 ElasticKvClient::get_multi(const std::vector<std::string>& keys) {
     std::vector<std::optional<std::string>> values(keys.size());
     if (keys.empty()) return values;
-    if (m_directory.shard_to_node.empty()) {
-        if (auto st = refresh(); !st.ok()) return st.error();
-    }
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    if (auto st = ensure_layout(); !st.ok()) return st.error();
+    std::vector<std::size_t> remaining(keys.size());
+    std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+    std::optional<Error> last_error;
+    for (int attempt = 0; attempt < k_route_attempts && !remaining.empty(); ++attempt) {
         // Group key positions by shard so results can be scattered back
         // into the caller's order.
         std::map<std::uint32_t, std::vector<std::size_t>> by_shard;
-        for (std::size_t i = 0; i < keys.size(); ++i)
-            by_shard[shard_hash(keys[i], m_directory.shard_to_node.size())].push_back(i);
-        std::vector<std::pair<const std::vector<std::size_t>*, margo::AsyncRequest>> inflight;
+        for (auto i : remaining) by_shard[m_layout.shard_for_key(keys[i]).id].push_back(i);
+        struct Flight {
+            std::vector<std::size_t> positions;
+            margo::AsyncRequest req;
+        };
+        std::vector<Flight> inflight;
         inflight.reserve(by_shard.size());
-        for (auto& [shard, positions] : by_shard) {
+        for (auto& [sid, positions] : by_shard) {
+            const auto* shard = m_layout.find_shard(sid);
             std::vector<std::string> group;
             group.reserve(positions.size());
             for (auto i : positions) group.push_back(keys[i]);
-            yokan::Database db{m_instance, m_directory.shard_to_node[shard],
-                               static_cast<std::uint16_t>(
-                                   ElasticKvService::k_first_shard_provider_id + shard)};
-            inflight.emplace_back(&positions, db.get_multi_async(group));
+            auto db = shard_db(*shard);
+            inflight.push_back({std::move(positions), db.get_multi_async(group)});
         }
-        std::optional<Error> first;
-        for (auto& [positions, req] : inflight) {
-            auto r = req.wait_unpack<std::vector<std::optional<std::string>>>();
+        std::vector<std::size_t> failed;
+        last_error.reset();
+        for (auto& f : inflight) {
+            auto r = f.req.wait_unpack<std::uint64_t, std::vector<std::optional<std::string>>>();
             if (!r) {
-                if (!first) first = std::move(r).error();
+                failed.insert(failed.end(), f.positions.begin(), f.positions.end());
+                if (!last_error) last_error = std::move(r).error();
                 continue;
             }
-            auto& group_values = std::get<0>(*r);
-            if (group_values.size() != positions->size()) {
-                if (!first)
-                    first = Error{Error::Code::Corruption, "get_multi result size mismatch"};
+            m_epoch_context->observe(std::get<0>(*r));
+            auto& group_values = std::get<1>(*r);
+            if (group_values.size() != f.positions.size()) {
+                if (!last_error)
+                    last_error =
+                        Error{Error::Code::Corruption, "get_multi result size mismatch"};
+                failed.insert(failed.end(), f.positions.begin(), f.positions.end());
                 continue;
             }
-            for (std::size_t j = 0; j < positions->size(); ++j)
-                values[(*positions)[j]] = std::move(group_values[j]);
+            for (std::size_t j = 0; j < f.positions.size(); ++j)
+                values[f.positions[j]] = std::move(group_values[j]);
         }
-        if (!first) return values;
-        if (attempt == 0 && indicates_stale_directory(*first)) {
+        remaining = std::move(failed);
+        if (remaining.empty()) return values;
+        if (!handle_stale(*last_error)) {
+            if (!indicates_stale_layout(*last_error)) return *last_error;
+            routing_backoff(attempt);
             if (auto st = refresh(); !st.ok()) return st.error();
-            continue;
         }
-        return *first;
     }
-    return Error{Error::Code::Unreachable, "routing failed"};
+    if (!remaining.empty())
+        return last_error ? *last_error
+                          : Error{Error::Code::Unreachable, "routing failed"};
+    return values;
 }
 
 } // namespace mochi::composed

@@ -1,24 +1,31 @@
 // The elastic (and optionally resilient) sharded key-value service — the
 // paper's capstone composition. It assembles:
 //   - Yokan shard providers managed by Bedrock on every node (Listing 3),
-//   - REMI for shard migration (§6 Obs. 4-5, through Bedrock's managed
-//     migrate_provider),
+//   - REMI for shard migration and split/merge data movement (§6 Obs. 4-5),
 //   - Pufferscale for rebalancing decisions (§6 Obs. 6, executed through
 //     dependency injection),
 //   - Margo monitoring as the load signal driving those decisions (§4),
-//   - SSG for dynamic membership and SWIM fault detection (§6 Obs. 7,
-//     §7 Obs. 12),
+//   - SSG for dynamic membership, SWIM fault detection, and layout
+//     dissemination (§6 Obs. 7, §7 Obs. 12),
 //   - periodic checkpoints to the simulated PFS plus a top-down controller
 //     that re-provisions shards of dead nodes (§7 Obs. 9 + "top-down"
 //     design).
 //
-// The service object acts as the controller, the role Colza gives to the
-// application (§6). Clients route by shard hash using a versioned directory
-// (the Colza-style "view digest" protocol: a stale client notices its
-// directory version no longer matches and refreshes).
+// Routing plane: instead of a per-op-refreshable shard directory, the
+// controller publishes an epoch-numbered consistent-hash **Layout** (see
+// layout.hpp) from which every process computes `key -> shard -> node`
+// locally. The layout reaches servers by direct push (update_epoch RPC) and
+// by SSG payload gossip; detached clients bootstrap it once from the
+// controller (or any group member) and afterwards learn of changes only
+// through the epoch hints piggybacked on their own data RPCs — steady-state
+// traffic does zero directory lookups. Shards split (bisecting their hash
+// range, moving ~1/2N of the keys over REMI) and merge (into their ring
+// predecessor), which a modulo-hashed directory fundamentally cannot do
+// without remapping every key.
 #pragma once
 
 #include "composed/cluster.hpp"
+#include "composed/layout.hpp"
 #include "pufferscale/rebalancer.hpp"
 #include "ssg/group.hpp"
 #include "yokan/provider.hpp"
@@ -28,7 +35,7 @@
 namespace mochi::composed {
 
 struct ElasticKvConfig {
-    std::size_t num_shards = 16;
+    std::size_t num_shards = 16; ///< initial shard count (splits/merges change it)
     std::string backend = "map";
     remi::Method migration_method = remi::Method::Chunks;
     pufferscale::Objectives objectives;
@@ -36,12 +43,6 @@ struct ElasticKvConfig {
     bool enable_swim = true;
     std::chrono::milliseconds swim_period{100};
     std::string group_name = "elastic_kv";
-};
-
-/// Versioned shard directory handed to clients.
-struct Directory {
-    std::uint64_t version = 0;
-    std::vector<std::string> shard_to_node; ///< indexed by shard id
 };
 
 class ElasticKvService {
@@ -52,18 +53,20 @@ class ElasticKvService {
 
     ~ElasticKvService();
 
-    // -- client operations (routed by shard hash) ------------------------------
+    // -- client operations (routed through the layout) -------------------------
 
     Status put(const std::string& key, const std::string& value);
     Expected<std::string> get(const std::string& key);
     Status erase(const std::string& key);
 
-    [[nodiscard]] Directory directory() const;
-    [[nodiscard]] std::size_t num_shards() const noexcept { return m_config.num_shards; }
+    /// Snapshot of the current layout (what the controller publishes).
+    [[nodiscard]] Layout layout() const;
+    [[nodiscard]] std::uint64_t epoch() const;
+    [[nodiscard]] std::size_t num_shards() const;
     [[nodiscard]] std::vector<std::string> nodes() const;
     [[nodiscard]] std::uint64_t group_digest() const;
 
-    /// Shard id a key routes to.
+    /// Shard id a key routes to (under the current layout).
     [[nodiscard]] std::uint32_t shard_of(const std::string& key) const;
 
     // -- elasticity (§6) --------------------------------------------------------
@@ -74,9 +77,26 @@ class ElasticKvService {
     Status scale_down(const std::string& address);
     /// Rebalance with Pufferscale using live monitoring-derived load.
     Status rebalance();
+    /// Weighted-layout rebalance: reassign shards to nodes by weighted
+    /// rendezvous hashing (pufferscale-derived weights), migrate the shards
+    /// that moved, and publish the new epoch.
+    Status rebalance_weighted(const std::vector<WeightedNode>& weights);
     /// Shard load/size snapshot (the Pufferscale input), derived from each
     /// node's Margo monitoring statistics (§4) and Yokan sizes.
     [[nodiscard]] std::vector<pufferscale::Resource> shard_resources() const;
+
+    // -- shard split / merge ----------------------------------------------------
+
+    /// Split a (hot) shard: bisect its hash range, seed a child provider
+    /// with the upper half's keys (REMI when the child lands on another
+    /// node), flip the layout, then drop the moved keys from the parent.
+    /// Only ~1/2N of the service's keys move. Returns the applied plan.
+    Expected<Layout::SplitPlan> split_shard(std::uint32_t shard_id,
+                                            std::string child_node = {});
+    /// Merge a (cold) shard into its ring predecessor: the victim's keys
+    /// are staged into the survivor, the layout flips, and the victim
+    /// provider is stopped. Returns the applied plan.
+    Expected<Layout::MergePlan> merge_shards(std::uint32_t victim_id);
 
     // -- resilience (§7) ---------------------------------------------------------
 
@@ -88,7 +108,12 @@ class ElasticKvService {
     static constexpr std::uint16_t k_remi_provider_id = 1;
     static constexpr std::uint16_t k_first_shard_provider_id = 100;
 
-    /// Address of the controller process (serves the directory RPC).
+    /// Provider id shard `id` is served under (stable across moves).
+    [[nodiscard]] static constexpr std::uint16_t shard_provider_id(std::uint32_t id) noexcept {
+        return static_cast<std::uint16_t>(k_first_shard_provider_id + id);
+    }
+
+    /// Address of the controller process (serves the layout RPC).
     [[nodiscard]] const std::string& controller_address() const {
         return m_client->address();
     }
@@ -99,14 +124,25 @@ class ElasticKvService {
 
     Status spawn_service_node(const std::string& address);
     [[nodiscard]] static json::Value node_bootstrap_config();
-    [[nodiscard]] json::Value shard_descriptor(std::size_t shard) const;
-    Status migrate_shard(std::size_t shard, const std::string& dest);
+    [[nodiscard]] json::Value shard_descriptor(std::uint32_t shard) const;
+    Status migrate_shard(std::uint32_t shard, const std::string& dest);
     void on_member_died(const std::string& address);
     Status recover_shards_of(const std::string& address);
-    [[nodiscard]] std::string shard_name(std::size_t shard) const {
+    /// Push the current layout everywhere: update_epoch RPC to every shard
+    /// provider, payload publish into the SSG group, so both guarded
+    /// servers and gossip listeners see the new epoch.
+    void publish_layout();
+    /// Client handle to shard `id` under the current layout.
+    [[nodiscard]] yokan::Database shard_db(const LayoutShard& shard) const {
+        return yokan::Database{m_client, shard.node, shard_provider_id(shard.id)};
+    }
+    [[nodiscard]] std::string shard_name(std::uint32_t shard) const {
         return "shard" + std::to_string(shard);
     }
-    [[nodiscard]] std::string checkpoint_path(std::size_t shard) const {
+    [[nodiscard]] std::string shard_root(std::uint32_t shard) const {
+        return "/yokan/" + shard_name(shard) + "/";
+    }
+    [[nodiscard]] std::string checkpoint_path(std::uint32_t shard) const {
         return "/ckpt/" + m_config.group_name + "/" + shard_name(shard);
     }
 
@@ -115,20 +151,22 @@ class ElasticKvService {
     margo::InstancePtr m_client; ///< the controller/client margo instance
 
     mutable std::mutex m_mutex;
-    std::vector<std::string> m_shard_to_node;
-    std::uint64_t m_directory_version = 1;
+    Layout m_layout;
     std::set<std::string> m_nodes;
     std::map<std::string, std::shared_ptr<ssg::Group>> m_groups; ///< per node
     std::atomic<std::size_t> m_recoveries{0};
     std::atomic<bool> m_stopping{false};
 };
 
-/// A detached application client implementing the Colza-style protocol of
-/// §6: it routes with a *cached* directory and only refreshes it from the
-/// controller when an operation lands on a node that no longer (or does not
-/// yet) host the shard — the "mismatch ... informs the [client] that [its]
-/// view of the group is outdated" pattern, with the explicit query function
-/// as the refresh mechanism.
+/// A detached application client. It bootstraps the layout once (from the
+/// controller, or from any SSG member via refresh_from_member) and from then
+/// on routes every operation locally: key -> shard -> node is computed from
+/// the cached layout, and the layout epoch rides on every data RPC. When the
+/// layout moved on, the server rejects the stale request with a retryable
+/// error carrying the new epoch — and usually the new layout itself — so the
+/// client repairs its cache *from the rejection* and retries, without ever
+/// asking a directory. Steady-state traffic therefore performs zero
+/// layout/directory RPCs.
 class ElasticKvClient {
   public:
     /// `instance` is the application's own margo runtime; `controller` the
@@ -141,30 +179,57 @@ class ElasticKvClient {
 
     /// Batched writes: pairs are grouped by shard and each group leaves as
     /// one put_multi RPC, all shards in flight concurrently (async
-    /// forwards). On a stale directory the client refreshes once and
-    /// retries the whole batch (put_multi is idempotent).
+    /// forwards). On a stale layout only the *failed* shard groups are
+    /// regrouped under the repaired layout and re-sent (put_multi is
+    /// idempotent); groups that succeeded are not re-sent.
     Status put_multi(const std::vector<std::pair<std::string, std::string>>& pairs);
-    /// Batched reads, same shard-grouped fan-out; results align with `keys`
-    /// (nullopt for missing keys).
+    /// Batched reads, same shard-grouped fan-out with per-group retry;
+    /// results align with `keys` (nullopt for missing keys).
     Expected<std::vector<std::optional<std::string>>>
     get_multi(const std::vector<std::string>& keys);
 
-    /// Explicitly refresh the cached directory from the controller.
+    /// Explicitly refresh the cached layout from the controller.
     Status refresh();
+    /// Refresh from any SSG group member instead of the controller (the
+    /// dissemination path detached clients use when the controller is
+    /// unreachable).
+    Status refresh_from_member(const std::string& member_address,
+                               const std::string& group_name = "elastic_kv");
+
+    /// Epoch of the cached layout.
     [[nodiscard]] std::uint64_t cached_version() const noexcept {
-        return m_directory.version;
+        return m_layout.epoch();
     }
+    [[nodiscard]] const Layout& cached_layout() const noexcept { return m_layout; }
+    /// Explicit layout fetches performed (bootstrap + fallback refreshes).
     [[nodiscard]] std::size_t refreshes() const noexcept { return m_refreshes; }
+    /// Operations retried after a piggybacked stale-epoch rejection.
+    [[nodiscard]] std::size_t stale_retries() const noexcept { return m_stale_retries; }
 
   private:
     template <typename Op>
     auto with_routing(const std::string& key, Op op)
         -> decltype(op(std::declval<yokan::Database&>()));
 
+    /// Adopt a layout blob if its epoch is newer than the cache.
+    bool adopt(std::uint64_t epoch, const std::string& blob);
+    /// Handle a stale-epoch rejection: repair the cache from the piggybacked
+    /// layout when present, refresh explicitly otherwise. True if the cache
+    /// advanced (retry is worthwhile).
+    bool handle_stale(const Error& err);
+    Status ensure_layout();
+    [[nodiscard]] yokan::Database shard_db(const LayoutShard& shard) const {
+        return yokan::Database{m_instance, shard.node,
+                               ElasticKvService::shard_provider_id(shard.id),
+                               m_epoch_context};
+    }
+
     margo::InstancePtr m_instance;
     std::string m_controller;
-    Directory m_directory;
+    Layout m_layout;
+    std::shared_ptr<yokan::EpochContext> m_epoch_context;
     std::size_t m_refreshes = 0;
+    std::size_t m_stale_retries = 0;
 };
 
 } // namespace mochi::composed

@@ -1,0 +1,188 @@
+#include "composed/layout.hpp"
+#include "mercury/archive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mochi::composed {
+
+Layout Layout::initial(std::size_t num_shards, std::vector<std::string> nodes) {
+    Layout layout;
+    if (num_shards == 0 || nodes.empty()) return layout;
+    std::sort(nodes.begin(), nodes.end());
+    layout.m_shards.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) {
+        LayoutShard s;
+        s.id = static_cast<std::uint32_t>(i);
+        // Exact even partition via 128-bit arithmetic: begin_i = i*2^64/N.
+        s.range_begin =
+            static_cast<std::uint64_t>((static_cast<unsigned __int128>(i) << 64) / num_shards);
+        s.node = nodes[i % nodes.size()];
+        layout.m_shards.push_back(std::move(s));
+    }
+    layout.m_epoch = 1;
+    return layout;
+}
+
+const LayoutShard& Layout::shard_for_hash(std::uint64_t h) const {
+    assert(!m_shards.empty());
+    // Last shard whose range_begin <= h (shards are sorted and the first
+    // starts at 0, so this always exists).
+    auto it = std::upper_bound(
+        m_shards.begin(), m_shards.end(), h,
+        [](std::uint64_t v, const LayoutShard& s) { return v < s.range_begin; });
+    return *std::prev(it);
+}
+
+const LayoutShard* Layout::find_shard(std::uint32_t id) const {
+    for (const auto& s : m_shards)
+        if (s.id == id) return &s;
+    return nullptr;
+}
+
+std::uint64_t Layout::range_end_of(std::uint32_t id) const {
+    for (std::size_t i = 0; i < m_shards.size(); ++i) {
+        if (m_shards[i].id != id) continue;
+        return i + 1 < m_shards.size() ? m_shards[i + 1].range_begin : 0;
+    }
+    return 0;
+}
+
+std::uint32_t Layout::next_shard_id() const {
+    std::uint32_t next = 0;
+    for (const auto& s : m_shards) next = std::max(next, s.id + 1);
+    return next;
+}
+
+std::vector<std::string> Layout::nodes() const {
+    std::set<std::string> out;
+    for (const auto& s : m_shards) out.insert(s.node);
+    return {out.begin(), out.end()};
+}
+
+Expected<Layout::SplitPlan> Layout::split(std::uint32_t shard_id, std::string child_node) {
+    for (std::size_t i = 0; i < m_shards.size(); ++i) {
+        if (m_shards[i].id != shard_id) continue;
+        std::uint64_t begin = m_shards[i].range_begin;
+        std::uint64_t end = i + 1 < m_shards.size() ? m_shards[i + 1].range_begin : 0;
+        // Span via 128-bit so the top-wrapping last shard (end == 0 == 2^64)
+        // needs no special case.
+        auto span = static_cast<unsigned __int128>(end == 0 ? 0 : end) +
+                    (end == 0 ? (static_cast<unsigned __int128>(1) << 64) : 0) - begin;
+        if (span < 2)
+            return Error{Error::Code::InvalidState,
+                         "shard " + std::to_string(shard_id) + " range too small to split"};
+        SplitPlan plan;
+        plan.parent = shard_id;
+        plan.child = next_shard_id();
+        plan.mid = begin + static_cast<std::uint64_t>(span / 2);
+        plan.end = end;
+        plan.parent_node = m_shards[i].node;
+        plan.child_node = child_node.empty() ? m_shards[i].node : std::move(child_node);
+        LayoutShard child;
+        child.id = plan.child;
+        child.range_begin = plan.mid;
+        child.node = plan.child_node;
+        m_shards.insert(m_shards.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                        std::move(child));
+        ++m_epoch;
+        return plan;
+    }
+    return Error{Error::Code::NotFound, "no shard " + std::to_string(shard_id)};
+}
+
+Expected<Layout::MergePlan> Layout::merge(std::uint32_t shard_id) {
+    for (std::size_t i = 0; i < m_shards.size(); ++i) {
+        if (m_shards[i].id != shard_id) continue;
+        if (i == 0)
+            return Error{Error::Code::InvalidState,
+                         "the ring's first shard has no predecessor to merge into"};
+        MergePlan plan;
+        plan.survivor = m_shards[i - 1].id;
+        plan.victim = shard_id;
+        plan.survivor_node = m_shards[i - 1].node;
+        plan.victim_node = m_shards[i].node;
+        m_shards.erase(m_shards.begin() + static_cast<std::ptrdiff_t>(i));
+        ++m_epoch;
+        return plan;
+    }
+    return Error{Error::Code::NotFound, "no shard " + std::to_string(shard_id)};
+}
+
+Status Layout::move_shard(std::uint32_t id, std::string node) {
+    for (auto& s : m_shards) {
+        if (s.id != id) continue;
+        if (s.node == node) return {};
+        s.node = std::move(node);
+        ++m_epoch;
+        return {};
+    }
+    return Error{Error::Code::NotFound, "no shard " + std::to_string(id)};
+}
+
+std::string Layout::place(std::uint32_t shard_id, const std::vector<WeightedNode>& nodes) {
+    // Weighted rendezvous (HRW): node i wins with probability proportional
+    // to its weight, and adding/removing a node only reassigns the shards
+    // that hash to it — the property pufferscale's weighted updates rely on.
+    std::string best;
+    double best_score = -1.0;
+    char tag[16];
+    std::snprintf(tag, sizeof tag, "#%u", shard_id);
+    for (const auto& n : nodes) {
+        if (n.weight <= 0.0) continue;
+        std::uint64_t h = common::fnv1a64(n.address + tag);
+        // FNV-1a's trailing bytes (the shard tag) only stir the low bits;
+        // finalize with a full-avalanche mix (murmur3 fmix64) so the id
+        // actually decides the rendezvous instead of the address alone.
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        h *= 0xc4ceb9fe1a85ec53ULL;
+        h ^= h >> 33;
+        // Map the hash to (0, 1]; score = -w / ln(u) is the standard
+        // weighted-rendezvous transform.
+        double u = (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+        double score = -n.weight / std::log(u);
+        if (score > best_score || (score == best_score && n.address < best)) {
+            best_score = score;
+            best = n.address;
+        }
+    }
+    return best;
+}
+
+std::vector<Layout::Move> Layout::rebalance_weighted(const std::vector<WeightedNode>& nodes) {
+    std::vector<Move> moves;
+    if (nodes.empty()) return moves;
+    for (auto& s : m_shards) {
+        std::string target = place(s.id, nodes);
+        if (target.empty() || target == s.node) continue;
+        moves.push_back({s.id, s.node, target});
+        s.node = std::move(target);
+    }
+    if (!moves.empty()) ++m_epoch;
+    return moves;
+}
+
+std::string Layout::pack() const { return mercury::pack(*this); }
+
+Expected<Layout> Layout::unpack_blob(const std::string& blob) {
+    Layout layout;
+    if (!mercury::unpack(blob, layout) || !layout.valid())
+        return Error{Error::Code::Corruption, "malformed layout blob"};
+    return layout;
+}
+
+bool Layout::valid() const {
+    if (m_shards.empty()) return false;
+    if (m_shards.front().range_begin != 0) return false;
+    std::set<std::uint32_t> ids;
+    for (std::size_t i = 0; i < m_shards.size(); ++i) {
+        if (!ids.insert(m_shards[i].id).second) return false;
+        if (i > 0 && m_shards[i].range_begin <= m_shards[i - 1].range_begin) return false;
+    }
+    return true;
+}
+
+} // namespace mochi::composed

@@ -1,0 +1,142 @@
+// The elastic service's routing plane: a compact, epoch-numbered **layout**
+// from which any process computes `key -> shard -> node` locally, replacing
+// the per-op-refreshable shard directory (the Motr-DIX idea applied to §6's
+// elastic service: extreme-scale clients resolve targets client-side from
+// compact state instead of round-tripping to a central lookup).
+//
+// The layout is a consistent-hash ring: shards own contiguous ranges of the
+// 64-bit key-hash space, sorted by range start. Splitting a hot shard
+// bisects its range (only that shard's upper half moves — ~1/2N of the keys,
+// impossible under modulo hashing where changing the shard count remaps
+// everything), merging joins a shard back into its ring predecessor, and
+// rebalancing reassigns shards to nodes with weighted rendezvous (HRW)
+// hashing. Every mutation bumps the epoch; stale clients are caught by the
+// epoch guard piggybacked on Yokan RPCs (see yokan/provider.hpp) and repair
+// themselves from the layout blob carried in the rejection.
+#pragma once
+
+#include "common/expected.hpp"
+#include "common/hash.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mochi::composed {
+
+/// Ring coordinate of a key. MUST match what servers use to carve ranges
+/// (yokan extract_range); both delegate to common::fnv1a64.
+[[nodiscard]] inline std::uint64_t key_hash(std::string_view key) noexcept {
+    return common::fnv1a64(key);
+}
+
+/// One shard's entry in the layout. The shard owns the hash range
+/// [range_begin, next shard's range_begin) — the last shard wraps to 2^64.
+struct LayoutShard {
+    std::uint32_t id = 0;          ///< stable shard id (provider id offset)
+    std::uint64_t range_begin = 0; ///< inclusive start of owned hash range
+    std::string node;              ///< address currently hosting the shard
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& id& range_begin& node;
+    }
+};
+
+/// A node with a rebalancing weight (pufferscale-derived capacity share).
+struct WeightedNode {
+    std::string address;
+    double weight = 1.0;
+};
+
+class Layout {
+  public:
+    Layout() = default;
+
+    /// Even partition of the ring into `num_shards` ranges, shards assigned
+    /// round-robin over `nodes` (sorted order) — deterministic, so every
+    /// process bootstrapping from the same inputs agrees.
+    static Layout initial(std::size_t num_shards, std::vector<std::string> nodes);
+
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return m_epoch; }
+    [[nodiscard]] const std::vector<LayoutShard>& shards() const noexcept { return m_shards; }
+    [[nodiscard]] std::size_t num_shards() const noexcept { return m_shards.size(); }
+    [[nodiscard]] bool empty() const noexcept { return m_shards.empty(); }
+
+    /// Shard owning ring coordinate `h` (layout must be non-empty).
+    [[nodiscard]] const LayoutShard& shard_for_hash(std::uint64_t h) const;
+    [[nodiscard]] const LayoutShard& shard_for_key(std::string_view key) const {
+        return shard_for_hash(key_hash(key));
+    }
+    [[nodiscard]] const LayoutShard* find_shard(std::uint32_t id) const;
+    /// Exclusive end of `shard`'s range; 0 encodes the ring top (2^64).
+    [[nodiscard]] std::uint64_t range_end_of(std::uint32_t id) const;
+    /// Smallest id not yet in use (split children get this).
+    [[nodiscard]] std::uint32_t next_shard_id() const;
+    /// Distinct node addresses, sorted.
+    [[nodiscard]] std::vector<std::string> nodes() const;
+
+    // -- mutations (each bumps the epoch) -------------------------------------
+
+    /// What a split changes — the controller drives the data movement
+    /// (extract upper half via REMI, start child, cleanup) from this.
+    struct SplitPlan {
+        std::uint32_t parent = 0;
+        std::uint32_t child = 0;
+        std::uint64_t mid = 0; ///< child's range_begin
+        std::uint64_t end = 0; ///< child's exclusive range end (0 == 2^64)
+        std::string parent_node;
+        std::string child_node;
+    };
+    /// Bisect `shard_id`'s range; the upper half becomes a new shard hosted
+    /// on `child_node` (parent's node when empty).
+    Expected<SplitPlan> split(std::uint32_t shard_id, std::string child_node = {});
+
+    struct MergePlan {
+        std::uint32_t survivor = 0; ///< ring predecessor absorbing the range
+        std::uint32_t victim = 0;
+        std::string survivor_node;
+        std::string victim_node;
+    };
+    /// Remove `shard_id`, its range falling to the ring predecessor (ranges
+    /// are adjacent, so only the victim's keys move). The first shard of the
+    /// ring has no predecessor and cannot be merged away.
+    Expected<MergePlan> merge(std::uint32_t shard_id);
+
+    /// Reassign a shard to another node (migration / recovery).
+    Status move_shard(std::uint32_t id, std::string node);
+
+    struct Move {
+        std::uint32_t shard = 0;
+        std::string from;
+        std::string to;
+    };
+    /// Weighted rendezvous placement of every shard over `nodes`; returns
+    /// the moves applied (epoch bumps once if any shard moved).
+    std::vector<Move> rebalance_weighted(const std::vector<WeightedNode>& nodes);
+
+    /// HRW winner for one shard over weighted nodes (deterministic).
+    [[nodiscard]] static std::string place(std::uint32_t shard_id,
+                                           const std::vector<WeightedNode>& nodes);
+
+    // -- serialization --------------------------------------------------------
+
+    template <typename A>
+    void serialize(A& ar) {
+        ar& m_epoch& m_shards;
+    }
+    /// Archive-packed blob (what the controller publishes, SSG gossips, and
+    /// stale-epoch rejections piggyback).
+    [[nodiscard]] std::string pack() const;
+    static Expected<Layout> unpack_blob(const std::string& blob);
+
+    /// Structural check: shards sorted, first range at 0, ids unique.
+    [[nodiscard]] bool valid() const;
+
+  private:
+    std::uint64_t m_epoch = 0;
+    std::vector<LayoutShard> m_shards; ///< sorted by range_begin
+};
+
+} // namespace mochi::composed

@@ -121,7 +121,8 @@ void Group::leave() {
     for (std::size_t i = 0; i < std::min<std::size_t>(peers.size(), 3); ++i) {
         std::vector<Update> gossip{{self(), left_state, inc}};
         (void)m_instance->forward(peers[i], "ssg/gossip",
-                                  mercury::pack(m_name, self(), gossip), opts);
+                                  mercury::pack(m_name, self(), gossip, payload_version()),
+                                  opts);
     }
     if (!m_instance->is_shutdown()) {
         m_instance->deregister_rpc("ssg/ping", m_provider_id);
@@ -129,6 +130,7 @@ void Group::leave() {
         m_instance->deregister_rpc("ssg/gossip", m_provider_id);
         m_instance->deregister_rpc("ssg/join", m_provider_id);
         m_instance->deregister_rpc("ssg/get_view", m_provider_id);
+        m_instance->deregister_rpc("ssg/get_payload", m_provider_id);
     }
 }
 
@@ -191,7 +193,8 @@ void Group::register_rpcs() {
             guard(req, [&](Group& g) {
                 std::string group, sender;
                 std::vector<Update> gossip;
-                if (!req.unpack(group, sender, gossip)) {
+                std::uint64_t remote_pv = 0;
+                if (!req.unpack(group, sender, gossip, remote_pv)) {
                     req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
                     return;
                 }
@@ -199,7 +202,8 @@ void Group::register_rpcs() {
                 // Ack carries our own gossip back, plus the sender's own
                 // status if we (wrongly) hold it Dead/Left so it can refute.
                 auto mine = g.collect_gossip_for(sender);
-                req.respond(mercury::pack(mine));
+                req.respond(mercury::pack(mine, g.payload_version()));
+                g.maybe_pull_payload(sender, remote_pv);
             });
         });
 
@@ -221,7 +225,8 @@ void Group::register_rpcs() {
             guard(req, [&](Group& g) {
                 std::string group, sender;
                 std::vector<Update> gossip;
-                if (!req.unpack(group, sender, gossip)) {
+                std::uint64_t remote_pv = 0;
+                if (!req.unpack(group, sender, gossip, remote_pv)) {
                     req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
                     return;
                 }
@@ -229,7 +234,8 @@ void Group::register_rpcs() {
                 // Reply with our own gossip: a suspected member's refutation
                 // (Alive, incarnation+1) returns on this fast path. Include
                 // the sender's own status if we hold it Dead/Left.
-                req.respond(mercury::pack(g.collect_gossip_for(sender)));
+                req.respond(mercury::pack(g.collect_gossip_for(sender), g.payload_version()));
+                g.maybe_pull_payload(sender, remote_pv);
             });
         });
 
@@ -258,6 +264,19 @@ void Group::register_rpcs() {
                 }
                 auto v = g.view();
                 req.respond_values(v.members, v.version);
+            });
+        });
+
+    (void)m_instance->register_rpc(
+        "ssg/get_payload", m_provider_id, [guard](const margo::Request& req) {
+            guard(req, [&](Group& g) {
+                std::string group;
+                if (!req.unpack(group)) {
+                    req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+                    return;
+                }
+                auto [version, blob] = g.payload();
+                req.respond_values(version, blob);
             });
         });
 }
@@ -328,12 +347,16 @@ void Group::protocol_period() {
         for (auto& [addr, inc] : suspected) {
             std::vector<Update> gossip{
                 {addr, static_cast<std::uint8_t>(MemberState::Suspect), inc}};
-            auto r = m_instance->forward(addr, "ssg/gossip",
-                                         mercury::pack(m_name, self(), gossip), opts);
+            auto r = m_instance->forward(
+                addr, "ssg/gossip", mercury::pack(m_name, self(), gossip, payload_version()),
+                opts);
             if (r) {
                 std::vector<Update> reply;
-                if (mercury::unpack(*r, reply))
+                std::uint64_t remote_pv = 0;
+                if (mercury::unpack(*r, reply, remote_pv)) {
                     for (const auto& u : reply) apply_update(u);
+                    maybe_pull_payload(addr, remote_pv);
+                }
             }
         }
     }
@@ -379,12 +402,15 @@ bool Group::direct_ping(const std::string& target) {
         std::chrono::duration_cast<std::chrono::milliseconds>(m_config.ping_timeout);
     m_instance->metrics()->counter("ssg_pings_total").inc();
     auto gossip = collect_gossip();
-    auto r = m_instance->forward(target, "ssg/ping", mercury::pack(m_name, self(), gossip),
-                                 opts);
+    auto r = m_instance->forward(
+        target, "ssg/ping", mercury::pack(m_name, self(), gossip, payload_version()), opts);
     if (!r) return false;
     std::vector<Update> reply;
-    if (mercury::unpack(*r, reply))
+    std::uint64_t remote_pv = 0;
+    if (mercury::unpack(*r, reply, remote_pv)) {
         for (const auto& u : reply) apply_update(u);
+        maybe_pull_payload(target, remote_pv);
+    }
     return true;
 }
 
@@ -557,5 +583,82 @@ void Group::mark_dead(const std::string& address, std::uint64_t incarnation, boo
 void Group::bump_version_and_notify(const std::string&, MembershipEvent) {}
 
 json::Value Group::snapshot_payload() const { return json::Value::object(); }
+
+// ---------------------------------------------------------------------------
+// Payload dissemination
+// ---------------------------------------------------------------------------
+
+void Group::publish_payload(std::uint64_t version, std::string payload) {
+    (void)adopt_payload(version, std::move(payload));
+}
+
+std::pair<std::uint64_t, std::string> Group::payload() const {
+    std::lock_guard lk{m_mutex};
+    return {m_payload_version, m_payload};
+}
+
+std::uint64_t Group::payload_version() const {
+    std::lock_guard lk{m_mutex};
+    return m_payload_version;
+}
+
+void Group::on_payload(PayloadCallback cb) {
+    std::lock_guard lk{m_mutex};
+    m_payload_callbacks.push_back(std::move(cb));
+}
+
+bool Group::adopt_payload(std::uint64_t version, std::string payload) {
+    std::vector<PayloadCallback> cbs;
+    {
+        std::lock_guard lk{m_mutex};
+        if (version <= m_payload_version) return false;
+        m_payload_version = version;
+        m_payload = std::move(payload);
+        cbs = m_payload_callbacks;
+    }
+    // Callbacks run outside the lock: they may call back into the group
+    // (e.g. to read the view) or into providers that take their own locks.
+    auto [v, p] = this->payload();
+    for (auto& cb : cbs) cb(v, p);
+    return true;
+}
+
+void Group::maybe_pull_payload(const std::string& peer, std::uint64_t remote_version) {
+    {
+        std::lock_guard lk{m_mutex};
+        if (remote_version <= m_payload_version || m_payload_pull_inflight) return;
+        m_payload_pull_inflight = true;
+    }
+    // Pull on a fresh ULT: this runs inside ping/gossip handlers and must
+    // not block the ack on a round trip back to the peer.
+    auto weak = weak_from_this();
+    auto rt = m_instance->runtime();
+    rt->post(rt->primary_pool(), [weak, peer] {
+        auto g = weak.lock();
+        if (!g || g->m_stopped.load()) return;
+        margo::ForwardOptions opts;
+        opts.provider_id = g->m_provider_id;
+        auto r = g->m_instance->call<std::uint64_t, std::string>(peer, "ssg/get_payload",
+                                                                 opts, g->m_name);
+        {
+            std::lock_guard lk{g->m_mutex};
+            g->m_payload_pull_inflight = false;
+        }
+        if (!r) return;
+        g->m_instance->metrics()->counter("ssg_payload_pulls_total").inc();
+        g->adopt_payload(std::get<0>(*r), std::move(std::get<1>(*r)));
+    });
+}
+
+Expected<std::pair<std::uint64_t, std::string>>
+Group::fetch_payload(const margo::InstancePtr& instance, const std::string& group_name,
+                     const std::string& member_address) {
+    margo::ForwardOptions opts;
+    opts.provider_id = provider_id_for(group_name);
+    auto r = instance->call<std::uint64_t, std::string>(member_address, "ssg/get_payload",
+                                                        opts, group_name);
+    if (!r) return std::move(r).error();
+    return std::make_pair(std::get<0>(*r), std::move(std::get<1>(*r)));
+}
 
 } // namespace mochi::ssg

@@ -43,6 +43,11 @@ enum class MembershipEvent { Joined, Left, Died };
 using MembershipCallback =
     std::function<void(const std::string& address, MembershipEvent event)>;
 
+/// Fired when a newer group payload is adopted (published locally or pulled
+/// from a peer). Called from SSG ULTs; must not block long.
+using PayloadCallback =
+    std::function<void(std::uint64_t version, const std::string& payload)>;
+
 struct GroupConfig {
     std::chrono::milliseconds swim_period{100};  ///< SWIM protocol period
     std::chrono::milliseconds ping_timeout{40};  ///< direct/indirect ack wait
@@ -84,6 +89,29 @@ class Group : public std::enable_shared_from_this<Group> {
     /// Register a callback fired on membership changes (fault notification
     /// mechanism of §7 Obs. 12). Called from SSG ULTs; must not block long.
     void on_membership_change(MembershipCallback cb);
+
+    // -- payload dissemination -------------------------------------------------
+    //
+    // A group can carry one opaque versioned blob (the elastic service's
+    // layout). Only the payload *version* rides on SWIM traffic — every ping
+    // and gossip message piggybacks it — and a member seeing a newer version
+    // anywhere pulls the blob once via "ssg/get_payload" (anti-entropy), so
+    // dissemination costs O(1) extra bytes per protocol message plus one
+    // pull per member per update.
+
+    /// Adopt (and start disseminating) `payload` if `version` is newer than
+    /// what this member holds.
+    void publish_payload(std::uint64_t version, std::string payload);
+    /// Currently-held payload (version 0, empty = none yet).
+    [[nodiscard]] std::pair<std::uint64_t, std::string> payload() const;
+    /// Register a callback fired whenever a newer payload is adopted.
+    void on_payload(PayloadCallback cb);
+
+    /// Fetch a group's payload from a member, as a detached client would
+    /// (no membership, no gossip — one explicit RPC).
+    static Expected<std::pair<std::uint64_t, std::string>>
+    fetch_payload(const margo::InstancePtr& instance, const std::string& group_name,
+                  const std::string& member_address);
 
     /// Gracefully leave and stop. Idempotent.
     void leave();
@@ -141,6 +169,12 @@ class Group : public std::enable_shared_from_this<Group> {
     void bump_version_and_notify(const std::string& address, MembershipEvent ev);
     GroupView view_locked() const;
     json::Value snapshot_payload() const;
+    /// Adopt a payload if newer; fires payload callbacks when it was.
+    bool adopt_payload(std::uint64_t version, std::string payload);
+    /// Anti-entropy: when a protocol message shows `peer` holds a newer
+    /// payload version, pull the blob from it on a fresh ULT.
+    void maybe_pull_payload(const std::string& peer, std::uint64_t remote_version);
+    std::uint64_t payload_version() const;
 
     margo::InstancePtr m_instance;
     std::string m_name;
@@ -156,6 +190,10 @@ class Group : public std::enable_shared_from_this<Group> {
     std::size_t m_ping_cursor = 0;
     std::deque<std::pair<Update, int>> m_gossip; ///< update + remaining sends
     std::vector<MembershipCallback> m_callbacks;
+    std::uint64_t m_payload_version = 0;
+    std::string m_payload;
+    std::vector<PayloadCallback> m_payload_callbacks;
+    bool m_payload_pull_inflight = false;
     std::mt19937_64 m_rng;
     std::atomic<bool> m_stopped{false};
 };

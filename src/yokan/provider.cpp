@@ -2,6 +2,8 @@
 #include "bedrock/component.hpp"
 #include "common/logging.hpp"
 
+#include <map>
+
 namespace mochi::yokan {
 
 // ---------------------------------------------------------------------------
@@ -9,33 +11,38 @@ namespace mochi::yokan {
 // ---------------------------------------------------------------------------
 
 Status Database::put(const std::string& key, const std::string& value) const {
-    auto r = call<bool>("put", key, value);
+    auto r = call<std::uint64_t, bool>("put", send_epoch(), key, value);
     if (!r) return r.error();
+    observe(std::get<0>(*r));
     return {};
 }
 
 Expected<std::string> Database::get(const std::string& key) const {
-    auto r = call<std::string>("get", key);
+    auto r = call<std::uint64_t, std::string>("get", send_epoch(), key);
     if (!r) return std::move(r).error();
-    return std::get<0>(std::move(*r));
+    observe(std::get<0>(*r));
+    return std::get<1>(std::move(*r));
 }
 
 Expected<bool> Database::exists(const std::string& key) const {
-    auto r = call<bool>("exists", key);
+    auto r = call<std::uint64_t, bool>("exists", send_epoch(), key);
     if (!r) return std::move(r).error();
-    return std::get<0>(*r);
+    observe(std::get<0>(*r));
+    return std::get<1>(*r);
 }
 
 Status Database::erase(const std::string& key) const {
-    auto r = call<bool>("erase", key);
+    auto r = call<std::uint64_t, bool>("erase", send_epoch(), key);
     if (!r) return r.error();
+    observe(std::get<0>(*r));
     return {};
 }
 
 Expected<std::uint64_t> Database::count() const {
-    auto r = call<std::uint64_t>("count");
+    auto r = call<std::uint64_t, std::uint64_t>("count", send_epoch());
     if (!r) return std::move(r).error();
-    return std::get<0>(*r);
+    observe(std::get<0>(*r));
+    return std::get<1>(*r);
 }
 
 Status Database::put_multi(
@@ -43,17 +50,19 @@ Status Database::put_multi(
     std::size_t bytes = 0;
     for (const auto& [k, v] : pairs) bytes += k.size() + v.size();
     if (pairs.size() > 1 && bytes >= k_bulk_threshold) {
-        // Large batch: the RPC carries only a bulk handle and the server
-        // pulls the packed pairs in one RDMA transfer.
+        // Large batch: the RPC carries only a bulk handle (plus the epoch
+        // guard) and the server pulls the packed pairs in one RDMA transfer.
         std::string buffer = mercury::pack(pairs);
         auto handle = instance()->expose(buffer.data(), buffer.size(), /*writable=*/false);
-        auto r = call<bool>("put_multi_bulk", handle);
+        auto r = call<std::uint64_t, bool>("put_multi_bulk", send_epoch(), handle);
         instance()->unexpose(handle.id);
         if (!r) return r.error();
+        observe(std::get<0>(*r));
         return {};
     }
-    auto r = call<bool>("put_multi", pairs);
+    auto r = call<std::uint64_t, bool>("put_multi", send_epoch(), pairs);
     if (!r) return r.error();
+    observe(std::get<0>(*r));
     return {};
 }
 
@@ -62,11 +71,11 @@ margo::AsyncRequest Database::put_multi_async(
     // Always inline: an async bulk path would have to keep the exposed
     // buffer alive until completion; batches large enough to want RDMA
     // should use the synchronous put_multi.
-    return async_call("put_multi", pairs);
+    return async_call("put_multi", send_epoch(), pairs);
 }
 
 margo::AsyncRequest Database::get_multi_async(const std::vector<std::string>& keys) const {
-    return async_call("get_multi", keys);
+    return async_call("get_multi", send_epoch(), keys);
 }
 
 // ---------------------------------------------------------------------------
@@ -146,8 +155,10 @@ Status Batcher::drain() {
     }
     Status first;
     for (auto& req : pending) {
-        auto r = req.wait_unpack<bool>();
+        auto r = req.wait_unpack<std::uint64_t, bool>();
         if (!r && first.ok()) first = r.error();
+        if (r && m_inner->db.epoch_context())
+            m_inner->db.epoch_context()->observe(std::get<0>(*r));
     }
     return first;
 }
@@ -159,36 +170,78 @@ Batcher::Stats Batcher::stats() const {
 
 Expected<std::vector<std::optional<std::string>>>
 Database::get_multi(const std::vector<std::string>& keys) const {
-    auto r = call<std::vector<std::optional<std::string>>>("get_multi", keys);
+    auto r = call<std::uint64_t, std::vector<std::optional<std::string>>>("get_multi",
+                                                                          send_epoch(), keys);
     if (!r) return std::move(r).error();
-    return std::get<0>(std::move(*r));
+    observe(std::get<0>(*r));
+    return std::get<1>(std::move(*r));
 }
 
 Expected<std::uint64_t> Database::erase_multi(const std::vector<std::string>& keys) const {
-    auto r = call<std::uint64_t>("erase_multi", keys);
+    auto r = call<std::uint64_t, std::uint64_t>("erase_multi", send_epoch(), keys);
     if (!r) return std::move(r).error();
-    return std::get<0>(*r);
+    observe(std::get<0>(*r));
+    return std::get<1>(*r);
 }
 
 Expected<std::vector<std::string>> Database::list_keys(const std::string& from,
                                                        const std::string& prefix,
                                                        std::uint64_t max) const {
-    auto r = call<std::vector<std::string>>("list_keys", from, prefix, max);
+    auto r = call<std::uint64_t, std::vector<std::string>>("list_keys", send_epoch(), from,
+                                                           prefix, max);
     if (!r) return std::move(r).error();
-    return std::get<0>(std::move(*r));
+    observe(std::get<0>(*r));
+    return std::get<1>(std::move(*r));
 }
 
 Expected<std::vector<std::pair<std::string, std::string>>>
 Database::list_keyvals(const std::string& from, const std::string& prefix,
                        std::uint64_t max) const {
-    auto r = call<std::vector<std::pair<std::string, std::string>>>("list_keyvals", from,
-                                                                    prefix, max);
+    auto r = call<std::uint64_t, std::vector<std::pair<std::string, std::string>>>(
+        "list_keyvals", send_epoch(), from, prefix, max);
     if (!r) return std::move(r).error();
-    return std::get<0>(std::move(*r));
+    observe(std::get<0>(*r));
+    return std::get<1>(std::move(*r));
 }
 
 Expected<std::uint64_t> Database::size_bytes() const {
-    auto r = call<std::uint64_t>("size_bytes");
+    auto r = call<std::uint64_t, std::uint64_t>("size_bytes", send_epoch());
+    if (!r) return std::move(r).error();
+    observe(std::get<0>(*r));
+    return std::get<1>(*r);
+}
+
+Status Database::update_epoch(std::uint64_t epoch, const std::string& layout_blob) const {
+    auto r = call<bool>("update_epoch", epoch, layout_blob);
+    if (!r) return r.error();
+    return {};
+}
+
+Expected<std::uint64_t> Database::extract_range(std::uint64_t begin, std::uint64_t end,
+                                                const std::string& dest_root,
+                                                const std::string& file_prefix,
+                                                const std::string& dest_address,
+                                                const std::string& method,
+                                                std::uint16_t remi_provider_id) const {
+    // Extraction serializes + migrates a key range; give it far more rope
+    // than a point lookup.
+    auto r = call_with_timeout<std::uint64_t>("extract_range", std::chrono::milliseconds(60000),
+                                              begin, end, dest_root, file_prefix, dest_address,
+                                              method, std::uint32_t{remi_provider_id});
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Expected<std::uint64_t> Database::erase_range(std::uint64_t begin, std::uint64_t end) const {
+    auto r = call_with_timeout<std::uint64_t>("erase_range", std::chrono::milliseconds(60000),
+                                              begin, end);
+    if (!r) return std::move(r).error();
+    return std::get<0>(*r);
+}
+
+Expected<std::uint64_t> Database::absorb(const std::string& file_prefix) const {
+    auto r = call_with_timeout<std::uint64_t>("absorb", std::chrono::milliseconds(60000),
+                                              file_prefix);
     if (!r) return std::move(r).error();
     return std::get<0>(*r);
 }
@@ -231,6 +284,27 @@ json::Value ProviderConfig::to_json() const {
 // Provider
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Live providers per margo instance, so SSG payload dissemination can apply
+/// an epoch update to every local shard without naming them individually.
+std::mutex g_provider_registry_mutex;
+std::multimap<const margo::Instance*, Provider*> g_provider_registry;
+
+/// [begin, end) membership on the ring; end == 0 encodes 2^64.
+bool hash_in_range(std::uint64_t h, std::uint64_t begin, std::uint64_t end) noexcept {
+    return h >= begin && (end == 0 || h < end);
+}
+
+} // namespace
+
+void apply_epoch_update(const margo::InstancePtr& instance, std::uint64_t epoch,
+                        const std::string& layout_blob) {
+    std::lock_guard lk{g_provider_registry_mutex};
+    auto [lo, hi] = g_provider_registry.equal_range(instance.get());
+    for (auto it = lo; it != hi; ++it) it->second->set_epoch(epoch, layout_blob);
+}
+
 Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
                    ProviderConfig config, std::shared_ptr<abt::Pool> pool)
 : margo::Provider(std::move(instance), provider_id, "yokan", std::move(pool)),
@@ -253,59 +327,108 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
         }
     }
     define_rpcs();
+    std::lock_guard lk{g_provider_registry_mutex};
+    g_provider_registry.emplace(this->instance().get(), this);
+}
+
+Provider::~Provider() {
+    {
+        std::lock_guard lk{g_provider_registry_mutex};
+        auto [lo, hi] = g_provider_registry.equal_range(instance().get());
+        for (auto it = lo; it != hi; ++it) {
+            if (it->second == this) {
+                g_provider_registry.erase(it);
+                break;
+            }
+        }
+    }
+    deregister_all();
+}
+
+void Provider::set_epoch(std::uint64_t epoch, std::string layout_blob) {
+    std::lock_guard lk{m_epoch_mutex};
+    if (epoch <= m_epoch.load(std::memory_order_relaxed)) return;
+    m_layout_blob = std::move(layout_blob);
+    m_epoch.store(epoch, std::memory_order_release);
+}
+
+bool Provider::check_epoch(const margo::Request& req, std::uint64_t req_epoch) const {
+    // Epoch 0 on either side disables the guard (unguarded clients, or a
+    // provider outside any elastic layout).
+    auto cur = m_epoch.load(std::memory_order_acquire);
+    if (req_epoch == 0 || cur == 0 || req_epoch >= cur) return true;
+    std::string blob;
+    {
+        std::lock_guard lk{m_epoch_mutex};
+        if (m_layout_blob.size() <= k_epoch_piggyback_limit) blob = m_layout_blob;
+        cur = m_epoch.load(std::memory_order_relaxed);
+    }
+    instance()->metrics()->counter("yokan_stale_epoch_rejections_total").inc();
+    req.respond_error(make_stale_epoch_error(cur, blob));
+    return false;
 }
 
 void Provider::define_rpcs() {
     // Scalar-op handlers decode their key as a zero-copy view of the request
     // payload (the Request owns the payload for the handler's lifetime), so
-    // the common lookup path never copies the key.
+    // the common lookup path never copies the key. Every data RPC leads with
+    // the sender's epoch and every reply with the provider's (the elastic
+    // service's piggybacked invalidation).
     define("put", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::string_view key;
         std::string value;
-        if (!req.unpack(key, value)) {
+        if (!req.unpack(epoch, key, value)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         instance()->metrics()->counter("yokan_puts_total").inc();
         Status st = m_backend ? m_backend->put(key, std::move(value))
                               : virtual_put(key, value);
         if (!st.ok())
             req.respond_error(st.error());
         else
-            req.respond_values(true);
+            req.respond_values(this->epoch(), true);
     });
     define("get", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::string_view key;
-        if (!req.unpack(key)) {
+        if (!req.unpack(epoch, key)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         instance()->metrics()->counter("yokan_gets_total").inc();
         auto r = m_backend ? m_backend->get(key) : virtual_get(key);
         if (!r)
             req.respond_error(r.error());
         else
-            req.respond_values(*r);
+            req.respond_values(this->epoch(), *r);
     });
     define("exists", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::string_view key;
-        if (!req.unpack(key)) {
+        if (!req.unpack(epoch, key)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         if (m_backend) {
-            req.respond_values(m_backend->exists(key));
+            req.respond_values(this->epoch(), m_backend->exists(key));
             return;
         }
         auto r = virtual_get(key);
-        req.respond_values(r.has_value());
+        req.respond_values(this->epoch(), r.has_value());
     });
     define("erase", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::string_view key;
-        if (!req.unpack(key)) {
+        if (!req.unpack(epoch, key)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         Status st;
         if (m_backend) {
             st = m_backend->erase(key);
@@ -319,17 +442,24 @@ void Provider::define_rpcs() {
         if (!st.ok())
             req.respond_error(st.error());
         else
-            req.respond_values(true);
+            req.respond_values(this->epoch(), true);
     });
     define("count", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
+        if (!req.unpack(epoch)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        if (!check_epoch(req, epoch)) return;
         if (m_backend) {
-            req.respond_values(static_cast<std::uint64_t>(m_backend->count()));
+            req.respond_values(this->epoch(),
+                               static_cast<std::uint64_t>(m_backend->count()));
             return;
         }
         for (const auto& replica : m_replicas) {
             auto r = replica.count();
             if (r) {
-                req.respond_values(*r);
+                req.respond_values(this->epoch(), *r);
                 return;
             }
         }
@@ -338,22 +468,26 @@ void Provider::define_rpcs() {
     define("put_multi", [this](const margo::Request& req) {
         // Keys decode as views into the inline payload; values are owned
         // (they are moved into the backend).
+        std::uint64_t epoch = 0;
         std::vector<std::pair<std::string_view, std::string>> pairs;
-        if (!req.unpack(pairs)) {
+        if (!req.unpack(epoch, pairs)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         handle_put_multi(req, std::move(pairs));
     });
     define("put_multi_bulk", [this](const margo::Request& req) {
         // Large batches: the request carries only a bulk handle; one RDMA
         // pull fetches the packed pairs, then execution is identical to the
         // inline path.
+        std::uint64_t epoch = 0;
         mercury::BulkHandle handle;
-        if (!req.unpack(handle)) {
+        if (!req.unpack(epoch, handle)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         std::string buffer(handle.size, '\0');
         if (auto st = instance()->bulk_pull(handle, 0, buffer.data(), buffer.size());
             !st.ok()) {
@@ -370,11 +504,13 @@ void Provider::define_rpcs() {
         handle_put_multi(req, std::move(pairs));
     });
     define("get_multi", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::vector<std::string_view> keys;
-        if (!req.unpack(keys)) {
+        if (!req.unpack(epoch, keys)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         std::vector<std::optional<std::string>> values(keys.size());
         if (m_backend) {
             // Vectored execution: slices of the batch run on handler-pool
@@ -406,34 +542,38 @@ void Provider::define_rpcs() {
                 return;
             }
         }
-        req.respond_values(values);
+        req.respond_values(this->epoch(), values);
     });
     define("list_keys", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::string_view from, prefix;
         std::uint64_t max = 0;
-        if (!req.unpack(from, prefix, max)) {
+        if (!req.unpack(epoch, from, prefix, max)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         if (m_backend) {
-            req.respond_values(m_backend->list_keys(from, prefix, max));
+            req.respond_values(this->epoch(), m_backend->list_keys(from, prefix, max));
             return;
         }
         for (const auto& replica : m_replicas) {
             auto r = replica.list_keys(std::string(from), std::string(prefix), max);
             if (r) {
-                req.respond_values(*r);
+                req.respond_values(this->epoch(), *r);
                 return;
             }
         }
         req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
     });
     define("erase_multi", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::vector<std::string_view> keys;
-        if (!req.unpack(keys)) {
+        if (!req.unpack(epoch, keys)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         std::uint64_t erased = 0;
         for (const auto& k : keys) {
             Status st;
@@ -448,46 +588,107 @@ void Provider::define_rpcs() {
             }
             if (st.ok()) ++erased;
         }
-        req.respond_values(erased);
+        req.respond_values(this->epoch(), erased);
     });
     define("list_keyvals", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
         std::string_view from, prefix;
         std::uint64_t max = 0;
-        if (!req.unpack(from, prefix, max)) {
+        if (!req.unpack(epoch, from, prefix, max)) {
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!check_epoch(req, epoch)) return;
         if (m_backend) {
             std::vector<std::pair<std::string, std::string>> out;
             for (auto& key : m_backend->list_keys(from, prefix, max)) {
                 auto v = m_backend->get(key);
                 if (v) out.emplace_back(std::move(key), std::move(*v));
             }
-            req.respond_values(out);
+            req.respond_values(this->epoch(), out);
             return;
         }
         for (const auto& replica : m_replicas) {
             auto r = replica.list_keyvals(std::string(from), std::string(prefix), max);
             if (r) {
-                req.respond_values(*r);
+                req.respond_values(this->epoch(), *r);
                 return;
             }
         }
         req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
     });
     define("size_bytes", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
+        if (!req.unpack(epoch)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        if (!check_epoch(req, epoch)) return;
         if (m_backend) {
-            req.respond_values(static_cast<std::uint64_t>(m_backend->size_bytes()));
+            req.respond_values(this->epoch(),
+                               static_cast<std::uint64_t>(m_backend->size_bytes()));
             return;
         }
         for (const auto& replica : m_replicas) {
             auto r = replica.size_bytes();
             if (r) {
-                req.respond_values(*r);
+                req.respond_values(this->epoch(), *r);
                 return;
             }
         }
         req.respond_error(Error{Error::Code::Unreachable, "no replica reachable"});
+    });
+    // -- control plane (no epoch guard: the controller is the authority) ------
+    define("update_epoch", [this](const margo::Request& req) {
+        std::uint64_t epoch = 0;
+        std::string blob;
+        if (!req.unpack(epoch, blob)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        set_epoch(epoch, std::move(blob));
+        req.respond_values(true);
+    });
+    define("extract_range", [this](const margo::Request& req) {
+        std::uint64_t begin = 0, end = 0;
+        std::string dest_root, file_prefix, dest_address, method;
+        std::uint32_t remi_id = k_default_remi_provider_id;
+        if (!req.unpack(begin, end, dest_root, file_prefix, dest_address, method, remi_id)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        auto options = json::Value::object();
+        options["method"] = method;
+        options["remi_provider_id"] = static_cast<std::int64_t>(remi_id);
+        auto r = extract_range(begin, end, dest_root, file_prefix, dest_address, options);
+        if (!r)
+            req.respond_error(r.error());
+        else
+            req.respond_values(*r);
+    });
+    define("erase_range", [this](const margo::Request& req) {
+        std::uint64_t begin = 0, end = 0;
+        if (!req.unpack(begin, end)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        auto r = erase_range(begin, end);
+        if (!r)
+            req.respond_error(r.error());
+        else
+            req.respond_values(*r);
+    });
+    define("absorb", [this](const margo::Request& req) {
+        std::string file_prefix;
+        if (!req.unpack(file_prefix)) {
+            req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
+            return;
+        }
+        auto r = absorb(file_prefix);
+        if (!r)
+            req.respond_error(r.error());
+        else
+            req.respond_values(*r);
     });
 }
 
@@ -511,7 +712,7 @@ void Provider::handle_put_multi(const margo::Request& req,
             (void)v;
             instance()->metrics()->counter("yokan_puts_total").inc();
         }
-        req.respond_values(true);
+        req.respond_values(this->epoch(), true);
         return;
     }
     // Vectored execution across the handler pool's ULTs; every op keeps its
@@ -532,7 +733,7 @@ void Provider::handle_put_multi(const margo::Request& req,
             return;
         }
     }
-    req.respond_values(true);
+    req.respond_values(this->epoch(), true);
 }
 
 Status Provider::virtual_put(std::string_view key, const std::string& value) {
@@ -627,6 +828,89 @@ Status Provider::migrate_data(const std::string& dest_address, const json::Value
     log::info("yokan", "migrated db '%s' (%zu files, %zu bytes) to %s",
               m_config.db_name.c_str(), stats->files, stats->bytes, dest_address.c_str());
     return {};
+}
+
+Expected<std::uint64_t> Provider::extract_range(std::uint64_t begin, std::uint64_t end,
+                                                const std::string& dest_root,
+                                                const std::string& file_prefix,
+                                                const std::string& dest_address,
+                                                const json::Value& options) {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases do not split"};
+    auto store = remi::SimFileStore::for_node(instance()->address());
+    const std::string staging = dest_root + file_prefix;
+    store->remove_prefix(staging); // drop leftovers of an aborted attempt
+    // Stage the affected pairs into bundle files. The live catalogue is NOT
+    // modified: the split protocol copies first, flips the layout, and only
+    // then erases (erase_range), so concurrent readers never miss.
+    std::vector<std::pair<std::string, std::string>> bundle;
+    std::uint64_t moved = 0;
+    std::size_t file_index = 0;
+    Status result;
+    auto flush = [&] {
+        if (bundle.empty() || !result.ok()) return;
+        char name[32];
+        std::snprintf(name, sizeof name, "-%06zu", file_index++);
+        result = store->write(staging + name, serialize_bundle(bundle));
+        bundle.clear();
+    };
+    m_backend->for_each([&](const std::string& k, const std::string& v) {
+        if (!hash_in_range(common::fnv1a64(k), begin, end)) return;
+        bundle.emplace_back(k, v);
+        ++moved;
+        if (bundle.size() >= k_pairs_per_file) flush();
+    });
+    flush();
+    if (!result.ok()) return result.error();
+    if (dest_address == instance()->address()) return moved; // files already home
+    remi::MigrationOptions mopts;
+    if (options.get_string("method", "rdma") == "chunks") mopts.method = remi::Method::Chunks;
+    if (auto cs = options.get_integer("chunk_size", 0); cs > 0)
+        mopts.chunk_size = static_cast<std::size_t>(cs);
+    auto remi_id = static_cast<std::uint16_t>(
+        options.get_integer("remi_provider_id", k_default_remi_provider_id));
+    auto fileset = remi::Fileset::scan(*store, staging);
+    auto stats = remi::migrate(instance(), store, fileset, dest_address, remi_id, mopts);
+    if (!stats) return stats.error();
+    log::info("yokan", "extracted %llu pairs of db '%s' to %s (%zu files, %zu bytes)",
+              static_cast<unsigned long long>(moved), m_config.db_name.c_str(),
+              dest_address.c_str(), stats->files, stats->bytes);
+    return moved;
+}
+
+Expected<std::uint64_t> Provider::erase_range(std::uint64_t begin, std::uint64_t end) {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases do not split"};
+    std::vector<std::string> doomed;
+    m_backend->for_each([&](const std::string& k, const std::string&) {
+        if (hash_in_range(common::fnv1a64(k), begin, end)) doomed.push_back(k);
+    });
+    for (const auto& k : doomed) (void)m_backend->erase(k);
+    return static_cast<std::uint64_t>(doomed.size());
+}
+
+Expected<std::uint64_t> Provider::absorb(const std::string& file_prefix) {
+    if (!m_backend)
+        return Error{Error::Code::InvalidState, "virtual databases do not merge"};
+    auto store = remi::SimFileStore::for_node(instance()->address());
+    std::uint64_t absorbed = 0;
+    for (const auto& path : store->list(root() + file_prefix)) {
+        auto data = store->read(path);
+        if (!data) return data.error();
+        std::vector<std::pair<std::string, std::string>> bundle;
+        if (!mercury::unpack(*data, bundle))
+            return Error{Error::Code::Corruption, "corrupt staged file " + path};
+        for (auto& [k, v] : bundle) {
+            // Put-if-absent: staged bundles hold a range frozen *before* the
+            // layout flip, while keys already present here arrived after it
+            // — the local copy is newer by protocol and must win.
+            if (m_backend->exists(k)) continue;
+            if (auto st = m_backend->put(k, std::move(v)); !st.ok()) return st.error();
+            ++absorbed;
+        }
+    }
+    store->remove_prefix(root() + file_prefix);
+    return absorbed;
 }
 
 Status Provider::checkpoint_data(const std::string& path) const {

@@ -4,20 +4,80 @@
 // dynamic-service hooks the paper adds — REMI-based migration (§6),
 // checkpoint/restore to the parallel file system (§7 Obs. 9), and the
 // "virtual database" replication mode (§7 Obs. 10).
+//
+// Epoch guard (the elastic service's piggybacked invalidation): every data
+// RPC leads with the sender's layout epoch and every reply leads with the
+// provider's. A request whose epoch is older than the provider's is answered
+// with a retryable Conflict error carrying the current epoch (and, when
+// small, the serialized layout itself), so a stale client repairs its cache
+// from the rejection without a directory round trip. Epoch 0 means
+// "unguarded" on either side — standalone Yokan deployments never pay for
+// the mechanism.
 #pragma once
 
+#include "common/hash.hpp"
 #include "margo/provider.hpp"
 #include "remi/provider.hpp"
 #include "yokan/backend.hpp"
 
 namespace mochi::yokan {
 
+/// Shared send/observe epoch state: a client wires one EpochContext into
+/// every Database handle it creates; `epoch` is attached to outgoing
+/// requests and `observed` tracks the newest provider epoch seen in any
+/// reply (the piggybacked hint that the layout moved on).
+struct EpochContext {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> observed{0};
+
+    void observe(std::uint64_t e) noexcept {
+        auto cur = observed.load(std::memory_order_relaxed);
+        while (e > cur &&
+               !observed.compare_exchange_weak(cur, e, std::memory_order_relaxed)) {
+        }
+    }
+};
+
+/// Marker prefix of a stale-epoch rejection's error message. The message is
+/// transported verbatim (binary-safe) by margo's error path, so the current
+/// epoch and the layout blob ride inside it.
+inline constexpr std::string_view k_stale_epoch_tag = "stale-epoch\x1f";
+
+[[nodiscard]] inline Error make_stale_epoch_error(std::uint64_t epoch,
+                                                  const std::string& layout_blob) {
+    std::string msg{k_stale_epoch_tag};
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((epoch >> (8 * i)) & 0xFF);
+    msg.append(bytes, 8);
+    msg += layout_blob;
+    return Error{Error::Code::Conflict, std::move(msg)};
+}
+
+/// Decode a stale-epoch rejection; `layout_blob` may come back empty when
+/// the provider judged its layout too large to piggyback.
+[[nodiscard]] inline bool decode_stale_epoch(const Error& err, std::uint64_t& epoch,
+                                             std::string& layout_blob) {
+    if (err.code != Error::Code::Conflict) return false;
+    if (err.message.size() < k_stale_epoch_tag.size() + 8) return false;
+    if (err.message.compare(0, k_stale_epoch_tag.size(), k_stale_epoch_tag) != 0)
+        return false;
+    epoch = 0;
+    for (int i = 0; i < 8; ++i)
+        epoch |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                     err.message[k_stale_epoch_tag.size() + static_cast<std::size_t>(i)]))
+                 << (8 * i);
+    layout_blob = err.message.substr(k_stale_epoch_tag.size() + 8);
+    return true;
+}
+
 /// Client-side handle to a remote (or virtual) database (Figure 1's
 /// "resource handle").
 class Database : public margo::ResourceHandle {
   public:
-    Database(margo::InstancePtr instance, std::string address, std::uint16_t provider_id)
-    : ResourceHandle(std::move(instance), std::move(address), provider_id, "yokan") {}
+    Database(margo::InstancePtr instance, std::string address, std::uint16_t provider_id,
+             std::shared_ptr<EpochContext> epoch_context = nullptr)
+    : ResourceHandle(std::move(instance), std::move(address), provider_id, "yokan"),
+      m_epoch_context(std::move(epoch_context)) {}
 
     /// put_multi batches at or above this many payload bytes ride a single
     /// bulk (RDMA) pull instead of inline RPC bytes.
@@ -34,10 +94,12 @@ class Database : public margo::ResourceHandle {
     Status put_multi(const std::vector<std::pair<std::string, std::string>>& pairs) const;
     [[nodiscard]] Expected<std::vector<std::optional<std::string>>>
     get_multi(const std::vector<std::string>& keys) const;
-    /// Fire-and-wait-later variants: the returned handle's
-    /// wait_unpack<bool>() / wait_unpack<std::vector<...>>() yields the
-    /// result; callers overlap batches to several providers (elastic_kv's
-    /// shard fan-out) or pipeline consecutive batches (the Batcher).
+    /// Fire-and-wait-later variants. The reply leads with the provider's
+    /// epoch: the returned handle's wait_unpack<std::uint64_t, bool>() /
+    /// wait_unpack<std::uint64_t, std::vector<...>>() yields it alongside
+    /// the result; callers overlap batches to several providers
+    /// (elastic_kv's shard fan-out) or pipeline consecutive batches (the
+    /// Batcher).
     [[nodiscard]] margo::AsyncRequest
     put_multi_async(const std::vector<std::pair<std::string, std::string>>& pairs) const;
     [[nodiscard]] margo::AsyncRequest
@@ -54,6 +116,46 @@ class Database : public margo::ResourceHandle {
                  std::uint64_t max = 0) const;
     /// Total bytes stored in the database.
     [[nodiscard]] Expected<std::uint64_t> size_bytes() const;
+
+    // -- control plane (unguarded; the elastic controller drives these) -------
+
+    /// Hand the provider a new layout epoch (+ blob); adopted when newer.
+    Status update_epoch(std::uint64_t epoch, const std::string& layout_blob) const;
+    /// Copy the keys whose ring hash falls in [begin, end) (end 0 == 2^64)
+    /// into bundle files under `dest_root` + `file_prefix` and ship them to
+    /// `dest_address`'s REMI provider (files stay local when the
+    /// destination is this provider's own node). Source keys are NOT
+    /// erased — the split protocol flips the layout first and cleans up
+    /// with erase_range afterwards, so reads never miss. Returns the number
+    /// of pairs extracted.
+    [[nodiscard]] Expected<std::uint64_t>
+    extract_range(std::uint64_t begin, std::uint64_t end, const std::string& dest_root,
+                  const std::string& file_prefix, const std::string& dest_address,
+                  const std::string& method = "chunks",
+                  std::uint16_t remi_provider_id = 1) const;
+    /// Erase every key whose ring hash falls in [begin, end); returns the
+    /// number erased (the post-flip cleanup of a split).
+    [[nodiscard]] Expected<std::uint64_t> erase_range(std::uint64_t begin,
+                                                      std::uint64_t end) const;
+    /// Load (and delete) staged bundle files under root() + `file_prefix`
+    /// into the live database — the landing half of a shard split or merge.
+    /// Put-if-absent: a key already present here arrived *after* the layout
+    /// flip that froze the staged range, so the local copy wins.
+    [[nodiscard]] Expected<std::uint64_t> absorb(const std::string& file_prefix) const;
+
+    [[nodiscard]] const std::shared_ptr<EpochContext>& epoch_context() const noexcept {
+        return m_epoch_context;
+    }
+
+  private:
+    [[nodiscard]] std::uint64_t send_epoch() const noexcept {
+        return m_epoch_context ? m_epoch_context->epoch.load(std::memory_order_relaxed) : 0;
+    }
+    void observe(std::uint64_t e) const noexcept {
+        if (m_epoch_context) m_epoch_context->observe(e);
+    }
+
+    std::shared_ptr<EpochContext> m_epoch_context;
 };
 
 /// Opt-in client-side op coalescing: put() enqueues locally and whole
@@ -116,13 +218,28 @@ class Provider : public margo::Provider {
     Provider(margo::InstancePtr instance, std::uint16_t provider_id, ProviderConfig config,
              std::shared_ptr<abt::Pool> pool = nullptr);
     /// Quiesce handlers before the backend is destroyed.
-    ~Provider() override { deregister_all(); }
+    ~Provider() override;
 
     [[nodiscard]] json::Value get_config() const override;
 
     /// Direct (in-process) access to the backend, used by service glue like
     /// the RAFT state machine adapter.
     [[nodiscard]] Backend* backend() noexcept { return m_backend.get(); }
+
+    // -- epoch guard -----------------------------------------------------------
+
+    /// Adopt `epoch` (and the layout blob piggybacked into stale-epoch
+    /// rejections) if newer than what the provider holds. Also reachable
+    /// remotely (update_epoch RPC) and via SSG payload dissemination
+    /// (apply_epoch_update below).
+    void set_epoch(std::uint64_t epoch, std::string layout_blob);
+    [[nodiscard]] std::uint64_t epoch() const noexcept {
+        return m_epoch.load(std::memory_order_acquire);
+    }
+
+    /// Layout blobs at or under this size ride inside stale-epoch
+    /// rejections; larger ones force the client to refresh explicitly.
+    static constexpr std::size_t k_epoch_piggyback_limit = 8 * 1024;
 
     // -- dynamic-service hooks -------------------------------------------------
 
@@ -144,11 +261,24 @@ class Provider : public margo::Provider {
     Status checkpoint_data(const std::string& path) const;
     Status restore_data(const std::string& path);
 
+    // -- shard split/merge primitives (see Database wrappers) ------------------
+
+    Expected<std::uint64_t> extract_range(std::uint64_t begin, std::uint64_t end,
+                                          const std::string& dest_root,
+                                          const std::string& file_prefix,
+                                          const std::string& dest_address,
+                                          const json::Value& options);
+    Expected<std::uint64_t> erase_range(std::uint64_t begin, std::uint64_t end);
+    Expected<std::uint64_t> absorb(const std::string& file_prefix);
+
     static constexpr std::uint16_t k_default_remi_provider_id = 1;
     static constexpr std::size_t k_pairs_per_file = 128;
 
   private:
     void define_rpcs();
+    /// Epoch guard shared by every data RPC: true when the request may
+    /// proceed; otherwise the stale-epoch rejection was already sent.
+    bool check_epoch(const margo::Request& req, std::uint64_t req_epoch) const;
     /// Vectored batch execution (shared by put_multi and put_multi_bulk):
     /// runs the pairs across the handler pool's ULTs, emitting one
     /// notify_batch_op per pair, and replies once. Keys are zero-copy views
@@ -162,7 +292,17 @@ class Provider : public margo::Provider {
     ProviderConfig m_config;
     std::unique_ptr<Backend> m_backend; ///< null in virtual mode
     std::vector<Database> m_replicas;   ///< virtual mode targets
+
+    std::atomic<std::uint64_t> m_epoch{0};
+    mutable std::mutex m_epoch_mutex; ///< guards m_layout_blob
+    std::string m_layout_blob;
 };
+
+/// Push a layout epoch into every Yokan provider living on `instance` (the
+/// SSG payload callback's entry point: gossip delivers the blob to a node,
+/// the node applies it to its local shards without any controller RPC).
+void apply_epoch_update(const margo::InstancePtr& instance, std::uint64_t epoch,
+                        const std::string& layout_blob);
 
 /// Register Yokan's Bedrock module under library name "libyokan.so"
 /// (idempotent). The module declares an optional "remi" dependency used for

@@ -348,3 +348,75 @@ TEST(ArchiveFuzz, SegmentsRejectCorruptCount) {
     ASSERT_TRUE(mercury::unpack_segments(mercury::pack_segments({}), views));
     EXPECT_TRUE(views.empty());
 }
+
+// ---------------------------------------------------------------------------
+// Layout blobs (the routing plane's wire format): fuzzed round-trips and
+// fail-closed decoding — a corrupt blob must never yield an invalid layout.
+// ---------------------------------------------------------------------------
+
+#include "composed/layout.hpp"
+
+namespace {
+
+mochi::composed::Layout random_layout(std::mt19937_64& rng) {
+    using mochi::composed::Layout;
+    std::uniform_int_distribution<std::size_t> nshards(1, 24), nnodes(1, 5);
+    std::vector<std::string> nodes;
+    auto n = nnodes(rng);
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back("sim://n" + std::to_string(i));
+    auto layout = Layout::initial(nshards(rng), nodes);
+    // A few random mutations so epochs and ids diverge from the initial form.
+    std::uniform_int_distribution<int> muts(0, 5);
+    int m = muts(rng);
+    for (int i = 0; i < m; ++i) {
+        const auto& shards = layout.shards();
+        std::uniform_int_distribution<std::size_t> pick(0, shards.size() - 1);
+        auto id = shards[pick(rng)].id;
+        switch (rng() % 3) {
+        case 0: (void)layout.split(id); break;
+        case 1: (void)layout.merge(id); break;
+        default: (void)layout.move_shard(id, nodes[rng() % nodes.size()]); break;
+        }
+    }
+    return layout;
+}
+
+} // namespace
+
+TEST(ArchiveFuzz, LayoutBlobsRoundTrip) {
+    for (int iter = 0; iter < 200; ++iter) {
+        std::mt19937_64 rng{base_seed() + 11000 + iter};
+        auto layout = random_layout(rng);
+        auto back = mochi::composed::Layout::unpack_blob(layout.pack());
+        ASSERT_TRUE(back.has_value()) << "seed " << base_seed() + 11000 + iter;
+        EXPECT_EQ(back->epoch(), layout.epoch());
+        EXPECT_EQ(back->pack(), layout.pack());
+        EXPECT_TRUE(back->valid());
+    }
+}
+
+TEST(ArchiveFuzz, LayoutUnpackFailsClosedOnTruncationAndFlips) {
+    for (int iter = 0; iter < 10; ++iter) {
+        std::mt19937_64 rng{base_seed() + 12000 + iter};
+        std::string blob = random_layout(rng).pack();
+        // Truncations: reject or, if the prefix happens to parse, stay valid.
+        for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+            auto r = mochi::composed::Layout::unpack_blob(blob.substr(0, cut));
+            if (r.has_value()) {
+                EXPECT_TRUE(r->valid()) << "cut " << cut;
+            }
+        }
+        // Byte flips: never UB, and anything accepted is structurally valid
+        // (sorted unique ranges) — a client will never adopt a broken ring.
+        std::uniform_int_distribution<std::size_t> pos(0, blob.size() - 1);
+        std::uniform_int_distribution<int> byte(0, 255);
+        for (int flips = 0; flips < 32; ++flips) {
+            std::string mutated = blob;
+            mutated[pos(rng)] = static_cast<char>(byte(rng));
+            auto r = mochi::composed::Layout::unpack_blob(mutated);
+            if (r.has_value()) {
+                EXPECT_TRUE(r->valid());
+            }
+        }
+    }
+}

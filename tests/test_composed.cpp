@@ -124,8 +124,9 @@ TEST(ElasticKv, BasicOperationsRouteAcrossShards) {
     ASSERT_TRUE(kv.erase("key0").ok());
     EXPECT_FALSE(kv.get("key0").has_value());
     // Shards spread over both nodes.
-    auto dir = kv.directory();
-    std::set<std::string> used(dir.shard_to_node.begin(), dir.shard_to_node.end());
+    auto layout = kv.layout();
+    std::set<std::string> used;
+    for (const auto& s : layout.shards()) used.insert(s.node);
     EXPECT_EQ(used.size(), 2u);
 }
 
@@ -139,14 +140,14 @@ TEST(ElasticKv, ScaleUpMovesShardsAndKeepsData) {
     auto& kv = **svc;
     for (int i = 0; i < 200; ++i)
         ASSERT_TRUE(kv.put("key" + std::to_string(i), std::string(64, 'd')).ok());
-    auto before = kv.directory();
+    auto before = kv.layout();
     ASSERT_TRUE(kv.scale_up("sim://ekv2").ok());
-    auto after = kv.directory();
-    EXPECT_GT(after.version, before.version); // directory changed (Colza-style)
+    auto after = kv.layout();
+    EXPECT_GT(after.epoch(), before.epoch()); // layout epoch advanced
     // Some shards now live on the new node.
     std::size_t on_new = 0;
-    for (const auto& n : after.shard_to_node)
-        if (n == "sim://ekv2") ++on_new;
+    for (const auto& s : after.shards())
+        if (s.node == "sim://ekv2") ++on_new;
     EXPECT_GT(on_new, 0u);
     EXPECT_LE(on_new, 4u); // roughly a third
     // Every key still readable after migration.
@@ -166,8 +167,8 @@ TEST(ElasticKv, ScaleDownDrainsNode) {
     for (int i = 0; i < 100; ++i)
         ASSERT_TRUE(kv.put("k" + std::to_string(i), "v").ok());
     ASSERT_TRUE(kv.scale_down("sim://ekv1").ok());
-    auto dir = kv.directory();
-    for (const auto& n : dir.shard_to_node) EXPECT_NE(n, "sim://ekv1");
+    auto layout = kv.layout();
+    for (const auto& s : layout.shards()) EXPECT_NE(s.node, "sim://ekv1");
     EXPECT_EQ(kv.nodes().size(), 2u);
     for (int i = 0; i < 100; ++i)
         EXPECT_EQ(*kv.get("k" + std::to_string(i)), "v") << i;
@@ -236,9 +237,9 @@ TEST(ElasticKv, ControllerRecoversShardsOfDeadNode) {
     bool recovered = eventually([&] { return kv.recoveries() > 0; }, 10000ms);
     ASSERT_TRUE(recovered);
     bool all_placed = eventually([&] {
-        auto dir = kv.directory();
-        for (const auto& n : dir.shard_to_node)
-            if (n == "sim://ekv1") return false;
+        auto layout = kv.layout();
+        for (const auto& s : layout.shards())
+            if (s.node == "sim://ekv1") return false;
         return true;
     });
     ASSERT_TRUE(all_placed);
@@ -264,27 +265,28 @@ TEST(ElasticKv, WritesAfterCheckpointAreLostOnCrash) {
     ASSERT_TRUE(kv.put("early", "checkpointed").ok());
     ASSERT_TRUE(kv.checkpoint_all().ok());
     // Find which node holds "late"'s shard, write it, then crash that node.
-    auto dir = kv.directory();
-    std::string victim = dir.shard_to_node[kv.shard_of("late")];
+    auto layout = kv.layout(); // pre-crash placement
+    std::string victim = layout.shard_for_key("late").node;
     ASSERT_TRUE(kv.put("late", "not-checkpointed").ok());
     ASSERT_TRUE(cluster.crash_node(victim).ok());
     bool recovered = eventually([&] { return kv.recoveries() > 0; }, 10000ms);
     ASSERT_TRUE(recovered);
     std::this_thread::sleep_for(200ms);
     // "early" survived iff its shard was checkpointed (it was).
-    if (dir.shard_to_node[kv.shard_of("early")] == victim) {
+    if (layout.shard_for_key("early").node == victim) {
         EXPECT_EQ(*kv.get("early"), "checkpointed");
     }
     // "late" was written after the checkpoint on the crashed node: lost.
-    if (dir.shard_to_node[kv.shard_of("late")] == victim) {
+    if (layout.shard_for_key("late").node == victim) {
         EXPECT_FALSE(kv.get("late").has_value());
     }
 }
 
-TEST(ElasticKvClientProtocol, StaleDirectoryRefreshOnMigration) {
-    // §6's Colza-style client strategy: a detached client caches the shard
-    // directory; after the service rebalances, the client's first op to a
-    // moved shard fails with a mismatch, triggering a refresh + retry.
+TEST(ElasticKvClientProtocol, StaleLayoutRepairOnMigration) {
+    // A detached client caches the layout; after the service rebalances its
+    // first op with a stale epoch is rejected (piggybacked hint) or lands on
+    // a node that lost the provider — either way it transparently repairs
+    // its cache and retries.
     Cluster cluster;
     ElasticKvConfig cfg;
     cfg.num_shards = 8;
@@ -298,17 +300,125 @@ TEST(ElasticKvClientProtocol, StaleDirectoryRefreshOnMigration) {
         ASSERT_TRUE(client.put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
     auto v1 = client.cached_version();
     std::size_t refreshes_before = client.refreshes();
-    // The service scales; shards move; the client's directory goes stale.
+    // The service scales; shards move; the client's layout goes stale.
     ASSERT_TRUE(kv.scale_up("sim://ekv2").ok());
-    // Every key remains reachable through transparent refresh-and-retry.
+    // Every key remains reachable through transparent repair-and-retry.
     for (int i = 0; i < 64; ++i)
         EXPECT_EQ(*client.get("k" + std::to_string(i)), "v" + std::to_string(i)) << i;
-    EXPECT_GT(client.refreshes(), refreshes_before);
+    // The cache advanced — through a piggybacked stale-epoch repair (zero
+    // extra RPCs) or, when the provider left the node entirely, one refresh.
     EXPECT_GT(client.cached_version(), v1);
+    EXPECT_TRUE(client.stale_retries() > 0 || client.refreshes() > refreshes_before);
     // A missing key is still reported as NotFound, not retried forever.
     auto missing = client.get("never-written");
     ASSERT_FALSE(missing.has_value());
     EXPECT_EQ(missing.error().code, Error::Code::NotFound);
+    app->shutdown();
+}
+
+TEST(ElasticKvClientProtocol, PiggybackedEpochRepairsWithoutDirectoryRpc) {
+    // The headline property of the layout plane: after a shard *split* (the
+    // parent provider stays put), a stale client is repaired entirely by the
+    // layout blob riding inside the rejection — zero explicit layout RPCs.
+    Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 4;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(cluster, {"sim://ekv0", "sim://ekv1"}, cfg);
+    ASSERT_TRUE(svc.has_value());
+    auto& kv = **svc;
+    auto app = margo::Instance::create(cluster.fabric(), "sim://app").value();
+    ElasticKvClient client{app, kv.controller_address()};
+    for (int i = 0; i < 64; ++i)
+        ASSERT_TRUE(client.put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+    std::size_t refreshes_before = client.refreshes(); // the bootstrap fetch
+    auto v1 = client.cached_version();
+    // Split every original shard once (children stay on the same node).
+    for (std::uint32_t s = 0; s < 4; ++s)
+        ASSERT_TRUE(kv.split_shard(s).has_value()) << s;
+    EXPECT_EQ(kv.num_shards(), 8u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(*client.get("k" + std::to_string(i)), "v" + std::to_string(i)) << i;
+    EXPECT_GT(client.cached_version(), v1);
+    EXPECT_GT(client.stale_retries(), 0u);
+    EXPECT_EQ(client.refreshes(), refreshes_before); // no directory round trips
+    app->shutdown();
+}
+
+TEST(ElasticKv, SplitMovesBoundedFractionAndMergeRestores) {
+    Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 4;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(cluster, {"sim://ekv0", "sim://ekv1"}, cfg);
+    ASSERT_TRUE(svc.has_value());
+    auto& kv = **svc;
+    const int n = 400;
+    for (int i = 0; i < n; ++i)
+        ASSERT_TRUE(kv.put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+    auto before = kv.layout();
+    // Split shard 0 onto the *other* node (exercises the REMI path).
+    std::uint32_t target = before.shards().front().id;
+    std::string other = before.shards().front().node == "sim://ekv0" ? "sim://ekv1"
+                                                                     : "sim://ekv0";
+    auto plan = kv.split_shard(target, other);
+    ASSERT_TRUE(plan.has_value()) << plan.error().message;
+    EXPECT_EQ(kv.num_shards(), 5u);
+    // Only keys in the bisected upper half moved: ≤ 2/num_shards of all keys
+    // (expectation ~1/(2*4); the bound leaves room for hash variance).
+    auto after = kv.layout();
+    int moved = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::string key = "key" + std::to_string(i);
+        if (after.shard_for_key(key).id == plan->child) ++moved;
+    }
+    EXPECT_GT(moved, 0);
+    EXPECT_LE(moved, 2 * n / 4);
+    // Every key is still readable after the split...
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(*kv.get("key" + std::to_string(i)), "v" + std::to_string(i)) << i;
+    // ...and after merging the child back into its predecessor.
+    auto merge = kv.merge_shards(plan->child);
+    ASSERT_TRUE(merge.has_value()) << merge.error().message;
+    EXPECT_EQ(merge->survivor, plan->parent);
+    EXPECT_EQ(kv.num_shards(), 4u);
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(*kv.get("key" + std::to_string(i)), "v" + std::to_string(i)) << i;
+}
+
+TEST(ElasticKv, WeightedRebalanceFollowsWeights) {
+    Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 8;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(cluster, {"sim://ekv0", "sim://ekv1"}, cfg);
+    ASSERT_TRUE(svc.has_value());
+    auto& kv = **svc;
+    for (int i = 0; i < 64; ++i)
+        ASSERT_TRUE(kv.put("k" + std::to_string(i), "v").ok());
+    // All weight on node 0: every shard must end up there.
+    ASSERT_TRUE(kv.rebalance_weighted({{"sim://ekv0", 1.0}, {"sim://ekv1", 0.0}}).ok());
+    for (const auto& s : kv.layout().shards()) EXPECT_EQ(s.node, "sim://ekv0");
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(*kv.get("k" + std::to_string(i)), "v") << i;
+}
+
+TEST(ElasticKvClientProtocol, DetachedClientFetchesLayoutFromGroupMember) {
+    Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 4;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(cluster, {"sim://ekv0", "sim://ekv1"}, cfg);
+    ASSERT_TRUE(svc.has_value());
+    auto& kv = **svc;
+    ASSERT_TRUE(kv.put("hello", "world").ok());
+    auto app = margo::Instance::create(cluster.fabric(), "sim://app2").value();
+    ElasticKvClient client{app, kv.controller_address()};
+    // Bootstrap from an SSG member instead of the controller: the layout
+    // was published into the group as its payload.
+    ASSERT_TRUE(client.refresh_from_member("sim://ekv0").ok());
+    EXPECT_EQ(client.cached_version(), kv.epoch());
+    EXPECT_EQ(*client.get("hello"), "world");
     app->shutdown();
 }
 
@@ -514,8 +624,9 @@ TEST(ElasticKvClientProtocol, BatchedOpsFanOutByShardAndSurviveRescale) {
     ASSERT_TRUE(values.has_value()) << values.error().message;
     ASSERT_EQ(values->size(), keys.size());
     for (int i = 0; i < 64; ++i) EXPECT_EQ(*(*values)[i], "mv" + std::to_string(i)) << i;
-    // Shards move; the batched paths must notice the stale directory,
-    // refresh once, and retry the whole batch.
+    // Shards move; the batched paths must notice the stale layout (via a
+    // piggybacked epoch hint or a vanished provider), repair the cache, and
+    // re-send only the failed shard groups.
     std::size_t refreshes_before = client.refreshes();
     ASSERT_TRUE(kv.scale_up("sim://ekv2").ok());
     ASSERT_TRUE(client.put_multi({{"post-scale", "yes"}}).ok());

@@ -10,6 +10,7 @@
 // The jitter/loss knobs derive from the seed, and the base seed itself is
 // overridable via STRESS_SEED — a failing run logs it, so any seed can be
 // replayed exactly: STRESS_SEED=<seed> MOCHI_STRESS_SEEDS=1 ./test_lifecycle_stress
+#include "composed/elastic_kv.hpp"
 #include "remi/provider.hpp"
 #include "ssg/group.hpp"
 
@@ -518,6 +519,120 @@ void fast_slow_flip(std::uint64_t seed) {
     server->shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 6: elastic layout churn — batched clients vs splits/merges/joins
+// ---------------------------------------------------------------------------
+//
+// A detached client hammers put_multi/get_multi while the controller splits
+// shards, merges them back, and scales nodes in and out. The client's only
+// routing state is its cached layout; every staleness episode must be
+// repaired transparently (piggybacked epoch hints, or refresh-with-backoff
+// while a migration is in flight) — a single client-visible error fails the
+// scenario, and after the churn quiesces every written key must read back.
+
+void elastic_churn(std::uint64_t seed) {
+    using composed::ElasticKvClient;
+    using composed::ElasticKvConfig;
+    using composed::ElasticKvService;
+    std::mt19937_64 rng(seed);
+    composed::Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 4;
+    cfg.enable_swim = false; // membership churn is scenario 3's job
+    auto svc = ElasticKvService::create(cluster, {"sim://ch0", "sim://ch1"}, cfg);
+    ASSERT_TRUE(svc.has_value()) << svc.error().message;
+    auto& kv = **svc;
+    auto app = margo::Instance::create(cluster.fabric(), "sim://ch-app").value();
+
+    std::atomic<bool> done{false};
+    std::atomic<int> batches{0}, client_errors{0};
+    std::mutex written_mutex;
+    std::map<std::string, std::string> written; // ground truth
+    std::thread client_thread{[&, seed] {
+        ElasticKvClient client{app, kv.controller_address()};
+        std::mt19937_64 lrng(seed * 5000011 + 1);
+        int round = 0;
+        while (!done.load()) {
+            std::vector<std::pair<std::string, std::string>> pairs;
+            std::vector<std::string> keys;
+            for (int i = 0; i < 24; ++i) {
+                auto k = "ck" + std::to_string(lrng() % 400);
+                pairs.emplace_back(k, "r" + std::to_string(round));
+                keys.push_back(k);
+            }
+            if (auto st = client.put_multi(pairs); !st.ok()) {
+                ++client_errors;
+                ADD_FAILURE() << "put_multi: " << st.error().message;
+            } else {
+                std::lock_guard lk{written_mutex};
+                for (auto& [k, v] : pairs) written[k] = v;
+            }
+            // Reads may transiently miss a key mid-split (copy lands before
+            // the delta pass) — that is a nullopt, not an error. Errors mean
+            // the routing plane failed to repair itself.
+            if (auto got = client.get_multi(keys); !got.has_value()) {
+                ++client_errors;
+                ADD_FAILURE() << "get_multi: " << got.error().message;
+            }
+            ++batches;
+            ++round;
+        }
+    }};
+
+    // Churn plan: interleave splits, merges and node join/leave, keyed off
+    // the seed. Children are tracked so merges target real split products.
+    std::vector<std::uint32_t> children;
+    bool third_node = false;
+    int steps = 5 + static_cast<int>(seed % 3);
+    for (int step = 0; step < steps; ++step) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::uniform_int_distribution<>(5, 30)(rng)));
+        switch ((seed + static_cast<std::uint64_t>(step)) % 4) {
+        case 0: { // split a random shard (child stays on the parent's node)
+            auto shards = kv.layout().shards();
+            auto& victim = shards[rng() % shards.size()];
+            auto plan = kv.split_shard(victim.id);
+            ASSERT_TRUE(plan.has_value()) << plan.error().message;
+            children.push_back(plan->child);
+            break;
+        }
+        case 1: { // merge the most recent split child back
+            if (children.empty()) break;
+            auto id = children.back();
+            children.pop_back();
+            auto plan = kv.merge_shards(id);
+            ASSERT_TRUE(plan.has_value()) << plan.error().message;
+            break;
+        }
+        case 2: { // node joins (shards rebalance onto it)
+            if (third_node) break;
+            ASSERT_TRUE(kv.scale_up("sim://ch2").ok());
+            third_node = true;
+            break;
+        }
+        default: { // node leaves (its shards drain away)
+            if (!third_node) break;
+            ASSERT_TRUE(kv.scale_down("sim://ch2").ok());
+            third_node = false;
+            break;
+        }
+        }
+    }
+    done.store(true);
+    client_thread.join(); // liveness: batches can't wedge mid-churn
+    EXPECT_EQ(client_errors.load(), 0);
+    EXPECT_GT(batches.load(), 0);
+    // Quiesced: the service must hold exactly what the client believes it
+    // wrote, readable through a fresh client with a cold layout cache.
+    ElasticKvClient verifier{app, kv.controller_address()};
+    for (const auto& [k, v] : written) {
+        auto got = verifier.get(k);
+        ASSERT_TRUE(got.has_value()) << k << ": " << got.error().message;
+        EXPECT_EQ(*got, v) << k;
+    }
+    app->shutdown();
+}
+
 } // namespace
 
 TEST(LifecycleStress, ForwardVsShutdown) { run_seeded(forward_vs_shutdown); }
@@ -529,3 +644,5 @@ TEST(LifecycleStress, SwimChurn) { run_seeded(swim_churn); }
 TEST(LifecycleStress, AsyncVsShutdown) { run_seeded(async_vs_shutdown); }
 
 TEST(LifecycleStress, FastSlowFlip) { run_seeded(fast_slow_flip); }
+
+TEST(LifecycleStress, ElasticChurn) { run_seeded(elastic_churn); }

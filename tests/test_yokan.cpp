@@ -403,7 +403,7 @@ TEST(YokanBatch, PutMultiAsyncOverlapsBatches) {
         inflight.push_back(db.put_multi_async(pairs));
     }
     for (auto& req : inflight) {
-        auto r = req.wait_unpack<bool>();
+        auto r = req.wait_unpack<std::uint64_t, bool>();
         ASSERT_TRUE(r.has_value()) << r.error().message;
     }
     EXPECT_EQ(*db.count(), 32u);
@@ -489,4 +489,108 @@ TEST(YokanBatch, VirtualDatabaseForwardsWholeBatch) {
     front->shutdown();
     n2->shutdown();
     n1->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Epoch guard (the layout plane's piggybacked invalidation, §6) and the
+// split/merge data-movement primitives.
+// ---------------------------------------------------------------------------
+
+TEST(YokanEpoch, StaleEpochRejectedWithPiggybackedLayout) {
+    YokanWorld w;
+    yokan::Provider provider{w.server, 3, {}};
+    provider.set_epoch(7, "opaque-layout-bytes");
+    auto ctx = std::make_shared<yokan::EpochContext>();
+    ctx->epoch = 3; // behind the provider
+    yokan::Database db{w.client, "sim://server", 3, ctx};
+    auto st = db.put("k", "v");
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, Error::Code::Conflict);
+    std::uint64_t hint_epoch = 0;
+    std::string hint_blob;
+    ASSERT_TRUE(yokan::decode_stale_epoch(st.error(), hint_epoch, hint_blob));
+    EXPECT_EQ(hint_epoch, 7u);
+    EXPECT_EQ(hint_blob, "opaque-layout-bytes");
+    EXPECT_EQ(w.server->metrics()->counter("yokan_stale_epoch_rejections_total").value(), 1u);
+    // Catching up (as a client would from the hint) makes the op succeed and
+    // the reply's piggybacked epoch is observed.
+    ctx->epoch = hint_epoch;
+    ASSERT_TRUE(db.put("k", "v").ok());
+    EXPECT_EQ(ctx->observed.load(), 7u);
+}
+
+TEST(YokanEpoch, EpochZeroBypassesGuardBothWays) {
+    YokanWorld w;
+    yokan::Provider provider{w.server, 3, {}};
+    // Provider has no epoch yet: any client epoch passes.
+    auto ctx = std::make_shared<yokan::EpochContext>();
+    ctx->epoch = 42;
+    yokan::Database guarded{w.client, "sim://server", 3, ctx};
+    EXPECT_TRUE(guarded.put("a", "1").ok());
+    // Provider gains an epoch: epoch-less (plain) clients still pass.
+    provider.set_epoch(9, "");
+    yokan::Database plain{w.client, "sim://server", 3};
+    EXPECT_TRUE(plain.put("b", "2").ok());
+    EXPECT_EQ(*plain.get("a"), "1");
+    // A *newer* client epoch than the provider's also passes (the provider
+    // will hear the new layout soon; rejecting would livelock the client).
+    ctx->epoch = 11;
+    EXPECT_TRUE(guarded.put("c", "3").ok());
+}
+
+TEST(YokanEpoch, UpdateEpochRpcAndRegistryFanout) {
+    YokanWorld w;
+    yokan::Provider p1{w.server, 3, {}};
+    yokan::Provider p2{w.server, 4, {}};
+    yokan::Database db{w.client, "sim://server", 3};
+    ASSERT_TRUE(db.update_epoch(5, "blob-v5").ok());
+    EXPECT_EQ(p1.epoch(), 5u);
+    EXPECT_EQ(p2.epoch(), 0u); // direct RPC targets one provider
+    // The registry fan-out (the SSG payload callback's path) reaches every
+    // provider of the instance.
+    yokan::apply_epoch_update(w.server, 6, "blob-v6");
+    EXPECT_EQ(p1.epoch(), 6u);
+    EXPECT_EQ(p2.epoch(), 6u);
+    // Older epochs never regress a provider.
+    yokan::apply_epoch_update(w.server, 2, "old");
+    EXPECT_EQ(p1.epoch(), 6u);
+}
+
+TEST(YokanSplit, ExtractEraseAbsorbMoveRangeBetweenProviders) {
+    YokanWorld w;
+    remi::SimFileStore::destroy_node("sim://server"); // fresh staging area
+    yokan::ProviderConfig pc, cc;
+    pc.db_name = "parent";
+    cc.db_name = "child";
+    yokan::Provider parent{w.server, 3, pc};
+    yokan::Provider child{w.server, 4, cc};
+    yokan::Database pdb{w.client, "sim://server", 3};
+    yokan::Database cdb{w.client, "sim://server", 4};
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        ASSERT_TRUE(pdb.put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+    // Count keys hashing into the upper half of the ring.
+    const std::uint64_t mid = std::uint64_t{1} << 63;
+    std::size_t upper = 0;
+    for (int i = 0; i < n; ++i)
+        if (common::fnv1a64("key" + std::to_string(i)) >= mid) ++upper;
+    ASSERT_GT(upper, 0u);
+    // extract (copy) -> absorb -> erase: the split_shard sequence.
+    auto ex = pdb.extract_range(mid, 0, "/yokan/child/", "seed", "sim://server");
+    ASSERT_TRUE(ex.has_value()) << ex.error().message;
+    EXPECT_EQ(*ex, upper);
+    auto ab = cdb.absorb("seed");
+    ASSERT_TRUE(ab.has_value()) << ab.error().message;
+    EXPECT_EQ(*ab, upper);
+    auto er = pdb.erase_range(mid, 0);
+    ASSERT_TRUE(er.has_value()) << er.error().message;
+    EXPECT_EQ(*er, upper);
+    EXPECT_EQ(*cdb.count(), upper);
+    EXPECT_EQ(*pdb.count(), n - upper);
+    // Every key readable from exactly the side its hash says.
+    for (int i = 0; i < n; ++i) {
+        const std::string k = "key" + std::to_string(i);
+        auto& owner = common::fnv1a64(k) >= mid ? cdb : pdb;
+        EXPECT_EQ(*owner.get(k), "v" + std::to_string(i)) << k;
+    }
 }

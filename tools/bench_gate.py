@@ -2,7 +2,7 @@
 """Benchmark-regression gate.
 
 Runs the covered benchmarks (bench_rpc, bench_tracing, bench_ult,
-bench_batch), writes each one's raw results to BENCH_<name>.json in
+bench_batch, bench_elastic), writes each one's raw results to BENCH_<name>.json in
 --out-dir, and compares a curated set of metrics against the checked-in
 baselines in bench/baselines/.
 
@@ -13,9 +13,10 @@ Two kinds of checks:
     bands are generous — the gate catches order-of-magnitude regressions
     such as a batched path quietly falling back to per-op RPCs, not 10%%
     noise);
-  * absolute floors (``min``), for metrics that are themselves ratios and
-    must hold on any machine — e.g. speedup_32 >= 3 (E10's acceptance
-    criterion) regardless of absolute throughput.
+  * absolute floors (``min``) and ceilings (``max``), for metrics that are
+    themselves ratios or invariants and must hold on any machine — e.g.
+    speedup_32 >= 3 (E10) or steady_layout_rpcs_per_op <= 0 (E12)
+    regardless of absolute throughput.
 
 Usage:
   tools/bench_gate.py --bin-dir build/bench [--baselines bench/baselines]
@@ -42,6 +43,7 @@ BENCHMARKS = {
     "tracing": {"kind": "google", "args": ["--benchmark_min_time=0.05"]},
     "ult": {"kind": "metrics", "args": []},
     "batch": {"kind": "metrics", "args": []},
+    "elastic": {"kind": "metrics", "args": []},
 }
 
 # Gated metrics: (bench, metric) -> spec.
@@ -83,6 +85,24 @@ GATES = {
     # least 3x faster than per-op round trips, on any machine.
     ("batch", "speedup_32"): {
         "higher_is_better": True, "tolerance": 3.0, "min": 3.0},
+    # E12 acceptance criteria (layout-scale harness, 1M keys / 32 shards).
+    # Steady-state routing is computed from the cached layout, so explicit
+    # layout/directory RPCs per op must be exactly zero on any machine.
+    ("elastic", "steady_layout_rpcs_per_op"): {
+        "higher_is_better": False, "tolerance": 1.0, "max": 0.0},
+    # A split bisects one shard's hash range: moved_fraction * num_shards
+    # is ~0.5 in expectation and must stay under the issue's bound of 2.
+    ("elastic", "split_moved_fraction_x_shards"): {
+        "higher_is_better": False, "tolerance": 3.0, "max": 2.0},
+    # After the split, the stale client repairs itself from piggybacked
+    # epoch hints: no key may be lost and no explicit refresh may happen.
+    ("elastic", "post_split_missing_keys"): {
+        "higher_is_better": False, "tolerance": 1.0, "max": 0.0},
+    ("elastic", "post_split_refreshes"): {
+        "higher_is_better": False, "tolerance": 1.0, "max": 0.0},
+    # Throughput shape check only (machines vary).
+    ("elastic", "steady_ops_s"): {
+        "higher_is_better": True, "tolerance": 3.0},
 }
 
 
@@ -199,6 +219,10 @@ def main():
         if floor is not None and value < floor:
             ok = False
             band += ", absolute floor %.4g" % floor
+        ceiling = gate.get("max")
+        if ceiling is not None and value > ceiling:
+            ok = False
+            band += ", absolute ceiling %.4g" % ceiling
         status = "ok " if ok else "FAIL"
         print("bench_gate: [%s] %s/%s = %.4g  (%s)" % (status, bench, metric, value, band))
         if not ok:
