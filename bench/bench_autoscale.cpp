@@ -1,0 +1,186 @@
+// E13 — closed-loop autoscaling convergence (the capstone of the elasticity
+// work): a skewed workload concentrates on one shard of a 4-node service
+// whose per-node ingress bandwidth is finite, so the hot shard's host
+// saturates and client p99 degrades. The ClusterAutoscaler scrapes
+// bedrock/get_metrics, detects the hot shard from per-provider counter
+// deltas, and issues a flip-first split that moves half of the hot range to
+// the least-loaded node. Reported (and gated by tools/bench_gate.py against
+// bench/baselines/autoscale.json):
+//
+//   * detect_periods / convergence_periods — control periods until the
+//     first split and until the loop goes quiet again (bounded: the loop
+//     must converge, not thrash);
+//   * client_errors — the zero-client-visible-errors invariant while the
+//     reconfiguration runs under full load;
+//   * p99_before_us / p99_after_us / p99_recovery_ratio — batched-read tail
+//     latency while the shard is hot vs after convergence: the split must
+//     restore a balanced tail.
+#include "composed/cluster_autoscaler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+using namespace mochi;
+using namespace mochi::composed;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double p99(std::vector<double> v) {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(0.99 * static_cast<double>(v.size() - 1))];
+}
+
+int run_autoscale(const char* json_path) {
+    constexpr int k_max_periods = 60;
+    const auto k_period = std::chrono::milliseconds(50);
+
+    mercury::LinkModel link;
+    link.latency_us = 5.0;
+    link.bandwidth_bytes_per_us = 100.0; // finite ingress: a hot node queues
+    Cluster cluster{link};
+    ElasticKvConfig cfg;
+    cfg.num_shards = 8;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(
+        cluster, {"sim://n0", "sim://n1", "sim://n2", "sim://n3"}, cfg);
+    if (!svc) {
+        std::fprintf(stderr, "deploy failed: %s\n", svc.error().message.c_str());
+        return 1;
+    }
+    auto& kv = **svc;
+
+    // Keys that all route to one shard: the workload's hot set.
+    const std::uint32_t hot_shard = kv.shard_of("hot-seed");
+    std::vector<std::string> hot_keys;
+    for (int i = 0; hot_keys.size() < 32; ++i) {
+        auto k = "h" + std::to_string(i);
+        if (kv.shard_of(k) == hot_shard) hot_keys.push_back(k);
+    }
+
+    auto app = margo::Instance::create(cluster.fabric(), "sim://bench-app").value();
+    std::atomic<bool> done{false};
+    std::atomic<int> client_errors{0};
+    std::mutex samples_mutex;
+    std::vector<std::pair<Clock::time_point, double>> samples; // (when, get_multi us)
+    std::thread load{[&] {
+        ElasticKvClient client{app, kv.controller_address()};
+        const std::string value(2048, 'd');
+        int round = 0;
+        while (!done.load()) {
+            std::vector<std::pair<std::string, std::string>> pairs;
+            for (const auto& k : hot_keys) pairs.emplace_back(k, value);
+            for (int i = 0; i < 8; ++i)
+                pairs.emplace_back("b" + std::to_string((round * 8 + i) % 512), value);
+            if (auto st = client.put_multi(pairs); !st.ok()) {
+                ++client_errors;
+                std::fprintf(stderr, "put_multi: %s\n", st.error().message.c_str());
+            }
+            auto t0 = Clock::now();
+            auto got = client.get_multi(hot_keys);
+            auto t1 = Clock::now();
+            if (!got.has_value()) {
+                ++client_errors;
+                std::fprintf(stderr, "get_multi: %s\n", got.error().message.c_str());
+            } else {
+                std::lock_guard lk{samples_mutex};
+                samples.emplace_back(
+                    t1, std::chrono::duration<double, std::micro>(t1 - t0).count());
+            }
+            ++round;
+        }
+    }};
+
+    ClusterAutoscalerConfig acfg;
+    acfg.policy.hot_shard_factor = 3.0;
+    acfg.policy.min_hot_ops = 32.0;
+    acfg.policy.min_total_ops = 8.0;
+    acfg.policy.hysteresis = 2;
+    acfg.policy.cooldown = 2;
+    acfg.policy.max_shards = 16;
+    ClusterAutoscaler scaler{cluster, kv, acfg};
+
+    // Drive the loop deterministically, one step per period; converged =
+    // at least one split happened and the loop then stayed quiet for a
+    // full damping window.
+    const int quiet_needed =
+        static_cast<int>(acfg.policy.cooldown + acfg.policy.hysteresis) + 1;
+    int detect_periods = -1, convergence_periods = -1, quiet = 0;
+    Clock::time_point t_detect{}, t_converged{};
+    for (int period = 0; period < k_max_periods; ++period) {
+        std::this_thread::sleep_for(k_period);
+        Action a = scaler.step();
+        if (a.kind == ActionKind::None)
+            ++quiet;
+        else
+            quiet = 0;
+        if (detect_periods < 0 && scaler.stats().splits >= 1) {
+            detect_periods = period + 1;
+            t_detect = Clock::now();
+        }
+        if (detect_periods >= 0 && quiet >= quiet_needed) {
+            convergence_periods = period + 1;
+            t_converged = Clock::now();
+            break;
+        }
+    }
+    // Post-convergence observation window for the recovered tail.
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    done.store(true);
+    load.join();
+
+    std::vector<double> before, after;
+    {
+        std::lock_guard lk{samples_mutex};
+        for (const auto& [when, us] : samples) {
+            if (detect_periods >= 0 && when < t_detect) before.push_back(us);
+            if (convergence_periods >= 0 && when > t_converged) after.push_back(us);
+        }
+    }
+    double p99_before = p99(before), p99_after = p99(after);
+    double recovery = p99_before > 0 ? p99_after / p99_before : 0;
+    auto stats = scaler.stats();
+
+    if (json_path != nullptr) {
+        std::FILE* out = std::fopen(json_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", json_path);
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n  \"metrics\": {\n"
+                     "    \"detect_periods\": %d,\n"
+                     "    \"convergence_periods\": %d,\n"
+                     "    \"splits\": %zu,\n"
+                     "    \"failed_actions\": %zu,\n"
+                     "    \"client_errors\": %d,\n"
+                     "    \"p99_before_us\": %.1f,\n"
+                     "    \"p99_after_us\": %.1f,\n"
+                     "    \"p99_recovery_ratio\": %.4f,\n"
+                     "    \"samples_before\": %zu,\n"
+                     "    \"samples_after\": %zu\n"
+                     "  }\n}\n",
+                     detect_periods, convergence_periods, stats.splits,
+                     stats.failed_actions, client_errors.load(), p99_before, p99_after,
+                     recovery, before.size(), after.size());
+        std::fclose(out);
+    }
+    std::printf("# E13: detect %d periods, converged %d periods, %zu splits, "
+                "%d client errors, p99 %.0f -> %.0f us (ratio %.2f)\n",
+                detect_periods, convergence_periods, stats.splits,
+                client_errors.load(), p99_before, p99_after, recovery);
+    app->shutdown();
+    return convergence_periods > 0 && client_errors.load() == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0) return run_autoscale(argv[i + 1]);
+    return run_autoscale(nullptr);
+}

@@ -146,11 +146,15 @@ void resume(Ult* ult) {
 // ---------------------------------------------------------------------------
 
 Xstream::Xstream(std::string name, std::string sched_type,
-                 std::vector<std::shared_ptr<Pool>> pools, Runtime* rt)
+                 std::vector<std::shared_ptr<Pool>> pools, Runtime* rt,
+                 Executor* executor)
 : m_name(std::move(name)), m_sched_type(std::move(sched_type)),
-  m_runtime(rt), m_pools(std::move(pools)) {
+  m_runtime(rt), m_pools(std::move(pools)), m_executor(executor) {
     for (auto& p : m_pools) p->subscribe(this);
-    m_thread = std::thread([this] { scheduler_loop(); });
+    if (m_executor != nullptr)
+        m_entry = m_executor->register_xstream(this); // virtual: no own thread
+    else
+        m_thread = std::thread([this] { scheduler_loop(); });
 }
 
 Xstream::~Xstream() { stop_and_join(); }
@@ -171,6 +175,10 @@ bool Xstream::uses_pool(const Pool* pool) const {
 }
 
 void Xstream::notify() {
+    if (m_executor != nullptr) {
+        m_executor->notify();
+        return;
+    }
     {
         std::lock_guard lk{m_cv_mutex};
         m_wake_pending = true;
@@ -178,13 +186,27 @@ void Xstream::notify() {
     m_cv.notify_one();
 }
 
+UltPtr Xstream::try_pop() {
+    std::lock_guard lk{m_pools_mutex};
+    for (auto& p : m_pools)
+        if (UltPtr ult = p->pop()) return ult;
+    return nullptr;
+}
+
 void Xstream::stop_and_join() {
     m_stop.store(true);
-    notify();
-    if (m_thread.joinable()) {
-        assert(std::this_thread::get_id() != m_thread.get_id() &&
-               "an execution stream cannot join itself");
-        m_thread.join();
+    if (m_executor != nullptr) {
+        // Quiesce: after unregister() no executor worker touches this
+        // xstream, giving the same guarantee as joining a real ES thread.
+        m_executor->unregister(m_entry);
+        m_entry.reset();
+    } else {
+        notify();
+        if (m_thread.joinable()) {
+            assert(std::this_thread::get_id() != m_thread.get_id() &&
+                   "an execution stream cannot join itself");
+            m_thread.join();
+        }
     }
     std::lock_guard lk{m_pools_mutex};
     for (auto& p : m_pools) p->unsubscribe(this);
@@ -232,9 +254,13 @@ void ThreadHandle::join() {
 // Runtime
 // ---------------------------------------------------------------------------
 
-Expected<std::shared_ptr<Runtime>> Runtime::create(const json::Value& config) {
+Expected<std::shared_ptr<Runtime>> Runtime::create(const json::Value& config,
+                                                   SharedExecution shared) {
     auto rt = std::shared_ptr<Runtime>(new Runtime());
-    rt->m_timer = std::make_unique<Timer>();
+    rt->m_executor = shared.executor;
+    rt->m_timer = shared.parent_timer != nullptr
+                      ? std::make_unique<Timer>(*shared.parent_timer)
+                      : std::make_unique<Timer>();
     if (auto st = rt->apply_config(config); !st.ok()) {
         rt->finalize();
         return st.error();
@@ -408,7 +434,8 @@ Status Runtime::add_xstream_locked(const json::Value& xstream_config) {
                          "xstream '" + name + "' references unknown pool '" + pn.as_string() + "'"};
         pools.push_back(*found);
     }
-    m_xstreams.push_back(std::make_unique<Xstream>(name, sched_type, std::move(pools), this));
+    m_xstreams.push_back(
+        std::make_unique<Xstream>(name, sched_type, std::move(pools), this, m_executor));
     return {};
 }
 

@@ -4,6 +4,7 @@
 // one Runtime.
 #pragma once
 
+#include "abt/executor.hpp"
 #include "abt/pool.hpp"
 #include "abt/timer.hpp"
 #include "abt/ult.hpp"
@@ -26,10 +27,17 @@ template <typename T> class Eventual;
 
 /// An execution stream: an OS thread running a scheduler that pulls ULTs
 /// from an ordered list of pools (Argobots "xstream", Figure 2).
+///
+/// Virtual mode: constructed with an Executor, the xstream spawns no thread
+/// of its own — it registers with the shared executor, whose worker crew
+/// services its pools. Everything else (pool subscription, config
+/// round-trip, introspection) behaves identically, so the rest of the stack
+/// cannot tell the difference.
 class Xstream {
   public:
     Xstream(std::string name, std::string sched_type,
-            std::vector<std::shared_ptr<Pool>> pools, Runtime* rt);
+            std::vector<std::shared_ptr<Pool>> pools, Runtime* rt,
+            Executor* executor = nullptr);
     ~Xstream();
 
     Xstream(const Xstream&) = delete;
@@ -49,6 +57,11 @@ class Xstream {
     /// ULTs executed by this stream so far.
     [[nodiscard]] std::uint64_t ults_executed() const noexcept { return m_executed.load(); }
 
+    // Internal (Executor workers): pop one ULT from this stream's pools.
+    [[nodiscard]] UltPtr try_pop();
+    // Internal (Executor workers): account one executed ULT.
+    void count_executed() noexcept { m_executed.fetch_add(1, std::memory_order_relaxed); }
+
   private:
     void scheduler_loop();
     void run_one(const UltPtr& ult);
@@ -66,6 +79,8 @@ class Xstream {
     std::atomic<bool> m_stop{false};
     std::atomic<std::uint64_t> m_executed{0};
     std::thread m_thread;
+    Executor* m_executor = nullptr;               ///< non-null => virtual mode
+    std::shared_ptr<Executor::Entry> m_entry;     ///< executor registration
 };
 
 /// Handle to a posted ULT; join() blocks (ULT-aware) until it terminates.
@@ -91,9 +106,21 @@ class ThreadHandle {
 ///                     {"type": "basic", "pools": ["..."]}} ] }
 /// and reconfigurable afterwards with add/remove operations whose validity
 /// is always checked (§5 Observation 2).
+/// Shared execution resources for lightweight runtimes: with `executor`
+/// set, every xstream is virtual (serviced by the executor's worker crew,
+/// no OS thread per ES); with `parent_timer` set, the runtime's timer is a
+/// child multiplexed onto the parent (no timer thread per runtime). Both
+/// must outlive the runtime. This is what lets one test process run 100+
+/// margo instances at a fixed thread count.
+struct SharedExecution {
+    Executor* executor = nullptr;
+    Timer* parent_timer = nullptr;
+};
+
 class Runtime : public std::enable_shared_from_this<Runtime> {
   public:
-    static Expected<std::shared_ptr<Runtime>> create(const json::Value& config);
+    static Expected<std::shared_ptr<Runtime>> create(const json::Value& config,
+                                                     SharedExecution shared = {});
     static std::shared_ptr<Runtime> create_default();
 
     ~Runtime();
@@ -186,6 +213,7 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
     std::vector<std::shared_ptr<Pool>> m_pools;
     std::vector<std::unique_ptr<Xstream>> m_xstreams;
     std::unique_ptr<Timer> m_timer;
+    Executor* m_executor = nullptr; ///< non-null => xstreams are virtual
     bool m_finalized = false;
 
     std::mutex m_stack_mutex;

@@ -4,9 +4,29 @@ namespace mochi::abt {
 
 Timer::Timer() : m_thread([this] { loop(); }) {}
 
+Timer::Timer(Timer& parent) : m_parent(&parent) {}
+
 Timer::~Timer() { stop(); }
 
 Timer::TimerId Timer::schedule(std::chrono::microseconds delay, std::function<void()> fn) {
+    if (m_parent != nullptr) {
+        // Child mode: forward to the parent, recording the id so stop() can
+        // cancel exactly this child's entries. The wrapper erases the id
+        // once the callback ran; it synchronizes on m_child_mutex, which we
+        // hold across the parent schedule — the callback cannot observe the
+        // id box before it is filled in.
+        std::lock_guard lk{m_child_mutex};
+        if (m_child_stopped) return 0; // dropped, like a stopped timer
+        auto idbox = std::make_shared<TimerId>(0);
+        TimerId id = m_parent->schedule(delay, [this, idbox, f = std::move(fn)] {
+            f();
+            std::lock_guard clk{m_child_mutex};
+            m_outstanding.erase(*idbox);
+        });
+        *idbox = id;
+        m_outstanding.insert(id);
+        return id;
+    }
     std::lock_guard lk{m_mutex};
     TimerId id = m_next_id++;
     auto deadline = Clock::now() + delay;
@@ -20,6 +40,17 @@ Timer::TimerId Timer::schedule(std::chrono::microseconds delay, std::function<vo
 }
 
 bool Timer::cancel(TimerId id) {
+    if (m_parent != nullptr) {
+        {
+            std::lock_guard lk{m_child_mutex};
+            // Not outstanding: never scheduled through this child, already
+            // ran (the wrapper erased it), or already cancelled.
+            if (m_outstanding.erase(id) == 0) return false;
+        }
+        // Pending at the parent => prevented; running => this blocks until
+        // the callback finishes, preserving the cancel contract.
+        return m_parent->cancel(id);
+    }
     std::unique_lock lk{m_mutex};
     for (auto it = m_entries.begin(); it != m_entries.end(); ++it) {
         if (it->second.first == id) {
@@ -37,6 +68,22 @@ bool Timer::cancel(TimerId id) {
 }
 
 void Timer::stop() {
+    if (m_parent != nullptr) {
+        // Cancel everything this child scheduled. Each cancel either removes
+        // a pending parent entry or waits out the callback mid-flight, so
+        // when this returns none of our callbacks runs or is running — the
+        // guarantee Runtime::finalize relies on — while the parent (shared
+        // with other lightweight runtimes) keeps running.
+        std::set<TimerId> ids;
+        {
+            std::lock_guard lk{m_child_mutex};
+            if (m_child_stopped) return;
+            m_child_stopped = true;
+            ids.swap(m_outstanding);
+        }
+        for (TimerId id : ids) m_parent->cancel(id);
+        return;
+    }
     {
         std::lock_guard lk{m_mutex};
         if (m_stop) return;

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -30,6 +31,14 @@ class Timer {
     using TimerId = std::uint64_t;
 
     Timer();
+    /// Child mode: no thread of its own — entries are multiplexed onto
+    /// `parent`'s thread (which must outlive this timer). The child tracks
+    /// its outstanding entries so stop() cancels exactly them, preserving
+    /// the finalize-safety contract a dedicated timer gives: after stop()
+    /// returns, no callback scheduled through *this* timer runs or is
+    /// running, while the parent (and its other children) keep ticking.
+    /// Lightweight runtimes use this so 100+ nodes share one timer thread.
+    explicit Timer(Timer& parent);
     ~Timer();
     Timer(const Timer&) = delete;
     Timer& operator=(const Timer&) = delete;
@@ -48,6 +57,12 @@ class Timer {
 
   private:
     void loop();
+
+    // -- child mode ----------------------------------------------------------
+    Timer* m_parent = nullptr;
+    std::mutex m_child_mutex;
+    std::set<TimerId> m_outstanding; ///< parent ids scheduled through this child
+    bool m_child_stopped = false;
 
     using Entry = std::pair<TimerId, std::function<void()>>;
     using EntryMap =

@@ -28,6 +28,8 @@ struct Error {
         Corruption,
         NotLeader,
         Conflict,
+        // Appended (wire format encodes code+1; never reorder existing values):
+        NoSuchRpc, ///< target instance is up but lacks the RPC/provider id
     };
 
     Code code = Code::Generic;
@@ -51,6 +53,7 @@ struct Error {
         case Code::Corruption: return "corruption";
         case Code::NotLeader: return "not-leader";
         case Code::Conflict: return "conflict";
+        case Code::NoSuchRpc: return "no-such-rpc";
         }
         return "unknown";
     }

@@ -38,14 +38,31 @@ void PoolAutoscaler::on_progress_sample(std::size_t,
     }
     // The sampler runs on the timer thread, and remove_xstream joins the
     // victim's OS thread — which could be the very ES a decision ULT runs
-    // on. A detached thread sidesteps both hazards (decisions are rare).
+    // on. A separate thread sidesteps both hazards (decisions are rare),
+    // but it must be *tracked*: a detached thread could call into the
+    // instance after finalize started. on_shutdown() joins it while the
+    // runtime is still alive, and no new decision starts once m_shutdown
+    // is set.
     if (ready) {
-        auto weak = weak_from_this();
-        std::thread([weak, avg] {
-            if (auto self = weak.lock()) self->decide(avg);
-        }).detach();
+        std::lock_guard tlk{m_thread_mutex};
+        if (m_shutdown) return;
+        if (m_decision.joinable()) m_decision.join();
+        m_decision = std::thread([this, avg] { decide(avg); });
     }
 }
+
+void PoolAutoscaler::on_shutdown() {
+    m_enabled.store(false);
+    std::thread pending;
+    {
+        std::lock_guard tlk{m_thread_mutex};
+        m_shutdown = true;
+        pending = std::move(m_decision);
+    }
+    if (pending.joinable()) pending.join();
+}
+
+PoolAutoscaler::~PoolAutoscaler() { on_shutdown(); }
 
 void PoolAutoscaler::decide(double avg_depth) {
     if (!m_enabled.load()) return;
@@ -56,27 +73,30 @@ void PoolAutoscaler::decide(double avg_depth) {
     std::size_t serving = (*pool)->subscriber_count();
     if (avg_depth > m_config.high_watermark && serving < m_config.max_xstreams) {
         auto es = json::Value::object();
-        es["name"] = m_config.pool + "_auto" + std::to_string(m_managed.load());
+        // m_name_seq only ever grows: even if a past remove_xstream failed
+        // and its ES is still alive, a new scale-up never reuses its name.
+        es["name"] = m_config.pool + "_auto" + std::to_string(m_name_seq++);
         es["scheduler"]["pools"].push_back(m_config.pool);
         if (m_instance->add_xstream_from_json(es).ok()) {
-            m_managed.fetch_add(1);
+            m_managed_names.push_back(es["name"].as_string());
+            m_managed.store(m_managed_names.size());
             m_scale_ups.fetch_add(1);
             m_cooldown = m_config.cooldown_samples;
             m_samples.clear();
             log::info("autoscaler", "pool '%s': queue avg %.1f -> added %s",
                       m_config.pool.c_str(), avg_depth, es["name"].as_string().c_str());
         }
-    } else if (avg_depth < m_config.low_watermark && m_managed.load() > 0 &&
+    } else if (avg_depth < m_config.low_watermark && !m_managed_names.empty() &&
                serving > m_config.min_xstreams) {
-        std::string name =
-            m_config.pool + "_auto" + std::to_string(m_managed.load() - 1);
+        const std::string& name = m_managed_names.back();
         if (m_instance->remove_xstream(name).ok()) {
-            m_managed.fetch_sub(1);
+            log::info("autoscaler", "pool '%s': queue avg %.1f -> removed %s",
+                      m_config.pool.c_str(), avg_depth, name.c_str());
+            m_managed_names.pop_back();
+            m_managed.store(m_managed_names.size());
             m_scale_downs.fetch_add(1);
             m_cooldown = m_config.cooldown_samples;
             m_samples.clear();
-            log::info("autoscaler", "pool '%s': queue avg %.1f -> removed %s",
-                      m_config.pool.c_str(), avg_depth, name.c_str());
         }
     }
 }

@@ -10,6 +10,8 @@
 #include "margo/instance.hpp"
 
 #include <deque>
+#include <thread>
+#include <vector>
 
 namespace mochi::composed {
 
@@ -32,8 +34,14 @@ class PoolAutoscaler : public margo::Monitor,
     static Expected<std::shared_ptr<PoolAutoscaler>> attach(margo::InstancePtr instance,
                                                             AutoscalerConfig config);
 
+    ~PoolAutoscaler() override;
+
     void on_progress_sample(std::size_t in_flight,
                             const std::map<std::string, std::size_t>& pool_sizes) override;
+
+    /// Quiesce: no new decisions, and any in-flight decision is joined
+    /// before the instance tears the ULT runtime down.
+    void on_shutdown() override;
 
     [[nodiscard]] std::size_t scale_ups() const noexcept { return m_scale_ups.load(); }
     [[nodiscard]] std::size_t scale_downs() const noexcept { return m_scale_downs.load(); }
@@ -52,10 +60,24 @@ class PoolAutoscaler : public margo::Monitor,
     std::mutex m_mutex;
     std::deque<double> m_samples;
     std::size_t m_cooldown = 0;
+    /// Names of the ESs this autoscaler created, in creation order. The
+    /// authoritative record: scale-down retires the most recent entry, and
+    /// a failed remove_xstream leaves the list (and thus future victim
+    /// selection) untouched instead of desynchronizing a counter.
+    std::vector<std::string> m_managed_names;
+    /// Monotonic suffix for generated ES names — never reused, so a
+    /// remove_xstream failure cannot make a later scale-up collide with the
+    /// still-live ES of the same name.
+    std::size_t m_name_seq = 0;
     std::atomic<std::size_t> m_managed{0};
     std::atomic<std::size_t> m_scale_ups{0};
     std::atomic<std::size_t> m_scale_downs{0};
     std::atomic<bool> m_enabled{true};
+    /// Decision-thread tracking (separate from m_mutex: decide() takes
+    /// m_mutex, so joining under it would deadlock).
+    std::mutex m_thread_mutex;
+    std::thread m_decision;
+    bool m_shutdown = false;
 };
 
 } // namespace mochi::composed

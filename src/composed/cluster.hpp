@@ -17,6 +17,12 @@ class Cluster {
     explicit Cluster(mercury::LinkModel link = {}, std::uint64_t seed = 1)
     : m_fabric(mercury::Fabric::create(link, seed)) {}
 
+    /// When enabled, every subsequently spawned node's margo instance runs
+    /// in lightweight mode (virtual ESs on the fabric's shared executor,
+    /// child timer on the shared timer thread) — the per-node OS thread
+    /// count drops to zero, which is what makes 100+ node tests cheap.
+    void set_lightweight_nodes(bool enabled) noexcept { m_lightweight = enabled; }
+
     ~Cluster() { shutdown(); }
     Cluster(const Cluster&) = delete;
     Cluster& operator=(const Cluster&) = delete;
@@ -31,7 +37,9 @@ class Cluster {
                                                            const json::Value& config,
                                                            bool keep_storage = false) {
         if (!keep_storage) remi::SimFileStore::destroy_node(address);
-        auto proc = bedrock::Process::spawn(m_fabric, address, config);
+        json::Value cfg = config;
+        if (m_lightweight) cfg["margo"]["lightweight"] = true;
+        auto proc = bedrock::Process::spawn(m_fabric, address, cfg);
         if (!proc) return proc;
         m_nodes[address] = *proc;
         return proc;
@@ -75,6 +83,7 @@ class Cluster {
   private:
     std::shared_ptr<mercury::Fabric> m_fabric;
     std::map<std::string, std::shared_ptr<bedrock::Process>> m_nodes;
+    bool m_lightweight = false;
 };
 
 } // namespace mochi::composed

@@ -1,0 +1,188 @@
+// Closed-loop cluster elasticity: the metrics-driven controller that turns
+// the paper's building blocks into an autonomic service. Each control period
+// it scrapes `bedrock/get_metrics` from every service node (§4's "statistics
+// at no engineering cost", exported remotely by Bedrock), derives per-shard
+// load (ops during the window, stale-epoch rejections) and per-node
+// utilization (total ops, pool queue depths, in-flight RPCs), and feeds a
+// pure decision policy whose outputs are the flip-first reconfigurations of
+// the elastic KV service — split a hot shard, merge a cold one, grow or
+// shrink the node set through the Flux-like resource manager with SSG
+// membership changes. All actuators keep serving during reconfiguration, so
+// the controller's hard invariant is zero client-visible errors.
+//
+// The policy (AutoscalePolicy) is deterministic and side-effect free: it
+// consumes ClusterSnapshot values and returns one Action, with hysteresis
+// (a signal must persist for N consecutive periods), cooldown (no action for
+// M periods after one fires), and a wide dead band between the hot and cold
+// thresholds so oscillating load cannot make it flap. Unit tests drive it
+// with injected snapshots; the live ClusterAutoscaler merely wires it to the
+// scraper and the actuators.
+#pragma once
+
+#include "composed/elastic_kv.hpp"
+#include "flux/resource_manager.hpp"
+
+#include <thread>
+
+namespace mochi::composed {
+
+/// One shard's load over the last control period (counter deltas, not
+/// cumulative totals).
+struct ShardStats {
+    std::uint32_t id = 0;
+    std::string node;            ///< address currently serving the shard
+    double ops = 0;              ///< data ops served during the window
+    double stale_rejections = 0; ///< epoch-guard rejections during the window
+};
+
+/// One node's utilization over the last control period.
+struct NodeStats {
+    std::string address;
+    double ops = 0;        ///< total shard ops served during the window
+    double pool_depth = 0; ///< deepest margo pool queue (sampled gauge)
+    double in_flight = 0;  ///< in-flight RPCs (sampled gauge)
+    std::size_t shards = 0;
+};
+
+struct ClusterSnapshot {
+    std::vector<ShardStats> shards;
+    std::vector<NodeStats> nodes;
+    /// Sum of shard ops (the activity gate: an idle cluster is never scaled).
+    [[nodiscard]] double total_ops() const noexcept {
+        double t = 0;
+        for (const auto& s : shards) t += s.ops;
+        return t;
+    }
+};
+
+enum class ActionKind { None, SplitShard, MergeShard, AddNode, RemoveNode };
+
+struct Action {
+    ActionKind kind = ActionKind::None;
+    std::uint32_t shard = 0; ///< Split/Merge target
+    std::string node;        ///< Split child placement / RemoveNode victim
+};
+
+struct PolicyConfig {
+    // -- thresholds (load = ops + stale rejections over one period) ----------
+    double hot_shard_factor = 4.0;  ///< hot: load > factor * mean shard load
+    double min_hot_ops = 64.0;      ///< ... and load at least this (absolute)
+    double cold_shard_factor = 0.1; ///< cold: load < factor * mean shard load
+    double node_add_depth = 32.0;   ///< grow when a pool queue exceeds this
+    double cold_node_factor = 0.05; ///< shrink: node ops < factor * mean
+    double min_total_ops = 16.0;    ///< below this the cluster is idle: no actions
+
+    // -- structural bounds ---------------------------------------------------
+    std::size_t min_shards = 1;
+    std::size_t max_shards = 64;
+    std::size_t min_nodes = 1;
+    std::size_t max_nodes = 0; ///< 0 = unbounded
+
+    // -- damping -------------------------------------------------------------
+    std::size_t hysteresis = 2; ///< consecutive periods a signal must persist
+    std::size_t cooldown = 3;   ///< periods to hold off after any action
+};
+
+/// The pure decision core. Call decide() once per control period; it
+/// updates per-signal streaks and returns at most one action. Priority:
+/// relieve pressure first (split hot shard, then add node), reclaim
+/// resources second (merge cold shard, then remove cold node).
+class AutoscalePolicy {
+  public:
+    explicit AutoscalePolicy(PolicyConfig config = {}) : m_cfg(config) {}
+
+    Action decide(const ClusterSnapshot& snapshot);
+
+    /// Periods left before the next action may fire (tests).
+    [[nodiscard]] std::size_t cooldown_remaining() const noexcept { return m_cooldown; }
+
+  private:
+    /// Bump the streak for `key` in `streaks` if `active`, else clear it;
+    /// true once the streak reaches the hysteresis length.
+    bool streak(std::map<std::string, std::size_t>& streaks, const std::string& key,
+                bool active);
+    Action fire(Action a);
+
+    PolicyConfig m_cfg;
+    std::size_t m_cooldown = 0;
+    std::map<std::string, std::size_t> m_hot_shards;  ///< "shard:<id>" streaks
+    std::map<std::string, std::size_t> m_cold_shards; ///< "shard:<id>" streaks
+    std::map<std::string, std::size_t> m_pressure;    ///< "node" (single key)
+    std::map<std::string, std::size_t> m_cold_nodes;  ///< "<address>" streaks
+};
+
+struct ClusterAutoscalerConfig {
+    std::chrono::milliseconds period{100}; ///< control period
+    PolicyConfig policy;
+    /// How long an AddNode action may block waiting for the resource
+    /// manager to free a node before counting as failed.
+    std::chrono::milliseconds grow_timeout{0};
+};
+
+/// The live control loop: scrape -> decide -> actuate, on its own thread.
+/// Pass a flux::ResourceManager + job to allocate/release real inventory
+/// nodes on Add/RemoveNode; without one, AddNode synthesizes fresh
+/// addresses (`sim://auto<N>`) directly.
+class ClusterAutoscaler {
+  public:
+    struct Stats {
+        std::size_t periods = 0;
+        std::size_t splits = 0;
+        std::size_t merges = 0;
+        std::size_t node_adds = 0;
+        std::size_t node_removes = 0;
+        std::size_t failed_actions = 0;
+        std::size_t failed_scrapes = 0; ///< nodes that could not be scraped
+    };
+
+    ClusterAutoscaler(Cluster& cluster, ElasticKvService& service,
+                      ClusterAutoscalerConfig config = {},
+                      flux::ResourceManager* flux = nullptr, flux::JobId job = 0);
+    ~ClusterAutoscaler();
+
+    ClusterAutoscaler(const ClusterAutoscaler&) = delete;
+    ClusterAutoscaler& operator=(const ClusterAutoscaler&) = delete;
+
+    /// Start the periodic control loop (idempotent).
+    void start();
+    /// Stop and join the loop; safe to call repeatedly. Must run before the
+    /// service/cluster are torn down.
+    void stop();
+
+    /// One control period, synchronously: scrape every node, run the
+    /// policy, apply the action. Returns the action taken (tests/benches
+    /// drive convergence deterministically with this instead of start()).
+    Action step();
+
+    /// Scrape `bedrock/get_metrics` across the service's nodes and convert
+    /// counter deltas since the previous scrape into a snapshot.
+    ClusterSnapshot scrape();
+
+    [[nodiscard]] Stats stats() const;
+
+  private:
+    void control_loop();
+    Status apply(const Action& action, const ClusterSnapshot& snapshot);
+
+    Cluster& m_cluster;
+    ElasticKvService& m_service;
+    ClusterAutoscalerConfig m_config;
+    flux::ResourceManager* m_flux;
+    flux::JobId m_job;
+    AutoscalePolicy m_policy;
+    margo::InstancePtr m_instance; ///< scraper's own margo endpoint
+
+    /// Previous cumulative counter values per node (delta base). A node seen
+    /// for the first time contributes zero load for that period, so a
+    /// controller (re)start never mistakes lifetime totals for a burst.
+    std::map<std::string, std::map<std::string, double>> m_prev;
+
+    std::atomic<bool> m_running{false};
+    std::thread m_thread;
+    std::size_t m_auto_names = 0; ///< sim://auto<N> sequence (no flux mode)
+
+    mutable std::mutex m_stats_mutex;
+    Stats m_stats;
+};
+
+} // namespace mochi::composed

@@ -556,14 +556,26 @@ namespace {
 
 /// True when an error indicates the client routed to the wrong node: the
 /// node is gone, or it no longer hosts the shard's provider (the dispatch
-/// layer answers "no such RPC"). Epoch-guarded requests normally fail with
-/// the richer stale-epoch rejection instead; this is the fallback for nodes
-/// that died (resilience) or providers stopped by a merge.
+/// layer answers Error::Code::NoSuchRpc). Epoch-guarded requests normally
+/// fail with the richer stale-epoch rejection instead; this is the fallback
+/// for nodes that died (resilience) or providers stopped by a merge.
 bool indicates_stale_layout(const Error& err) {
-    if (err.code == Error::Code::Unreachable || err.code == Error::Code::Timeout)
-        return true;
-    return err.code == Error::Code::NotFound &&
-           err.message.find("no such RPC") != std::string::npos;
+    return err.code == Error::Code::Unreachable || err.code == Error::Code::NoSuchRpc;
+}
+
+/// Timeouts are ambiguous: a node mid-reconfiguration answers late (worth a
+/// refresh + retry), but a genuinely dead node times out on every attempt —
+/// refreshing the layout then just multiplies the damage by the full attempt
+/// budget. Allow a short streak of timeout-driven refreshes, then surface
+/// the Timeout to the caller.
+constexpr int k_max_timeout_refreshes = 2;
+
+/// Decide whether `err` warrants a layout refresh + retry, tracking the run
+/// of consecutive timeouts in `timeout_streak` (reset by any other error).
+bool should_refresh_layout(const Error& err, int& timeout_streak) {
+    if (err.code == Error::Code::Timeout) return ++timeout_streak <= k_max_timeout_refreshes;
+    timeout_streak = 0;
+    return indicates_stale_layout(err);
 }
 
 /// Routing attempts per operation. A stale-epoch rejection repairs the cache
@@ -585,6 +597,7 @@ template <typename Op>
 auto ElasticKvClient::with_routing(const std::string& key, Op op)
     -> decltype(op(std::declval<yokan::Database&>())) {
     if (auto st = ensure_layout(); !st.ok()) return st.error();
+    int timeout_streak = 0;
     for (int attempt = 0;; ++attempt) {
         LayoutShard shard = m_layout.shard_for_key(key);
         auto db = shard_db(shard);
@@ -595,7 +608,7 @@ auto ElasticKvClient::with_routing(const std::string& key, Op op)
         if (handle_stale(result.error())) continue;
         // Wrong node (death/migration)? Refresh (with backoff: the layout
         // may not have flipped yet) and retry.
-        if (indicates_stale_layout(result.error())) {
+        if (should_refresh_layout(result.error(), timeout_streak)) {
             routing_backoff(attempt);
             if (auto st = refresh(); !st.ok()) return st.error();
             continue;
@@ -637,6 +650,7 @@ Status ElasticKvClient::put_multi(
     std::vector<std::size_t> remaining(pairs.size());
     std::iota(remaining.begin(), remaining.end(), std::size_t{0});
     std::optional<Error> last_error;
+    int timeout_streak = 0;
     for (int attempt = 0; attempt < k_route_attempts && !remaining.empty(); ++attempt) {
         // Group the remaining pairs by shard under the *current* layout;
         // every group leaves as one RPC and all round trips overlap.
@@ -675,7 +689,7 @@ Status ElasticKvClient::put_multi(
         if (remaining.empty()) return {};
         // Repair the layout before retrying; a non-stale error is final.
         if (!handle_stale(*last_error)) {
-            if (!indicates_stale_layout(*last_error)) return *last_error;
+            if (!should_refresh_layout(*last_error, timeout_streak)) return *last_error;
             routing_backoff(attempt);
             if (auto st = refresh(); !st.ok()) return st;
         }
@@ -694,6 +708,7 @@ ElasticKvClient::get_multi(const std::vector<std::string>& keys) {
     std::vector<std::size_t> remaining(keys.size());
     std::iota(remaining.begin(), remaining.end(), std::size_t{0});
     std::optional<Error> last_error;
+    int timeout_streak = 0;
     for (int attempt = 0; attempt < k_route_attempts && !remaining.empty(); ++attempt) {
         // Group key positions by shard so results can be scattered back
         // into the caller's order.
@@ -737,7 +752,7 @@ ElasticKvClient::get_multi(const std::vector<std::string>& keys) {
         remaining = std::move(failed);
         if (remaining.empty()) return values;
         if (!handle_stale(*last_error)) {
-            if (!indicates_stale_layout(*last_error)) return *last_error;
+            if (!should_refresh_layout(*last_error, timeout_streak)) return *last_error;
             routing_backoff(attempt);
             if (auto st = refresh(); !st.ok()) return st.error();
         }

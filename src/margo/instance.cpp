@@ -52,7 +52,16 @@ Expected<InstancePtr> Instance::create(std::shared_ptr<mercury::Fabric> fabric,
     inst->m_address = std::move(address);
     inst->m_epoch = std::chrono::steady_clock::now();
 
-    auto rt = abt::Runtime::create(config["argobots"]);
+    // Lightweight mode: no dedicated OS threads for this instance — ESs are
+    // virtual (serviced by the fabric's shared worker crew) and the timer is
+    // a child of the fabric's shared timer. This is what makes 100+
+    // simulated nodes per process affordable.
+    abt::SharedExecution shared;
+    if (config.get_bool("lightweight", false)) {
+        shared.executor = &inst->m_fabric->lite_executor();
+        shared.parent_timer = &inst->m_fabric->lite_timer();
+    }
+    auto rt = abt::Runtime::create(config["argobots"], shared);
     if (!rt) return rt.error();
     inst->m_runtime = std::move(rt).value();
 
@@ -113,6 +122,17 @@ void Instance::shutdown() {
     if (was) return;
     // Stop the periodic sampler by marking inactive (timer self-reschedules).
     m_sampler_active.store(false);
+    // Let monitors quiesce background work (e.g. autoscaler decision
+    // threads) while the runtime is still fully alive. Copied out so a
+    // monitor joining a thread never holds m_monitors_mutex.
+    {
+        std::vector<std::shared_ptr<Monitor>> monitors;
+        {
+            std::lock_guard lk{m_monitors_mutex};
+            monitors = m_monitors;
+        }
+        for (auto& m : monitors) m->on_shutdown();
+    }
     // Wake the progress loop and wait for it to drain.
     m_queue_cv.signal_all();
     m_progress_done.wait();
@@ -584,7 +604,7 @@ void Instance::dispatch_request(mercury::Message msg) {
         auto it = m_rpcs.find({msg.rpc_id, msg.provider_id});
         if (it == m_rpcs.end()) {
             Request req{this, std::move(msg)};
-            req.respond_error(Error{Error::Code::NotFound,
+            req.respond_error(Error{Error::Code::NoSuchRpc,
                                     "no such RPC (id " + std::to_string(req.rpc_id()) +
                                         ", provider " + std::to_string(req.provider_id()) + ")"});
             return;

@@ -94,6 +94,12 @@ class Monitor {
         (void)in_flight_rpcs;
         (void)pool_sizes;
     }
+    /// Instance::shutdown() is beginning. Monitors that drive background
+    /// work (decision threads, timers) must stop issuing runtime operations
+    /// and join in-flight work before returning — the ULT runtime is
+    /// finalized right after the drain, so work that escapes this hook races
+    /// teardown.
+    virtual void on_shutdown() {}
 };
 
 /// Simple streaming statistics accumulator (num/avg/min/max/sum/var).

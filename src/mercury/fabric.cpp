@@ -154,7 +154,27 @@ std::shared_ptr<Fabric> Fabric::create(LinkModel default_link, std::uint64_t see
     return std::shared_ptr<Fabric>(new Fabric(default_link, seed));
 }
 
-Fabric::~Fabric() { m_timer.stop(); }
+Fabric::~Fabric() {
+    // Lightweight instances were shut down before the fabric goes: their
+    // runtimes unregistered from the executor and cancelled their child
+    // timer entries, so stopping the shared resources here is quiescent.
+    m_lite_executor.reset();
+    if (m_lite_timer) m_lite_timer->stop();
+    m_timer.stop();
+}
+
+abt::Executor& Fabric::lite_executor() {
+    std::call_once(m_lite_once, [this] {
+        m_lite_executor = std::make_unique<abt::Executor>();
+        m_lite_timer = std::make_unique<abt::Timer>();
+    });
+    return *m_lite_executor;
+}
+
+abt::Timer& Fabric::lite_timer() {
+    (void)lite_executor(); // both are created together
+    return *m_lite_timer;
+}
 
 double Fabric::now_us() const {
     return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - m_epoch)

@@ -7,6 +7,7 @@
 // RAFT elections).
 #pragma once
 
+#include "abt/executor.hpp"
 #include "abt/timer.hpp"
 #include "common/expected.hpp"
 
@@ -233,6 +234,20 @@ class Fabric : public std::enable_shared_from_this<Fabric> {
     [[nodiscard]] std::vector<std::string> attached() const;
     [[nodiscard]] bool is_attached(const std::string& addr) const;
 
+    // -- shared execution for lightweight nodes ------------------------------
+    //
+    // Lazily-created resources backing "lightweight" margo instances: one
+    // worker crew and one timer thread shared by every such instance on this
+    // fabric, instead of one ES thread + one timer thread per node. The
+    // fabric is the natural owner — it is the one object all simulated
+    // processes of a test already share and outlive. Instances must be shut
+    // down before the fabric is destroyed (Cluster guarantees this).
+
+    /// The shared scheduling executor (created on first use).
+    [[nodiscard]] abt::Executor& lite_executor();
+    /// The shared parent timer for lightweight runtimes' child timers.
+    [[nodiscard]] abt::Timer& lite_timer();
+
     /// Total messages delivered (for tests and monitoring cross-checks).
     ///
     /// Ordering contract: m_delivered is a statistics counter, not a
@@ -304,6 +319,12 @@ class Fabric : public std::enable_shared_from_this<Fabric> {
     std::mt19937_64 m_rng;
     std::atomic<std::uint64_t> m_delivered{0};
     abt::Timer m_timer; ///< delayed message delivery
+    /// Lightweight-node resources (see lite_executor/lite_timer). Kept
+    /// separate from m_timer so node-side callbacks (samplers, RPC
+    /// timeouts) never add jitter to modeled message delivery times.
+    std::once_flag m_lite_once;
+    std::unique_ptr<abt::Executor> m_lite_executor;
+    std::unique_ptr<abt::Timer> m_lite_timer;
     std::chrono::steady_clock::time_point m_epoch;
     /// Distinguishes this fabric in the thread-local send caches (a new
     /// fabric may reuse a destroyed one's address).

@@ -309,6 +309,9 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
                    ProviderConfig config, std::shared_ptr<abt::Pool> pool)
 : margo::Provider(std::move(instance), provider_id, "yokan", std::move(pool)),
   m_config(std::move(config)) {
+    const std::string prefix = "yokan_provider_" + std::to_string(provider_id);
+    m_ops = &this->instance()->metrics()->counter(prefix + "_ops_total");
+    m_stale = &this->instance()->metrics()->counter(prefix + "_stale_rejections_total");
     if (m_config.targets.empty()) {
         auto backend = Backend::create(m_config.backend);
         assert(backend.has_value());
@@ -364,6 +367,7 @@ bool Provider::check_epoch(const margo::Request& req, std::uint64_t req_epoch) c
         cur = m_epoch.load(std::memory_order_relaxed);
     }
     instance()->metrics()->counter("yokan_stale_epoch_rejections_total").inc();
+    m_stale->inc();
     req.respond_error(make_stale_epoch_error(cur, blob));
     return false;
 }
@@ -384,6 +388,7 @@ void Provider::define_rpcs() {
         }
         if (!check_epoch(req, epoch)) return;
         instance()->metrics()->counter("yokan_puts_total").inc();
+        m_ops->inc();
         Status st = m_backend ? m_backend->put(key, std::move(value))
                               : virtual_put(key, value);
         if (!st.ok())
@@ -400,6 +405,7 @@ void Provider::define_rpcs() {
         }
         if (!check_epoch(req, epoch)) return;
         instance()->metrics()->counter("yokan_gets_total").inc();
+        m_ops->inc();
         auto r = m_backend ? m_backend->get(key) : virtual_get(key);
         if (!r)
             req.respond_error(r.error());
@@ -520,6 +526,7 @@ void Provider::define_rpcs() {
                 double t0 = margo::trace_now_us();
                 auto r = m_backend->get(keys[i]);
                 instance()->metrics()->counter("yokan_gets_total").inc();
+                m_ops->inc();
                 instance()->notify_batch_op("yokan/get", keys[i].size(),
                                             margo::trace_now_us() - t0, r.has_value());
                 if (r) values[i].emplace(std::move(*r));
@@ -711,6 +718,7 @@ void Provider::handle_put_multi(const margo::Request& req,
             (void)k;
             (void)v;
             instance()->metrics()->counter("yokan_puts_total").inc();
+            m_ops->inc();
         }
         req.respond_values(this->epoch(), true);
         return;
@@ -724,6 +732,7 @@ void Provider::handle_put_multi(const margo::Request& req,
         std::size_t bytes = k.size() + v.size();
         Status st = m_backend->put(k, std::move(v));
         instance()->metrics()->counter("yokan_puts_total").inc();
+        m_ops->inc();
         instance()->notify_batch_op("yokan/put", bytes, margo::trace_now_us() - t0, st.ok());
         results[i] = std::move(st);
     });

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "common/hash.hpp"
+#include "margo/metrics.hpp"
 #include "margo/provider.hpp"
 #include "remi/provider.hpp"
 #include "yokan/backend.hpp"
@@ -292,6 +293,13 @@ class Provider : public margo::Provider {
     ProviderConfig m_config;
     std::unique_ptr<Backend> m_backend; ///< null in virtual mode
     std::vector<Database> m_replicas;   ///< virtual mode targets
+
+    /// Per-provider counters (`yokan_provider_<id>_*`) next to the
+    /// process-global ones: in an elastic layout each shard is one provider,
+    /// so these are what lets a metrics scraper attribute load to individual
+    /// shards. Resolved once; the registry owns them.
+    margo::Counter* m_ops = nullptr;
+    margo::Counter* m_stale = nullptr;
 
     std::atomic<std::uint64_t> m_epoch{0};
     mutable std::mutex m_epoch_mutex; ///< guards m_layout_blob

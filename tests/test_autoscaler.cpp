@@ -88,6 +88,109 @@ TEST(Autoscaler, ScalesUpUnderQueueingAndDownWhenIdle) {
     inst->shutdown();
 }
 
+// Regression: the decision ran on a detached thread, so an Instance
+// shutdown racing a scale decision could finalize the runtime while
+// decide() was still reconfiguring it (use-after-free under sanitizers).
+// The decision thread is now tracked and joined from the monitor's
+// on_shutdown hook, before the runtime starts tearing down; shutting down
+// mid-flood must therefore always be clean, and no decision may start
+// after the hook ran.
+TEST(Autoscaler, ShutdownRacingDecisionsIsClean) {
+    for (int round = 0; round < 8; ++round) {
+        auto fabric = mercury::Fabric::create();
+        auto cfg = parse(R"({
+          "argobots": {
+            "pools": [{"name": "__primary__", "type": "fifo_wait"},
+                       {"name": "work", "type": "fifo_wait"}],
+            "xstreams": [{"name": "__primary__", "scheduler": {"pools": ["__primary__"]}},
+                          {"name": "w0", "scheduler": {"pools": ["work"]}}]
+          },
+          "monitoring": {"sampling_period_ms": 1}
+        })");
+        auto inst =
+            margo::Instance::create(fabric, "sim://race" + std::to_string(round), cfg)
+                .value();
+        AutoscalerConfig acfg;
+        acfg.pool = "work";
+        acfg.min_xstreams = 1;
+        acfg.max_xstreams = 4;
+        acfg.high_watermark = 1.0; // trip on any queueing: decisions fire often
+        acfg.low_watermark = 0.5;
+        acfg.window = 2;
+        acfg.cooldown_samples = 0;
+        auto scaler = PoolAutoscaler::attach(inst, acfg);
+        ASSERT_TRUE(scaler.has_value());
+        auto rt = inst->runtime();
+        auto pool = inst->find_pool_by_name("work").value();
+        std::atomic<bool> flood{true};
+        std::thread feeder([&] {
+            while (flood.load()) {
+                for (int i = 0; i < 16; ++i)
+                    rt->post(pool, [rt] { rt->sleep_for(1ms); });
+                std::this_thread::sleep_for(1ms);
+            }
+        });
+        // Let a few sampling periods elapse so decisions are in flight,
+        // then shut down while the flood is still running.
+        std::this_thread::sleep_for(std::chrono::milliseconds(3 + round * 2));
+        inst->shutdown();
+        flood.store(false);
+        feeder.join();
+    }
+}
+
+// Regression: scale-down victims were reconstructed from a name counter,
+// which desynchronized from reality when a removal failed or names raced;
+// the autoscaler then "removed" xstreams it never created. Managed names
+// are now tracked explicitly, newest-first, and never reused.
+TEST(Autoscaler, ScaleDownOnlyRemovesManagedStreams) {
+    auto fabric = mercury::Fabric::create();
+    auto cfg = parse(R"({
+      "argobots": {
+        "pools": [{"name": "__primary__", "type": "fifo_wait"},
+                   {"name": "work", "type": "fifo_wait"}],
+        "xstreams": [{"name": "__primary__", "scheduler": {"pools": ["__primary__"]}},
+                      {"name": "w0", "scheduler": {"pools": ["work"]}}]
+      },
+      "monitoring": {"sampling_period_ms": 5}
+    })");
+    auto inst = margo::Instance::create(fabric, "sim://named", cfg).value();
+    AutoscalerConfig acfg;
+    acfg.pool = "work";
+    acfg.min_xstreams = 1;
+    acfg.max_xstreams = 3;
+    acfg.high_watermark = 2.0;
+    acfg.low_watermark = 0.5;
+    acfg.window = 3;
+    acfg.cooldown_samples = 3;
+    auto scaler = PoolAutoscaler::attach(inst, acfg);
+    ASSERT_TRUE(scaler.has_value());
+    std::atomic<bool> flood{true};
+    auto rt = inst->runtime();
+    auto pool = inst->find_pool_by_name("work").value();
+    std::thread feeder([&] {
+        while (flood.load()) {
+            for (int i = 0; i < 48; ++i)
+                rt->post(pool, [rt] { rt->sleep_for(2ms); });
+            std::this_thread::sleep_for(2ms);
+        }
+    });
+    ASSERT_TRUE(eventually([&] { return (*scaler)->managed_xstreams() > 0; }));
+    auto fixed = rt->xstream_names(); // snapshot: primary, w0, + managed
+    flood.store(false);
+    feeder.join();
+    ASSERT_TRUE(eventually([&] { return (*scaler)->managed_xstreams() == 0; }));
+    // Everything the autoscaler retired was its own: the original streams
+    // survive, and the managed ones are gone without leftovers.
+    auto names = rt->xstream_names();
+    EXPECT_EQ(names.size(), 2u);
+    for (const auto& n : names)
+        EXPECT_TRUE(n == "__primary__" || n == "w0") << n;
+    EXPECT_GT(fixed.size(), names.size());
+    (*scaler)->disable();
+    inst->shutdown();
+}
+
 TEST(Autoscaler, RespectsMaxBound) {
     auto fabric = mercury::Fabric::create();
     auto cfg = parse(R"({

@@ -1,0 +1,323 @@
+// Tests for the closed-loop cluster elasticity controller.
+//
+// The decision core (AutoscalePolicy) is pure — snapshots in, one action
+// out — so its damping behaviors (hysteresis, cooldown, the anti-flap dead
+// band, the idle gate) are pinned here with injected snapshots, no cluster
+// required. The live half is covered by a lightweight-node scale test (the
+// shared-executor refactor that makes 100+ margo instances cheap) and a
+// 100-node convergence run: a skewed workload heats one shard, the control
+// loop must detect it from scraped metrics, split it, and settle, with zero
+// client-visible errors throughout.
+#include "composed/cluster_autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+
+using namespace mochi;
+using namespace mochi::composed;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// Snapshot builder: shards[i] = {ops, node index}; nodes get their ops from
+/// the shards they host unless overridden.
+ClusterSnapshot snap(const std::vector<std::pair<double, int>>& shards,
+                     int num_nodes, double pool_depth = 0) {
+    ClusterSnapshot s;
+    for (int n = 0; n < num_nodes; ++n) {
+        NodeStats ns;
+        ns.address = "sim://n" + std::to_string(n);
+        ns.pool_depth = pool_depth;
+        s.nodes.push_back(std::move(ns));
+    }
+    std::uint32_t id = 0;
+    for (const auto& [ops, node] : shards) {
+        ShardStats ss;
+        ss.id = id++;
+        ss.node = "sim://n" + std::to_string(node);
+        ss.ops = ops;
+        s.shards.push_back(ss);
+        s.nodes[static_cast<std::size_t>(node)].ops += ops;
+        ++s.nodes[static_cast<std::size_t>(node)].shards;
+    }
+    return s;
+}
+
+PolicyConfig test_policy() {
+    PolicyConfig cfg;
+    cfg.hysteresis = 2;
+    cfg.cooldown = 3;
+    cfg.hot_shard_factor = 4.0;
+    cfg.min_hot_ops = 64.0;
+    cfg.cold_shard_factor = 0.1;
+    cfg.min_total_ops = 16.0;
+    return cfg;
+}
+
+int count_threads() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line))
+        if (line.rfind("Threads:", 0) == 0) return std::atoi(line.c_str() + 8);
+    return -1;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// AutoscalePolicy: injected-snapshot decision tests
+// ---------------------------------------------------------------------------
+
+TEST(AutoscalePolicy, HysteresisDelaysSplitUntilSignalPersists) {
+    AutoscalePolicy policy{test_policy()};
+    // Shard 0 is far above 4x the mean — but one hot period must not act.
+    auto hot = snap({{1000, 0}, {10, 0}, {10, 1}, {10, 1}}, 2);
+    EXPECT_EQ(policy.decide(hot).kind, ActionKind::None);
+    auto action = policy.decide(hot);
+    EXPECT_EQ(action.kind, ActionKind::SplitShard);
+    EXPECT_EQ(action.shard, 0u);
+    // Child placed on the least-loaded *other* node, not the hot host.
+    EXPECT_EQ(action.node, "sim://n1");
+}
+
+TEST(AutoscalePolicy, TransientSpikeNeverFires) {
+    AutoscalePolicy policy{test_policy()};
+    auto hot = snap({{1000, 0}, {10, 1}}, 2);
+    auto calm = snap({{50, 0}, {50, 1}}, 2);
+    // Oscillating load (hot, calm, hot, calm, ...) resets the streak every
+    // other period: with hysteresis 2 the policy must never act.
+    for (int round = 0; round < 20; ++round) {
+        auto a = policy.decide(round % 2 == 0 ? hot : calm);
+        EXPECT_EQ(a.kind, ActionKind::None) << "round " << round;
+    }
+}
+
+TEST(AutoscalePolicy, CooldownBlocksAndResetsHysteresis) {
+    auto cfg = test_policy();
+    AutoscalePolicy policy{cfg};
+    auto hot = snap({{1000, 0}, {10, 0}, {10, 1}, {10, 1}}, 2);
+    EXPECT_EQ(policy.decide(hot).kind, ActionKind::None);
+    EXPECT_EQ(policy.decide(hot).kind, ActionKind::SplitShard);
+    // Cooldown periods: identical pressure, no action.
+    for (std::size_t i = 0; i < cfg.cooldown; ++i)
+        EXPECT_EQ(policy.decide(hot).kind, ActionKind::None) << "cooldown " << i;
+    // After cooldown the streak restarts from zero: hysteresis-1 more quiet
+    // periods, then the action fires again.
+    EXPECT_EQ(policy.decide(hot).kind, ActionKind::None);
+    EXPECT_EQ(policy.decide(hot).kind, ActionKind::SplitShard);
+}
+
+TEST(AutoscalePolicy, IdleClusterTakesNoActions) {
+    AutoscalePolicy policy{test_policy()};
+    // Total load below min_total_ops: shard 1 is relatively "cold" (0 ops
+    // vs mean ~3) but an idle cluster must not be reshaped.
+    auto idle = snap({{6, 0}, {0, 1}, {6, 1}}, 2);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(policy.decide(idle).kind, ActionKind::None);
+}
+
+TEST(AutoscalePolicy, MergesPersistentlyColdShard) {
+    AutoscalePolicy policy{test_policy()};
+    // Mean = 250; shard 3 at 2 ops < 0.1 * mean. Hot threshold (4x mean)
+    // not reached by anyone.
+    auto cold = snap({{330, 0}, {330, 0}, {330, 1}, {2, 1}}, 2);
+    EXPECT_EQ(policy.decide(cold).kind, ActionKind::None);
+    auto action = policy.decide(cold);
+    EXPECT_EQ(action.kind, ActionKind::MergeShard);
+    EXPECT_EQ(action.shard, 3u);
+}
+
+TEST(AutoscalePolicy, MinShardsBlocksMerge) {
+    auto cfg = test_policy();
+    cfg.min_shards = 4;
+    AutoscalePolicy policy{cfg};
+    auto cold = snap({{330, 0}, {330, 0}, {330, 1}, {2, 1}}, 2);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(policy.decide(cold).kind, ActionKind::None);
+}
+
+TEST(AutoscalePolicy, MaxShardsBlocksSplit) {
+    auto cfg = test_policy();
+    cfg.max_shards = 2;
+    AutoscalePolicy policy{cfg};
+    auto hot = snap({{1000, 0}, {10, 1}}, 2);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(policy.decide(hot).kind, ActionKind::None);
+}
+
+TEST(AutoscalePolicy, DeepPoolsGrowTheNodeSet) {
+    auto cfg = test_policy();
+    cfg.node_add_depth = 32.0;
+    AutoscalePolicy policy{cfg};
+    // Balanced shards (no split candidate) but saturated pools.
+    auto deep = snap({{100, 0}, {100, 1}}, 2, /*pool_depth=*/80.0);
+    EXPECT_EQ(policy.decide(deep).kind, ActionKind::None);
+    EXPECT_EQ(policy.decide(deep).kind, ActionKind::AddNode);
+    // Cooldown, then it may fire again — unless max_nodes caps it.
+    AutoscalePolicy capped{[&] {
+        auto c = cfg;
+        c.max_nodes = 2;
+        return c;
+    }()};
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(capped.decide(deep).kind, ActionKind::None);
+}
+
+TEST(AutoscalePolicy, RemovesPersistentlyIdleNode) {
+    auto cfg = test_policy();
+    cfg.min_nodes = 1;
+    AutoscalePolicy policy{cfg};
+    // Node 2 hosts nothing and serves ~nothing; shards are balanced and no
+    // pool is deep, so the only applicable action is releasing the node.
+    auto lopsided = snap({{100, 0}, {100, 0}, {100, 1}, {100, 1}}, 3);
+    EXPECT_EQ(policy.decide(lopsided).kind, ActionKind::None);
+    auto action = policy.decide(lopsided);
+    EXPECT_EQ(action.kind, ActionKind::RemoveNode);
+    EXPECT_EQ(action.node, "sim://n2");
+}
+
+TEST(AutoscalePolicy, SplitOutranksReclamation) {
+    AutoscalePolicy policy{test_policy()};
+    // Hot shard AND an idle node at once: pressure relief wins.
+    auto both = snap({{1000, 0}, {10, 0}, {10, 1}, {10, 1}}, 3);
+    EXPECT_EQ(policy.decide(both).kind, ActionKind::None);
+    EXPECT_EQ(policy.decide(both).kind, ActionKind::SplitShard);
+}
+
+// ---------------------------------------------------------------------------
+// Lightweight nodes: the shared-executor refactor
+// ---------------------------------------------------------------------------
+
+TEST(LightweightNodes, FortyNodesShareAFixedThreadCrew) {
+    Cluster cluster;
+    cluster.set_lightweight_nodes(true);
+    int before = count_threads();
+    ASSERT_GT(before, 0);
+    ElasticKvConfig cfg;
+    cfg.num_shards = 8;
+    cfg.enable_swim = false;
+    std::vector<std::string> addresses;
+    for (int i = 0; i < 40; ++i) addresses.push_back("sim://lw" + std::to_string(i));
+    auto svc = ElasticKvService::create(cluster, addresses, cfg);
+    ASSERT_TRUE(svc.has_value()) << svc.error().message;
+    int after = count_threads();
+    // 40 full-weight nodes would cost >= 80 threads (one ES + one timer
+    // each, plus handler pools). The shared executor caps the crew at 8
+    // workers + 1 timer; leave slack for the controller instance and the
+    // progress machinery, but the count must not scale with the node count.
+    EXPECT_LT(after - before, 24) << "before=" << before << " after=" << after;
+
+    // The virtual xstreams must actually serve traffic end to end.
+    auto app = margo::Instance::create(cluster.fabric(), "sim://lw-app").value();
+    ElasticKvClient client{app, (*svc)->controller_address()};
+    for (int i = 0; i < 64; ++i)
+        ASSERT_TRUE(client.put("lk" + std::to_string(i), "v" + std::to_string(i)).ok());
+    for (int i = 0; i < 64; ++i) {
+        auto got = client.get("lk" + std::to_string(i));
+        ASSERT_TRUE(got.has_value()) << got.error().message;
+        EXPECT_EQ(*got, "v" + std::to_string(i));
+    }
+    app->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// 100-node convergence under the live control loop
+// ---------------------------------------------------------------------------
+
+TEST(ClusterAutoscalerLive, HundredNodeHotShardConvergence) {
+    Cluster cluster;
+    cluster.set_lightweight_nodes(true);
+    ElasticKvConfig cfg;
+    cfg.num_shards = 8;
+    cfg.enable_swim = false;
+    std::vector<std::string> addresses;
+    for (int i = 0; i < 100; ++i) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "sim://c%03d", i);
+        addresses.emplace_back(buf);
+    }
+    auto svc = ElasticKvService::create(cluster, addresses, cfg);
+    ASSERT_TRUE(svc.has_value()) << svc.error().message;
+    auto& kv = **svc;
+
+    // Collect keys that all route to one shard: the workload below makes it
+    // hot while the rest of the ring stays lukewarm.
+    const std::uint32_t hot_shard = kv.shard_of("hot-seed");
+    std::vector<std::string> hot_keys;
+    for (int i = 0; hot_keys.size() < 24; ++i) {
+        auto k = "h" + std::to_string(i);
+        if (kv.shard_of(k) == hot_shard) hot_keys.push_back(k);
+    }
+
+    auto app = margo::Instance::create(cluster.fabric(), "sim://conv-app").value();
+    std::atomic<bool> done{false};
+    std::atomic<int> client_errors{0}, batches{0};
+    std::thread load{[&] {
+        ElasticKvClient client{app, kv.controller_address()};
+        int round = 0;
+        while (!done.load()) {
+            std::vector<std::pair<std::string, std::string>> pairs;
+            for (const auto& k : hot_keys) pairs.emplace_back(k, "r" + std::to_string(round));
+            // A sprinkle of uniform background traffic keeps the mean > 0.
+            for (int i = 0; i < 8; ++i)
+                pairs.emplace_back("b" + std::to_string((round * 8 + i) % 512), "x");
+            if (auto st = client.put_multi(pairs); !st.ok()) {
+                ++client_errors;
+                ADD_FAILURE() << "put_multi: " << st.error().message;
+            }
+            std::vector<std::string> keys = hot_keys;
+            if (auto got = client.get_multi(keys); !got.has_value()) {
+                ++client_errors;
+                ADD_FAILURE() << "get_multi: " << got.error().message;
+            }
+            ++round;
+            ++batches;
+        }
+    }};
+
+    ClusterAutoscalerConfig acfg;
+    acfg.policy.hot_shard_factor = 3.0;
+    acfg.policy.min_hot_ops = 24.0;
+    acfg.policy.min_total_ops = 8.0;
+    acfg.policy.hysteresis = 2;
+    acfg.policy.cooldown = 2;
+    acfg.policy.max_shards = 16;
+    ClusterAutoscaler scaler{cluster, kv, acfg};
+
+    // Drive the control loop deterministically: one step per period. The
+    // loop has converged when it split the hot shard and then stayed quiet
+    // for a full damping window (cooldown + hysteresis + 1 periods).
+    constexpr int k_max_periods = 60;
+    const int quiet_needed =
+        static_cast<int>(acfg.policy.cooldown + acfg.policy.hysteresis) + 1;
+    int converged_at = -1, quiet = 0;
+    for (int period = 0; period < k_max_periods; ++period) {
+        std::this_thread::sleep_for(50ms);
+        Action a = scaler.step();
+        if (a.kind == ActionKind::None)
+            ++quiet;
+        else
+            quiet = 0;
+        if (scaler.stats().splits >= 1 && quiet >= quiet_needed) {
+            converged_at = period;
+            break;
+        }
+    }
+    done.store(true);
+    load.join();
+
+    auto stats = scaler.stats();
+    EXPECT_GE(stats.splits, 1u) << "hot shard was never split";
+    EXPECT_GE(converged_at, 0) << "loop did not settle within " << k_max_periods
+                               << " periods (splits=" << stats.splits << ")";
+    EXPECT_EQ(client_errors.load(), 0);
+    EXPECT_GT(batches.load(), 0);
+    EXPECT_GT(kv.num_shards(), 8u);
+    // The child half must have left the hot node: the split sheds load.
+    const auto layout = kv.layout();
+    std::set<std::string> hosts;
+    for (const auto& s : layout.shards()) hosts.insert(s.node);
+    EXPECT_GE(hosts.size(), 2u);
+    app->shutdown();
+}

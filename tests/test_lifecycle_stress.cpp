@@ -10,6 +10,7 @@
 // The jitter/loss knobs derive from the seed, and the base seed itself is
 // overridable via STRESS_SEED — a failing run logs it, so any seed can be
 // replayed exactly: STRESS_SEED=<seed> MOCHI_STRESS_SEEDS=1 ./test_lifecycle_stress
+#include "composed/cluster_autoscaler.hpp"
 #include "composed/elastic_kv.hpp"
 #include "remi/provider.hpp"
 #include "ssg/group.hpp"
@@ -633,6 +634,100 @@ void elastic_churn(std::uint64_t seed) {
     app->shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 7: the autoscaler's control loop churning the topology under load
+// ---------------------------------------------------------------------------
+//
+// Like elastic_churn, but the reconfigurations come from the *live*
+// ClusterAutoscaler: aggressive thresholds and a skewed workload make the
+// loop split, merge and add/remove nodes while a client hammers batched
+// ops. The invariant is the controller's contract — zero client-visible
+// errors, zero acked-op loss — regardless of what the loop decides.
+
+void autoscale_churn(std::uint64_t seed) {
+    using composed::ClusterAutoscaler;
+    using composed::ClusterAutoscalerConfig;
+    using composed::ElasticKvClient;
+    using composed::ElasticKvConfig;
+    using composed::ElasticKvService;
+    composed::Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 4;
+    cfg.enable_swim = false;
+    auto svc = ElasticKvService::create(cluster, {"sim://as0", "sim://as1"}, cfg);
+    ASSERT_TRUE(svc.has_value()) << svc.error().message;
+    auto& kv = **svc;
+    auto app = margo::Instance::create(cluster.fabric(), "sim://as-app").value();
+
+    std::atomic<bool> done{false};
+    std::atomic<int> batches{0}, client_errors{0};
+    std::mutex written_mutex;
+    std::map<std::string, std::string> written; // ground truth
+    std::thread client_thread{[&, seed] {
+        ElasticKvClient client{app, kv.controller_address()};
+        std::mt19937_64 lrng(seed * 7000003 + 11);
+        int round = 0;
+        while (!done.load()) {
+            std::vector<std::pair<std::string, std::string>> pairs;
+            std::vector<std::string> keys;
+            for (int i = 0; i < 24; ++i) {
+                // Skewed: most traffic concentrates on a narrow key range so
+                // shards genuinely run hot and the loop has something to do.
+                auto k = "sk" + std::to_string(lrng() % (i < 18 ? 20 : 400));
+                pairs.emplace_back(k, "r" + std::to_string(round));
+                keys.push_back(k);
+            }
+            if (auto st = client.put_multi(pairs); !st.ok()) {
+                ++client_errors;
+                ADD_FAILURE() << "put_multi: " << st.error().message;
+            } else {
+                std::lock_guard lk{written_mutex};
+                for (auto& [k, v] : pairs) written[k] = v;
+            }
+            if (auto got = client.get_multi(keys); !got.has_value()) {
+                ++client_errors;
+                ADD_FAILURE() << "get_multi: " << got.error().message;
+            }
+            ++batches;
+            ++round;
+        }
+    }};
+
+    // Twitchy controller: minimal damping, tight bounds, fast periods — the
+    // point is to maximize reconfiguration frequency, not to be sensible.
+    ClusterAutoscalerConfig acfg;
+    acfg.period = std::chrono::milliseconds(15);
+    acfg.policy.hysteresis = 1;
+    acfg.policy.cooldown = 1;
+    acfg.policy.hot_shard_factor = 1.5;
+    acfg.policy.min_hot_ops = 8.0;
+    acfg.policy.cold_shard_factor = 0.3;
+    acfg.policy.min_total_ops = 4.0;
+    acfg.policy.min_shards = 2;
+    acfg.policy.max_shards = 10;
+    acfg.policy.max_nodes = 3;
+    acfg.policy.node_add_depth = 4.0;
+    acfg.policy.cold_node_factor = 0.2;
+    ClusterAutoscaler scaler{cluster, kv, acfg};
+    scaler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250 + (seed % 5) * 40));
+    scaler.stop();
+    done.store(true);
+    client_thread.join(); // liveness: batches can't wedge mid-reconfiguration
+
+    EXPECT_EQ(client_errors.load(), 0);
+    EXPECT_GT(batches.load(), 0);
+    // Quiesced: everything the client was acked must read back through a
+    // fresh client with a cold layout cache (zero acked-op loss).
+    ElasticKvClient verifier{app, kv.controller_address()};
+    for (const auto& [k, v] : written) {
+        auto got = verifier.get(k);
+        ASSERT_TRUE(got.has_value()) << k << ": " << got.error().message;
+        EXPECT_EQ(*got, v) << k;
+    }
+    app->shutdown();
+}
+
 } // namespace
 
 TEST(LifecycleStress, ForwardVsShutdown) { run_seeded(forward_vs_shutdown); }
@@ -646,3 +741,5 @@ TEST(LifecycleStress, AsyncVsShutdown) { run_seeded(async_vs_shutdown); }
 TEST(LifecycleStress, FastSlowFlip) { run_seeded(fast_slow_flip); }
 
 TEST(LifecycleStress, ElasticChurn) { run_seeded(elastic_churn); }
+
+TEST(LifecycleStress, AutoscaleChurn) { run_seeded(autoscale_churn); }

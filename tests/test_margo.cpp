@@ -62,11 +62,13 @@ TEST(Margo, TypedCall) {
     EXPECT_EQ(std::get<0>(*result), 42);
 }
 
-TEST(Margo, UnknownRpcReturnsNotFound) {
+TEST(Margo, UnknownRpcReturnsTypedNoSuchRpc) {
     TwoNodes nodes;
     auto resp = nodes.client->forward("sim://server", "nope", "");
     ASSERT_FALSE(resp.has_value());
-    EXPECT_EQ(resp.error().code, Error::Code::NotFound);
+    // Typed code: clients (e.g. elastic_kv routing) branch on it without
+    // string matching, and it is distinct from a provider-level NotFound.
+    EXPECT_EQ(resp.error().code, Error::Code::NoSuchRpc);
 }
 
 TEST(Margo, ProviderIdsRouteIndependently) {

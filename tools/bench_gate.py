@@ -44,6 +44,7 @@ BENCHMARKS = {
     "ult": {"kind": "metrics", "args": []},
     "batch": {"kind": "metrics", "args": []},
     "elastic": {"kind": "metrics", "args": []},
+    "autoscale": {"kind": "metrics", "args": []},
 }
 
 # Gated metrics: (bench, metric) -> spec.
@@ -103,6 +104,26 @@ GATES = {
     # Throughput shape check only (machines vary).
     ("elastic", "steady_ops_s"): {
         "higher_is_better": True, "tolerance": 3.0},
+    # E13 acceptance criteria (closed-loop autoscaling). The control loop
+    # must converge within a bounded number of 50 ms control periods — the
+    # harness itself caps at 60, so a miss reports -1 and trips the floor —
+    # and the reconfigurations it issues must never surface a client error.
+    ("autoscale", "convergence_periods"): {
+        "higher_is_better": False, "tolerance": 1.6, "min": 1.0, "max": 55.0},
+    ("autoscale", "client_errors"): {
+        "higher_is_better": False, "tolerance": 1.0, "max": 0.0},
+    # The loop must actually act on the hot shard, not merely observe it
+    # (how *many* splits it takes is timing-dependent, hence the wide band;
+    # the floor of one split is the real invariant).
+    ("autoscale", "splits"): {
+        "higher_is_better": True, "tolerance": 8.0, "min": 1.0},
+    # Tail-latency recovery: after convergence the batched-read p99 over the
+    # formerly hot keys must not exceed the pre-split tail (ratio <= 1);
+    # slack for scheduler noise on loaded CI machines.
+    ("autoscale", "p99_recovery_ratio"): {
+        "higher_is_better": False, "tolerance": 2.0, "max": 1.1},
+    ("autoscale", "p99_after_us"): {
+        "higher_is_better": False, "tolerance": 3.0},
 }
 
 
