@@ -1,0 +1,442 @@
+// E14 — multi-tenant QoS under overload: a YCSB-style open-loop workload
+// harness driving the elastic KV service with a configurable tenant mix
+// (Zipfian keys, mixed get/put/scan ops, plus shard migration churn) against
+// per-tenant weights and quotas enforced by the margo QoS layer.
+//
+// The E14 scenario (defaults; every knob has a flag):
+//
+//   * two tenants with a 4:1 weight ratio — "light" (interactive, modest
+//     rate, no quota) and "heavy" (bulk, offered at 2x its ops/s quota);
+//   * phase 1 runs the light tenant in isolation to record its baseline
+//     tail; phase 2 adds the heavy tenant at 2x overload (and, unless
+//     --no-migrate, a shard split/merge cycle racing the load);
+//   * ops are generated open-loop: arrivals are pre-scheduled at the
+//     offered rate and latency is measured from the *scheduled* arrival
+//     time, so queueing (the thing overload actually causes) is captured
+//     instead of being absorbed by a closed loop's self-throttling.
+//
+// Gated by tools/bench_gate.py against bench/baselines/workload.json:
+//
+//   * light_p99_ratio       — light tenant's overloaded p99 / isolated p99;
+//                             the fairness invariant (ceiling 1.5);
+//   * heavy_backpressure /  — the heavy tenant must actually be throttled,
+//     heavy_shed_scraped      and the shed must be visible via the
+//                             bedrock/get_metrics tenant counters;
+//   * non_retryable_errors  — backpressure must surface as the retryable
+//                             Backpressure code and nothing else (0);
+//   * lost_ops              — every key must read back after the churn (0).
+#include "composed/cluster_autoscaler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <thread>
+
+using namespace mochi;
+using namespace mochi::composed;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::uint32_t k_light_tenant = 1;
+constexpr std::uint32_t k_heavy_tenant = 2;
+
+struct Options {
+    const char* json_path = nullptr;
+    int duration_ms = 2500;    // per phase
+    double light_rate = 800;   // ops/s offered by the light tenant
+    double heavy_rate = 0;     // 0 = 2x the heavy quota (the E14 overload)
+    double heavy_quota = 1500; // ops/s quota on the heavy tenant
+    double light_weight = 4;
+    double heavy_weight = 1;
+    std::size_t keys = 2048; // per tenant
+    std::size_t value_bytes = 512;
+    double zipf_theta = 0.99;
+    double put_frac = 0.5;
+    double scan_frac = 0.1; // scan = get_multi over an 8-key window
+    bool migrate = true;
+    std::size_t shards = 8;
+    std::size_t nodes = 2;
+};
+
+/// YCSB's Zipfian generator (Gray et al.): skewed key popularity over
+/// [0, n) with parameter theta.
+struct Zipf {
+    std::size_t n;
+    double theta, alpha, zetan, eta;
+
+    Zipf(std::size_t n_, double theta_) : n(n_), theta(theta_) {
+        zetan = 0;
+        for (std::size_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(double(i), theta);
+        const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+        alpha = 1.0 / (1.0 - theta);
+        eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2 / zetan);
+    }
+
+    std::size_t operator()(std::mt19937_64& rng) const {
+        const double u = std::uniform_real_distribution<double>(0, 1)(rng);
+        const double uz = u * zetan;
+        if (uz < 1.0) return 0;
+        if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+        auto idx = static_cast<std::size_t>(double(n) * std::pow(eta * u - eta + 1.0, alpha));
+        return std::min(idx, n - 1);
+    }
+};
+
+double p99(std::vector<double> v) {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(0.99 * static_cast<double>(v.size() - 1))];
+}
+
+/// Retryable per the docs/QOS.md backpressure contract: Backpressure (back
+/// off and resend), Conflict (stale layout, repaired by the elastic client),
+/// Timeout/Unreachable (routing races a migration).
+bool retryable(const Error& err) {
+    switch (err.code) {
+    case Error::Code::Backpressure:
+    case Error::Code::Conflict:
+    case Error::Code::Timeout:
+    case Error::Code::Unreachable:
+    case Error::Code::NotFound: return true; // mid-migration routing window
+    default: return false;
+    }
+}
+
+std::string tenant_key(std::uint32_t tenant, std::size_t idx) {
+    return "t" + std::to_string(tenant) + "-k" + std::to_string(idx);
+}
+
+struct TenantResult {
+    std::size_t offered = 0;
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> throttled{0};    ///< gave up after retryable-only failures
+    std::atomic<std::size_t> backpressure{0}; ///< Backpressure errors observed
+    std::atomic<std::size_t> non_retryable{0};
+    std::mutex mutex;
+    std::vector<double> latencies_us; ///< from scheduled arrival to completion
+};
+
+/// Open-loop load for one tenant: `workers` threads claim pre-scheduled
+/// arrivals and execute the op mix under the tenant's TenantScope. Blocks
+/// until the phase's schedule is drained.
+void run_tenant_phase(const margo::InstancePtr& app, ElasticKvService& kv,
+                      const Options& opt, std::uint32_t tenant, double rate,
+                      Clock::time_point start, Clock::time_point deadline,
+                      std::size_t workers, std::uint64_t seed, TenantResult& out) {
+    const auto phase_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - start).count();
+    const auto total_ops =
+        static_cast<std::size_t>(rate * static_cast<double>(phase_us) / 1e6);
+    out.offered = total_ops;
+    std::atomic<std::size_t> next{0};
+    const Zipf zipf{opt.keys, opt.zipf_theta};
+    const std::string value(opt.value_bytes, 'w');
+
+    std::vector<std::thread> crew;
+    crew.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        crew.emplace_back([&, w] {
+            margo::TenantScope scope{tenant};
+            ElasticKvClient client{app, kv.controller_address()};
+            std::mt19937_64 rng(seed * 1000003 + w);
+            while (true) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= total_ops) break;
+                const auto arrival =
+                    start + std::chrono::microseconds(static_cast<std::int64_t>(
+                                double(i) / rate * 1e6));
+                std::this_thread::sleep_until(arrival);
+                if (Clock::now() >= deadline && i > 0) continue; // schedule overran
+                const std::size_t idx = zipf(rng);
+                const double mix = std::uniform_real_distribution<double>(0, 1)(rng);
+                bool ok = false;
+                for (int attempt = 0; attempt < 8; ++attempt) {
+                    std::optional<Error> err;
+                    if (mix < opt.put_frac) {
+                        auto st = client.put(tenant_key(tenant, idx), value);
+                        if (st.ok())
+                            ok = true;
+                        else
+                            err = st.error();
+                    } else if (mix < opt.put_frac + opt.scan_frac) {
+                        std::vector<std::string> window;
+                        for (std::size_t k = 0; k < 8; ++k)
+                            window.push_back(tenant_key(tenant, (idx + k) % opt.keys));
+                        auto got = client.get_multi(window);
+                        if (got.has_value())
+                            ok = true;
+                        else
+                            err = got.error();
+                    } else {
+                        auto got = client.get(tenant_key(tenant, idx));
+                        if (got.has_value())
+                            ok = true;
+                        else
+                            err = got.error();
+                    }
+                    if (ok) break;
+                    if (err->code == Error::Code::Backpressure) ++out.backpressure;
+                    if (!retryable(*err)) {
+                        ++out.non_retryable;
+                        std::fprintf(stderr, "tenant %u non-retryable: %s (%s)\n", tenant,
+                                     err->message.c_str(), err->code_name());
+                        break;
+                    }
+                    // Backpressure means "back off and resend" (docs/QOS.md);
+                    // migration races (Conflict/Timeout) are repaired by the
+                    // elastic client already and retry immediately.
+                    if (err->code == Error::Code::Backpressure)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(std::min(1 << attempt, 16)));
+                }
+                if (ok) {
+                    ++out.completed;
+                    const double us = std::chrono::duration<double, std::micro>(
+                                          Clock::now() - arrival)
+                                          .count();
+                    std::lock_guard lk{out.mutex};
+                    out.latencies_us.push_back(us);
+                } else if (out.non_retryable.load() == 0) {
+                    ++out.throttled;
+                }
+            }
+        });
+    }
+    for (auto& t : crew) t.join();
+}
+
+int run_workload(const Options& opt) {
+    const double heavy_rate = opt.heavy_rate > 0 ? opt.heavy_rate : 2.0 * opt.heavy_quota;
+
+    mercury::LinkModel link;
+    link.latency_us = 5.0;
+    link.bandwidth_bytes_per_us = 200.0;
+    Cluster cluster{link};
+
+    ElasticKvConfig cfg;
+    cfg.num_shards = opt.shards;
+    cfg.enable_swim = false;
+    // QoS deployment config: a prio_wait handler pool so the WFQ deficit
+    // priorities actually order dispatch, plus the tenant table (weights and
+    // the heavy tenant's quota with a short burst so throttling engages
+    // within the phase).
+    auto& margo_cfg = cfg.margo;
+    margo_cfg = json::Value::object();
+    auto pool = json::Value::object();
+    pool["name"] = "__primary__";
+    pool["type"] = "prio_wait";
+    pool["access"] = "mpmc";
+    margo_cfg["argobots"]["pools"].push_back(std::move(pool));
+    auto& tenants = margo_cfg["qos"]["tenants"];
+    tenants[std::to_string(k_light_tenant)]["weight"] = opt.light_weight;
+    tenants[std::to_string(k_heavy_tenant)]["weight"] = opt.heavy_weight;
+    tenants[std::to_string(k_heavy_tenant)]["ops_per_sec"] = opt.heavy_quota;
+    tenants[std::to_string(k_heavy_tenant)]["burst_ops"] = opt.heavy_quota / 4.0;
+
+    std::vector<std::string> addresses;
+    for (std::size_t n = 0; n < opt.nodes; ++n)
+        addresses.push_back("sim://w" + std::to_string(n));
+    auto svc = ElasticKvService::create(cluster, addresses, cfg);
+    if (!svc) {
+        std::fprintf(stderr, "deploy failed: %s\n", svc.error().message.c_str());
+        return 1;
+    }
+    auto& kv = **svc;
+    auto app = margo::Instance::create(cluster.fabric(), "sim://bench-workload").value();
+
+    // Preload both tenants' keyspaces (untenanted: setup is not workload).
+    {
+        ElasticKvClient loader{app, kv.controller_address()};
+        const std::string value(opt.value_bytes, 'p');
+        for (std::uint32_t tenant : {k_light_tenant, k_heavy_tenant}) {
+            std::vector<std::pair<std::string, std::string>> pairs;
+            for (std::size_t i = 0; i < opt.keys; ++i) {
+                pairs.emplace_back(tenant_key(tenant, i), value);
+                if (pairs.size() == 256 || i + 1 == opt.keys) {
+                    if (auto st = loader.put_multi(pairs); !st.ok()) {
+                        std::fprintf(stderr, "preload: %s\n", st.error().message.c_str());
+                        return 1;
+                    }
+                    pairs.clear();
+                }
+            }
+        }
+    }
+
+    const auto phase = std::chrono::milliseconds(opt.duration_ms);
+
+    // Phase 1 — isolated baseline: the light tenant alone.
+    TenantResult light_iso;
+    {
+        auto start = Clock::now();
+        run_tenant_phase(app, kv, opt, k_light_tenant, opt.light_rate, start, start + phase,
+                         4, 17, light_iso);
+    }
+
+    // Phase 2 — overload: heavy tenant at 2x its quota alongside the light
+    // tenant, with a shard split/merge racing the load (the "migrate" leg of
+    // the op mix) unless disabled.
+    TenantResult light_over, heavy;
+    std::size_t migrations = 0;
+    {
+        auto start = Clock::now();
+        auto deadline = start + phase;
+        std::thread heavy_thread{[&] {
+            run_tenant_phase(app, kv, opt, k_heavy_tenant, heavy_rate, start, deadline, 8,
+                             29, heavy);
+        }};
+        std::thread migrate_thread{[&] {
+            if (!opt.migrate) return;
+            std::this_thread::sleep_for(phase / 4);
+            auto shards_now = kv.layout().shards();
+            auto plan = kv.split_shard(shards_now.front().id);
+            if (!plan) {
+                std::fprintf(stderr, "split: %s\n", plan.error().message.c_str());
+                return;
+            }
+            ++migrations;
+            std::this_thread::sleep_for(phase / 4);
+            if (auto merged = kv.merge_shards(plan->child); merged)
+                ++migrations;
+            else
+                std::fprintf(stderr, "merge: %s\n", merged.error().message.c_str());
+        }};
+        run_tenant_phase(app, kv, opt, k_light_tenant, opt.light_rate, start, deadline, 4,
+                         43, light_over);
+        heavy_thread.join();
+        migrate_thread.join();
+    }
+
+    // Audit: every key of both tenants must still read back (zero loss
+    // through quota enforcement racing the shard migration).
+    std::size_t lost_ops = 0;
+    {
+        ElasticKvClient auditor{app, kv.controller_address()};
+        for (std::uint32_t tenant : {k_light_tenant, k_heavy_tenant}) {
+            for (std::size_t i = 0; i < opt.keys; i += 64) {
+                std::vector<std::string> window;
+                for (std::size_t k = i; k < std::min(i + 64, opt.keys); ++k)
+                    window.push_back(tenant_key(tenant, k));
+                auto got = auditor.get_multi(window);
+                if (!got.has_value()) {
+                    lost_ops += window.size();
+                    continue;
+                }
+                for (const auto& v : *got)
+                    if (!v.has_value()) ++lost_ops;
+            }
+        }
+    }
+
+    // Scrape the per-tenant counters off every node (the same path the
+    // autoscaler and docs/OBSERVABILITY.md's fairness example use): the
+    // server-side view of the shed must corroborate the client's.
+    double heavy_shed_scraped = 0;
+    {
+        bedrock::Client scraper{app};
+        const std::string shed_name =
+            "tenant_" + std::to_string(k_heavy_tenant) + "_shed_total";
+        for (const auto& address : kv.nodes()) {
+            auto metrics = scraper.makeServiceHandle(address).getMetrics();
+            if (!metrics) continue;
+            for (const auto& [name, value] : (*metrics)["counters"].as_object())
+                if (name == shed_name) heavy_shed_scraped += value.as_real();
+        }
+    }
+
+    const double phase_s = static_cast<double>(opt.duration_ms) / 1000.0;
+    const double light_p99_iso = p99(light_iso.latencies_us);
+    const double light_p99_over = p99(light_over.latencies_us);
+    const double ratio = light_p99_iso > 0 ? light_p99_over / light_p99_iso : 0;
+    const auto non_retryable = light_iso.non_retryable.load() +
+                               light_over.non_retryable.load() + heavy.non_retryable.load();
+
+    if (opt.json_path != nullptr) {
+        std::FILE* out = std::fopen(opt.json_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", opt.json_path);
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n  \"metrics\": {\n"
+                     "    \"light_p99_iso_us\": %.1f,\n"
+                     "    \"light_p99_over_us\": %.1f,\n"
+                     "    \"light_p99_ratio\": %.4f,\n"
+                     "    \"light_ops_s\": %.1f,\n"
+                     "    \"light_completed\": %zu,\n"
+                     "    \"heavy_offered\": %zu,\n"
+                     "    \"heavy_completed\": %zu,\n"
+                     "    \"heavy_throttled\": %zu,\n"
+                     "    \"heavy_backpressure\": %zu,\n"
+                     "    \"heavy_shed_scraped\": %.0f,\n"
+                     "    \"non_retryable_errors\": %zu,\n"
+                     "    \"lost_ops\": %zu,\n"
+                     "    \"migrations\": %zu\n"
+                     "  }\n}\n",
+                     light_p99_iso, light_p99_over, ratio,
+                     static_cast<double>(light_over.completed.load()) / phase_s,
+                     light_over.completed.load(), heavy.offered, heavy.completed.load(),
+                     heavy.throttled.load(), heavy.backpressure.load(), heavy_shed_scraped,
+                     non_retryable, lost_ops, migrations);
+        std::fclose(out);
+    }
+    std::printf("# E14: light p99 %.0f -> %.0f us (ratio %.2f), heavy %zu/%zu done, "
+                "%zu backpressure (%.0f scraped), %zu non-retryable, %zu lost, "
+                "%zu migrations\n",
+                light_p99_iso, light_p99_over, ratio, heavy.completed.load(), heavy.offered,
+                heavy.backpressure.load(), heavy_shed_scraped, non_retryable, lost_ops,
+                migrations);
+    app->shutdown();
+    return non_retryable == 0 && lost_ops == 0 && heavy.backpressure.load() > 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    auto real_arg = [&](int& i) { return std::atof(argv[++i]); };
+    for (int i = 1; i < argc; ++i) {
+        auto is = [&](const char* flag) { return std::strcmp(argv[i], flag) == 0; };
+        if (is("--json") && i + 1 < argc)
+            opt.json_path = argv[++i];
+        else if (is("--duration-ms") && i + 1 < argc)
+            opt.duration_ms = std::atoi(argv[++i]);
+        else if (is("--light-rate") && i + 1 < argc)
+            opt.light_rate = real_arg(i);
+        else if (is("--heavy-rate") && i + 1 < argc)
+            opt.heavy_rate = real_arg(i);
+        else if (is("--heavy-quota") && i + 1 < argc)
+            opt.heavy_quota = real_arg(i);
+        else if (is("--light-weight") && i + 1 < argc)
+            opt.light_weight = real_arg(i);
+        else if (is("--heavy-weight") && i + 1 < argc)
+            opt.heavy_weight = real_arg(i);
+        else if (is("--keys") && i + 1 < argc)
+            opt.keys = static_cast<std::size_t>(std::atoi(argv[++i]));
+        else if (is("--value-bytes") && i + 1 < argc)
+            opt.value_bytes = static_cast<std::size_t>(std::atoi(argv[++i]));
+        else if (is("--zipf-theta") && i + 1 < argc)
+            opt.zipf_theta = real_arg(i);
+        else if (is("--put-frac") && i + 1 < argc)
+            opt.put_frac = real_arg(i);
+        else if (is("--scan-frac") && i + 1 < argc)
+            opt.scan_frac = real_arg(i);
+        else if (is("--no-migrate"))
+            opt.migrate = false;
+        else if (is("--shards") && i + 1 < argc)
+            opt.shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+        else if (is("--nodes") && i + 1 < argc)
+            opt.nodes = static_cast<std::size_t>(std::atoi(argv[++i]));
+        else {
+            std::fprintf(stderr, "unknown flag %s (see README.md, Workloads & QoS)\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    return run_workload(opt);
+}

@@ -479,13 +479,13 @@ void Runtime::post(const std::shared_ptr<Pool>& pool, std::function<void()> fn) 
 }
 
 void Runtime::post_with_payload(const std::shared_ptr<Pool>& pool, std::shared_ptr<void> payload,
-                                void (*fn)(void*)) {
+                                void (*fn)(void*), int priority) {
     auto ult = make_ult(pool);
     ult->task_payload = std::move(payload);
     // Captures one function pointer (8 bytes, trivially copyable): stays in
     // std::function's inline buffer. The payload rides in the descriptor.
     ult->fn = [fn] { fn(current_ult()->task_payload.get()); };
-    pool->push(std::move(ult));
+    pool->push(std::move(ult), priority);
 }
 
 ThreadHandle Runtime::post_thread(const std::shared_ptr<Pool>& pool, std::function<void()> fn) {

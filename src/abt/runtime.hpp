@@ -156,9 +156,12 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
     /// std::function's small-buffer optimization, and the ULT descriptor
     /// itself comes from a free list — a warm post performs zero heap
     /// allocations. If the runtime is finalized before the ULT runs, the
-    /// payload is destroyed without `fn` ever running.
+    /// payload is destroyed without `fn` ever running. `priority` orders the
+    /// ULT inside a `prio`/`prio_wait` pool (higher runs first; FIFO pools
+    /// ignore it) — Margo's QoS dispatch derives it from the tenant's
+    /// weighted-fair-queueing deficit.
     void post_with_payload(const std::shared_ptr<Pool>& pool, std::shared_ptr<void> payload,
-                           void (*fn)(void*));
+                           void (*fn)(void*), int priority = 0);
 
     /// Post a ULT and get a joinable handle.
     ThreadHandle post_thread(const std::shared_ptr<Pool>& pool, std::function<void()> fn);

@@ -29,7 +29,8 @@ struct Error {
         NotLeader,
         Conflict,
         // Appended (wire format encodes code+1; never reorder existing values):
-        NoSuchRpc, ///< target instance is up but lacks the RPC/provider id
+        NoSuchRpc,    ///< target instance is up but lacks the RPC/provider id
+        Backpressure, ///< tenant over quota: retryable, back off and resend
     };
 
     Code code = Code::Generic;
@@ -54,6 +55,7 @@ struct Error {
         case Code::NotLeader: return "not-leader";
         case Code::Conflict: return "conflict";
         case Code::NoSuchRpc: return "no-such-rpc";
+        case Code::Backpressure: return "backpressure";
         }
         return "unknown";
     }

@@ -111,7 +111,7 @@ Action AutoscalePolicy::decide(const ClusterSnapshot& snap) {
     // 2. Grow the node set while any pool queue stays beyond the depth
     //    watermark (per-node utilization signal, not per-shard).
     bool pressure = std::any_of(snap.nodes.begin(), snap.nodes.end(), [&](const NodeStats& n) {
-        return n.pool_depth > m_cfg.node_add_depth;
+        return n.pool_depth > m_cfg.node_add_depth || n.shed >= m_cfg.shed_pressure_min;
     });
     if (streak(m_pressure, "node", pressure) &&
         (m_cfg.max_nodes == 0 || snap.nodes.size() < m_cfg.max_nodes))
@@ -222,7 +222,13 @@ ClusterSnapshot ClusterAutoscaler::scrape() {
         }
         auto& cur = current[address];
         for (const auto& [name, value] : (*metrics)["counters"].as_object()) {
-            if (name.rfind("yokan_provider_", 0) == 0) cur[name] = value.as_real();
+            const bool shard_counter = name.rfind("yokan_provider_", 0) == 0;
+            // Tenant backpressure: tenant_<id>_shed_total deltas feed the
+            // policy's pressure signal (see PolicyConfig::shed_pressure_min).
+            const bool shed_counter =
+                name.rfind("tenant_", 0) == 0 && name.size() >= 11 &&
+                name.compare(name.size() - 11, 11, "_shed_total") == 0;
+            if (shard_counter || shed_counter) cur[name] = value.as_real();
         }
         snap.nodes.push_back(std::move(ns));
     }
@@ -238,6 +244,14 @@ ClusterSnapshot ClusterAutoscaler::scrape() {
         double prev = pit == pnode->second.end() ? 0 : pit->second;
         return std::max(0.0, cit->second - prev);
     };
+
+    for (auto& ns : snap.nodes) {
+        auto nit = current.find(ns.address);
+        if (nit == current.end()) continue;
+        for (const auto& [name, value] : nit->second) {
+            if (name.rfind("tenant_", 0) == 0) ns.shed += delta(ns.address, name);
+        }
+    }
 
     for (const auto& shard : layout.shards()) {
         const std::string prefix =

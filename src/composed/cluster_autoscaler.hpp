@@ -41,6 +41,7 @@ struct NodeStats {
     double ops = 0;        ///< total shard ops served during the window
     double pool_depth = 0; ///< deepest margo pool queue (sampled gauge)
     double in_flight = 0;  ///< in-flight RPCs (sampled gauge)
+    double shed = 0;       ///< tenant backpressure rejections (tenant_*_shed_total deltas)
     std::size_t shards = 0;
 };
 
@@ -69,6 +70,12 @@ struct PolicyConfig {
     double min_hot_ops = 64.0;      ///< ... and load at least this (absolute)
     double cold_shard_factor = 0.1; ///< cold: load < factor * mean shard load
     double node_add_depth = 32.0;   ///< grow when a pool queue exceeds this
+    /// Tenant shed rejections per period that count as queueing pressure: a
+    /// node refusing tenant work is saturated even if its pool drains fast
+    /// (backpressure keeps the queue short by design), so shedding feeds the
+    /// same pressure signal as pool depth — it can trigger AddNode and it
+    /// suppresses capacity reclamation.
+    double shed_pressure_min = 1.0;
     double cold_node_factor = 0.05; ///< shrink: node ops < factor * mean
     double min_total_ops = 16.0;    ///< below this the cluster is idle: no actions
 

@@ -10,10 +10,14 @@ namespace mochi::composed {
 // Deployment
 // ---------------------------------------------------------------------------
 
-json::Value ElasticKvService::node_bootstrap_config() {
+json::Value ElasticKvService::node_bootstrap_config() const {
     // Listing-3-style bootstrap: every node gets the component libraries and
     // a REMI provider; shard providers are started dynamically.
     auto cfg = json::Value::object();
+    // Deployment-wide margo config (QoS tenant table, prio pools) applies to
+    // every node, so late joiners enforce the same tenancy policy as the
+    // seed set.
+    if (m_config.margo.is_object()) cfg["margo"] = m_config.margo;
     cfg["libraries"]["yokan"] = "libyokan.so";
     cfg["libraries"]["remi"] = "libremi.so";
     auto remi_desc = json::Value::object();

@@ -43,6 +43,11 @@ struct ElasticKvConfig {
     bool enable_swim = true;
     std::chrono::milliseconds swim_period{100};
     std::string group_name = "elastic_kv";
+    /// Margo instance config applied to every service node (including ones
+    /// spawned later by scale_up / the autoscaler): pool/xstream layout,
+    /// and the "qos" tenant table — e.g. a prio_wait handler pool plus
+    /// per-tenant weights/quotas for multi-tenant deployments.
+    json::Value margo;
 };
 
 class ElasticKvService {
@@ -123,7 +128,7 @@ class ElasticKvService {
     : m_cluster(cluster), m_config(std::move(config)) {}
 
     Status spawn_service_node(const std::string& address);
-    [[nodiscard]] static json::Value node_bootstrap_config();
+    [[nodiscard]] json::Value node_bootstrap_config() const;
     [[nodiscard]] json::Value shard_descriptor(std::uint32_t shard) const;
     Status migrate_shard(std::uint32_t shard, const std::string& dest);
     void on_member_died(const std::string& address);

@@ -85,6 +85,8 @@ Expected<InstancePtr> Instance::create(std::shared_ptr<mercury::Fabric> fabric,
     inst->m_monitors.push_back(inst->m_stats);
     inst->m_metrics = std::make_shared<MetricsRegistry>();
     inst->m_monitors.push_back(std::make_shared<MetricsMonitor>(inst->m_metrics));
+    inst->m_qos = std::make_unique<QosManager>(inst->m_metrics);
+    inst->m_qos->configure(config["qos"]);
     const auto& mon = config["monitoring"];
     inst->m_monitoring_enabled = mon.get_bool("enable", true);
     if (auto p = mon.get_integer("sampling_period_ms", 0); p > 0)
@@ -353,6 +355,10 @@ AsyncRequest Instance::forward_async(const std::string& address, std::string_vie
     RpcContext ambient = current_rpc_context();
     msg.parent_rpc_id = ambient.rpc_id;
     msg.parent_provider_id = ambient.provider_id;
+    // Tenant identity rides the envelope like the trace: set by TenantScope
+    // on clients, inherited by handler ULTs on servers, so multi-hop fan-out
+    // bills to the originating tenant.
+    msg.tenant_id = ambient.tenant.id;
     // Forward span: continue the ambient trace, or root a fresh one so every
     // client-side call is traceable end to end. The envelope carries the
     // span id; the target's handler span becomes its child.
@@ -586,7 +592,8 @@ struct DispatchCtx {
             // RPC as their parent and extend this handler's span.
             ContextScope scope{RpcContext{
                 ctx->msg.rpc_id, ctx->msg.provider_id,
-                TraceContext{ctx->mctx.trace_id, ctx->mctx.span_id, ctx->mctx.parent_span_id}}};
+                TraceContext{ctx->mctx.trace_id, ctx->mctx.span_id, ctx->mctx.parent_span_id},
+                TenantContext{ctx->msg.tenant_id}}};
             Request req{self, std::move(ctx->msg)};
             ctx->entry->handler(req);
         }
@@ -655,10 +662,16 @@ void Instance::dispatch_request(mercury::Message msg) {
     ctx->t_received = now_us();
     emit([&](Monitor& m) { m.on_request_received(mctx); });
 
+    // Weighted admission: charge the request to its tenant's WFQ account and
+    // dispatch at the resulting deficit priority. Tenants behind their fair
+    // share overtake over-consumers inside a prio handler pool; untenanted
+    // traffic (tenant 0) skips the QoS lock entirely and dispatches at 0.
+    const int priority = m_qos->charge(msg.tenant_id, msg.payload.size());
+
     auto pool = entry->pool; // keep alive across the move below
     ctx->entry = std::move(entry);
     ctx->msg = std::move(msg);
-    m_runtime->post_with_payload(pool, std::move(ctx), &detail::DispatchCtx::run);
+    m_runtime->post_with_payload(pool, std::move(ctx), &detail::DispatchCtx::run, priority);
 }
 
 void Instance::dispatch_response(mercury::Message msg) {

@@ -18,6 +18,7 @@
 #include "common/ring_queue.hpp"
 #include "margo/metrics.hpp"
 #include "margo/monitoring.hpp"
+#include "margo/qos.hpp"
 #include "margo/tracing.hpp"
 #include "mercury/archive.hpp"
 #include "mercury/fabric.hpp"
@@ -53,6 +54,8 @@ class Request {
     [[nodiscard]] const std::string& rpc_name() const noexcept { return m_msg.rpc_name; }
     [[nodiscard]] std::uint64_t rpc_id() const noexcept { return m_msg.rpc_id; }
     [[nodiscard]] std::uint16_t provider_id() const noexcept { return m_msg.provider_id; }
+    /// QoS identity carried in the envelope; 0 = untenanted legacy caller.
+    [[nodiscard]] std::uint32_t tenant_id() const noexcept { return m_msg.tenant_id; }
 
     /// Deserialize the request payload into `values`.
     template <typename... Ts>
@@ -138,7 +141,8 @@ class Instance : public std::enable_shared_from_this<Instance> {
     /// Create a Margo instance attached to `fabric` under `address`.
     /// `config` (optional) carries {"argobots": {...}, "progress_pool": "...",
     /// "handler_pool": "...", "rpc_timeout_ms": N,
-    /// "monitoring": {"enable": bool, "sampling_period_ms": N}}.
+    /// "monitoring": {"enable": bool, "sampling_period_ms": N},
+    /// "qos": {"default": {...}, "tenants": {"<id>": {...}}} (see qos.hpp)}.
     static Expected<InstancePtr> create(std::shared_ptr<mercury::Fabric> fabric,
                                         std::string address,
                                         const json::Value& config = {});
@@ -268,6 +272,16 @@ class Instance : public std::enable_shared_from_this<Instance> {
         sync_pool_metrics();
         return m_metrics->to_json();
     }
+
+    // -- multi-tenant QoS ------------------------------------------------------
+
+    /// Weighted admission + quota state for this process. Dispatch charges
+    /// every tenant-tagged request here (priority on prio pools); providers
+    /// call qos().admit() — usually via margo::Provider::admit() — to
+    /// enforce quotas with retryable backpressure. Configure under the
+    /// "qos" key of the instance config or via qos().set_tenant().
+    [[nodiscard]] QosManager& qos() noexcept { return *m_qos; }
+    [[nodiscard]] const QosManager& qos() const noexcept { return *m_qos; }
 
     // -- configuration & online reconfiguration (§5) --------------------------
 
@@ -406,6 +420,7 @@ class Instance : public std::enable_shared_from_this<Instance> {
     abt::Eventual<void> m_forwards_drained;
 
     std::atomic<std::size_t> m_in_flight{0};
+    std::unique_ptr<QosManager> m_qos;
     std::atomic<bool> m_monitoring_enabled{true};
     std::shared_ptr<StatisticsMonitor> m_stats;
     std::shared_ptr<MetricsRegistry> m_metrics;

@@ -61,6 +61,24 @@ class Provider {
 
     [[nodiscard]] const std::shared_ptr<abt::Pool>& pool() const noexcept { return m_pool; }
 
+    /// Tenant quota gate for data handlers: charge `cost_bytes` (default:
+    /// the request payload size) against the sender's token buckets. On a
+    /// depleted bucket this responds the retryable Backpressure error for
+    /// the caller and returns false — the handler must return without
+    /// touching its backend, mirroring the check_epoch() idiom:
+    ///
+    ///   if (!check_epoch(req, epoch)) return;
+    ///   if (!admit(req)) return;
+    ///
+    /// Untenanted requests (tenant 0) are always admitted.
+    bool admit(const Request& req, std::size_t cost_bytes = 0) const {
+        auto st = m_instance->qos().admit(
+            req.tenant_id(), cost_bytes > 0 ? cost_bytes : req.payload().size());
+        if (st.ok()) return true;
+        req.respond_error(st.error());
+        return false;
+    }
+
     /// Vectored-handler helper: run fn(i) for every i in [0, n) across up
     /// to `ways` ULTs of this provider's pool, the calling (handler) ULT
     /// executing one share inline. The ambient RPC/trace context propagates

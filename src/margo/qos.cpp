@@ -1,0 +1,140 @@
+#include "margo/qos.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mochi::margo {
+
+namespace {
+
+/// One WFQ cost unit per request plus one per 4 KiB of payload: small ops
+/// meter by count, bulk ops by volume, without a separate code path.
+constexpr double k_bytes_per_cost_unit = 4096.0;
+
+TenantSpec spec_from_json(const json::Value& v, const TenantSpec& base) {
+    TenantSpec spec = base;
+    spec.weight = v.get_real("weight", spec.weight);
+    spec.ops_per_sec = v.get_real("ops_per_sec", spec.ops_per_sec);
+    spec.bytes_per_sec = v.get_real("bytes_per_sec", spec.bytes_per_sec);
+    spec.burst_ops = v.get_real("burst_ops", spec.burst_ops);
+    spec.burst_bytes = v.get_real("burst_bytes", spec.burst_bytes);
+    if (spec.weight <= 0) spec.weight = 1.0;
+    return spec;
+}
+
+} // namespace
+
+void QosManager::configure(const json::Value& config) {
+    if (!config.is_object()) return;
+    std::lock_guard lk{m_mutex};
+    if (config.contains("default")) m_default = spec_from_json(config["default"], TenantSpec{});
+    if (!config.contains("tenants")) return;
+    for (const auto& [id_str, spec_json] : config["tenants"].as_object()) {
+        char* end = nullptr;
+        unsigned long id = std::strtoul(id_str.c_str(), &end, 10);
+        if (end == id_str.c_str() || *end != '\0' || id == 0) continue;
+        Tenant& t = tenant_locked(static_cast<std::uint32_t>(id));
+        t.spec = spec_from_json(spec_json, m_default);
+        t.primed = false; // re-prime buckets under the new quota
+    }
+}
+
+void QosManager::set_tenant(std::uint32_t tenant_id, TenantSpec spec) {
+    if (tenant_id == 0) return;
+    if (spec.weight <= 0) spec.weight = 1.0;
+    std::lock_guard lk{m_mutex};
+    Tenant& t = tenant_locked(tenant_id);
+    t.spec = spec;
+    t.primed = false;
+}
+
+TenantSpec QosManager::tenant(std::uint32_t tenant_id) const {
+    std::lock_guard lk{m_mutex};
+    auto it = m_tenants.find(tenant_id);
+    return it == m_tenants.end() ? m_default : it->second.spec;
+}
+
+QosManager::Tenant& QosManager::tenant_locked(std::uint32_t tenant_id) {
+    auto it = m_tenants.find(tenant_id);
+    if (it != m_tenants.end()) return it->second;
+    Tenant t;
+    t.spec = m_default;
+    // A late joiner starts at the current minimum, not 0: otherwise it would
+    // outrank every established tenant until it burned through their entire
+    // history.
+    t.vtime = m_min_vtime;
+    const std::string prefix = "tenant_" + std::to_string(tenant_id);
+    t.ops = &m_metrics->counter(prefix + "_ops_total");
+    t.bytes = &m_metrics->counter(prefix + "_bytes_total");
+    t.shed = &m_metrics->counter(prefix + "_shed_total");
+    return m_tenants.emplace(tenant_id, std::move(t)).first->second;
+}
+
+int QosManager::charge(std::uint32_t tenant_id, std::size_t bytes) {
+    if (tenant_id == 0) return 0; // untenanted: default priority, no account
+    std::lock_guard lk{m_mutex};
+    Tenant& t = tenant_locked(tenant_id);
+    t.ops->inc();
+    t.bytes->inc(bytes);
+    const double cost =
+        (1.0 + static_cast<double>(bytes) / k_bytes_per_cost_unit) / t.spec.weight;
+    t.vtime = std::max(t.vtime, m_min_vtime) + cost;
+    double min_vtime = t.vtime;
+    for (const auto& [id, other] : m_tenants) min_vtime = std::min(min_vtime, other.vtime);
+    m_min_vtime = min_vtime;
+    // Deficit -> priority: the least-served tenant dispatches at 0 (level
+    // with untenanted traffic); tenants ahead of their fair share sink below
+    // it, one step per cost unit of lag, clamped so a runaway tenant cannot
+    // underflow the priority heap's int.
+    const double lag = t.vtime - m_min_vtime;
+    return -static_cast<int>(std::min(lag, 1024.0));
+}
+
+void QosManager::refill_locked(Tenant& t, Clock::time_point now) {
+    const double burst_ops =
+        t.spec.burst_ops > 0 ? t.spec.burst_ops : std::max(t.spec.ops_per_sec, 1.0);
+    const double burst_bytes = t.spec.burst_bytes > 0
+                                   ? t.spec.burst_bytes
+                                   : std::max(t.spec.bytes_per_sec, k_bytes_per_cost_unit);
+    if (!t.primed) {
+        t.op_tokens = burst_ops;
+        t.byte_tokens = burst_bytes;
+        t.last_refill = now;
+        t.primed = true;
+        return;
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(now - t.last_refill).count();
+    if (elapsed_s <= 0) return;
+    t.op_tokens = std::min(burst_ops, t.op_tokens + elapsed_s * t.spec.ops_per_sec);
+    t.byte_tokens = std::min(burst_bytes, t.byte_tokens + elapsed_s * t.spec.bytes_per_sec);
+    t.last_refill = now;
+}
+
+Status QosManager::admit(std::uint32_t tenant_id, std::size_t bytes, Clock::time_point now) {
+    if (tenant_id == 0) return {}; // legacy/untenanted traffic is never shed
+    std::lock_guard lk{m_mutex};
+    Tenant& t = tenant_locked(tenant_id);
+    if (t.spec.ops_per_sec <= 0 && t.spec.bytes_per_sec <= 0) return {};
+    refill_locked(t, now);
+    const bool op_starved = t.spec.ops_per_sec > 0 && t.op_tokens < 1.0;
+    const bool byte_starved =
+        t.spec.bytes_per_sec > 0 && t.byte_tokens < static_cast<double>(bytes);
+    if (op_starved || byte_starved) {
+        t.shed->inc();
+        return Error{Error::Code::Backpressure,
+                     "tenant " + std::to_string(tenant_id) + " over " +
+                         (op_starved ? "op" : "byte") + " quota, retry with backoff"};
+    }
+    if (t.spec.ops_per_sec > 0) t.op_tokens -= 1.0;
+    if (t.spec.bytes_per_sec > 0) t.byte_tokens -= static_cast<double>(bytes);
+    return {};
+}
+
+std::uint64_t QosManager::shed_total(std::uint32_t tenant_id) const {
+    std::lock_guard lk{m_mutex};
+    auto it = m_tenants.find(tenant_id);
+    return it == m_tenants.end() ? 0 : it->second.shed->value();
+}
+
+} // namespace mochi::margo

@@ -1,0 +1,118 @@
+// Multi-tenant quality of service (ROADMAP: "millions of users as a
+// scenario"). Three cooperating mechanisms, all keyed by the TenantContext
+// carried in the Mercury envelope (tracing.hpp):
+//
+//  1. *Weighted admission.* Every tenant-tagged request is charged to a
+//     deficit-style weighted-fair-queueing account at dispatch: the tenant's
+//     virtual time advances by cost/weight, and the request's abt pool
+//     priority is derived from how far the tenant's consumption runs ahead
+//     of the least-served tenant. On a `prio`/`prio_wait` handler pool the
+//     least-served tenant's ULTs therefore run first; a tenant with weight 4
+//     sustains 4x the service of a weight-1 tenant before being queued
+//     behind it. FIFO pools ignore the priority — admission weighting is
+//     opt-in per pool, exactly like Margo's pool kinds.
+//
+//  2. *Quotas + backpressure.* Per-tenant token buckets (ops/s and bytes/s)
+//     are enforced where the work happens — yokan/warabi provider handlers
+//     call admit() before touching their backend — and a depleted bucket
+//     returns the typed, retryable Error::Code::Backpressure instead of
+//     letting the queue grow without bound. Clients back off and resend
+//     (docs/QOS.md spells out the retry contract).
+//
+//  3. *Per-tenant metrics.* tenant_<id>_ops_total / _bytes_total /
+//     _shed_total counters land in the instance's MetricsRegistry, so they
+//     ride the existing bedrock/get_metrics scrape: bench gates assert
+//     fairness from them and the cluster autoscaler treats shedding as
+//     pressure (never reclaim capacity while tenants are being shed).
+//
+// Configured from the instance JSON under "qos" (see QosManager::configure)
+// or programmatically with set_tenant(). Unknown tenants fall back to the
+// configurable default spec (weight 1, no quotas), so identity alone never
+// causes rejections.
+#pragma once
+
+#include "common/expected.hpp"
+#include "common/json.hpp"
+#include "margo/metrics.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace mochi::margo {
+
+/// Per-tenant policy. Weights are relative (only ratios matter); a quota of
+/// 0 means unlimited. Burst depths default to one second's worth of quota.
+struct TenantSpec {
+    double weight = 1.0;
+    double ops_per_sec = 0.0;   ///< 0 = unlimited
+    double bytes_per_sec = 0.0; ///< 0 = unlimited
+    double burst_ops = 0.0;     ///< bucket depth; 0 = ops_per_sec (1 s worth)
+    double burst_bytes = 0.0;   ///< bucket depth; 0 = bytes_per_sec
+};
+
+class QosManager {
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit QosManager(std::shared_ptr<MetricsRegistry> metrics)
+    : m_metrics(std::move(metrics)) {}
+
+    /// Parse {"default": {...}, "tenants": {"<id>": {"weight": W,
+    /// "ops_per_sec": R, "bytes_per_sec": B, "burst_ops": N,
+    /// "burst_bytes": N}, ...}}. Unknown keys are ignored; malformed tenant
+    /// ids are skipped (configuration must never take a node down).
+    void configure(const json::Value& config);
+
+    /// Install/replace one tenant's spec at run time (weights and quotas are
+    /// reconfigurable online, like pools and xstreams).
+    void set_tenant(std::uint32_t tenant_id, TenantSpec spec);
+
+    [[nodiscard]] TenantSpec tenant(std::uint32_t tenant_id) const;
+
+    /// Charge one inbound request to the tenant's WFQ account and return the
+    /// abt pool priority its handler ULT should be pushed with (0 for
+    /// untenanted traffic, <= 0 for tenants running ahead of their fair
+    /// share). Also feeds tenant_<id>_ops_total / _bytes_total.
+    int charge(std::uint32_t tenant_id, std::size_t bytes);
+
+    /// Token-bucket quota gate: ok to proceed, or a retryable Backpressure
+    /// error (which also bumps tenant_<id>_shed_total). Providers call this
+    /// from their data handlers before touching the backend.
+    Status admit(std::uint32_t tenant_id, std::size_t bytes) {
+        return admit(tenant_id, bytes, Clock::now());
+    }
+    /// Deterministic-time overload for unit tests.
+    Status admit(std::uint32_t tenant_id, std::size_t bytes, Clock::time_point now);
+
+    /// Cumulative backpressure rejections for one tenant (0 if never seen).
+    [[nodiscard]] std::uint64_t shed_total(std::uint32_t tenant_id) const;
+
+  private:
+    struct Tenant {
+        TenantSpec spec;
+        /// WFQ virtual time: normalized service received. Clamped up to the
+        /// global minimum on each charge so an idle tenant cannot bank
+        /// unbounded credit.
+        double vtime = 0.0;
+        double op_tokens = 0.0;
+        double byte_tokens = 0.0;
+        Clock::time_point last_refill{};
+        bool primed = false; ///< buckets start full on first sight
+        Counter* ops = nullptr;
+        Counter* bytes = nullptr;
+        Counter* shed = nullptr;
+    };
+
+    Tenant& tenant_locked(std::uint32_t tenant_id);
+    void refill_locked(Tenant& t, Clock::time_point now);
+
+    std::shared_ptr<MetricsRegistry> m_metrics;
+    mutable std::mutex m_mutex;
+    TenantSpec m_default;
+    std::map<std::uint32_t, Tenant> m_tenants;
+    double m_min_vtime = 0.0; ///< least-served active tenant's vtime
+};
+
+} // namespace mochi::margo

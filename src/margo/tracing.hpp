@@ -38,14 +38,28 @@ struct TraceContext {
     [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
 };
 
+/// Multi-tenant QoS identity, carried in the RPC envelope exactly like
+/// TraceContext: a client installs it with TenantScope, forward_async()
+/// copies the ambient id into the outgoing message, and the target's
+/// handler ULT runs with it installed — so nested forwards (a provider
+/// fanning out to replicas or downstream shards) bill to the originating
+/// tenant automatically. id 0 = untenanted (legacy clients): default
+/// priority, no quotas, no per-tenant metrics.
+struct TenantContext {
+    std::uint32_t id = 0;
+
+    [[nodiscard]] bool active() const noexcept { return id != 0; }
+};
+
 /// Ambient per-ULT RPC context: the identity of the RPC whose handler the
 /// current ULT is executing (Listing-1 parent attribution) plus the active
-/// trace. Installed by the runtime on handler ULTs; propagated by hand into
-/// spawned worker ULTs with ContextScope.
+/// trace and tenant. Installed by the runtime on handler ULTs; propagated by
+/// hand into spawned worker ULTs with ContextScope.
 struct RpcContext {
     std::uint64_t rpc_id = k_no_parent_rpc_id;
     std::uint16_t provider_id = k_default_provider_id;
     TraceContext trace;
+    TenantContext tenant;
 };
 
 /// The ambient context of the calling ULT (or OS thread), or defaults when
@@ -73,6 +87,24 @@ class ContextScope {
     abt::Ult* m_ult = nullptr;   ///< non-null: restored into the ULT slot
     void* m_saved_ult = nullptr;
     const RpcContext* m_saved_tl = nullptr;
+};
+
+/// Run the enclosed code as tenant `tenant_id`: every forward issued while
+/// the scope is active carries the id in its envelope (on top of whatever
+/// trace/parent context is already ambient). Client applications wrap their
+/// request loops in one of these; servers never need it — handler ULTs
+/// inherit the caller's tenant from the envelope.
+class TenantScope {
+  public:
+    explicit TenantScope(std::uint32_t tenant_id) noexcept
+    : m_scope(with_tenant(current_rpc_context(), tenant_id)) {}
+
+  private:
+    static RpcContext with_tenant(RpcContext ctx, std::uint32_t tenant_id) noexcept {
+        ctx.tenant.id = tenant_id;
+        return ctx;
+    }
+    ContextScope m_scope;
 };
 
 /// Allocate a process-unique span / trace id (never 0).

@@ -48,6 +48,10 @@ struct Message {
     // into one cross-process trace.
     std::uint64_t trace_id = 0;
     std::uint64_t span_id = 0;
+    /// Multi-tenant QoS identity propagated with the call (carried like the
+    /// tracing context above). 0 = untenanted (legacy clients): the target
+    /// dispatches it at default priority and applies no quotas.
+    std::uint32_t tenant_id = 0;
     /// Response status: 0 = ok; otherwise an Error::Code cast to int.
     std::int32_t status = 0;
 };

@@ -123,6 +123,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!admit(req)) return;
         this->instance()->metrics()->counter("warabi_bytes_written_total").inc(data.size());
         std::lock_guard lk{m_mutex};
         auto it = m_regions.find(region);
@@ -143,6 +144,9 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        // Reads bill their byte quota on what leaves the node, not the
+        // few bytes of request header.
+        if (!admit(req, size)) return;
         std::lock_guard lk{m_mutex};
         auto it = m_regions.find(region);
         if (it == m_regions.end()) {
@@ -192,6 +196,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!admit(req)) return;
         std::vector<std::uint64_t> offsets;
         std::vector<std::string_view> datas;
         offsets.reserve(writes.size());
@@ -210,6 +215,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!admit(req, handle.size)) return;
         std::string buffer(handle.size, '\0');
         if (auto st = this->instance()->bulk_pull(handle, 0, buffer.data(), buffer.size());
             !st.ok()) {
@@ -231,6 +237,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!admit(req, handle.size)) return;
         std::string buffer(handle.size, '\0');
         if (auto st = this->instance()->bulk_pull(handle, 0, buffer.data(), buffer.size());
             !st.ok()) {
@@ -257,6 +264,7 @@ Provider::Provider(margo::InstancePtr instance, std::uint16_t provider_id,
             req.respond_error(Error{Error::Code::InvalidArgument, "bad payload"});
             return;
         }
+        if (!admit(req, handle.size)) return;
         std::string data;
         {
             std::lock_guard lk{m_mutex};

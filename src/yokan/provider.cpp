@@ -387,6 +387,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         instance()->metrics()->counter("yokan_puts_total").inc();
         m_ops->inc();
         Status st = m_backend ? m_backend->put(key, std::move(value))
@@ -404,6 +405,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         instance()->metrics()->counter("yokan_gets_total").inc();
         m_ops->inc();
         auto r = m_backend ? m_backend->get(key) : virtual_get(key);
@@ -420,6 +422,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         if (m_backend) {
             req.respond_values(this->epoch(), m_backend->exists(key));
             return;
@@ -435,6 +438,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         Status st;
         if (m_backend) {
             st = m_backend->erase(key);
@@ -457,6 +461,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         if (m_backend) {
             req.respond_values(this->epoch(),
                                static_cast<std::uint64_t>(m_backend->count()));
@@ -481,6 +486,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         handle_put_multi(req, std::move(pairs));
     });
     define("put_multi_bulk", [this](const margo::Request& req) {
@@ -494,6 +500,9 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        // Byte quota is charged on the bulk transfer size, not the tiny
+        // inline payload that merely carries the handle.
+        if (!admit(req, handle.size)) return;
         std::string buffer(handle.size, '\0');
         if (auto st = instance()->bulk_pull(handle, 0, buffer.data(), buffer.size());
             !st.ok()) {
@@ -517,6 +526,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         std::vector<std::optional<std::string>> values(keys.size());
         if (m_backend) {
             // Vectored execution: slices of the batch run on handler-pool
@@ -560,6 +570,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         if (m_backend) {
             req.respond_values(this->epoch(), m_backend->list_keys(from, prefix, max));
             return;
@@ -581,6 +592,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         std::uint64_t erased = 0;
         for (const auto& k : keys) {
             Status st;
@@ -606,6 +618,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         if (m_backend) {
             std::vector<std::pair<std::string, std::string>> out;
             for (auto& key : m_backend->list_keys(from, prefix, max)) {
@@ -631,6 +644,7 @@ void Provider::define_rpcs() {
             return;
         }
         if (!check_epoch(req, epoch)) return;
+        if (!admit(req)) return;
         if (m_backend) {
             req.respond_values(this->epoch(),
                                static_cast<std::uint64_t>(m_backend->size_bytes()));

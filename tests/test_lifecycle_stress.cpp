@@ -728,6 +728,155 @@ void autoscale_churn(std::uint64_t seed) {
     app->shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 8: tenant quota enforcement racing shard migration
+// ---------------------------------------------------------------------------
+//
+// A QoS-configured deployment (docs/QOS.md): a weight-4 "light" tenant runs
+// batched ops unthrottled while a weight-1 "heavy" tenant with a small ops/s
+// quota hammers single puts and absorbs Backpressure rejections with
+// retry-and-backoff — all while the controller splits and merges shards
+// under both of them. Invariants: the light tenant (no quota) never sees an
+// error, the heavy tenant sees *only* the retryable Backpressure code, the
+// quota actually engages (at least one rejection), and after the churn
+// quiesces every acked write of either tenant reads back exactly (a shed op
+// must never have half-touched a backend, and a migrating shard must never
+// drop an admitted one).
+
+void tenant_overload(std::uint64_t seed) {
+    using composed::ElasticKvClient;
+    using composed::ElasticKvConfig;
+    using composed::ElasticKvService;
+    std::mt19937_64 rng(seed);
+    composed::Cluster cluster;
+    ElasticKvConfig cfg;
+    cfg.num_shards = 4;
+    cfg.enable_swim = false;
+    auto pool = json::Value::object();
+    pool["name"] = "__primary__";
+    pool["type"] = "prio_wait";
+    pool["access"] = "mpmc";
+    cfg.margo["argobots"]["pools"].push_back(std::move(pool));
+    auto& tenants = cfg.margo["qos"]["tenants"];
+    tenants["1"]["weight"] = 4.0;
+    tenants["2"]["weight"] = 1.0;
+    tenants["2"]["ops_per_sec"] = 200.0;
+    tenants["2"]["burst_ops"] = 20.0;
+    auto svc = ElasticKvService::create(cluster, {"sim://to0", "sim://to1"}, cfg);
+    ASSERT_TRUE(svc.has_value()) << svc.error().message;
+    auto& kv = **svc;
+    auto app = margo::Instance::create(cluster.fabric(), "sim://to-app").value();
+
+    std::atomic<bool> done{false};
+    std::atomic<int> batches{0}, client_errors{0}, heavy_backpressure{0};
+    std::mutex written_mutex;
+    std::map<std::string, std::string> written; // ground truth, both tenants
+
+    std::thread light_thread{[&, seed] {
+        margo::TenantScope scope{1};
+        ElasticKvClient client{app, kv.controller_address()};
+        std::mt19937_64 lrng(seed * 5000011 + 7);
+        int round = 0;
+        while (!done.load()) {
+            std::vector<std::pair<std::string, std::string>> pairs;
+            std::vector<std::string> keys;
+            for (int i = 0; i < 24; ++i) {
+                auto k = "lt" + std::to_string(lrng() % 400);
+                pairs.emplace_back(k, "r" + std::to_string(round));
+                keys.push_back(k);
+            }
+            // No quota on tenant 1: any error at all breaks the QoS
+            // contract (identity alone must never cause rejections).
+            if (auto st = client.put_multi(pairs); !st.ok()) {
+                ++client_errors;
+                ADD_FAILURE() << "light put_multi: " << st.error().message;
+            } else {
+                std::lock_guard lk{written_mutex};
+                for (auto& [k, v] : pairs) written[k] = v;
+            }
+            if (auto got = client.get_multi(keys); !got.has_value()) {
+                ++client_errors;
+                ADD_FAILURE() << "light get_multi: " << got.error().message;
+            }
+            ++batches;
+            ++round;
+        }
+    }};
+
+    std::thread heavy_thread{[&, seed] {
+        margo::TenantScope scope{2};
+        ElasticKvClient client{app, kv.controller_address()};
+        std::mt19937_64 lrng(seed * 9000017 + 3);
+        int round = 0;
+        while (!done.load()) {
+            auto k = "hv" + std::to_string(lrng() % 200);
+            auto v = "r" + std::to_string(round);
+            bool acked = false;
+            for (int attempt = 0; attempt < 64 && !done.load(); ++attempt) {
+                auto st = client.put(k, v);
+                if (st.ok()) {
+                    acked = true;
+                    break;
+                }
+                if (st.error().code == Error::Code::Backpressure) {
+                    // The documented contract: back off and resend.
+                    ++heavy_backpressure;
+                    std::this_thread::sleep_for(1ms);
+                    continue;
+                }
+                ++client_errors;
+                ADD_FAILURE() << "heavy put: " << st.error().message << " ("
+                              << st.error().code_name() << ")";
+                break;
+            }
+            if (acked) {
+                std::lock_guard lk{written_mutex};
+                written[k] = v;
+            }
+            ++round;
+        }
+    }};
+
+    // Shard churn under both tenants: splits and merges move exactly the key
+    // ranges the loads are hitting.
+    std::vector<std::uint32_t> children;
+    int steps = 5 + static_cast<int>(seed % 3);
+    for (int step = 0; step < steps; ++step) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::uniform_int_distribution<>(10, 40)(rng)));
+        if ((seed + static_cast<std::uint64_t>(step)) % 2 == 0 || children.empty()) {
+            auto shards = kv.layout().shards();
+            auto& victim = shards[rng() % shards.size()];
+            auto plan = kv.split_shard(victim.id);
+            ASSERT_TRUE(plan.has_value()) << plan.error().message;
+            children.push_back(plan->child);
+        } else {
+            auto id = children.back();
+            children.pop_back();
+            auto plan = kv.merge_shards(id);
+            ASSERT_TRUE(plan.has_value()) << plan.error().message;
+        }
+    }
+    done.store(true);
+    light_thread.join(); // liveness: neither tenant can wedge mid-churn
+    heavy_thread.join();
+
+    EXPECT_EQ(client_errors.load(), 0);
+    EXPECT_GT(batches.load(), 0);
+    // The quota must have engaged: a run where the heavy tenant was never
+    // shed proves nothing about backpressure under migration.
+    EXPECT_GT(heavy_backpressure.load(), 0);
+    // Zero acked-op loss: every write either tenant was acked for must read
+    // back exactly, through an untenanted verifier with a cold layout cache.
+    ElasticKvClient verifier{app, kv.controller_address()};
+    for (const auto& [k, v] : written) {
+        auto got = verifier.get(k);
+        ASSERT_TRUE(got.has_value()) << k << ": " << got.error().message;
+        EXPECT_EQ(*got, v) << k;
+    }
+    app->shutdown();
+}
+
 } // namespace
 
 TEST(LifecycleStress, ForwardVsShutdown) { run_seeded(forward_vs_shutdown); }
@@ -743,3 +892,5 @@ TEST(LifecycleStress, FastSlowFlip) { run_seeded(fast_slow_flip); }
 TEST(LifecycleStress, ElasticChurn) { run_seeded(elastic_churn); }
 
 TEST(LifecycleStress, AutoscaleChurn) { run_seeded(autoscale_churn); }
+
+TEST(LifecycleStress, TenantOverload) { run_seeded(tenant_overload); }

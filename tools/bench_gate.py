@@ -2,7 +2,8 @@
 """Benchmark-regression gate.
 
 Runs the covered benchmarks (bench_rpc, bench_tracing, bench_ult,
-bench_batch, bench_elastic), writes each one's raw results to BENCH_<name>.json in
+bench_batch, bench_elastic, bench_autoscale, bench_workload), writes each
+one's raw results to BENCH_<name>.json in
 --out-dir, and compares a curated set of metrics against the checked-in
 baselines in bench/baselines/.
 
@@ -45,6 +46,7 @@ BENCHMARKS = {
     "batch": {"kind": "metrics", "args": []},
     "elastic": {"kind": "metrics", "args": []},
     "autoscale": {"kind": "metrics", "args": []},
+    "workload": {"kind": "metrics", "args": []},
 }
 
 # Gated metrics: (bench, metric) -> spec.
@@ -124,6 +126,29 @@ GATES = {
         "higher_is_better": False, "tolerance": 2.0, "max": 1.1},
     ("autoscale", "p99_after_us"): {
         "higher_is_better": False, "tolerance": 3.0},
+    # E14 acceptance criteria (multi-tenant QoS under overload; see
+    # docs/QOS.md and EXPERIMENTS.md). With the heavy tenant offered at 2x
+    # its quota and 4:1 weights, the light tenant's p99 must stay within
+    # 1.5x of its isolated baseline on any machine — the fairness invariant.
+    ("workload", "light_p99_ratio"): {
+        "higher_is_better": False, "tolerance": 2.0, "max": 1.5},
+    # The heavy tenant must actually be throttled: the client must observe
+    # Backpressure rejections AND the per-tenant shed counters scraped via
+    # bedrock/get_metrics must corroborate them (floor of one each is the
+    # invariant; the counts themselves are timing-dependent).
+    ("workload", "heavy_backpressure"): {
+        "higher_is_better": True, "tolerance": 8.0, "min": 1.0},
+    ("workload", "heavy_shed_scraped"): {
+        "higher_is_better": True, "tolerance": 8.0, "min": 1.0},
+    # Overload must surface only as the retryable Backpressure code, and no
+    # acknowledged key may be lost across the quota/migration race.
+    ("workload", "non_retryable_errors"): {
+        "higher_is_better": False, "tolerance": 1.0, "max": 0.0},
+    ("workload", "lost_ops"): {
+        "higher_is_better": False, "tolerance": 1.0, "max": 0.0},
+    # Throughput shape check only (machines vary).
+    ("workload", "light_ops_s"): {
+        "higher_is_better": True, "tolerance": 3.0},
 }
 
 
@@ -247,7 +272,8 @@ def main():
         status = "ok " if ok else "FAIL"
         print("bench_gate: [%s] %s/%s = %.4g  (%s)" % (status, bench, metric, value, band))
         if not ok:
-            failures.append("%s/%s = %.4g outside band %s" % (bench, metric, value, band))
+            failures.append("%s/%s measured %.4g vs baseline %.4g, allowed %s"
+                            % (bench, metric, value, base, band))
 
     if failures:
         print("bench_gate: FAILED")

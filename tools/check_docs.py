@@ -6,6 +6,11 @@
    skipped; an optional #fragment is stripped before checking).
 2. docs/ARCHITECTURE.md mentions every component directory under src/
    (a directory guide that silently omits a component goes stale first).
+3. Every metric family and error-code name docs/QOS.md commits to in
+   backticks (tenant_*_total counters, the Backpressure code, ...) exists
+   verbatim in the source tree — placeholder segments like `<id>` are
+   split out and the literal fragments around them are grepped for, so
+   renaming a counter in src/ without updating the QoS contract fails CI.
 
 Exits non-zero listing every violation.
 """
@@ -77,9 +82,46 @@ def check_architecture_mentions_every_component():
     return errors
 
 
+# Backticked names in QOS.md that must exist in src/: metric families
+# (snake_case ending in a unit or _total) and error-code identifiers.
+QOS_METRIC_RE = re.compile(r"`(tenant_[A-Za-z0-9_<>]*_total)`")
+QOS_ERROR_RE = re.compile(r"`(Backpressure|backpressure)`")
+
+
+def check_qos_names_exist_in_source():
+    doc = REPO / "docs" / "QOS.md"
+    if not doc.exists():
+        return ["docs/QOS.md is missing"]
+    text = doc.read_text()
+
+    names = set(QOS_METRIC_RE.findall(text)) | set(QOS_ERROR_RE.findall(text))
+    if not names:
+        return ["docs/QOS.md: no backticked metric/error names found "
+                "(the QoS contract must name its observables)"]
+
+    sources = []
+    for pattern in ("*.cpp", "*.hpp"):
+        sources.extend((REPO / "src").rglob(pattern))
+    blob = "\n".join(p.read_text() for p in sources)
+
+    errors = []
+    for name in sorted(names):
+        # `tenant_<id>_ops_total` documents a family: every literal
+        # fragment around the <...> placeholders must appear in source
+        # (the code builds the name by concatenating those fragments).
+        fragments = [f for f in re.split(r"<[^>]*>", name) if f]
+        missing = [f for f in fragments if f not in blob]
+        if missing:
+            errors.append(
+                f"docs/QOS.md: `{name}` not found in src/ "
+                f"(missing fragment(s): {', '.join(missing)})")
+    return errors
+
+
 def main():
     errors = check_links(tracked_markdown())
     errors += check_architecture_mentions_every_component()
+    errors += check_qos_names_exist_in_source()
     for e in errors:
         print(e, file=sys.stderr)
     if errors:
